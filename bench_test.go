@@ -1,0 +1,275 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper (see DESIGN.md §5 for the experiment index). Each benchmark runs the
+// corresponding experiment and reports the paper's headline quantities as
+// custom metrics (relative costs, bound ratios), so `go test -bench=.`
+// doubles as the reproduction harness. Matrix dimensions are scaled to 1/4
+// of paper scale to keep a full -bench run in tens of seconds; `cmd/mmexp`
+// runs the same experiments at full scale.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/exp"
+	"repro/internal/lp"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/steady"
+)
+
+var benchCfg = exp.Config{Scale: 0.25, Seed: 1}
+
+// reportFigure runs one figure builder and reports the average relative cost
+// of the three summary algorithms (Figure 9's ingredients).
+func reportFigure(b *testing.B, build func(exp.Config) (*exp.Figure, error)) {
+	b.Helper()
+	var fig *exp.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := build(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	for _, name := range []string{"Het", "ODDOML", "BMM"} {
+		var sum float64
+		var n int
+		for _, row := range fig.Rows {
+			if c, ok := row.Cells[name]; ok {
+				sum += c.RelCost
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "relcost_"+name)
+		}
+	}
+}
+
+// BenchmarkFig4 — heterogeneous memory (paper Figure 4).
+func BenchmarkFig4(b *testing.B) { reportFigure(b, exp.Fig4) }
+
+// BenchmarkFig5 — heterogeneous communication links (paper Figure 5).
+func BenchmarkFig5(b *testing.B) { reportFigure(b, exp.Fig5) }
+
+// BenchmarkFig6 — heterogeneous computation speeds (paper Figure 6).
+func BenchmarkFig6(b *testing.B) { reportFigure(b, exp.Fig6) }
+
+// BenchmarkFig7 — fully heterogeneous platforms (paper Figure 7).
+func BenchmarkFig7(b *testing.B) { reportFigure(b, exp.Fig7) }
+
+// BenchmarkFig8 — the real Lyon platform (paper Figure 8).
+func BenchmarkFig8(b *testing.B) { reportFigure(b, exp.Fig8) }
+
+// BenchmarkFig9 — the summary figure: all experiments, Het vs ODDOML vs BMM
+// (paper Figure 9). Reports the two headline gains.
+func BenchmarkFig9(b *testing.B) {
+	var sum *exp.Figure
+	for i := 0; i < b.N; i++ {
+		var figs []*exp.Figure
+		for _, build := range []func(exp.Config) (*exp.Figure, error){exp.Fig4, exp.Fig5, exp.Fig6, exp.Fig7, exp.Fig8} {
+			f, err := build(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			figs = append(figs, f)
+		}
+		sum = exp.Summary(figs...)
+	}
+	avg := sum.Rows[len(sum.Rows)-2]
+	b.ReportMetric(avg.Cells["Het"].RelCost, "avg_relcost_Het")
+	b.ReportMetric(avg.Cells["ODDOML"].RelCost, "avg_relcost_ODDOML")
+	b.ReportMetric(avg.Cells["BMM"].RelCost, "avg_relcost_BMM")
+	worst := sum.Rows[len(sum.Rows)-1]
+	b.ReportMetric(worst.Cells["Het"].RelCost, "worst_relcost_Het")
+}
+
+// BenchmarkSection3Bounds — the §3 theory: executed CCR of the maximum
+// re-use algorithm vs the improved lower bound √(27/8m).
+func BenchmarkSection3Bounds(b *testing.B) {
+	m, t := 1021, 100
+	var ccr float64
+	for i := 0; i < b.N; i++ {
+		pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: m})
+		mu := platform.MuMaxReuse(m)
+		res, err := sched.MaxReuse{}.Schedule(pl, sched.Instance{R: 2 * mu, S: 4 * mu, T: t})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccr = float64(res.Stats.CommBlocks) / float64(res.Stats.Updates)
+	}
+	b.ReportMetric(ccr, "ccr_executed")
+	b.ReportMetric(bound.CCROpt(m), "ccr_lower_bound")
+	b.ReportMetric(bound.CCRBMM(m, t), "ccr_toledo")
+}
+
+// BenchmarkSteadyStateLP — Table 1: the bandwidth-centric linear program
+// solved exactly by simplex on the 20-worker Lyon platform.
+func BenchmarkSteadyStateLP(b *testing.B) {
+	pl := platform.LyonAugust2007()
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		a, err := steady.SolveLP(pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tp = a.Throughput
+	}
+	b.ReportMetric(tp, "throughput")
+}
+
+// BenchmarkTable2Infeasibility — Table 2: buffer demand of the
+// bandwidth-centric solution as the link ratio x grows.
+func BenchmarkTable2Infeasibility(b *testing.B) {
+	var demand float64
+	for i := 0; i < b.N; i++ {
+		pl := platform.Table2(16)
+		a := steady.BandwidthCentric(pl)
+		demand = steady.InputBufferDemand(pl, a, 0)
+	}
+	b.ReportMetric(demand, "p1_buffer_demand_x16")
+}
+
+// BenchmarkSteadyUpperBound — §6 summary: Het's makespan against the
+// steady-state bound (paper: 2.29× average).
+func BenchmarkSteadyUpperBound(b *testing.B) {
+	pl := platform.HeteroComm()
+	inst := sched.Instance{R: 25, S: 250, T: 25}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Het{}.Schedule(pl, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Stats.Makespan / steady.MakespanLowerBound(pl, inst.R, inst.S, inst.T)
+	}
+	b.ReportMetric(ratio, "het_over_bound")
+}
+
+// BenchmarkAblationOnePort — design-choice ablation: how much the one-port
+// constraint costs ODDOML against an idealized multi-port master.
+func BenchmarkAblationOnePort(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r1, err := ablationRun(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := ablationRun(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r1 / r2
+	}
+	b.ReportMetric(ratio, "oneport_over_multiport")
+}
+
+// BenchmarkAblationLayout — design-choice ablation: the optimized layout
+// (ODDOML) against Toledo's equal-thirds layout (BMM) on the same platform,
+// isolating the memory-layout contribution the paper quantifies at ~19%.
+func BenchmarkAblationLayout(b *testing.B) {
+	pl := platform.HeteroMemory()
+	inst := sched.Instance{R: 25, S: 250, T: 25}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		odd, err := sched.ODDOML{}.Schedule(pl, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bmm, err := sched.BMM{}.Schedule(pl, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = 1 - odd.Stats.Makespan/bmm.Stats.Makespan
+	}
+	b.ReportMetric(100*gain, "layout_gain_pct")
+}
+
+// BenchmarkLUSimulation — the extension: simulated master-worker LU.
+func BenchmarkLUSimulation(b *testing.B) {
+	pl := platform.Homogeneous(4, 0.4, 1, 320)
+	var span float64
+	for i := 0; i < b.N; i++ {
+		total, _, err := lu.SimulateMakespan(pl, 30, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		span = total
+	}
+	b.ReportMetric(span, "lu_makespan")
+}
+
+// BenchmarkBlockMulAdd is the q=80 kernel the whole model normalizes
+// against: one block update = 2·q³ flops.
+func BenchmarkBlockMulAdd(b *testing.B) {
+	a := matrix.NewBlock(80)
+	bb := matrix.NewBlock(80)
+	c := matrix.NewBlock(80)
+	for i := range a.Data {
+		a.Data[i] = float64(i % 7)
+		bb.Data[i] = float64(i % 5)
+	}
+	b.SetBytes(3 * 8 * 80 * 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.MulAdd(c, a, bb)
+	}
+}
+
+// BenchmarkSimplex measures the LP substrate on random dense programs.
+func BenchmarkSimplex(b *testing.B) {
+	n, m := 24, 30
+	c := make([]float64, n)
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	for j := range c {
+		c[j] = float64(j%5) + 1
+	}
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*j)%7) + 0.5
+		}
+		rhs[i] = 50
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Maximize(c, rows, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHetSelection isolates phase 1 of the heterogeneous algorithm
+// (selection throughput matters: the paper includes decision time in its
+// reported makespans).
+func BenchmarkHetSelection(b *testing.B) {
+	pl := platform.FullyHetero(4)
+	inst := sched.Instance{R: 25, S: 250, T: 25}
+	for i := 0; i < b.N; i++ {
+		if _, err := (sched.HetVariant{V: sched.Variant{LookAhead: true}}).Schedule(pl, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ablationRun(multiPort bool) (float64, error) {
+	// ODDOML-style run with the port constraint toggled.
+	pl := platform.HeteroComm()
+	inst := sched.Instance{R: 25, S: 250, T: 25}
+	res, err := sched.ODDOML{}.Schedule(pl, inst)
+	if err != nil {
+		return 0, err
+	}
+	if !multiPort {
+		return res.Stats.Makespan, nil
+	}
+	multi, err := sched.AblateMultiPort(pl, inst)
+	if err != nil {
+		return 0, err
+	}
+	return multi, nil
+}

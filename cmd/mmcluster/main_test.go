@@ -1,0 +1,53 @@
+package main
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+func TestBuildPlatform(t *testing.T) {
+	pl, err := buildPlatform(3, "")
+	if err != nil || pl.P() != 3 {
+		t.Fatalf("default platform: %v %v", pl, err)
+	}
+	pl, err = buildPlatform(2, "1:1:60,2:2:40")
+	if err != nil || pl.Workers[1].M != 40 {
+		t.Fatalf("spec platform: %v %v", pl, err)
+	}
+	if _, err := buildPlatform(3, "1:1:60"); err == nil {
+		t.Error("spec count mismatch accepted")
+	}
+	if _, err := buildPlatform(1, "1:1"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestMasterEndToEnd(t *testing.T) {
+	// Bring up two in-process workers, then drive the master() entry point.
+	const n = 2
+	var wg sync.WaitGroup
+	addr := "127.0.0.1:39917"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Retry until the master is listening.
+			for j := 0; j < 100; j++ {
+				if err := cluster.Serve(addr, "w"); err == nil {
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			t.Error("worker never connected")
+		}(i)
+	}
+	err := master(addr, n, "", "oddoml", sched.Instance{R: 4, S: 8, T: 3}, 4, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

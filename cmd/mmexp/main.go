@@ -1,0 +1,117 @@
+// Command mmexp regenerates the paper's experimental figures and tables.
+//
+// Usage:
+//
+//	mmexp -fig all                 # every figure, paper-scale matrices
+//	mmexp -fig 5 -scale 0.5        # Figure 5 at half-scale dimensions
+//	mmexp -fig 7 -seed 3 -csv      # Figure 7, alternative random platforms
+//	mmexp -fig bounds              # Section 3 bound table
+//	mmexp -fig table2              # Section 5 counterexample
+//	mmexp -fig ub                  # steady-state upper bound vs Het
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,all,bounds,table2,ub")
+	scale := flag.Float64("scale", 1.0, "matrix dimension scale (1 = paper scale)")
+	seed := flag.Int64("seed", 1, "base seed for random platforms")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	if err := run(*fig, cfg, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "mmexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, cfg exp.Config, csv bool) error {
+	emit := func(f *exp.Figure) {
+		if csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Render())
+		}
+	}
+	builders := map[string]func(exp.Config) (*exp.Figure, error){
+		"4": exp.Fig4, "5": exp.Fig5, "6": exp.Fig6, "7": exp.Fig7, "8": exp.Fig8,
+	}
+	switch strings.ToLower(fig) {
+	case "4", "5", "6", "7", "8":
+		f, err := builders[fig](cfg)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "9", "all":
+		var figs []*exp.Figure
+		for _, id := range []string{"4", "5", "6", "7", "8"} {
+			f, err := builders[id](cfg)
+			if err != nil {
+				return err
+			}
+			if fig == "all" {
+				emit(f)
+			}
+			figs = append(figs, f)
+		}
+		emit(exp.Summary(figs...))
+		if fig == "all" {
+			ub, err := exp.UpperBoundTable(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(ub)
+			bt, err := exp.BoundsTable(100, []int{21, 57, 111, 333, 1021, 4005})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bt)
+			fmt.Println(exp.Table2Demo([]float64{0.5, 1, 2, 4, 8, 16, 64}))
+		}
+	case "bounds":
+		bt, err := exp.BoundsTable(100, []int{21, 57, 111, 333, 1021, 4005})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bt)
+	case "table2":
+		fmt.Println(exp.Table2Demo([]float64{0.5, 1, 2, 4, 8, 16, 64}))
+	case "ub":
+		ub, err := exp.UpperBoundTable(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ub)
+	case "sweep":
+		ratios := []float64{1, 1.5, 2, 3, 4, 6, 8}
+		for _, kind := range []exp.HeterogeneityKind{exp.SweepComm, exp.SweepComp, exp.SweepMemory} {
+			f, err := exp.HeterogeneitySweep(kind, ratios, cfg)
+			if err != nil {
+				return err
+			}
+			emit(f)
+		}
+	case "robust":
+		pl := platform.FullyHetero(2)
+		inst := sched.Instance{R: cfg.Dim(100), S: cfg.Dim(1000), T: cfg.Dim(100)}
+		out, err := exp.Robustness(pl, inst, []float64{0, 0.1, 0.2, 0.4, 0.8}, 5, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	default:
+		return fmt.Errorf("unknown figure %q (want 4..9, all, bounds, table2, ub, sweep, robust)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestRunDispatch(t *testing.T) {
+	cfg := exp.Config{Scale: 0.08, Seed: 1}
+	for _, fig := range []string{"4", "bounds", "table2", "ub", "robust"} {
+		if err := run(fig, cfg, false); err != nil {
+			t.Errorf("run(%q): %v", fig, err)
+		}
+	}
+	if err := run("17", cfg, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run("4", exp.Config{Scale: 0.08}, true); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command mmrun schedules a product with a chosen algorithm and then
+// executes the plan for real on the in-process channel engine: goroutine
+// workers receive actual matrix blocks, perform genuine floating-point
+// updates, and the result is verified against a reference multiplication.
+//
+// Usage:
+//
+//	mmrun -alg Het -r 8 -s 24 -t 6 -q 16
+//	mmrun -alg BMM -r 8 -s 24 -t 6 -q 16 -pace 50us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func main() {
+	alg := flag.String("alg", "Het", "algorithm: Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM")
+	r := flag.Int("r", 8, "rows of C in blocks")
+	s := flag.Int("s", 24, "columns of C in blocks")
+	t := flag.Int("t", 6, "inner dimension in blocks")
+	q := flag.Int("q", 16, "block edge (elements)")
+	seed := flag.Int64("seed", 1, "random seed for matrix data")
+	pace := flag.Duration("pace", 0, "per (block × unit link cost) transfer pacing, e.g. 50us")
+	flag.Parse()
+
+	if err := run(*alg, sched.Instance{R: *r, S: *s, T: *t}, *q, *seed, *pace); err != nil {
+		fmt.Fprintln(os.Stderr, "mmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration) error {
+	schedulers := map[string]sched.Scheduler{
+		"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
+		"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
+	}
+	s, ok := schedulers[strings.ToLower(alg)]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	// A small heterogeneous platform whose memories are expressed in blocks;
+	// chunk edges stay small so the plan exercises many chunks.
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 60},
+		platform.Worker{C: 1.5, W: 1.2, M: 40},
+		platform.Worker{C: 2, W: 1.5, M: 24},
+		platform.Worker{C: 3, W: 2, M: 96},
+	)
+	res, err := s.Schedule(pl, inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheduled %s: makespan %.1f units, %d workers, %d transfers\n",
+		res.Algorithm, res.Stats.Makespan, len(res.Enrolled), len(res.Trace.Transfers))
+
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	b := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+	if err := matrix.Multiply(want, a, b); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	err = engine.Run(engine.Config{Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: pace}, res.Plan(), a, b, c)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	diff := c.MaxAbsDiff(want)
+	fmt.Printf("executed for real in %v; max |C - reference| = %.3g\n", elapsed, diff)
+	if diff > 1e-9 {
+		return fmt.Errorf("verification FAILED (deviation %g)", diff)
+	}
+	fmt.Println("verification OK: C = C₀ + A·B")
+	return nil
+}

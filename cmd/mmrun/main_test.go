@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestRunVerifiesSmallProduct(t *testing.T) {
+	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if err := run("nope", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

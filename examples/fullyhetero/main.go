@@ -1,0 +1,59 @@
+// Fullyhetero reproduces a miniature Figure 7: all seven algorithms compete
+// on fully heterogeneous platforms (the structured ratio-2 and ratio-4
+// platforms plus a few random ones), reporting relative cost and relative
+// work exactly as the paper plots them.
+//
+//	go run ./examples/fullyhetero
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func main() {
+	type entry struct {
+		label string
+		pl    *platform.Platform
+	}
+	entries := []entry{
+		{"ratio-2", platform.FullyHetero(2)},
+		{"ratio-4", platform.FullyHetero(4)},
+		{"random-1", platform.Random(8, 4, 101)},
+		{"random-2", platform.Random(8, 4, 102)},
+	}
+	algos := []sched.Scheduler{
+		sched.Hom{}, sched.HomI{}, sched.Het{},
+		sched.ORROML{}, sched.OMMOML{}, sched.ODDOML{}, sched.BMM{},
+	}
+	inst := sched.Instance{R: 40, S: 400, T: 40}
+
+	for _, e := range entries {
+		type row struct {
+			name     string
+			span     float64
+			enrolled int
+		}
+		rows := make([]row, 0, len(algos))
+		bestSpan, bestWork := math.Inf(1), math.Inf(1)
+		for _, a := range algos {
+			res, err := a.Schedule(e.pl, inst)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", a.Name(), e.label, err)
+			}
+			rows = append(rows, row{a.Name(), res.Stats.Makespan, len(res.Enrolled)})
+			bestSpan = math.Min(bestSpan, res.Stats.Makespan)
+			bestWork = math.Min(bestWork, res.Stats.Makespan*float64(len(res.Enrolled)))
+		}
+		fmt.Printf("== %s ==\n%-10s %9s %9s %9s\n", e.label, "algorithm", "rel.cost", "rel.work", "workers")
+		for _, r := range rows {
+			fmt.Printf("%-10s %9.3f %9.3f %9d\n",
+				r.name, r.span/bestSpan, r.span*float64(r.enrolled)/bestWork, r.enrolled)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,44 @@
+// Lufactor demonstrates the LU extension (companion report): it factors a
+// block matrix with the sequential blocked algorithm and with the
+// master-worker trailing-update scheme, verifies L·U = A, and simulates the
+// makespan of the distributed version on a heterogeneous platform for
+// several worker counts.
+//
+//	go run ./examples/lufactor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lu"
+	"repro/internal/platform"
+)
+
+func main() {
+	n, q := 6, 8
+	a := lu.NewDiagonallyDominant(n, q, 7)
+	orig := a.Clone()
+
+	if err := lu.FactorParallel(a, 4); err != nil {
+		log.Fatal(err)
+	}
+	back, err := lu.Reconstruct(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factored %d×%d blocks (q=%d); max |L·U − A| = %.3g\n",
+		n, n, q, back.MaxAbsDiff(orig))
+
+	fmt.Println("\nsimulated master-worker LU makespan (n = 40 blocks, panel cost 0.5):")
+	for _, p := range []int{1, 2, 4, 8} {
+		pl := platform.Homogeneous(p, 0.4, 1, 320)
+		total, _, err := lu.SimulateMakespan(pl, 40, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d workers: %10.0f time units\n", p, total)
+	}
+	fmt.Println("\nthe trailing updates parallelize; the serial panel factorizations")
+	fmt.Println("bound the speedup, as the companion report's analysis predicts")
+}

@@ -1,0 +1,196 @@
+// Package bound implements the communication-volume theory of Section 3: the
+// paper's improved lower bound on the communication-to-computation ratio
+// under an m-buffer memory, the earlier Ironya–Toledo–Tiskin bound it
+// tightens, the closed-form CCR of the maximum re-use algorithm and of
+// Toledo's block algorithm, and a Loomis–Whitney auditor that checks executed
+// schedules against the theory.
+//
+// Units: one communication is one q×q block moved between master and worker;
+// one computation is one block update C_ij += A_ik·B_kj. (In terms of matrix
+// elements both ratios shrink by a factor q, since a block carries q²
+// elements while an update performs q³ multiply-adds.)
+package bound
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// CCROpt is the paper's lower bound: any standard matrix-multiplication
+// schedule on a worker with m buffers has CCR ≥ √(27/(8m)). Derived by
+// maximizing the Loomis–Whitney volume over a window of m communications
+// (Section 3).
+func CCROpt(m int) float64 { return math.Sqrt(27 / (8 * float64(m))) }
+
+// CCRIronyToledoTiskin is the previous best-known bound √(1/(8m)) that
+// Section 3 improves by a factor √27.
+func CCRIronyToledoTiskin(m int) float64 { return math.Sqrt(1 / (8 * float64(m))) }
+
+// MaxUpdatesPerWindow bounds the block updates achievable during any m
+// consecutive communication steps: the memory holds at most m blocks before
+// the window and receives at most m more, and Loomis–Whitney gives
+// K ≤ √(N_A·N_B·N_C), maximized when each matrix gets 2m/3 blocks:
+// K ≤ (2m/3)^{3/2}.
+func MaxUpdatesPerWindow(m int) float64 { return math.Pow(2*float64(m)/3, 1.5) }
+
+// LoomisWhitney returns the maximum number of standard-algorithm block
+// updates possible when na blocks of A, nb of B and nc of C are accessible:
+// √(na·nb·nc).
+func LoomisWhitney(na, nb, nc int) float64 {
+	return math.Sqrt(float64(na) * float64(nb) * float64(nc))
+}
+
+// CCRMaxReuse is the exact communication-to-computation ratio of the maximum
+// re-use algorithm with m buffers over t block-column steps:
+// (2μ² + 2μt)/(μ²t) = 2/t + 2/μ, with μ the largest integer such that
+// 1 + μ + μ² ≤ m.
+func CCRMaxReuse(m, t int) float64 {
+	mu := platform.MuMaxReuse(m)
+	if mu == 0 || t == 0 {
+		return math.Inf(1)
+	}
+	return 2/float64(t) + 2/float64(mu)
+}
+
+// CCRMaxReuseAsymptotic is the t→∞ limit 2/μ ≈ 2/√m = √(32/(8m)), within a
+// factor √(32/27) ≈ 1.09 of the lower bound CCROpt.
+func CCRMaxReuseAsymptotic(m int) float64 {
+	mu := platform.MuMaxReuse(m)
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	return 2 / float64(mu)
+}
+
+// CCRBMM is the ratio of Toledo's blocked algorithm, which splits the memory
+// into three equal square buffers of edge β = ⌊√(m/3)⌋: 2/t + 2/β,
+// asymptotically 2√3/√m — a factor √3 above the maximum re-use algorithm.
+func CCRBMM(m, t int) float64 {
+	beta := platform.BetaToledo(m)
+	if beta == 0 || t == 0 {
+		return math.Inf(1)
+	}
+	return 2/float64(t) + 2/float64(beta)
+}
+
+// Step is one element of a worker-side access stream: either one block
+// communicated (Comm = true) or a batch of Updates block updates performed
+// between communications.
+type Step struct {
+	Comm    bool
+	Updates int64
+}
+
+// CommSteps counts the communication steps in a stream.
+func CommSteps(stream []Step) int {
+	n := 0
+	for _, s := range stream {
+		if s.Comm {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalUpdates sums the update steps in a stream.
+func TotalUpdates(stream []Step) int64 {
+	var n int64
+	for _, s := range stream {
+		if !s.Comm {
+			n += s.Updates
+		}
+	}
+	return n
+}
+
+// AuditResult reports how close a schedule came to the Loomis–Whitney window
+// bound. Violated is true when some window of m communications performed more
+// updates than MaxUpdatesPerWindow(m) allows — i.e. the schedule claims
+// physically impossible data re-use.
+type AuditResult struct {
+	Violated   bool
+	WorstRatio float64 // max over windows of updates/bound; ≤ 1 for any valid schedule
+	CCR        float64 // total communications / total updates
+}
+
+// Audit slides a window of m consecutive communications over the stream and
+// verifies the Section 3 counting argument. Update steps between the
+// window's communications are attributed to the window.
+func Audit(stream []Step, m int) AuditResult {
+	res := AuditResult{}
+	bound := MaxUpdatesPerWindow(m)
+	// Prefix sums over the stream, windows delimited by communication steps.
+	var commPos []int
+	for idx, s := range stream {
+		if s.Comm {
+			commPos = append(commPos, idx)
+		}
+	}
+	prefix := make([]int64, len(stream)+1)
+	for i, s := range stream {
+		prefix[i+1] = prefix[i]
+		if !s.Comm {
+			prefix[i+1] += s.Updates
+		}
+	}
+	total := prefix[len(stream)]
+	comms := int64(len(commPos))
+	if total > 0 {
+		res.CCR = float64(comms) / float64(total)
+	} else {
+		res.CCR = math.Inf(1)
+	}
+	if len(commPos) == 0 {
+		return res
+	}
+	for w := 0; w+m <= len(commPos); w++ {
+		// Window spans from just after comm w-1 to the end of comm w+m-1's
+		// following compute run (exclusive of the next communication).
+		start := 0
+		if w > 0 {
+			start = commPos[w-1] + 1
+		}
+		end := len(stream)
+		if w+m < len(commPos) {
+			end = commPos[w+m]
+		}
+		updates := prefix[end] - prefix[start]
+		ratio := float64(updates) / bound
+		if ratio > res.WorstRatio {
+			res.WorstRatio = ratio
+		}
+	}
+	res.Violated = res.WorstRatio > 1+1e-9
+	return res
+}
+
+// MaxReuseStream generates the worker-side access stream of the maximum
+// re-use algorithm for an m-buffer worker processing nChunks μ×μ chunks over
+// t steps each — used to validate the algorithm against Audit and the CCR
+// formulas.
+func MaxReuseStream(m, t, nChunks int) []Step {
+	mu := platform.MuMaxReuse(m)
+	if mu == 0 {
+		return nil
+	}
+	var stream []Step
+	for n := 0; n < nChunks; n++ {
+		for i := 0; i < mu*mu; i++ { // receive C chunk
+			stream = append(stream, Step{Comm: true})
+		}
+		for k := 0; k < t; k++ {
+			for j := 0; j < mu; j++ { // row of B
+				stream = append(stream, Step{Comm: true})
+			}
+			for i := 0; i < mu; i++ { // column of A, each updating μ C blocks
+				stream = append(stream, Step{Comm: true})
+				stream = append(stream, Step{Updates: int64(mu)})
+			}
+		}
+		for i := 0; i < mu*mu; i++ { // return C chunk
+			stream = append(stream, Step{Comm: true})
+		}
+	}
+	return stream
+}

@@ -1,0 +1,189 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestBoundOrdering(t *testing.T) {
+	// For every m: old bound < new bound ≤ max-reuse CCR (the algorithm can
+	// not beat the lower bound), and max-reuse beats BMM.
+	for _, m := range []int{21, 57, 100, 1000, 10000} {
+		old := CCRIronyToledoTiskin(m)
+		opt := CCROpt(m)
+		alg := CCRMaxReuseAsymptotic(m)
+		bmm := CCRBMM(m, 1<<20)
+		if old >= opt {
+			t.Errorf("m=%d: old bound %g should be below improved bound %g", m, old, opt)
+		}
+		if alg < opt-1e-12 {
+			t.Errorf("m=%d: algorithm CCR %g beats the lower bound %g", m, alg, opt)
+		}
+		if alg >= bmm {
+			t.Errorf("m=%d: max-reuse CCR %g should beat BMM %g", m, alg, bmm)
+		}
+	}
+}
+
+func TestImprovementFactor(t *testing.T) {
+	// CCROpt/CCRIronyToledoTiskin = √27 exactly.
+	for _, m := range []int{10, 100, 5000} {
+		ratio := CCROpt(m) / CCRIronyToledoTiskin(m)
+		if math.Abs(ratio-math.Sqrt(27)) > 1e-12 {
+			t.Errorf("m=%d: improvement factor %g, want √27", m, ratio)
+		}
+	}
+}
+
+func TestMaxReuseWithinNinePercentOfBound(t *testing.T) {
+	// Paper: CCR∞ = 2/√m = √(32/(8m)), within √(32/27) of the bound. With
+	// integer μ the gap is slightly larger; it must still stay below 15% for
+	// large m.
+	for _, m := range []int{1000, 10000, 100000} {
+		gap := CCRMaxReuseAsymptotic(m) / CCROpt(m)
+		if gap < 1 || gap > 1.15 {
+			t.Errorf("m=%d: max-reuse/bound = %g, want within [1, 1.15]", m, gap)
+		}
+	}
+}
+
+func TestBMMSqrt3Factor(t *testing.T) {
+	// Asymptotically CCR_BMM/CCR_maxreuse → √3 (integer effects allowed).
+	m := 3_000_000
+	ratio := CCRBMM(m, 1<<20) / CCRMaxReuseAsymptotic(m)
+	if math.Abs(ratio-math.Sqrt(3)) > 0.02 {
+		t.Errorf("BMM/max-reuse CCR ratio = %g, want ≈ √3", ratio)
+	}
+}
+
+func TestCCRMaxReuseFormula(t *testing.T) {
+	// m = 21 → μ = 4; CCR = 2/t + 1/2.
+	got := CCRMaxReuse(21, 100)
+	want := 2.0/100 + 2.0/4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CCRMaxReuse(21, 100) = %g, want %g", got, want)
+	}
+	if !math.IsInf(CCRMaxReuse(2, 100), 1) {
+		t.Error("m too small should give infinite CCR")
+	}
+	if !math.IsInf(CCRMaxReuse(21, 0), 1) {
+		t.Error("t=0 should give infinite CCR")
+	}
+}
+
+func TestLoomisWhitney(t *testing.T) {
+	if got := LoomisWhitney(4, 9, 16); got != 24 {
+		t.Errorf("LoomisWhitney(4,9,16) = %g, want 24", got)
+	}
+	if got := LoomisWhitney(0, 9, 16); got != 0 {
+		t.Errorf("no A blocks should allow no updates, got %g", got)
+	}
+}
+
+func TestMaxUpdatesPerWindow(t *testing.T) {
+	// m = 6: (2·6/3)^{3/2} = 4^{1.5} = 8.
+	if got := MaxUpdatesPerWindow(6); math.Abs(got-8) > 1e-12 {
+		t.Errorf("MaxUpdatesPerWindow(6) = %g, want 8", got)
+	}
+}
+
+func TestMaxReuseStreamMatchesCCRFormula(t *testing.T) {
+	m, tt, chunks := 21, 50, 3
+	stream := MaxReuseStream(m, tt, chunks)
+	mu := platform.MuMaxReuse(m)
+	wantComms := chunks * (2*mu*mu + tt*2*mu)
+	wantUpdates := int64(chunks) * int64(mu*mu) * int64(tt)
+	if got := CommSteps(stream); got != wantComms {
+		t.Errorf("comm steps = %d, want %d", got, wantComms)
+	}
+	if got := TotalUpdates(stream); got != wantUpdates {
+		t.Errorf("updates = %d, want %d", got, wantUpdates)
+	}
+	res := Audit(stream, m)
+	if math.Abs(res.CCR-CCRMaxReuse(m, tt)) > 1e-12 {
+		t.Errorf("stream CCR = %g, formula = %g", res.CCR, CCRMaxReuse(m, tt))
+	}
+}
+
+func TestAuditAcceptsMaxReuse(t *testing.T) {
+	// The maximum re-use algorithm must satisfy the Loomis–Whitney window
+	// bound — it is a valid schedule.
+	for _, m := range []int{21, 57, 111} {
+		stream := MaxReuseStream(m, 40, 2)
+		res := Audit(stream, m)
+		if res.Violated {
+			t.Errorf("m=%d: valid max-reuse schedule flagged as violating (worst ratio %g)", m, res.WorstRatio)
+		}
+		if res.WorstRatio <= 0 {
+			t.Errorf("m=%d: expected a positive worst ratio", m)
+		}
+	}
+}
+
+func TestAuditRejectsImpossibleSchedule(t *testing.T) {
+	// A schedule claiming 10× the possible updates per window must be caught.
+	m := 21
+	impossible := []Step{}
+	for i := 0; i < m; i++ {
+		impossible = append(impossible, Step{Comm: true})
+	}
+	impossible = append(impossible, Step{Updates: int64(10 * MaxUpdatesPerWindow(m))})
+	impossible = append(impossible, Step{Comm: true}) // close the window
+	for i := 0; i < m; i++ {
+		impossible = append(impossible, Step{Comm: true})
+	}
+	res := Audit(impossible, m)
+	if !res.Violated {
+		t.Errorf("impossible schedule passed the audit (worst ratio %g)", res.WorstRatio)
+	}
+}
+
+func TestAuditEmptyAndCommFree(t *testing.T) {
+	res := Audit(nil, 10)
+	if res.Violated {
+		t.Error("empty stream flagged")
+	}
+	res = Audit([]Step{{Updates: 100}}, 10)
+	if res.Violated || res.CCR != 0 {
+		t.Errorf("comm-free stream should have CCR 0 and pass: %+v", res)
+	}
+	res = Audit([]Step{{Comm: true}}, 10)
+	if res.Violated || !math.IsInf(res.CCR, 1) {
+		t.Errorf("update-free stream should have infinite CCR and pass: %+v", res)
+	}
+}
+
+// Property: for any chunk count/t/m, the max-reuse stream never violates the
+// window bound, and its CCR decreases (weakly) in m.
+func TestMaxReuseAuditProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := 7 + int(abs64(seed)%200)
+		tt := 1 + int(abs64(seed/7)%60)
+		stream := MaxReuseStream(m, tt, 1+int(abs64(seed/13)%3))
+		return !Audit(stream, m).Violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCRMonotoneInMemory(t *testing.T) {
+	prev := math.Inf(1)
+	for m := 10; m <= 100000; m *= 3 {
+		ccr := CCRMaxReuseAsymptotic(m)
+		if ccr > prev {
+			t.Fatalf("CCR increased with memory at m=%d: %g > %g", m, ccr, prev)
+		}
+		prev = ccr
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package bound
+
+import "math"
+
+// Section 3 derives the lower bound by asking how much memory to devote to
+// each matrix during a window of m communications: with α blocks of A, β of
+// B and γ of C accessible, Loomis–Whitney allows at most √(αβγ) updates, and
+// the window gives 2m blocks in total (m resident + m received). This file
+// makes that optimization executable so tests can confirm the paper's
+// "equal thirds" conclusion numerically instead of taking it on faith.
+
+// WindowUpdates returns the Loomis–Whitney update bound for a split
+// (α, β, γ) of the 2m window blocks.
+func WindowUpdates(alpha, beta, gamma float64) float64 {
+	if alpha < 0 || beta < 0 || gamma < 0 {
+		return 0
+	}
+	return math.Sqrt(alpha * beta * gamma)
+}
+
+// OptimalSplit maximizes WindowUpdates over α+β+γ = 2m by ternary-searching
+// the two free coordinates. It returns the maximizing split and its value.
+// (Analytically the optimum is α=β=γ=2m/3 with value (2m/3)^{3/2}; the
+// numeric version exists to validate the closed form.)
+func OptimalSplit(m int) (alpha, beta, gamma, updates float64) {
+	total := 2 * float64(m)
+	best := -1.0
+	// Coarse grid then local refinement: the objective is smooth and
+	// unimodal on the simplex.
+	step := total / 200
+	for a := step; a < total; a += step {
+		for b := step; a+b < total; b += step {
+			v := WindowUpdates(a, b, total-a-b)
+			if v > best {
+				best, alpha, beta = v, a, b
+			}
+		}
+	}
+	for iter := 0; iter < 60; iter++ {
+		step /= 1.3
+		improved := false
+		for _, da := range []float64{-step, 0, step} {
+			for _, db := range []float64{-step, 0, step} {
+				a, b := alpha+da, beta+db
+				if a <= 0 || b <= 0 || a+b >= total {
+					continue
+				}
+				if v := WindowUpdates(a, b, total-a-b); v > best {
+					best, alpha, beta = v, a, b
+					improved = true
+				}
+			}
+		}
+		if !improved && step < 1e-9 {
+			break
+		}
+	}
+	gamma = total - alpha - beta
+	return alpha, beta, gamma, best
+}
+
+// CCRElements converts a block-level communication-to-computation ratio to
+// matrix-element units: a block moves q² coefficients while an update does
+// q³ multiply-adds, so the element-level ratio shrinks by the factor q — the
+// paper's justification for large q (it uses q = 80 "to harness Level 3
+// BLAS").
+func CCRElements(blockCCR float64, q int) float64 {
+	return blockCCR / float64(q)
+}

@@ -1,0 +1,60 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalSplitIsEqualThirds(t *testing.T) {
+	for _, m := range []int{21, 100, 1021} {
+		a, b, g, v := OptimalSplit(m)
+		want := 2 * float64(m) / 3
+		if math.Abs(a-want) > 0.01*want || math.Abs(b-want) > 0.01*want || math.Abs(g-want) > 0.01*want {
+			t.Errorf("m=%d: optimal split (%.2f, %.2f, %.2f), want thirds of %g", m, a, b, g, 2*float64(m))
+		}
+		if math.Abs(v-MaxUpdatesPerWindow(m)) > 0.01*v {
+			t.Errorf("m=%d: optimal value %g, closed form %g", m, v, MaxUpdatesPerWindow(m))
+		}
+	}
+}
+
+func TestWindowUpdates(t *testing.T) {
+	if WindowUpdates(4, 9, 16) != 24 {
+		t.Errorf("WindowUpdates(4,9,16) = %g", WindowUpdates(4, 9, 16))
+	}
+	if WindowUpdates(-1, 1, 1) != 0 {
+		t.Error("negative split should give 0")
+	}
+}
+
+// Property: no random split beats the closed-form optimum.
+func TestNoSplitBeatsClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		m := 10 + int(seed%1000+1000)%1000
+		bound := MaxUpdatesPerWindow(m)
+		total := 2 * float64(m)
+		// Deterministic pseudo-random split from the seed.
+		x := float64((seed*2654435761)%1000) / 1000
+		y := float64((seed*40503)%1000) / 1000
+		if x < 0 {
+			x = -x
+		}
+		if y < 0 {
+			y = -y
+		}
+		a := total * x * 0.999
+		b := (total - a) * y * 0.999
+		g := total - a - b
+		return WindowUpdates(a, b, g) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCRElements(t *testing.T) {
+	if got := CCRElements(0.08, 80); math.Abs(got-0.001) > 1e-15 {
+		t.Errorf("CCRElements = %g, want 0.001", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package cluster is the distributed runtime: a master and workers on
+// separate processes (or machines) exchanging real matrix blocks over TCP
+// with encoding/gob framing. It plays the role MPI plays in the paper's
+// experiments, with the one-port model arising naturally: the master is a
+// single control loop performing one blocking transfer at a time, while each
+// worker computes in its own process and the socket buffers provide the
+// input double-buffering of the optimized memory layout.
+//
+// The master executes the same replayable plans (sim.PlanOp) the schedulers
+// produce, so any algorithm — Het, ODDOML, BMM, … — can be deployed
+// unchanged on a real network.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// msgKind labels protocol messages.
+type msgKind uint8
+
+const (
+	msgHello    msgKind = iota + 1 // worker → master: registration
+	msgChunk                       // master → worker: C chunk
+	msgInstall                     // master → worker: A/B panels
+	msgFlush                       // master → worker: return the chunk
+	msgResult                      // worker → master: finished chunk
+	msgShutdown                    // master → worker: exit
+)
+
+// message is the single wire envelope; unused fields stay at their zero
+// values (gob encodes them compactly).
+type message struct {
+	Kind   msgKind
+	Name   string       // hello: worker name
+	Chunk  matrix.Chunk // chunk / result
+	K0, K1 int          // install: inner panel range
+	Q      int          // block edge
+	Blocks [][]float64  // payload blocks, row-major block data
+}
+
+func toPayload(blocks []*matrix.Block) [][]float64 {
+	out := make([][]float64, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Data
+	}
+	return out
+}
+
+func fromPayload(q int, data [][]float64) ([]*matrix.Block, error) {
+	out := make([]*matrix.Block, len(data))
+	for i, d := range data {
+		if len(d) != q*q {
+			return nil, fmt.Errorf("cluster: block %d has %d values, want %d", i, len(d), q*q)
+		}
+		out[i] = &matrix.Block{Q: q, Data: d}
+	}
+	return out, nil
+}
+
+// Master coordinates a set of connected workers.
+type Master struct {
+	ln    net.Listener
+	conns []net.Conn
+	encs  []*gob.Encoder
+	decs  []*gob.Decoder
+	names []string
+}
+
+// NewMaster listens on addr ("host:port", empty port for ephemeral).
+func NewMaster(addr string) (*Master, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	return &Master{ln: ln}, nil
+}
+
+// Addr returns the listening address workers should dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// WaitForWorkers accepts exactly n worker registrations.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for len(m.conns) < n {
+		if err := m.ln.(*net.TCPListener).SetDeadline(deadline); err != nil {
+			return err
+		}
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accept (have %d of %d workers): %w", len(m.conns), n, err)
+		}
+		enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+		var hello message
+		if err := dec.Decode(&hello); err != nil || hello.Kind != msgHello {
+			conn.Close()
+			return fmt.Errorf("cluster: bad hello from %s: %v", conn.RemoteAddr(), err)
+		}
+		m.conns = append(m.conns, conn)
+		m.encs = append(m.encs, enc)
+		m.decs = append(m.decs, dec)
+		m.names = append(m.names, hello.Name)
+	}
+	return nil
+}
+
+// Workers returns the names of registered workers in connection order.
+func (m *Master) Workers() []string { return append([]string(nil), m.names...) }
+
+// Run executes the plan against the connected workers: C ← C + A·B.
+// Worker indices in the plan map to connection order.
+func (m *Master) Run(plan []sim.PlanOp, t int, a, b, c *matrix.BlockMatrix) error {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Cols != t {
+		return fmt.Errorf("cluster: shape mismatch")
+	}
+	for _, op := range plan {
+		if op.Worker < 0 || op.Worker >= len(m.conns) {
+			return fmt.Errorf("cluster: plan references worker %d but only %d connected", op.Worker, len(m.conns))
+		}
+		ch := op.Chunk
+		switch op.Kind {
+		case trace.SendC:
+			if !ch.Valid(c.Rows, c.Cols) {
+				return fmt.Errorf("cluster: chunk %v outside C", ch)
+			}
+			blocks := make([]*matrix.Block, 0, ch.Blocks())
+			for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+				for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+					blocks = append(blocks, c.Block(i, j))
+				}
+			}
+			if err := m.encs[op.Worker].Encode(message{Kind: msgChunk, Chunk: ch, Q: c.Q, Blocks: toPayload(blocks)}); err != nil {
+				return fmt.Errorf("cluster: send chunk to %s: %w", m.names[op.Worker], err)
+			}
+		case trace.SendAB:
+			if op.K0 < 0 || op.K1 > t || op.K0 >= op.K1 {
+				return fmt.Errorf("cluster: panel range [%d,%d) outside t=%d", op.K0, op.K1, t)
+			}
+			d := op.K1 - op.K0
+			payload := make([]*matrix.Block, 0, d*(ch.H+ch.W))
+			for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+				for k := op.K0; k < op.K1; k++ {
+					payload = append(payload, a.Block(i, k))
+				}
+			}
+			for k := op.K0; k < op.K1; k++ {
+				for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+					payload = append(payload, b.Block(k, j))
+				}
+			}
+			if err := m.encs[op.Worker].Encode(message{Kind: msgInstall, Chunk: ch, K0: op.K0, K1: op.K1, Q: a.Q, Blocks: toPayload(payload)}); err != nil {
+				return fmt.Errorf("cluster: send install to %s: %w", m.names[op.Worker], err)
+			}
+		case trace.RecvC:
+			if err := m.encs[op.Worker].Encode(message{Kind: msgFlush}); err != nil {
+				return fmt.Errorf("cluster: send flush to %s: %w", m.names[op.Worker], err)
+			}
+			var res message
+			if err := m.decs[op.Worker].Decode(&res); err != nil {
+				return fmt.Errorf("cluster: receive result from %s: %w", m.names[op.Worker], err)
+			}
+			if res.Kind != msgResult || res.Chunk != ch {
+				return fmt.Errorf("cluster: %s returned %v, expected chunk %v", m.names[op.Worker], res.Chunk, ch)
+			}
+			blocks, err := fromPayload(c.Q, res.Blocks)
+			if err != nil {
+				return err
+			}
+			if len(blocks) != ch.Blocks() {
+				return fmt.Errorf("cluster: result for %v has %d blocks", ch, len(blocks))
+			}
+			idx := 0
+			for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+				for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+					c.SetBlock(i, j, blocks[idx])
+					idx++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Shutdown tells every worker to exit and closes all connections.
+func (m *Master) Shutdown() error {
+	var first error
+	for i, enc := range m.encs {
+		if err := enc.Encode(message{Kind: msgShutdown}); err != nil && first == nil {
+			first = err
+		}
+		m.conns[i].Close()
+	}
+	if err := m.ln.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Serve runs a worker: dial the master, register under name, process
+// messages until shutdown. It returns nil on a clean shutdown.
+func Serve(addr, name string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	if err := enc.Encode(message{Kind: msgHello, Name: name}); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	var cur *message // current chunk
+	var blocks []*matrix.Block
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			return fmt.Errorf("cluster: worker %s: decode: %w", name, err)
+		}
+		switch msg.Kind {
+		case msgChunk:
+			if cur != nil {
+				return fmt.Errorf("cluster: worker %s received chunk while holding one", name)
+			}
+			bs, err := fromPayload(msg.Q, msg.Blocks)
+			if err != nil {
+				return err
+			}
+			cur, blocks = &msg, bs
+		case msgInstall:
+			if cur == nil {
+				return fmt.Errorf("cluster: worker %s received inputs with no chunk", name)
+			}
+			ch := cur.Chunk
+			d := msg.K1 - msg.K0
+			payload, err := fromPayload(msg.Q, msg.Blocks)
+			if err != nil {
+				return err
+			}
+			if len(payload) != d*(ch.H+ch.W) {
+				return fmt.Errorf("cluster: worker %s: install payload %d blocks, want %d", name, len(payload), d*(ch.H+ch.W))
+			}
+			am, bm := payload[:ch.H*d], payload[ch.H*d:]
+			for i := 0; i < ch.H; i++ {
+				for dk := 0; dk < d; dk++ {
+					ab := am[i*d+dk]
+					for j := 0; j < ch.W; j++ {
+						matrix.MulAdd(blocks[i*ch.W+j], ab, bm[dk*ch.W+j])
+					}
+				}
+			}
+		case msgFlush:
+			if cur == nil {
+				return fmt.Errorf("cluster: worker %s: flush with no chunk", name)
+			}
+			if err := enc.Encode(message{Kind: msgResult, Chunk: cur.Chunk, Q: cur.Q, Blocks: toPayload(blocks)}); err != nil {
+				return fmt.Errorf("cluster: worker %s: send result: %w", name, err)
+			}
+			cur, blocks = nil, nil
+		case msgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("cluster: worker %s: unexpected message kind %d", name, msg.Kind)
+		}
+	}
+}

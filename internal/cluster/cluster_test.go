@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// startCluster brings up a master and n in-process workers over localhost.
+func startCluster(t *testing.T, n int) (*Master, *sync.WaitGroup) {
+	t.Helper()
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		name := string(rune('A' + i))
+		go func() {
+			defer wg.Done()
+			if err := Serve(m.Addr(), name); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+	if err := m.WaitForWorkers(n, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return m, &wg
+}
+
+func TestClusterComputesCorrectProduct(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 40},
+		platform.Worker{C: 2, W: 1.5, M: 24},
+		platform.Worker{C: 1.5, W: 2, M: 60},
+	)
+	inst := sched.Instance{R: 6, S: 10, T: 4}
+	for _, s := range []sched.Scheduler{sched.Het{}, sched.ODDOML{}, sched.BMM{}} {
+		res, err := s.Schedule(pl, inst)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		m, wg := startCluster(t, pl.P())
+		rng := rand.New(rand.NewSource(21))
+		q := 3
+		a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+		b := matrix.NewBlockMatrix(inst.T, inst.S, q)
+		c := matrix.NewBlockMatrix(inst.R, inst.S, q)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c.FillRandom(rng)
+		want := c.Clone()
+		if err := matrix.Multiply(want, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(res.Plan(), inst.T, a, b, c); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := m.Shutdown(); err != nil {
+			t.Errorf("%s: shutdown: %v", s.Name(), err)
+		}
+		wg.Wait()
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("%s: cluster result deviates by %g", s.Name(), d)
+		}
+	}
+}
+
+func TestClusterWorkerNames(t *testing.T) {
+	m, wg := startCluster(t, 2)
+	names := m.Workers()
+	if len(names) != 2 {
+		t.Fatalf("workers = %v", names)
+	}
+	if err := m.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestWaitForWorkersTimeout(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.ln.Close()
+	if err := m.WaitForWorkers(1, 50*time.Millisecond); err == nil {
+		t.Fatal("expected timeout waiting for workers")
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	if err := Serve("127.0.0.1:1", "w"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestRunRejectsUnknownWorker(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 40},
+		platform.Worker{C: 1, W: 1, M: 40},
+	)
+	inst := sched.Instance{R: 8, S: 16, T: 2}
+	res, err := sched.ODDOML{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Enrolled) != 2 {
+		t.Fatalf("expected both workers enrolled, got %v", res.Enrolled)
+	}
+	m, wg := startCluster(t, 1) // one worker short
+	defer wg.Wait()
+	defer m.Shutdown()
+	q := 2
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	b := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	if err := m.Run(res.Plan(), inst.T, a, b, c); err == nil {
+		t.Fatal("plan for 2 workers accepted with 1 connected")
+	}
+}

@@ -1,0 +1,331 @@
+// Package exp is the experiment harness reproducing every figure of the
+// paper's Section 6: it runs the seven competing schedulers over the
+// experimental platforms, computes the paper's two metrics — relative cost
+// (makespan over the instance's best makespan) and relative work (makespan ×
+// enrolled workers, normalized the same way) — and renders the tables that
+// correspond to Figures 4 through 9, plus the Section 3 bound table and the
+// steady-state upper-bound comparison.
+//
+// The matrices follow the paper: A is 8000×8000 elements (r = t = 100 blocks
+// of q = 80) and B is 8000×(64000..128000) (s = 800..1600), with s = 1000 for
+// Figure 7 and s = 4000 for Figure 8. A Scale factor shrinks r, s and t
+// proportionally for quick runs; platform parameters are never scaled.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Algorithm pairs a display name with a scheduler.
+type Algorithm struct {
+	Name string
+	S    sched.Scheduler
+}
+
+// StandardAlgorithms returns the seven algorithms of §6 in the paper's order.
+func StandardAlgorithms() []Algorithm {
+	return []Algorithm{
+		{"Hom", sched.Hom{}},
+		{"HomI", sched.HomI{}},
+		{"Het", sched.Het{}},
+		{"ORROML", sched.ORROML{}},
+		{"OMMOML", sched.OMMOML{}},
+		{"ODDOML", sched.ODDOML{}},
+		{"BMM", sched.BMM{}},
+	}
+}
+
+// Config controls a harness run.
+type Config struct {
+	// Scale multiplies the paper's matrix dimensions (1 = full scale). Values
+	// in (0, 1] shrink r, s, t proportionally.
+	Scale float64
+	// Seed is the base seed for the random Figure 7 platforms.
+	Seed int64
+	// Algorithms defaults to StandardAlgorithms.
+	Algorithms []Algorithm
+}
+
+func (c Config) normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = StandardAlgorithms()
+	}
+	return c
+}
+
+func (c Config) dim(paper int) int {
+	d := int(math.Round(float64(paper) * c.Scale))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Dim scales a paper-scale block dimension by the config's Scale (minimum 1);
+// exported for callers building their own instances consistently with the
+// harness.
+func (c Config) Dim(paper int) int { return c.normalize().dim(paper) }
+
+// instance builds the paper matrix shape for a given s (in paper units).
+func (c Config) instance(paperS int) sched.Instance {
+	return sched.Instance{R: c.dim(100), S: c.dim(paperS), T: c.dim(100)}
+}
+
+// Cell is one (algorithm, instance) measurement.
+type Cell struct {
+	Makespan float64
+	Enrolled int
+	RelCost  float64
+	RelWork  float64
+	Note     string
+}
+
+// Row is one experimental instance (one group of bars in the paper's plots).
+type Row struct {
+	Label string
+	Cells map[string]Cell // by algorithm name
+}
+
+// Figure is a reproduced figure: rows × algorithms.
+type Figure struct {
+	ID         string
+	Title      string
+	Algorithms []string
+	Rows       []Row
+	Notes      []string
+}
+
+// runRow executes all algorithms on one (platform, instance) pair and fills
+// in the relative metrics.
+func runRow(label string, pl *platform.Platform, inst sched.Instance, algos []Algorithm) (Row, error) {
+	row := Row{Label: label, Cells: map[string]Cell{}}
+	bestSpan, bestWork := math.Inf(1), math.Inf(1)
+	for _, a := range algos {
+		res, err := a.S.Schedule(pl, inst)
+		if err != nil {
+			return row, fmt.Errorf("%s on %s: %w", a.Name, label, err)
+		}
+		cell := Cell{Makespan: res.Stats.Makespan, Enrolled: len(res.Enrolled), Note: res.Note}
+		row.Cells[a.Name] = cell
+		bestSpan = math.Min(bestSpan, cell.Makespan)
+		bestWork = math.Min(bestWork, cell.Makespan*float64(cell.Enrolled))
+	}
+	for name, cell := range row.Cells {
+		cell.RelCost = cell.Makespan / bestSpan
+		cell.RelWork = cell.Makespan * float64(cell.Enrolled) / bestWork
+		row.Cells[name] = cell
+	}
+	return row, nil
+}
+
+func names(algos []Algorithm) []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// sweep runs the five matrix sizes of Figures 4–6 on a fixed platform.
+func sweep(id, title string, pl *platform.Platform, cfg Config) (*Figure, error) {
+	cfg = cfg.normalize()
+	fig := &Figure{ID: id, Title: title, Algorithms: names(cfg.Algorithms)}
+	for _, s := range []int{800, 1000, 1200, 1400, 1600} {
+		inst := cfg.instance(s)
+		row, err := runRow(fmt.Sprintf("s=%d", inst.S), pl, inst, cfg.Algorithms)
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Fig4 — heterogeneous memory sizes (2×256 MB, 4×512 MB, 2×1 GB).
+func Fig4(cfg Config) (*Figure, error) {
+	return sweep("fig4", "Heterogeneous memory", platform.HeteroMemory(), cfg)
+}
+
+// Fig5 — heterogeneous communication links (2×10, 4×5, 2×1 Mbps).
+func Fig5(cfg Config) (*Figure, error) {
+	return sweep("fig5", "Heterogeneous communication links", platform.HeteroComm(), cfg)
+}
+
+// Fig6 — heterogeneous computation speeds (2×S, 4×S/2, 2×S/4).
+func Fig6(cfg Config) (*Figure, error) {
+	return sweep("fig6", "Heterogeneous computations", platform.HeteroComp(), cfg)
+}
+
+// Fig7 — fully heterogeneous platforms: the two structured platforms (all
+// eight small/large combinations at ratio 2 and ratio 4) plus ten random
+// platforms with ratios up to 4. B is 8000×80000 (s = 1000).
+func Fig7(cfg Config) (*Figure, error) {
+	cfg = cfg.normalize()
+	fig := &Figure{ID: "fig7", Title: "Fully heterogeneous platforms", Algorithms: names(cfg.Algorithms)}
+	inst := cfg.instance(1000)
+	type pf struct {
+		label string
+		pl    *platform.Platform
+	}
+	pls := []pf{
+		{"ratio2", platform.FullyHetero(2)},
+		{"ratio4", platform.FullyHetero(4)},
+	}
+	for i := 0; i < 10; i++ {
+		pls = append(pls, pf{fmt.Sprintf("rand%02d", i+1), platform.Random(8, 4, cfg.Seed+int64(i))})
+	}
+	for _, p := range pls {
+		row, err := runRow(p.label, p.pl, inst, cfg.Algorithms)
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Fig8 — the real Lyon platform (20 workers), before and after the memory
+// upgrade. B is 8000×320000 (s = 4000).
+func Fig8(cfg Config) (*Figure, error) {
+	cfg = cfg.normalize()
+	fig := &Figure{ID: "fig8", Title: "Real platform (Lyon)", Algorithms: names(cfg.Algorithms)}
+	inst := cfg.instance(4000)
+	for _, p := range []struct {
+		label string
+		pl    *platform.Platform
+	}{
+		{"aug-2007", platform.LyonAugust2007()},
+		{"nov-2006", platform.LyonNovember2006()},
+	} {
+		row, err := runRow(p.label, p.pl, inst, cfg.Algorithms)
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Summary builds Figure 9 from already-computed figures: per experiment, the
+// relative cost and work of Het, ODDOML and BMM (the paper's summary plots),
+// with average and worst rows appended.
+func Summary(figs ...*Figure) *Figure {
+	keep := []string{"Het", "ODDOML", "BMM"}
+	out := &Figure{ID: "fig9", Title: "Summary: Het vs ODDOML vs BMM", Algorithms: keep}
+	for _, f := range figs {
+		if f == nil {
+			continue
+		}
+		for _, row := range f.Rows {
+			nr := Row{Label: f.ID + "/" + row.Label, Cells: map[string]Cell{}}
+			ok := true
+			for _, k := range keep {
+				c, has := row.Cells[k]
+				if !has {
+					ok = false
+					break
+				}
+				nr.Cells[k] = c
+			}
+			if ok {
+				out.Rows = append(out.Rows, nr)
+			}
+		}
+	}
+	// Average and worst relative metrics across experiments.
+	if len(out.Rows) > 0 {
+		avg := Row{Label: "average", Cells: map[string]Cell{}}
+		worst := Row{Label: "worst", Cells: map[string]Cell{}}
+		for _, k := range keep {
+			var sumC, sumW, maxC, maxW float64
+			for _, r := range out.Rows {
+				c := r.Cells[k]
+				sumC += c.RelCost
+				sumW += c.RelWork
+				maxC = math.Max(maxC, c.RelCost)
+				maxW = math.Max(maxW, c.RelWork)
+			}
+			n := float64(len(out.Rows))
+			avg.Cells[k] = Cell{RelCost: sumC / n, RelWork: sumW / n}
+			worst.Cells[k] = Cell{RelCost: maxC, RelWork: maxW}
+		}
+		out.Rows = append(out.Rows, avg, worst)
+		het := avg.Cells["Het"]
+		bmm := avg.Cells["BMM"]
+		odd := avg.Cells["ODDOML"]
+		out.Notes = append(out.Notes,
+			fmt.Sprintf("memory-layout gain (BMM vs ODDOML avg rel cost): %.1f%%", 100*(bmm.RelCost-odd.RelCost)/bmm.RelCost),
+			fmt.Sprintf("resource-selection gain (ODDOML vs Het avg rel cost): %.1f%%", 100*(odd.RelCost-het.RelCost)/odd.RelCost),
+			fmt.Sprintf("total Het gain over BMM: %.1f%%", 100*(bmm.RelCost-het.RelCost)/bmm.RelCost),
+		)
+	}
+	return out
+}
+
+// Render prints the figure as two aligned text tables (relative cost and
+// relative work), the format the paper's bar plots are read from.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, metric := range []string{"relative cost", "relative work"} {
+		fmt.Fprintf(&b, "-- %s --\n", metric)
+		fmt.Fprintf(&b, "%-14s", "instance")
+		for _, a := range f.Algorithms {
+			fmt.Fprintf(&b, "%10s", a)
+		}
+		b.WriteByte('\n')
+		for _, row := range f.Rows {
+			fmt.Fprintf(&b, "%-14s", row.Label)
+			for _, a := range f.Algorithms {
+				c, ok := row.Cells[a]
+				if !ok {
+					fmt.Fprintf(&b, "%10s", "-")
+					continue
+				}
+				v := c.RelCost
+				if metric == "relative work" {
+					v = c.RelWork
+				}
+				fmt.Fprintf(&b, "%10.3f", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(f.Notes) > 0 {
+		for _, n := range f.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated rows:
+// figure,instance,algorithm,makespan,enrolled,rel_cost,rel_work.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,instance,algorithm,makespan,enrolled,rel_cost,rel_work\n")
+	for _, row := range f.Rows {
+		algos := make([]string, 0, len(row.Cells))
+		for a := range row.Cells {
+			algos = append(algos, a)
+		}
+		sort.Strings(algos)
+		for _, a := range algos {
+			c := row.Cells[a]
+			fmt.Fprintf(&b, "%s,%s,%s,%g,%d,%g,%g\n", f.ID, row.Label, a, c.Makespan, c.Enrolled, c.RelCost, c.RelWork)
+		}
+	}
+	return b.String()
+}

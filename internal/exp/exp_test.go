@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks the matrices 5× so the whole figure suite runs in seconds.
+var quickCfg = Config{Scale: 0.2, Seed: 42}
+
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 5 {
+		t.Fatalf("fig4 rows = %d, want 5 matrix sizes", len(fig.Rows))
+	}
+	for _, row := range fig.Rows {
+		if len(row.Cells) != 7 {
+			t.Fatalf("row %s has %d cells, want 7 algorithms", row.Label, len(row.Cells))
+		}
+		best := 0
+		for _, c := range row.Cells {
+			if c.RelCost < 1-1e-9 {
+				t.Errorf("row %s: relative cost %v below 1", row.Label, c.RelCost)
+			}
+			if c.RelCost < 1+1e-9 {
+				best++
+			}
+		}
+		if best == 0 {
+			t.Errorf("row %s: no algorithm achieves relative cost 1", row.Label)
+		}
+	}
+}
+
+func TestFig4HetNearBest(t *testing.T) {
+	fig, err := Fig4(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range fig.Rows {
+		if rc := row.Cells["Het"].RelCost; rc > 1.25 {
+			t.Errorf("row %s: Het relative cost %.3f, expected near-best (≤1.25)", row.Label, rc)
+		}
+	}
+}
+
+func TestFig5BMMWorseThanHet(t *testing.T) {
+	fig, err := Fig5(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range fig.Rows {
+		if row.Cells["BMM"].RelCost <= row.Cells["Het"].RelCost {
+			t.Errorf("row %s: BMM (%.3f) should be worse than Het (%.3f) on heterogeneous links",
+				row.Label, row.Cells["BMM"].RelCost, row.Cells["Het"].RelCost)
+		}
+	}
+}
+
+func TestFig7AllPlatforms(t *testing.T) {
+	fig, err := Fig7(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 12 {
+		t.Fatalf("fig7 rows = %d, want 12 (2 structured + 10 random)", len(fig.Rows))
+	}
+}
+
+func TestFig8BothConfigurations(t *testing.T) {
+	cfg := quickCfg
+	cfg.Scale = 0.1 // s = 400 still, 20 workers
+	fig, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 2 {
+		t.Fatalf("fig8 rows = %d, want 2 configurations", len(fig.Rows))
+	}
+	// On the Nov 2006 configuration resource-selecting algorithms should not
+	// use all 20 workers.
+	nov := fig.Rows[1]
+	if n := nov.Cells["Het"].Enrolled; n >= 20 {
+		t.Errorf("Het enrolled all %d workers on the memory-limited platform", n)
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	f4, err := Fig4(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summary(f4, nil)
+	if len(sum.Rows) != 5+2 {
+		t.Fatalf("summary rows = %d, want 7 (5 + average + worst)", len(sum.Rows))
+	}
+	if len(sum.Notes) != 3 {
+		t.Fatalf("summary notes = %d, want 3", len(sum.Notes))
+	}
+	avg := sum.Rows[len(sum.Rows)-2]
+	if avg.Label != "average" || avg.Cells["Het"].RelCost < 1 {
+		t.Errorf("unexpected average row %+v", avg)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	fig, err := Fig4(Config{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Render()
+	for _, want := range []string{"fig4", "relative cost", "relative work", "Het", "BMM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q", want)
+		}
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "figure,instance,algorithm") {
+		t.Errorf("CSV header wrong: %q", csv[:40])
+	}
+	if n := strings.Count(csv, "\n"); n != 1+5*7 {
+		t.Errorf("CSV lines = %d, want 36", n)
+	}
+}
+
+func TestBoundsTable(t *testing.T) {
+	out, err := BoundsTable(50, []int{21, 57, 111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "maxreuse") || !strings.Contains(out, "toledo") {
+		t.Errorf("bounds table malformed:\n%s", out)
+	}
+}
+
+func TestTable2Demo(t *testing.T) {
+	out := Table2Demo([]float64{1, 4, 16})
+	if !strings.Contains(out, "feasible") || !strings.Contains(out, "false") {
+		t.Errorf("table 2 demo should show an infeasible row:\n%s", out)
+	}
+}
+
+func TestUpperBoundTable(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	out, err := UpperBoundTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "average ratio") {
+		t.Errorf("upper bound table malformed:\n%s", out)
+	}
+}

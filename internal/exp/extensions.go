@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// HeterogeneityKind selects which platform characteristic a sweep varies.
+type HeterogeneityKind string
+
+// Sweepable characteristics.
+const (
+	SweepComm   HeterogeneityKind = "comm"
+	SweepComp   HeterogeneityKind = "comp"
+	SweepMemory HeterogeneityKind = "mem"
+)
+
+// sweepPlatform builds an 8-worker platform where half the workers are
+// degraded by the given ratio on one characteristic.
+func sweepPlatform(kind HeterogeneityKind, ratio float64) (*platform.Platform, error) {
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = platform.Worker{C: platform.BaseC, W: platform.BaseW, M: platform.Mem512}
+		if i >= 4 {
+			switch kind {
+			case SweepComm:
+				ws[i].C *= ratio
+			case SweepComp:
+				ws[i].W *= ratio
+			case SweepMemory:
+				ws[i].M = int(float64(ws[i].M) / ratio)
+			default:
+				return nil, fmt.Errorf("exp: unknown sweep kind %q", kind)
+			}
+		}
+	}
+	return platform.New(ws...)
+}
+
+// HeterogeneitySweep is the extension experiment behind the paper's stated
+// goal to "assess the impact of the degree of heterogeneity": it varies one
+// characteristic's ratio continuously and reports every algorithm's relative
+// cost, showing where resource selection starts to pay (the paper only
+// samples one ratio per figure).
+func HeterogeneitySweep(kind HeterogeneityKind, ratios []float64, cfg Config) (*Figure, error) {
+	cfg = cfg.normalize()
+	fig := &Figure{
+		ID:         "sweep-" + string(kind),
+		Title:      fmt.Sprintf("Degree of %s heterogeneity", kind),
+		Algorithms: names(cfg.Algorithms),
+	}
+	inst := cfg.instance(1000)
+	for _, ratio := range ratios {
+		pl, err := sweepPlatform(kind, ratio)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runRow(fmt.Sprintf("ratio=%g", ratio), pl, inst, cfg.Algorithms)
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Robustness measures how sensitive the static Het plan is to mis-measured
+// platform parameters (the deployments estimate c_i and w_i with a short
+// benchmark): for each noise level ε, Het is planned on a perturbed platform
+// and executed on the true one, and its makespan is compared against
+// perfectly-informed Het and against the dynamic ODDOML (which needs no
+// estimates). Each level aggregates several seeds.
+func Robustness(pl *platform.Platform, inst sched.Instance, epsilons []float64, trials int, seed int64) (string, error) {
+	ideal, err := (sched.Het{}).Schedule(pl, inst)
+	if err != nil {
+		return "", err
+	}
+	odd, err := (sched.ODDOML{}).Schedule(pl, inst)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== robustness to parameter misestimation ==\n")
+	fmt.Fprintf(&b, "informed Het makespan %.0f, ODDOML %.0f (no estimates needed)\n", ideal.Stats.Makespan, odd.Stats.Makespan)
+	fmt.Fprintf(&b, "%8s %14s %14s %14s\n", "eps", "mean-overhead", "worst-overhead", "vs-ODDOML")
+	for _, eps := range epsilons {
+		var overheads, vsOdd []float64
+		for trial := 0; trial < trials; trial++ {
+			est := sched.Perturb(pl, eps, seed+int64(trial)*101)
+			res, err := sched.HetWithEstimates(pl, est, inst)
+			if err != nil {
+				return "", err
+			}
+			overheads = append(overheads, res.Stats.Makespan/ideal.Stats.Makespan-1)
+			vsOdd = append(vsOdd, res.Stats.Makespan/odd.Stats.Makespan)
+		}
+		fmt.Fprintf(&b, "%8.2f %13.1f%% %13.1f%% %14.3f\n",
+			eps, 100*stats.Mean(overheads), 100*stats.Max(overheads), stats.Mean(vsOdd))
+	}
+	b.WriteString("overhead = makespan of Het planned on noisy estimates over perfectly-informed Het\n")
+	return b.String(), nil
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func TestHeterogeneitySweepShapes(t *testing.T) {
+	cfg := Config{Scale: 0.12}
+	for _, kind := range []HeterogeneityKind{SweepComm, SweepComp, SweepMemory} {
+		fig, err := HeterogeneitySweep(kind, []float64{1, 4}, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(fig.Rows) != 2 {
+			t.Fatalf("%s: rows = %d", kind, len(fig.Rows))
+		}
+		for _, row := range fig.Rows {
+			if len(row.Cells) != 7 {
+				t.Fatalf("%s %s: cells = %d", kind, row.Label, len(row.Cells))
+			}
+		}
+	}
+	if _, err := HeterogeneitySweep("bogus", []float64{2}, cfg); err == nil {
+		t.Error("unknown sweep kind accepted")
+	}
+}
+
+func TestSweepRatioOneIsHomogeneous(t *testing.T) {
+	pl, err := sweepPlatform(SweepComm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.IsHomogeneous() {
+		t.Error("ratio 1 should give a homogeneous platform")
+	}
+	pl, err = sweepPlatform(SweepComp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.IsHomogeneous() {
+		t.Error("ratio 3 should be heterogeneous")
+	}
+}
+
+func TestSweepSelectionKicksInWithHeterogeneity(t *testing.T) {
+	// At high link heterogeneity the no-selection algorithms must fall
+	// behind Het (this is the content of Figure 5, now as a trend).
+	fig, err := HeterogeneitySweep(SweepComm, []float64{1, 8}, Config{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := fig.Rows[1]
+	if hi.Cells["ORROML"].RelCost <= hi.Cells["Het"].RelCost {
+		t.Errorf("at ratio 8, ORROML (%.3f) should trail Het (%.3f)",
+			hi.Cells["ORROML"].RelCost, hi.Cells["Het"].RelCost)
+	}
+}
+
+func TestRobustnessReport(t *testing.T) {
+	pl := platform.FullyHetero(2)
+	out, err := Robustness(pl, sched.Instance{R: 10, S: 40, T: 8}, []float64{0, 0.3}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"robustness", "eps", "ODDOML", "0.30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

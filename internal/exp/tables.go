@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bound"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/steady"
+)
+
+// BoundsTable reproduces the Section 3 theory numerically: for a sweep of
+// memory sizes it lists the old lower bound √(1/8m), the paper's improved
+// bound √(27/8m), the maximum re-use algorithm's asymptotic ratio 2/μ and its
+// executed ratio on a single simulated worker, and Toledo's ratio for
+// comparison.
+func BoundsTable(t int, memories []int) (string, error) {
+	var b strings.Builder
+	b.WriteString("== section 3: communication-to-computation ratios (block units) ==\n")
+	fmt.Fprintf(&b, "%8s %6s %12s %12s %12s %12s %12s\n",
+		"m", "mu", "old-bound", "new-bound", "maxreuse∞", "executed", "toledo")
+	for _, m := range memories {
+		mu := platform.MuMaxReuse(m)
+		pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: m})
+		inst := sched.Instance{R: 2 * mu, S: 4 * mu, T: t}
+		res, err := (sched.MaxReuse{}).Schedule(pl, inst)
+		if err != nil {
+			return "", err
+		}
+		executed := float64(res.Stats.CommBlocks) / float64(res.Stats.Updates)
+		fmt.Fprintf(&b, "%8d %6d %12.5f %12.5f %12.5f %12.5f %12.5f\n",
+			m, mu,
+			bound.CCRIronyToledoTiskin(m), bound.CCROpt(m),
+			bound.CCRMaxReuseAsymptotic(m), executed, bound.CCRBMM(m, t))
+	}
+	b.WriteString("new-bound/old-bound = √27; executed → maxreuse∞ as t grows; toledo ≈ √3 × maxreuse∞\n")
+	return b.String(), nil
+}
+
+// UpperBoundTable compares Het's achieved makespan against the steady-state
+// throughput bound of §5 on every experimental platform (the paper reports
+// the bound is on average 2.29× better, at worst 3.42×, because it ignores C
+// traffic and memory limits).
+func UpperBoundTable(cfg Config) (string, error) {
+	cfg = cfg.normalize()
+	type entry struct {
+		label string
+		pl    *platform.Platform
+		inst  sched.Instance
+	}
+	entries := []entry{
+		{"hetero-memory", platform.HeteroMemory(), cfg.instance(1000)},
+		{"hetero-comm", platform.HeteroComm(), cfg.instance(1000)},
+		{"hetero-comp", platform.HeteroComp(), cfg.instance(1000)},
+		{"fully-het-r2", platform.FullyHetero(2), cfg.instance(1000)},
+		{"fully-het-r4", platform.FullyHetero(4), cfg.instance(1000)},
+		{"lyon-aug07", platform.LyonAugust2007(), cfg.instance(4000)},
+		{"lyon-nov06", platform.LyonNovember2006(), cfg.instance(4000)},
+	}
+	var b strings.Builder
+	b.WriteString("== section 6: Het vs steady-state upper bound ==\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s %8s\n", "platform", "het-makespan", "steady-bound", "ratio")
+	var sum, worst float64
+	for _, e := range entries {
+		res, err := (sched.Het{}).Schedule(e.pl, e.inst)
+		if err != nil {
+			return "", err
+		}
+		lb := steady.MakespanLowerBound(e.pl, e.inst.R, e.inst.S, e.inst.T)
+		ratio := res.Stats.Makespan / lb
+		sum += ratio
+		if ratio > worst {
+			worst = ratio
+		}
+		fmt.Fprintf(&b, "%-14s %14.0f %14.0f %8.2f\n", e.label, res.Stats.Makespan, lb, ratio)
+	}
+	fmt.Fprintf(&b, "average ratio %.2f, worst %.2f (paper: 2.29 average, 3.42 worst)\n",
+		sum/float64(len(entries)), worst)
+	return b.String(), nil
+}
+
+// Table2Demo renders the §5 counterexample: the steady-state optimum of the
+// Table 2 platform needs input buffering that grows linearly with x, so for
+// any fixed memory it stops being realizable.
+func Table2Demo(xs []float64) string {
+	var b strings.Builder
+	b.WriteString("== table 2: bandwidth-centric solution vs memory (μ=2, m=12 per worker) ==\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %14s %10s\n", "x", "throughput", "enrolled", "P1-buffers", "feasible")
+	for _, x := range xs {
+		pl := platform.Table2(x)
+		a := steady.BandwidthCentric(pl)
+		demand := steady.InputBufferDemand(pl, a, 0)
+		fmt.Fprintf(&b, "%8.1f %12.3f %12d %14.1f %10v\n",
+			x, a.Throughput, len(a.Enrolled), demand, steady.Feasible(pl, a))
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+// Package lp implements a small dense simplex solver for linear programs in
+// the canonical form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0,  b ≥ 0
+//
+// It exists to solve the steady-state resource-selection program of the paper
+// (Table 1) exactly, so the closed-form bandwidth-centric greedy can be
+// cross-checked against a genuine optimizer. The solver uses Bland's pivoting
+// rule, which guarantees termination (no cycling) at the cost of speed —
+// irrelevant at the sizes used here (tens of variables).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnbounded is returned when the objective can grow without bound.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+// ErrInfeasible is returned when a negative b entry is supplied (the only
+// infeasibility possible in this canonical form, since x = 0 is otherwise
+// always feasible).
+var ErrInfeasible = errors.New("lp: negative right-hand side (canonical form requires b ≥ 0)")
+
+// Problem is a canonical-form linear program.
+type Problem struct {
+	C [][]float64 // unused placeholder to prevent accidental literal misuse
+}
+
+// Solution holds an optimal point and its objective value.
+type Solution struct {
+	X   []float64
+	Obj float64
+}
+
+const eps = 1e-9
+
+// Maximize solves max c·x s.t. A·x ≤ b, x ≥ 0. A is m×n (rows are
+// constraints), b has length m, c length n.
+func Maximize(c []float64, a [][]float64, b []float64) (*Solution, error) {
+	m, n := len(a), len(c)
+	if len(b) != m {
+		return nil, fmt.Errorf("lp: %d constraint rows but %d right-hand sides", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: constraint row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if b[i] < -eps {
+			return nil, fmt.Errorf("%w: b[%d] = %g", ErrInfeasible, i, b[i])
+		}
+	}
+
+	// Tableau: m rows × (n + m + 1) columns. Columns 0..n-1 are structural
+	// variables, n..n+m-1 slacks, last column the right-hand side. The
+	// objective row stores reduced costs of -c (we maximize).
+	cols := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, cols)
+		copy(tab[i], a[i])
+		tab[i][n+i] = 1
+		tab[i][cols-1] = math.Max(b[i], 0)
+	}
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		obj[j] = -c[j]
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 10000*(m+n+1) {
+			return nil, errors.New("lp: iteration limit exceeded (numerical trouble)")
+		}
+		// Bland's rule: entering variable = lowest-index column with a
+		// negative reduced cost.
+		pivotCol := -1
+		for j := 0; j < n+m; j++ {
+			if tab[m][j] < -eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol < 0 {
+			break // optimal
+		}
+		// Ratio test; ties broken by lowest basis index (Bland).
+		pivotRow := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][pivotCol] > eps {
+				ratio := tab[i][cols-1] / tab[i][pivotCol]
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (pivotRow < 0 || basis[i] < basis[pivotRow])) {
+					bestRatio = ratio
+					pivotRow = i
+				}
+			}
+		}
+		if pivotRow < 0 {
+			return nil, ErrUnbounded
+		}
+		pivot(tab, pivotRow, pivotCol)
+		basis[pivotRow] = pivotCol
+	}
+
+	x := make([]float64, n)
+	for i, v := range basis {
+		if v < n {
+			x[v] = tab[i][cols-1]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += c[j] * x[j]
+	}
+	return &Solution{X: x, Obj: objVal}, nil
+}
+
+func pivot(tab [][]float64, pr, pc int) {
+	cols := len(tab[0])
+	pv := tab[pr][pc]
+	for j := 0; j < cols; j++ {
+		tab[pr][j] /= pv
+	}
+	for i := range tab {
+		if i == pr {
+			continue
+		}
+		f := tab[i][pc]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[i][j] -= f * tab[pr][j]
+		}
+	}
+}
+
+// Feasible reports whether x satisfies A·x ≤ b (+tol) and x ≥ -tol.
+// Exposed for property tests.
+func Feasible(x []float64, a [][]float64, b []float64, tol float64) bool {
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for i, row := range a {
+		s := 0.0
+		for j, aij := range row {
+			s += aij * x[j]
+		}
+		if s > b[i]+tol {
+			return false
+		}
+	}
+	return true
+}

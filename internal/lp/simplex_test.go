@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMaximizeTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	sol, err := Maximize(
+		[]float64{3, 5},
+		[][]float64{{1, 0}, {0, 2}, {3, 2}},
+		[]float64{4, 12, 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Obj, 36, 1e-9) || !approx(sol.X[0], 2, 1e-9) || !approx(sol.X[1], 6, 1e-9) {
+		t.Errorf("got x=%v obj=%v, want x=[2 6] obj=36", sol.X, sol.Obj)
+	}
+}
+
+func TestMaximizeSingleVariable(t *testing.T) {
+	sol, err := Maximize([]float64{1}, [][]float64{{2}}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Obj, 5, 1e-9) {
+		t.Errorf("obj = %v, want 5", sol.Obj)
+	}
+}
+
+func TestMaximizeDegenerate(t *testing.T) {
+	// Degenerate vertex (redundant constraint through the optimum); Bland's
+	// rule must still terminate.
+	sol, err := Maximize(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {0, 1}, {1, 1}},
+		[]float64{1, 1, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Obj, 2, 1e-9) {
+		t.Errorf("obj = %v, want 2", sol.Obj)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	_, err := Maximize([]float64{1, 0}, [][]float64{{0, 1}}, []float64{1})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMaximizeNegativeRHS(t *testing.T) {
+	_, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{-1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMaximizeShapeErrors(t *testing.T) {
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("b length mismatch accepted")
+	}
+	if _, err := Maximize([]float64{1, 2}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("row width mismatch accepted")
+	}
+}
+
+func TestMaximizeZeroObjective(t *testing.T) {
+	sol, err := Maximize([]float64{0, 0}, [][]float64{{1, 1}}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Obj != 0 {
+		t.Errorf("obj = %v, want 0", sol.Obj)
+	}
+}
+
+func TestKnapsackRelaxation(t *testing.T) {
+	// max 4a + 3b + 5c s.t. 2a + b + 3c ≤ 7, a ≤ 2, b ≤ 2, c ≤ 2.
+	// Best: a=2, b=2, c=(7-4-2)/3=1/3 → obj = 8 + 6 + 5/3.
+	sol, err := Maximize(
+		[]float64{4, 3, 5},
+		[][]float64{{2, 1, 3}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		[]float64{7, 2, 2, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Obj, 14+5.0/3, 1e-9) {
+		t.Errorf("obj = %v, want %v", sol.Obj, 14+5.0/3)
+	}
+}
+
+// Properties on random programs with box constraints (always bounded,
+// feasible): the solution must be feasible, and no sampled feasible point may
+// beat it.
+func TestMaximizeOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64() * 5
+		}
+		a := make([][]float64, 0, m+n)
+		b := make([]float64, 0, m+n)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 3
+			}
+			a = append(a, row)
+			b = append(b, 1+rng.Float64()*5)
+		}
+		// Box constraints guarantee boundedness.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 1+rng.Float64()*3)
+		}
+		sol, err := Maximize(c, a, b)
+		if err != nil {
+			return false
+		}
+		if !Feasible(sol.X, a, b, 1e-7) {
+			return false
+		}
+		// Random feasible sampling must not beat the reported optimum.
+		x := make([]float64, n)
+		for trial := 0; trial < 100; trial++ {
+			for j := range x {
+				x[j] = rng.Float64() * 4
+			}
+			if Feasible(x, a, b, 0) {
+				v := 0.0
+				for j := range x {
+					v += c[j] * x[j]
+				}
+				if v > sol.Obj+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Weak duality check: for max c·x ≤ b·y over any sampled dual-feasible y
+// (Aᵀy ≥ c, y ≥ 0), obj ≤ b·y.
+func TestWeakDualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := n + rng.Intn(3) // enough rows that dual feasibility is findable
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = 0.2 + rng.Float64()
+			}
+			b[i] = 1 + rng.Float64()
+		}
+		sol, err := Maximize(c, a, b)
+		if err != nil {
+			return false
+		}
+		// y uniform large enough to be dual feasible: y_i = K.
+		for _, k := range []float64{2, 5, 10} {
+			dualFeasible := true
+			for j := 0; j < n; j++ {
+				col := 0.0
+				for i := 0; i < m; i++ {
+					col += a[i][j] * k
+				}
+				if col < c[j] {
+					dualFeasible = false
+				}
+			}
+			if dualFeasible {
+				dualObj := 0.0
+				for i := 0; i < m; i++ {
+					dualObj += b[i] * k
+				}
+				if sol.Obj > dualObj+1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package lu is the extension sketched in the paper's conclusion and
+// developed in its companion research report: adapting the master-worker
+// memory layout to LU factorization. The O(n³) part of a right-looking
+// blocked LU is the trailing-submatrix update — a matrix product — so the
+// same chunking discipline applies step by step: at elimination step k the
+// master factors the panel, then farms the trailing update C_ij −= L_ik·U_kj
+// out to workers in μ×μ chunks.
+//
+// The package provides a sequential blocked reference (Factor), a real
+// parallel executor whose trailing updates run on a worker pool
+// (FactorParallel), and a makespan simulator for the master-worker version
+// on a heterogeneous star platform (SimulateMakespan). No pivoting is
+// performed: inputs must be factorizable as-is (tests use diagonally
+// dominant matrices), which is the standard simplification in this line of
+// work since pivoting does not change the communication structure of the
+// trailing updates.
+package lu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// BlockLU factors one q×q block in place without pivoting: on return the
+// strict lower triangle holds L (unit diagonal implied) and the upper
+// triangle (with diagonal) holds U. It fails on a (near-)zero pivot.
+func BlockLU(a *matrix.Block) error {
+	q := a.Q
+	for k := 0; k < q; k++ {
+		piv := a.At(k, k)
+		if math.Abs(piv) < 1e-300 {
+			return fmt.Errorf("lu: zero pivot at in-block position %d", k)
+		}
+		for i := k + 1; i < q; i++ {
+			l := a.At(i, k) / piv
+			a.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < q; j++ {
+				a.Set(i, j, a.At(i, j)-l*a.At(k, j))
+			}
+		}
+	}
+	return nil
+}
+
+// SolveLowerLeft overwrites x with L⁻¹·x, where lu holds a factored block
+// (unit lower triangle): forward substitution applied to each column of x.
+func SolveLowerLeft(lu, x *matrix.Block) {
+	q := lu.Q
+	for j := 0; j < q; j++ {
+		for i := 0; i < q; i++ {
+			s := x.At(i, j)
+			for k := 0; k < i; k++ {
+				s -= lu.At(i, k) * x.At(k, j)
+			}
+			x.Set(i, j, s) // unit diagonal: no division
+		}
+	}
+}
+
+// SolveUpperRight overwrites x with x·U⁻¹, where lu holds a factored block
+// (upper triangle including diagonal): back substitution applied to each row
+// of x.
+func SolveUpperRight(lu, x *matrix.Block) {
+	q := lu.Q
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			s := x.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= x.At(i, k) * lu.At(k, j)
+			}
+			x.Set(i, j, s/lu.At(j, j))
+		}
+	}
+}
+
+// Factor performs the in-place blocked right-looking LU factorization of the
+// n×n block matrix a: afterwards block (i,j) holds L_ij for i>j, U_ij for
+// i<j, and the packed LU factors of the diagonal blocks.
+func Factor(a *matrix.BlockMatrix) error {
+	return factor(a, func(k int, tasks []trailingTask) error {
+		for _, t := range tasks {
+			matrix.MulSub(t.c, t.l, t.u)
+		}
+		return nil
+	})
+}
+
+// FactorParallel is Factor with the trailing updates of each step executed by
+// a pool of workers goroutines — the shared-memory analogue of the
+// master-worker scheme (panel work stays on the "master").
+func FactorParallel(a *matrix.BlockMatrix, workers int) error {
+	if workers <= 0 {
+		return fmt.Errorf("lu: need a positive worker count")
+	}
+	return factor(a, func(k int, tasks []trailingTask) error {
+		var wg sync.WaitGroup
+		ch := make(chan trailingTask, len(tasks))
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+		n := min(workers, len(tasks))
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					matrix.MulSub(t.c, t.l, t.u)
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+}
+
+type trailingTask struct{ c, l, u *matrix.Block }
+
+func factor(a *matrix.BlockMatrix, update func(k int, tasks []trailingTask) error) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("lu: matrix is %dx%d blocks, need square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		akk := a.Block(k, k)
+		if err := BlockLU(akk); err != nil {
+			return fmt.Errorf("lu: step %d: %w", k, err)
+		}
+		for j := k + 1; j < n; j++ {
+			SolveLowerLeft(akk, a.Block(k, j))
+		}
+		for i := k + 1; i < n; i++ {
+			SolveUpperRight(akk, a.Block(i, k))
+		}
+		tasks := make([]trailingTask, 0, (n-k-1)*(n-k-1))
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				tasks = append(tasks, trailingTask{c: a.Block(i, j), l: a.Block(i, k), u: a.Block(k, j)})
+			}
+		}
+		if len(tasks) > 0 {
+			if err := update(k, tasks); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reconstruct multiplies the packed factors back into a full matrix, for
+// verification: returns L·U where L is unit lower (block) triangular and U
+// upper triangular, both extracted from the packed form.
+func Reconstruct(f *matrix.BlockMatrix) (*matrix.BlockMatrix, error) {
+	if f.Rows != f.Cols {
+		return nil, fmt.Errorf("lu: packed factors are %dx%d blocks", f.Rows, f.Cols)
+	}
+	n, q := f.Rows, f.Q
+	l := matrix.NewBlockMatrix(n, n, q)
+	u := matrix.NewBlockMatrix(n, n, q)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src := f.PeekBlock(i, j)
+			if src == nil {
+				continue
+			}
+			switch {
+			case i > j:
+				l.SetBlock(i, j, src.Clone())
+			case i < j:
+				u.SetBlock(i, j, src.Clone())
+			default:
+				lb, ub := matrix.NewBlock(q), matrix.NewBlock(q)
+				for r := 0; r < q; r++ {
+					lb.Set(r, r, 1)
+					for c := 0; c < q; c++ {
+						if r > c {
+							lb.Set(r, c, src.At(r, c))
+						} else {
+							ub.Set(r, c, src.At(r, c))
+						}
+					}
+				}
+				l.SetBlock(i, i, lb)
+				u.SetBlock(i, i, ub)
+			}
+		}
+	}
+	out := matrix.NewBlockMatrix(n, n, q)
+	if err := matrix.Multiply(out, l, u); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NewDiagonallyDominant builds a random n×n block matrix (block edge q) that
+// is strictly diagonally dominant, hence LU-factorizable without pivoting.
+func NewDiagonallyDominant(n, q int, seed int64) *matrix.BlockMatrix {
+	a := matrix.NewBlockMatrix(n, n, q)
+	rng := newRand(seed)
+	dim := n * q
+	for ei := 0; ei < dim; ei++ {
+		var rowSum float64
+		for ej := 0; ej < dim; ej++ {
+			if ei == ej {
+				continue
+			}
+			v := 2*rng.Float64() - 1
+			a.Set(ei, ej, v)
+			rowSum += math.Abs(v)
+		}
+		a.Set(ei, ei, rowSum+1+rng.Float64())
+	}
+	return a
+}

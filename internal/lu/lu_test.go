@@ -1,0 +1,207 @@
+package lu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+)
+
+func TestBlockLUKnown(t *testing.T) {
+	// [[4, 3], [6, 3]] = [[1,0],[1.5,1]]·[[4,3],[0,-1.5]]
+	a := matrix.NewBlock(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 3)
+	a.Set(1, 0, 6)
+	a.Set(1, 1, 3)
+	if err := BlockLU(a); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{4, 3}, {1.5, -1.5}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(a.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("packed[%d][%d] = %v, want %v", i, j, a.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestBlockLUZeroPivot(t *testing.T) {
+	a := matrix.NewBlock(2) // all zeros
+	if err := BlockLU(a); err == nil {
+		t.Fatal("zero pivot not detected")
+	}
+}
+
+func TestSolveLowerLeft(t *testing.T) {
+	// L = [[1,0],[2,1]] (packed with junk upper), x = L·y for a known y.
+	lu := matrix.NewBlock(2)
+	lu.Set(1, 0, 2)
+	x := matrix.NewBlock(2)
+	// y = [[1,3],[5,7]] → x = L·y = [[1,3],[7,13]]
+	x.Set(0, 0, 1)
+	x.Set(0, 1, 3)
+	x.Set(1, 0, 7)
+	x.Set(1, 1, 13)
+	SolveLowerLeft(lu, x)
+	want := [][]float64{{1, 3}, {5, 7}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(x.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("x[%d][%d] = %v, want %v", i, j, x.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSolveUpperRight(t *testing.T) {
+	// U = [[2,1],[0,4]], x = y·U for y = [[1,2],[3,4]] → x = [[2,9],[6,19]]
+	lu := matrix.NewBlock(2)
+	lu.Set(0, 0, 2)
+	lu.Set(0, 1, 1)
+	lu.Set(1, 1, 4)
+	x := matrix.NewBlock(2)
+	x.Set(0, 0, 2)
+	x.Set(0, 1, 9)
+	x.Set(1, 0, 6)
+	x.Set(1, 1, 19)
+	SolveUpperRight(lu, x)
+	want := [][]float64{{1, 2}, {3, 4}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(x.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("x[%d][%d] = %v, want %v", i, j, x.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFactorReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		a := NewDiagonallyDominant(n, 5, int64(n))
+		orig := a.Clone()
+		if err := Factor(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back, err := Reconstruct(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := back.MaxAbsDiff(orig); d > 1e-8 {
+			t.Errorf("n=%d: L·U deviates from A by %g", n, d)
+		}
+	}
+}
+
+func TestFactorParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		a := NewDiagonallyDominant(4, 4, 99)
+		b := a.Clone()
+		if err := Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := FactorParallel(b, workers); err != nil {
+			t.Fatal(err)
+		}
+		if d := a.MaxAbsDiff(b); d > 1e-10 {
+			t.Errorf("workers=%d: parallel factors deviate by %g", workers, d)
+		}
+	}
+}
+
+func TestFactorParallelValidation(t *testing.T) {
+	if err := FactorParallel(matrix.NewBlockMatrix(2, 2, 2), 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := Factor(matrix.NewBlockMatrix(2, 3, 2)); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestFactorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 1 + int(abs(seed))%3
+		a := NewDiagonallyDominant(n, 3, seed)
+		orig := a.Clone()
+		if err := Factor(a); err != nil {
+			return false
+		}
+		back, err := Reconstruct(a)
+		if err != nil {
+			return false
+		}
+		return back.MaxAbsDiff(orig) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateMakespan(t *testing.T) {
+	pl := platform.Homogeneous(4, 1, 1, 60)
+	total, steps, err := SimulateMakespan(pl, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 || len(steps) != 10 {
+		t.Fatalf("total=%v steps=%d", total, len(steps))
+	}
+	// Trailing updates shrink with k.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Trailing >= steps[i-1].Trailing {
+			t.Errorf("trailing not shrinking at step %d", i)
+		}
+	}
+	// The final step has no trailing work.
+	if steps[len(steps)-1].Makespan != 0 {
+		t.Errorf("last step should have no trailing update")
+	}
+}
+
+func TestSimulateMakespanMoreWorkersHelp(t *testing.T) {
+	one, _, err := SimulateMakespan(platform.Homogeneous(1, 0.1, 1, 60), 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, _, err := SimulateMakespan(platform.Homogeneous(4, 0.1, 1, 60), 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four >= one {
+		t.Errorf("4 workers (%v) should beat 1 (%v) on a compute-bound LU", four, one)
+	}
+}
+
+func TestSimulateMakespanValidation(t *testing.T) {
+	if _, _, err := SimulateMakespan(platform.Homogeneous(1, 1, 1, 60), 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestCommVolume(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 60)
+	vol, err := CommVolume(pl, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: every trailing C block is sent and received once per step
+	// it participates in: Σ_k 2(n-k-1)² plus inputs.
+	var lower int64
+	for k := 0; k < 6; k++ {
+		e := int64(6 - k - 1)
+		lower += 2 * e * e
+	}
+	if vol <= lower {
+		t.Errorf("comm volume %d should exceed the C-only bound %d (inputs move too)", vol, lower)
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

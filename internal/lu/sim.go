@@ -1,0 +1,101 @@
+package lu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// StepStats summarizes one elimination step of the simulated master-worker
+// LU.
+type StepStats struct {
+	Step     int
+	Trailing int // trailing submatrix edge, in blocks
+	Makespan float64
+}
+
+// SimulateMakespan models the master-worker LU of the companion report on a
+// heterogeneous star platform: at step k the master factors the panel
+// (charged panelW time units per panel block, serially — the master owns the
+// panel) and then distributes the (n-k-1)² trailing updates in μ×μ chunks
+// under the optimized memory layout, demand-driven. Each step's trailing
+// update is an outer product (t = 1): a chunk needs one installment of H+W
+// blocks (the L column and U row pieces) and performs H·W updates. The
+// function returns the total makespan and the per-step breakdown.
+func SimulateMakespan(pl *platform.Platform, n int, panelW float64) (float64, []StepStats, error) {
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("lu: n must be positive")
+	}
+	mus := make([]int, pl.P())
+	feasible := false
+	for i, w := range pl.Workers {
+		mus[i] = platform.MuOverlap(w.M)
+		if mus[i] > 0 {
+			feasible = true
+		}
+	}
+	if !feasible {
+		return 0, nil, fmt.Errorf("lu: no worker can hold the layout")
+	}
+	total := 0.0
+	steps := make([]StepStats, 0, n)
+	for k := 0; k < n; k++ {
+		// Panel: factor the diagonal block and solve 2·(n-k-1) panel blocks.
+		panelBlocks := 1 + 2*(n-k-1)
+		total += float64(panelBlocks) * panelW
+		edge := n - k - 1
+		st := StepStats{Step: k, Trailing: edge}
+		if edge > 0 {
+			mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job { return sim.MakeStandardJob(ch, t, seq) }
+			res, err := sim.Run(sim.Config{
+				Platform: pl,
+				Source:   sim.NewCarver(edge, edge, 1, mus, mus, mk),
+				Policy:   &sim.DemandDriven{Label: "lu"},
+				Name:     fmt.Sprintf("lu-step-%d", k),
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			if err := res.Trace.Validate(); err != nil {
+				return 0, nil, err
+			}
+			st.Makespan = res.Makespan
+			total += res.Makespan
+		}
+		steps = append(steps, st)
+	}
+	return total, steps, nil
+}
+
+// CommVolume returns the total number of blocks the simulated master-worker
+// LU moves through the master port, for comparing layouts analytically.
+func CommVolume(pl *platform.Platform, n int) (int64, error) {
+	mus := make([]int, pl.P())
+	for i, w := range pl.Workers {
+		mus[i] = platform.MuOverlap(w.M)
+	}
+	var vol int64
+	for k := 0; k < n; k++ {
+		edge := n - k - 1
+		if edge == 0 {
+			continue
+		}
+		mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job { return sim.MakeStandardJob(ch, t, seq) }
+		res, err := sim.Run(sim.Config{
+			Platform: pl,
+			Source:   sim.NewCarver(edge, edge, 1, mus, mus, mk),
+			Policy:   &sim.DemandDriven{Label: "lu"},
+			Name:     "lu-vol",
+		})
+		if err != nil {
+			return 0, err
+		}
+		vol += res.Trace.Stats().CommBlocks
+	}
+	return vol, nil
+}

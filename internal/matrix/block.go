@@ -1,0 +1,157 @@
+// Package matrix implements the blocked dense-matrix substrate used by the
+// matrix-product schedulers: square q×q blocks (the atomic unit the paper
+// manipulates, chosen to harness Level-3 BLAS routines), block matrices
+// partitioned into stripes of such blocks, and the multiply-add kernel
+// C ← C + A·B that stands in for dgemm.
+//
+// Everything is pure Go. The kernel is written so that real-execution paths
+// (internal/engine, internal/cluster) perform genuine floating-point work with
+// the same q³ operation count per block update that the paper's model charges
+// as one w_i time unit.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultQ is the default block edge. The paper uses q = 80 or 100 "on most
+// platforms"; 80 keeps a block (80×80 float64 = 51.2 KB) comfortably inside
+// L2 caches.
+const DefaultQ = 80
+
+// Block is a dense square q×q tile stored row-major. Block is the atomic
+// element exchanged between master and workers: the platform model charges
+// c_i time units to move one block and w_i to apply one block update.
+type Block struct {
+	Q    int
+	Data []float64 // len Q*Q, row-major
+}
+
+// NewBlock returns a zeroed q×q block.
+func NewBlock(q int) *Block {
+	return &Block{Q: q, Data: make([]float64, q*q)}
+}
+
+// At returns element (i, j).
+func (b *Block) At(i, j int) float64 { return b.Data[i*b.Q+j] }
+
+// Set assigns element (i, j).
+func (b *Block) Set(i, j int, v float64) { b.Data[i*b.Q+j] = v }
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	nb := NewBlock(b.Q)
+	copy(nb.Data, b.Data)
+	return nb
+}
+
+// Zero clears the block in place.
+func (b *Block) Zero() {
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+}
+
+// FillRandom fills the block with uniform values in [-1, 1) from rng.
+func (b *Block) FillRandom(rng *rand.Rand) {
+	for i := range b.Data {
+		b.Data[i] = 2*rng.Float64() - 1
+	}
+}
+
+// Equal reports whether two blocks agree elementwise within tol.
+func (b *Block) Equal(o *Block, tol float64) bool {
+	if o == nil || b.Q != o.Q {
+		return false
+	}
+	for i := range b.Data {
+		if d := b.Data[i] - o.Data[i]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// blocks. It panics if shapes differ.
+func (b *Block) MaxAbsDiff(o *Block) float64 {
+	if b.Q != o.Q {
+		panic(fmt.Sprintf("matrix: MaxAbsDiff shape mismatch %d vs %d", b.Q, o.Q))
+	}
+	m := 0.0
+	for i := range b.Data {
+		m = math.Max(m, math.Abs(b.Data[i]-o.Data[i]))
+	}
+	return m
+}
+
+// MulAdd performs the block update c ← c + a·b. This is the q³ kernel the
+// model charges as one block update (w_i time units on worker i).
+//
+// The loop nest is ikj so the inner loop streams rows of b and c with unit
+// stride; a[i,k] is hoisted into a register. This is the standard
+// cache-friendly ordering for row-major storage.
+func MulAdd(c, a, b *Block) {
+	if c.Q != a.Q || c.Q != b.Q {
+		panic(fmt.Sprintf("matrix: MulAdd shape mismatch c=%d a=%d b=%d", c.Q, a.Q, b.Q))
+	}
+	q := c.Q
+	for i := 0; i < q; i++ {
+		ci := c.Data[i*q : (i+1)*q]
+		ai := a.Data[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*q : (k+1)*q]
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// MulSub performs the block update c ← c − a·b, the trailing-update kernel of
+// blocked LU factorization. Same loop nest as MulAdd.
+func MulSub(c, a, b *Block) {
+	if c.Q != a.Q || c.Q != b.Q {
+		panic(fmt.Sprintf("matrix: MulSub shape mismatch c=%d a=%d b=%d", c.Q, a.Q, b.Q))
+	}
+	q := c.Q
+	for i := 0; i < q; i++ {
+		ci := c.Data[i*q : (i+1)*q]
+		ai := a.Data[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*q : (k+1)*q]
+			for j := range ci {
+				ci[j] -= aik * bk[j]
+			}
+		}
+	}
+}
+
+// MulAddRef is a deliberately naive ijk triple loop used as an independent
+// oracle for MulAdd in tests.
+func MulAddRef(c, a, b *Block) {
+	q := c.Q
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			s := c.Data[i*q+j]
+			for k := 0; k < q; k++ {
+				s += a.Data[i*q+k] * b.Data[k*q+j]
+			}
+			c.Data[i*q+j] = s
+		}
+	}
+}
+
+// ErrShape reports incompatible matrix shapes.
+var ErrShape = errors.New("matrix: incompatible shapes")

@@ -1,0 +1,166 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlockMatrix is a dense matrix partitioned into an R×C grid of q×q blocks,
+// the decomposition of Figure 1 in the paper: A is r×t blocks, B is t×s
+// blocks, and C is r×s blocks for the product C ← C + A·B.
+//
+// Blocks are allocated lazily; a nil entry reads as a zero block. This keeps
+// large simulated matrices cheap while the real-execution engines materialize
+// only the blocks they touch.
+type BlockMatrix struct {
+	Rows, Cols int // grid dimensions, in blocks
+	Q          int // block edge
+	blocks     []*Block
+}
+
+// NewBlockMatrix returns an all-zero rows×cols block matrix with block edge q.
+func NewBlockMatrix(rows, cols, q int) *BlockMatrix {
+	if rows <= 0 || cols <= 0 || q <= 0 {
+		panic(fmt.Sprintf("matrix: NewBlockMatrix(%d, %d, %d): dimensions must be positive", rows, cols, q))
+	}
+	return &BlockMatrix{Rows: rows, Cols: cols, Q: q, blocks: make([]*Block, rows*cols)}
+}
+
+func (m *BlockMatrix) index(i, j int) int {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: block index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return i*m.Cols + j
+}
+
+// Block returns block (i, j), materializing it if it is still an implicit
+// zero block.
+func (m *BlockMatrix) Block(i, j int) *Block {
+	idx := m.index(i, j)
+	if m.blocks[idx] == nil {
+		m.blocks[idx] = NewBlock(m.Q)
+	}
+	return m.blocks[idx]
+}
+
+// PeekBlock returns block (i, j) without materializing; nil means zero.
+func (m *BlockMatrix) PeekBlock(i, j int) *Block { return m.blocks[m.index(i, j)] }
+
+// SetBlock stores blk as block (i, j). blk must have edge Q (nil clears).
+func (m *BlockMatrix) SetBlock(i, j int, blk *Block) {
+	if blk != nil && blk.Q != m.Q {
+		panic(fmt.Sprintf("matrix: SetBlock edge %d into matrix with q=%d", blk.Q, m.Q))
+	}
+	m.blocks[m.index(i, j)] = blk
+}
+
+// At returns scalar element (ei, ej) of the underlying dense matrix.
+func (m *BlockMatrix) At(ei, ej int) float64 {
+	b := m.blocks[m.index(ei/m.Q, ej/m.Q)]
+	if b == nil {
+		return 0
+	}
+	return b.At(ei%m.Q, ej%m.Q)
+}
+
+// Set assigns scalar element (ei, ej).
+func (m *BlockMatrix) Set(ei, ej int, v float64) {
+	m.Block(ei/m.Q, ej/m.Q).Set(ei%m.Q, ej%m.Q, v)
+}
+
+// ElemRows and ElemCols give the dense (element) dimensions.
+func (m *BlockMatrix) ElemRows() int { return m.Rows * m.Q }
+
+// ElemCols gives the dense column count.
+func (m *BlockMatrix) ElemCols() int { return m.Cols * m.Q }
+
+// FillRandom fills every block with uniform values in [-1, 1).
+func (m *BlockMatrix) FillRandom(rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Block(i, j).FillRandom(rng)
+		}
+	}
+}
+
+// Clone deep-copies the matrix, preserving implicit zero blocks.
+func (m *BlockMatrix) Clone() *BlockMatrix {
+	n := NewBlockMatrix(m.Rows, m.Cols, m.Q)
+	for i, b := range m.blocks {
+		if b != nil {
+			n.blocks[i] = b.Clone()
+		}
+	}
+	return n
+}
+
+// Equal reports elementwise agreement within tol; implicit zeros compare as
+// zero blocks.
+func (m *BlockMatrix) Equal(o *BlockMatrix, tol float64) bool {
+	if o == nil || m.Rows != o.Rows || m.Cols != o.Cols || m.Q != o.Q {
+		return false
+	}
+	zero := NewBlock(m.Q)
+	for i := range m.blocks {
+		a, b := m.blocks[i], o.blocks[i]
+		if a == nil {
+			a = zero
+		}
+		if b == nil {
+			b = zero
+		}
+		if !a.Equal(b, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (m *BlockMatrix) MaxAbsDiff(o *BlockMatrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.Q != o.Q {
+		panic("matrix: MaxAbsDiff shape mismatch")
+	}
+	zero := NewBlock(m.Q)
+	worst := 0.0
+	for i := range m.blocks {
+		a, b := m.blocks[i], o.blocks[i]
+		if a == nil {
+			a = zero
+		}
+		if b == nil {
+			b = zero
+		}
+		if d := a.MaxAbsDiff(b); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Multiply computes C ← C + A·B at block granularity, sequentially. A must be
+// r×t, B t×s, C r×s with matching q. It is the single-machine oracle against
+// which every distributed execution is checked.
+func Multiply(c, a, b *BlockMatrix) error {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Q != b.Q || a.Q != c.Q {
+		return fmt.Errorf("%w: C %dx%d, A %dx%d, B %dx%d (q %d/%d/%d)",
+			ErrShape, c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols, c.Q, a.Q, b.Q)
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			cij := c.Block(i, j)
+			for k := 0; k < a.Cols; k++ {
+				ab, bb := a.PeekBlock(i, k), b.PeekBlock(k, j)
+				if ab == nil || bb == nil {
+					continue // zero block contributes nothing
+				}
+				MulAdd(cij, ab, bb)
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateCount returns the number of block updates (q³-flop units) a full
+// product over these shapes performs: r·s·t.
+func UpdateCount(r, s, t int) int64 { return int64(r) * int64(s) * int64(t) }

@@ -1,0 +1,185 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockMatrixLazyZero(t *testing.T) {
+	m := NewBlockMatrix(3, 4, 5)
+	if m.PeekBlock(1, 2) != nil {
+		t.Fatal("fresh matrix should hold implicit zero blocks")
+	}
+	if m.At(14, 19) != 0 {
+		t.Fatal("implicit zero block should read as 0")
+	}
+	m.Set(14, 19, 2.5)
+	if m.At(14, 19) != 2.5 {
+		t.Fatal("Set/At through block boundary failed")
+	}
+	if m.PeekBlock(2, 3) == nil {
+		t.Fatal("Set should materialize the block")
+	}
+}
+
+func TestBlockMatrixDims(t *testing.T) {
+	m := NewBlockMatrix(3, 4, 8)
+	if m.ElemRows() != 24 || m.ElemCols() != 32 {
+		t.Fatalf("elem dims = %dx%d, want 24x32", m.ElemRows(), m.ElemCols())
+	}
+}
+
+func TestBlockMatrixCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewBlockMatrix(2, 2, 4)
+	m.FillRandom(rng)
+	c := m.Clone()
+	if !m.Equal(c, 0) {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, 123)
+	if m.At(0, 0) == 123 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestBlockMatrixEqualWithImplicitZeros(t *testing.T) {
+	a := NewBlockMatrix(2, 2, 3)
+	b := NewBlockMatrix(2, 2, 3)
+	b.Block(1, 1) // materialize an explicit zero block on one side only
+	if !a.Equal(b, 0) {
+		t.Fatal("implicit and explicit zero blocks should compare equal")
+	}
+	b.Set(5, 5, 1)
+	if a.Equal(b, 0.5) {
+		t.Fatal("differing matrices reported equal")
+	}
+}
+
+func TestMultiplySmallKnown(t *testing.T) {
+	// 2x2 blocks of q=1 reduce block multiply to scalar multiply:
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := NewBlockMatrix(2, 2, 1)
+	b := NewBlockMatrix(2, 2, 1)
+	vals := [][]float64{{1, 2}, {3, 4}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			a.Set(i, j, vals[i][j])
+			b.Set(i, j, vals[i][j]+4)
+		}
+	}
+	c := NewBlockMatrix(2, 2, 1)
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMultiplyShapeError(t *testing.T) {
+	c := NewBlockMatrix(2, 2, 2)
+	a := NewBlockMatrix(2, 3, 2)
+	b := NewBlockMatrix(4, 2, 2) // inner dim mismatch
+	if err := Multiply(c, a, b); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMultiplyAccumulatesIntoC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewBlockMatrix(2, 3, 4)
+	b := NewBlockMatrix(3, 2, 4)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c := NewBlockMatrix(2, 2, 4)
+	c.FillRandom(rng)
+	orig := c.Clone()
+	prod := NewBlockMatrix(2, 2, 4)
+	if err := Multiply(prod, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	// c should equal orig + prod elementwise.
+	for ei := 0; ei < c.ElemRows(); ei++ {
+		for ej := 0; ej < c.ElemCols(); ej++ {
+			want := orig.At(ei, ej) + prod.At(ei, ej)
+			if diff := c.At(ei, ej) - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("C += AB violated at (%d,%d)", ei, ej)
+			}
+		}
+	}
+}
+
+func TestParallelMultiplyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, w := range []int{1, 2, 4, 0} {
+		a := NewBlockMatrix(4, 6, 5)
+		b := NewBlockMatrix(6, 3, 5)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c1 := NewBlockMatrix(4, 3, 5)
+		c2 := NewBlockMatrix(4, 3, 5)
+		if err := Multiply(c1, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ParallelMultiply(c2, a, b, w); err != nil {
+			t.Fatal(err)
+		}
+		if d := c1.MaxAbsDiff(c2); d > 1e-12 {
+			t.Errorf("workers=%d: parallel deviates by %g", w, d)
+		}
+	}
+}
+
+func TestParallelMultiplyShapeError(t *testing.T) {
+	if err := ParallelMultiply(NewBlockMatrix(1, 1, 2), NewBlockMatrix(1, 2, 2), NewBlockMatrix(3, 1, 2), 2); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// Property: block-partitioned multiply equals dense scalar multiply.
+func TestMultiplyAgainstScalarOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 1 + rng.Intn(4)
+		r, tt, s := 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(3)
+		a := NewBlockMatrix(r, tt, q)
+		b := NewBlockMatrix(tt, s, q)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c := NewBlockMatrix(r, s, q)
+		if err := Multiply(c, a, b); err != nil {
+			return false
+		}
+		for ei := 0; ei < c.ElemRows(); ei++ {
+			for ej := 0; ej < c.ElemCols(); ej++ {
+				var want float64
+				for ek := 0; ek < a.ElemCols(); ek++ {
+					want += a.At(ei, ek) * b.At(ek, ej)
+				}
+				if d := c.At(ei, ej) - want; d > 1e-10 || d < -1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateCount(t *testing.T) {
+	if got := UpdateCount(100, 800, 100); got != 8_000_000 {
+		t.Fatalf("UpdateCount = %d, want 8000000", got)
+	}
+}

@@ -1,0 +1,61 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary block framing used by the TCP cluster runtime: a fixed header
+// (magic, q) followed by q² little-endian float64 values. gob would work but
+// costs ~3× in encode time for large numeric slices; the schedulers move many
+// thousands of 51 KB blocks, so the wire format matters.
+
+const blockMagic = 0x424c4b31 // "BLK1"
+
+// WriteBlock serializes b to w in the framed binary format.
+func WriteBlock(w io.Writer, b *Block) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], blockMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(b.Q))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("matrix: write block header: %w", err)
+	}
+	buf := make([]byte, 8*len(b.Data))
+	for i, v := range b.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("matrix: write block payload: %w", err)
+	}
+	return nil
+}
+
+// ReadBlock deserializes one framed block from r.
+func ReadBlock(r io.Reader) (*Block, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("matrix: read block header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != blockMagic {
+		return nil, fmt.Errorf("matrix: bad block magic %#x", m)
+	}
+	q := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if q <= 0 || q > 1<<14 {
+		return nil, fmt.Errorf("matrix: implausible block edge %d", q)
+	}
+	b := NewBlock(q)
+	buf := make([]byte, 8*len(b.Data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("matrix: read block payload: %w", err)
+	}
+	for i := range b.Data {
+		b.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return b, nil
+}
+
+// BlockWireSize returns the framed size in bytes of a q×q block, used by the
+// cluster runtime to budget link-rate emulation.
+func BlockWireSize(q int) int { return 8 + 8*q*q }

@@ -1,0 +1,67 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range []int{1, 2, 16, 80} {
+		b := NewBlock(q)
+		b.FillRandom(rng)
+		var buf bytes.Buffer
+		if err := WriteBlock(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != BlockWireSize(q) {
+			t.Errorf("q=%d: wire size %d, want %d", q, buf.Len(), BlockWireSize(q))
+		}
+		got, err := ReadBlock(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Equal(got, 0) {
+			t.Errorf("q=%d: round trip altered block", q)
+		}
+	}
+}
+
+func TestReadBlockBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	if _, err := ReadBlock(buf); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestReadBlockTruncated(t *testing.T) {
+	b := NewBlock(4)
+	var buf bytes.Buffer
+	if err := WriteBlock(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewBuffer(buf.Bytes()[:buf.Len()-5])
+	if _, err := ReadBlock(trunc); err == nil {
+		t.Fatal("expected error on truncated payload")
+	}
+}
+
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 1 + rng.Intn(20)
+		b := NewBlock(q)
+		b.FillRandom(rng)
+		var buf bytes.Buffer
+		if err := WriteBlock(&buf, b); err != nil {
+			return false
+		}
+		got, err := ReadBlock(&buf)
+		return err == nil && b.Equal(got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMultiply computes C ← C + A·B using up to workers goroutines, each
+// owning a disjoint set of C blocks (so no synchronization is needed on the
+// output). workers ≤ 0 selects GOMAXPROCS.
+//
+// This is the shared-memory baseline kernel: it gives the repository a fast
+// local dgemm substitute and is used by tests to cross-check the distributed
+// engines on larger inputs.
+func ParallelMultiply(c, a, b *BlockMatrix, workers int) error {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Q != b.Q || a.Q != c.Q {
+		return ErrShape
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := c.Rows * c.Cols
+	if workers > total {
+		workers = total
+	}
+	// Materialize all referenced blocks up front: goroutines must not race on
+	// lazy allocation inside the shared A and B grids.
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			c.Block(i, j)
+		}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, total)
+	for ij := 0; ij < total; ij++ {
+		next <- ij
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ij := range next {
+				i, j := ij/c.Cols, ij%c.Cols
+				cij := c.PeekBlock(i, j)
+				for k := 0; k < a.Cols; k++ {
+					ab, bb := a.PeekBlock(i, k), b.PeekBlock(k, j)
+					if ab == nil || bb == nil {
+						continue
+					}
+					MulAdd(cij, ab, bb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}

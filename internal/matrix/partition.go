@@ -1,0 +1,82 @@
+package matrix
+
+import "fmt"
+
+// Chunk identifies a rectangular region of C blocks assigned to one worker:
+// rows [Row0, Row0+H) × cols [Col0, Col0+W) of the block grid. In the paper a
+// chunk is the μ_i×μ_i square a worker loads per outer-loop iteration; edge
+// chunks may be smaller when r or s is not divisible by μ_i.
+type Chunk struct {
+	Row0, Col0 int
+	H, W       int
+}
+
+// Blocks returns the number of C blocks in the chunk.
+func (ch Chunk) Blocks() int { return ch.H * ch.W }
+
+// String renders the chunk as "C[r0:r1,c0:c1)".
+func (ch Chunk) String() string {
+	return fmt.Sprintf("C[%d:%d,%d:%d)", ch.Row0, ch.Row0+ch.H, ch.Col0, ch.Col0+ch.W)
+}
+
+// Valid reports whether the chunk is non-empty and fits in an r×s grid.
+func (ch Chunk) Valid(r, s int) bool {
+	return ch.H > 0 && ch.W > 0 &&
+		ch.Row0 >= 0 && ch.Row0+ch.H <= r &&
+		ch.Col0 >= 0 && ch.Col0+ch.W <= s
+}
+
+// Overlaps reports whether two chunks share any C block.
+func (ch Chunk) Overlaps(o Chunk) bool {
+	return ch.Row0 < o.Row0+o.H && o.Row0 < ch.Row0+ch.H &&
+		ch.Col0 < o.Col0+o.W && o.Col0 < ch.Col0+ch.W
+}
+
+// SquareChunks tiles an r×s block grid with mu×mu chunks column-group by
+// column-group (the paper's allocation walks down block columns). Edge chunks
+// are clipped. The resulting chunks partition the grid exactly.
+func SquareChunks(r, s, mu int) []Chunk {
+	if mu <= 0 {
+		panic(fmt.Sprintf("matrix: SquareChunks with mu=%d", mu))
+	}
+	var out []Chunk
+	for c0 := 0; c0 < s; c0 += mu {
+		w := min(mu, s-c0)
+		for r0 := 0; r0 < r; r0 += mu {
+			out = append(out, Chunk{Row0: r0, Col0: c0, H: min(mu, r-r0), W: w})
+		}
+	}
+	return out
+}
+
+// ColumnGroups splits s block columns into groups of width mu (last group may
+// be narrower), returning the starting column of each group.
+func ColumnGroups(s, mu int) []int {
+	var starts []int
+	for c0 := 0; c0 < s; c0 += mu {
+		starts = append(starts, c0)
+	}
+	return starts
+}
+
+// CoverExactly reports whether chunks tile the r×s grid with no gap and no
+// overlap. Used by scheduler invariant tests.
+func CoverExactly(chunks []Chunk, r, s int) bool {
+	covered := make([]bool, r*s)
+	total := 0
+	for _, ch := range chunks {
+		if !ch.Valid(r, s) {
+			return false
+		}
+		for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+			for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+				if covered[i*s+j] {
+					return false
+				}
+				covered[i*s+j] = true
+				total++
+			}
+		}
+	}
+	return total == r*s
+}

@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareChunksExactTiling(t *testing.T) {
+	cases := []struct{ r, s, mu int }{
+		{4, 4, 2}, {5, 7, 3}, {1, 1, 1}, {10, 3, 4}, {100, 800, 23},
+	}
+	for _, c := range cases {
+		chunks := SquareChunks(c.r, c.s, c.mu)
+		if !CoverExactly(chunks, c.r, c.s) {
+			t.Errorf("SquareChunks(%d,%d,%d) does not tile exactly", c.r, c.s, c.mu)
+		}
+		for _, ch := range chunks {
+			if ch.H > c.mu || ch.W > c.mu {
+				t.Errorf("chunk %v exceeds mu=%d", ch, c.mu)
+			}
+		}
+	}
+}
+
+func TestSquareChunksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, s, mu := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(10)
+		return CoverExactly(SquareChunks(r, s, mu), r, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkOverlaps(t *testing.T) {
+	a := Chunk{Row0: 0, Col0: 0, H: 2, W: 2}
+	b := Chunk{Row0: 1, Col0: 1, H: 2, W: 2}
+	c := Chunk{Row0: 2, Col0: 0, H: 1, W: 4}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("expected a/b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c are disjoint")
+	}
+}
+
+func TestChunkValid(t *testing.T) {
+	if (Chunk{Row0: 0, Col0: 0, H: 0, W: 1}).Valid(4, 4) {
+		t.Error("empty chunk reported valid")
+	}
+	if (Chunk{Row0: 3, Col0: 3, H: 2, W: 1}).Valid(4, 4) {
+		t.Error("out-of-range chunk reported valid")
+	}
+	if !(Chunk{Row0: 3, Col0: 3, H: 1, W: 1}).Valid(4, 4) {
+		t.Error("corner chunk reported invalid")
+	}
+}
+
+func TestCoverExactlyDetectsGapAndOverlap(t *testing.T) {
+	gap := []Chunk{{0, 0, 1, 1}} // misses (0,1) in 1x2 grid
+	if CoverExactly(gap, 1, 2) {
+		t.Error("gap not detected")
+	}
+	overlap := []Chunk{{0, 0, 1, 2}, {0, 1, 1, 1}}
+	if CoverExactly(overlap, 1, 2) {
+		t.Error("overlap not detected")
+	}
+}
+
+func TestColumnGroups(t *testing.T) {
+	got := ColumnGroups(10, 4)
+	want := []int{0, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ColumnGroups(10,4) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColumnGroups(10,4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChunkString(t *testing.T) {
+	s := Chunk{Row0: 1, Col0: 2, H: 3, W: 4}.String()
+	if s != "C[1:4,2:6)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,157 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Experimental platforms of Section 6. All times are expressed in normalized
+// units: 1 time unit = one block update on the fastest machine (w = 1), and
+// the reference link costs BaseC = 1.2 per block — the c/w ratio implied by
+// the paper's real-platform numbers (Fig. 8: ~7800 s makespan on 11 of 20
+// workers for 40M block updates gives w ≈ 2.1 ms and c ≈ 2.4 ms per block).
+// Memories are expressed in block buffers via MemBlocks (1 MB ≈ 1.25 blocks
+// of 80×80 float64 once runtime overheads are charged), which places the
+// per-worker chunk edge μ_i in the paper's operating regime (μ ≈ 16–33).
+const (
+	BaseC = 1.2 // reference link cost (≈ 100 Mbps switched Ethernet)
+	BaseW = 1.0 // reference compute cost (fastest node)
+)
+
+// MemBlocks converts a nominal node memory in MB to a buffer count.
+func MemBlocks(mb int) int { return mb * 5 / 4 }
+
+// Nominal memory sizes used across the experiments.
+var (
+	Mem256  = MemBlocks(256)  // 320 blocks, μ_overlap = 16
+	Mem512  = MemBlocks(512)  // 640 blocks, μ_overlap = 23
+	Mem1024 = MemBlocks(1024) // 1280 blocks, μ_overlap = 33
+)
+
+func uniform(n int, c, w float64, m int) []Worker {
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{C: c, W: w, M: m}
+	}
+	return ws
+}
+
+// HeteroMemory is the Figure 4 platform: 8 workers homogeneous in
+// communication and computation, with memories 2×256 MB, 4×512 MB, 2×1 GB.
+func HeteroMemory() *Platform {
+	ws := uniform(8, BaseC, BaseW, 0)
+	mems := []int{Mem256, Mem256, Mem512, Mem512, Mem512, Mem512, Mem1024, Mem1024}
+	for i := range ws {
+		ws[i].M = mems[i]
+	}
+	return MustNew(ws...)
+}
+
+// HeteroComm is the Figure 5 platform: 8 workers with homogeneous memory and
+// compute, and links of 10, 5 and 1 Mbps (2, 4 and 2 workers respectively);
+// link cost scales inversely with bandwidth.
+func HeteroComm() *Platform {
+	ws := uniform(8, 0, BaseW, Mem512)
+	cs := []float64{BaseC, BaseC, 2 * BaseC, 2 * BaseC, 2 * BaseC, 2 * BaseC, 10 * BaseC, 10 * BaseC}
+	for i := range ws {
+		ws[i].C = cs[i]
+	}
+	return MustNew(ws...)
+}
+
+// HeteroComp is the Figure 6 platform: 8 workers with homogeneous links and
+// memory and speeds S, S/2, S/4 (2 fast, 4 medium, 2 slow).
+func HeteroComp() *Platform {
+	ws := uniform(8, BaseC, 0, Mem512)
+	wspeeds := []float64{BaseW, BaseW, 2 * BaseW, 2 * BaseW, 2 * BaseW, 2 * BaseW, 4 * BaseW, 4 * BaseW}
+	for i := range ws {
+		ws[i].W = wspeeds[i]
+	}
+	return MustNew(ws...)
+}
+
+// FullyHetero is one of the two structured Figure 7 platforms: every
+// characteristic takes a small or large value with the given ratio between
+// them, and the 8 workers enumerate the 8 possible combinations.
+func FullyHetero(ratio float64) *Platform {
+	if ratio <= 0 {
+		panic(fmt.Sprintf("platform: FullyHetero ratio %g must be positive", ratio))
+	}
+	ws := make([]Worker, 0, 8)
+	for bits := 0; bits < 8; bits++ {
+		c, w, m := BaseC, BaseW, float64(Mem1024)
+		if bits&1 != 0 {
+			c *= ratio
+		}
+		if bits&2 != 0 {
+			w *= ratio
+		}
+		if bits&4 != 0 {
+			m /= ratio
+		}
+		ws = append(ws, Worker{C: c, W: w, M: int(m)})
+	}
+	return MustNew(ws...)
+}
+
+// Random builds one of the ten random Figure 7 platforms: p workers whose
+// link, speed and memory each vary by a ratio of up to maxRatio, drawn
+// uniformly from a seeded generator so experiments are reproducible.
+func Random(p int, maxRatio float64, seed int64) *Platform {
+	rng := rand.New(rand.NewSource(seed))
+	ws := make([]Worker, p)
+	for i := range ws {
+		ws[i] = Worker{
+			C: BaseC * (1 + (maxRatio-1)*rng.Float64()),
+			W: BaseW * (1 + (maxRatio-1)*rng.Float64()),
+			M: Mem256 + rng.Intn(Mem1024-Mem256+1),
+		}
+	}
+	return MustNew(ws...)
+}
+
+// LyonAugust2007 is the Figure 8(a) platform: five nodes from each of the
+// four Lyon machine sets, all upgraded to 1 GB of memory. Compute costs scale
+// inversely with clock speed, normalized so the 2.8 GHz nodes have w = BaseW.
+func LyonAugust2007() *Platform {
+	return lyon([4]int{Mem1024, Mem1024, Mem1024, Mem1024})
+}
+
+// LyonNovember2006 is the Figure 8(b) platform: same nodes before the memory
+// upgrade — the 5013-GM and IDE250W sets have only 256 MB.
+func LyonNovember2006() *Platform {
+	return lyon([4]int{Mem256, Mem1024, Mem1024, Mem256})
+}
+
+func lyon(mems [4]int) *Platform {
+	ghz := [4]float64{2.4, 2.4, 2.6, 2.8}
+	var ws []Worker
+	for g := 0; g < 4; g++ {
+		for n := 0; n < 5; n++ {
+			ws = append(ws, Worker{
+				Name: fmt.Sprintf("set%d-n%d", g+1, n+1),
+				C:    BaseC,
+				W:    BaseW * 2.8 / ghz[g],
+				M:    mems[g],
+			})
+		}
+	}
+	return MustNew(ws...)
+}
+
+// Table2 is the Section 5 counterexample platform showing the
+// bandwidth-centric steady-state solution can require unbounded buffers:
+// P1(c=1, w=2), P2(c=x, w=2x), both with μ = 2 (the smallest memory
+// admitting the overlapped layout for μ=2 is 2²+4·2 = 12 buffers).
+func Table2(x float64) *Platform {
+	return MustNew(
+		Worker{Name: "P1", C: 1, W: 2, M: 12},
+		Worker{Name: "P2", C: x, W: 2 * x, M: 12},
+	)
+}
+
+// Homogeneous builds a p-worker platform with identical parameters, the
+// Section 4 setting.
+func Homogeneous(p int, c, w float64, m int) *Platform {
+	return MustNew(uniform(p, c, w, m)...)
+}

@@ -1,0 +1,182 @@
+// Package platform models the star-shaped heterogeneous master-worker
+// platforms of the paper: a master P0 with no processing capability and p
+// workers, each described by a link cost c_i (time units to send or receive
+// one q×q block), a compute cost w_i (time units per block update), and a
+// memory capacity m_i (number of block buffers).
+//
+// The package also provides the three memory layouts studied in the paper —
+// maximum re-use (1 + μ + μ² ≤ m), the overlapped variant (μ² + 4μ ≤ m) and
+// Toledo's equal third split — plus builders for every experimental platform
+// of Section 6.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Worker holds the three heterogeneity parameters of one worker P_i.
+type Worker struct {
+	Name string  // display name, e.g. "P3"
+	C    float64 // time units for the master to send or receive one block
+	W    float64 // time units to perform one block update C += A·B
+	M    int     // memory capacity, in block buffers
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (w Worker) Validate() error {
+	if w.C <= 0 {
+		return fmt.Errorf("platform: worker %s: c=%g must be > 0", w.Name, w.C)
+	}
+	if w.W <= 0 {
+		return fmt.Errorf("platform: worker %s: w=%g must be > 0", w.Name, w.W)
+	}
+	if w.M < MinMemory {
+		return fmt.Errorf("platform: worker %s: m=%d below minimum %d", w.Name, w.M, MinMemory)
+	}
+	return nil
+}
+
+// MinMemory is the smallest worker memory the algorithms can use: the
+// overlapped layout needs μ ≥ 1, i.e. 1 + 4 = 5 buffers.
+const MinMemory = 5
+
+// Platform is a star network: implicit master plus workers.
+type Platform struct {
+	Workers []Worker
+}
+
+// New builds a validated platform from worker descriptions, naming unnamed
+// workers P1..Pp.
+func New(workers ...Worker) (*Platform, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("platform: need at least one worker")
+	}
+	ws := make([]Worker, len(workers))
+	copy(ws, workers)
+	for i := range ws {
+		if ws[i].Name == "" {
+			ws[i].Name = fmt.Sprintf("P%d", i+1)
+		}
+		if err := ws[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Platform{Workers: ws}, nil
+}
+
+// MustNew is New for static configurations that cannot fail.
+func MustNew(workers ...Worker) *Platform {
+	p, err := New(workers...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// P returns the number of workers.
+func (p *Platform) P() int { return len(p.Workers) }
+
+// IsHomogeneous reports whether all workers share identical c, w and m.
+func (p *Platform) IsHomogeneous() bool {
+	w0 := p.Workers[0]
+	for _, w := range p.Workers[1:] {
+		if w.C != w0.C || w.W != w0.W || w.M != w0.M {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset returns a new platform containing the workers at the given indices,
+// in order. Indices must be valid and distinct.
+func (p *Platform) Subset(idx []int) (*Platform, error) {
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("platform: empty subset")
+	}
+	seen := make(map[int]bool, len(idx))
+	ws := make([]Worker, 0, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= len(p.Workers) {
+			return nil, fmt.Errorf("platform: subset index %d out of range [0,%d)", i, len(p.Workers))
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("platform: duplicate subset index %d", i)
+		}
+		seen[i] = true
+		ws = append(ws, p.Workers[i])
+	}
+	return &Platform{Workers: ws}, nil
+}
+
+// String renders a compact one-line-per-worker description.
+func (p *Platform) String() string {
+	var b strings.Builder
+	for i, w := range p.Workers {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s(c=%g w=%g m=%d)", w.Name, w.C, w.W, w.M)
+	}
+	return b.String()
+}
+
+// MuMaxReuse returns the largest μ with 1 + μ + μ² ≤ m: one buffer for the
+// current A block, μ for a row of B blocks, μ² for the C chunk (Section 3,
+// single-worker maximum re-use algorithm).
+func MuMaxReuse(m int) int {
+	return largestMu(m, func(mu int) int { return 1 + mu + mu*mu })
+}
+
+// MuOverlap returns the largest μ with μ² + 4μ ≤ m: μ² C blocks plus two
+// double-buffered input groups of μ A and μ B blocks each (Section 4), which
+// lets workers overlap the reception of step k+1 with the compute of step k.
+func MuOverlap(m int) int {
+	return largestMu(m, func(mu int) int { return mu*mu + 4*mu })
+}
+
+// BetaToledo returns Toledo's split: the memory is divided into three equal
+// parts, each holding a square β×β chunk of one matrix, so β = ⌊√(m/3)⌋.
+func BetaToledo(m int) int {
+	return int(math.Sqrt(float64(m) / 3))
+}
+
+func largestMu(m int, need func(int) int) int {
+	if m < need(1) {
+		return 0
+	}
+	// need is monotone; binary search the largest feasible μ.
+	lo, hi := 1, int(math.Sqrt(float64(m)))+2
+	for need(hi) <= m {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if need(mid) <= m {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// HomSelection computes the resource-selection count of the homogeneous
+// algorithm (Section 4): P is the smallest integer with 2μtc·P ≥ μ²tw, i.e.
+// P = ⌈μw/(2c)⌉, the number of workers that saturates the master's
+// communication capacity while sustaining the corresponding computations;
+// capped by the available worker count p.
+func HomSelection(p int, mu int, w, c float64) int {
+	if mu <= 0 {
+		return 0
+	}
+	need := int(math.Ceil(float64(mu) * w / (2 * c)))
+	if need < 1 {
+		need = 1
+	}
+	if need > p {
+		need = p
+	}
+	return need
+}

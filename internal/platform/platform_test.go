@@ -1,0 +1,230 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuMaxReuseSmallValues(t *testing.T) {
+	// The paper's running example: m = 21 gives μ = 4 (1 + 4 + 16 = 21).
+	cases := []struct{ m, want int }{
+		{0, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {12, 2}, {13, 3}, {21, 4}, {22, 4}, {30, 4}, {31, 5},
+	}
+	for _, c := range cases {
+		if got := MuMaxReuse(c.m); got != c.want {
+			t.Errorf("MuMaxReuse(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMuOverlapSmallValues(t *testing.T) {
+	cases := []struct{ m, want int }{
+		{4, 0}, {5, 1}, {11, 1}, {12, 2}, {20, 2}, {21, 3}, {320, 16}, {640, 23}, {1280, 33},
+	}
+	for _, c := range cases {
+		if got := MuOverlap(c.m); got != c.want {
+			t.Errorf("MuOverlap(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestBetaToledo(t *testing.T) {
+	cases := []struct{ m, want int }{
+		{3, 1}, {12, 2}, {27, 3}, {320, 10}, {640, 14}, {1280, 20},
+	}
+	for _, c := range cases {
+		if got := BetaToledo(c.m); got != c.want {
+			t.Errorf("BetaToledo(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+// Property: μ is maximal — μ fits and μ+1 does not.
+func TestMuMaximalityProperty(t *testing.T) {
+	f := func(m int) bool {
+		if m < 0 {
+			m = -m
+		}
+		m = m % 100000
+		mu := MuMaxReuse(m)
+		if mu > 0 && 1+mu+mu*mu > m {
+			return false
+		}
+		if 1+(mu+1)+(mu+1)*(mu+1) <= m {
+			return false
+		}
+		muo := MuOverlap(m)
+		if muo > 0 && muo*muo+4*muo > m {
+			return false
+		}
+		return (muo+1)*(muo+1)+4*(muo+1) > m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomSelection(t *testing.T) {
+	// Paper example (§4): c = 2, w = 4.5, μ = 4, t = 100 enrolls P = 5.
+	if got := HomSelection(8, 4, 4.5, 2); got != 5 {
+		t.Errorf("HomSelection(8, 4, 4.5, 2) = %d, want 5", got)
+	}
+	// Capped by available workers.
+	if got := HomSelection(3, 4, 4.5, 2); got != 3 {
+		t.Errorf("HomSelection capped = %d, want 3", got)
+	}
+	// Communication-bound: one worker.
+	if got := HomSelection(8, 1, 0.1, 10); got != 1 {
+		t.Errorf("HomSelection comm-bound = %d, want 1", got)
+	}
+	if got := HomSelection(8, 0, 1, 1); got != 0 {
+		t.Errorf("HomSelection μ=0 = %d, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if _, err := New(Worker{C: 0, W: 1, M: 100}); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := New(Worker{C: 1, W: -1, M: 100}); err == nil {
+		t.Error("negative w accepted")
+	}
+	if _, err := New(Worker{C: 1, W: 1, M: 2}); err == nil {
+		t.Error("memory below minimum accepted")
+	}
+	p, err := New(Worker{C: 1, W: 1, M: 100}, Worker{C: 2, W: 2, M: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers[0].Name != "P1" || p.Workers[1].Name != "P2" {
+		t.Errorf("auto names = %q, %q", p.Workers[0].Name, p.Workers[1].Name)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	p := Homogeneous(4, 1, 1, 100)
+	s, err := p.Subset([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P() != 2 || s.Workers[0].Name != "P3" || s.Workers[1].Name != "P1" {
+		t.Errorf("subset = %v", s)
+	}
+	if _, err := p.Subset([]int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := p.Subset([]int{9}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := p.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+}
+
+func TestIsHomogeneous(t *testing.T) {
+	if !Homogeneous(3, 1, 2, 100).IsHomogeneous() {
+		t.Error("homogeneous platform not recognized")
+	}
+	if HeteroMemory().IsHomogeneous() {
+		t.Error("hetero-memory platform reported homogeneous")
+	}
+}
+
+func TestExperimentPlatformShapes(t *testing.T) {
+	if p := HeteroMemory(); p.P() != 8 {
+		t.Errorf("HeteroMemory has %d workers", p.P())
+	}
+	if p := HeteroComm(); p.P() != 8 {
+		t.Errorf("HeteroComm has %d workers", p.P())
+	}
+	if p := HeteroComp(); p.P() != 8 {
+		t.Errorf("HeteroComp has %d workers", p.P())
+	}
+	for _, r := range []float64{2, 4} {
+		p := FullyHetero(r)
+		if p.P() != 8 {
+			t.Fatalf("FullyHetero(%g) has %d workers", r, p.P())
+		}
+		// All 8 (c,w,m) combinations must be distinct.
+		seen := map[[3]float64]bool{}
+		for _, w := range p.Workers {
+			key := [3]float64{w.C, w.W, float64(w.M)}
+			if seen[key] {
+				t.Errorf("FullyHetero(%g): duplicate combination %v", r, key)
+			}
+			seen[key] = true
+		}
+	}
+	for _, p := range []*Platform{LyonAugust2007(), LyonNovember2006()} {
+		if p.P() != 20 {
+			t.Errorf("Lyon platform has %d workers, want 20", p.P())
+		}
+	}
+	nov := LyonNovember2006()
+	small := 0
+	for _, w := range nov.Workers {
+		if w.M == Mem256 {
+			small++
+		}
+	}
+	if small != 10 {
+		t.Errorf("Nov 2006 should have 10 small-memory nodes, got %d", small)
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a := Random(8, 4, 42)
+	b := Random(8, 4, 42)
+	c := Random(8, 4, 43)
+	if a.String() != b.String() {
+		t.Error("same seed produced different platforms")
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical platforms")
+	}
+	for _, w := range a.Workers {
+		if w.C < BaseC || w.C > 4*BaseC+1e-9 {
+			t.Errorf("random c=%g outside [%g, %g]", w.C, BaseC, 4*BaseC)
+		}
+		if w.M < Mem256 || w.M > Mem1024 {
+			t.Errorf("random m=%d outside [%d, %d]", w.M, Mem256, Mem1024)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	p := Table2(3)
+	if p.Workers[0].C != 1 || p.Workers[0].W != 2 {
+		t.Errorf("P1 = %+v", p.Workers[0])
+	}
+	if p.Workers[1].C != 3 || p.Workers[1].W != 6 {
+		t.Errorf("P2 = %+v", p.Workers[1])
+	}
+	// Both workers must have μ = 2 under the overlapped layout.
+	for _, w := range p.Workers {
+		if MuOverlap(w.M) != 2 {
+			t.Errorf("worker %s μ = %d, want 2", w.Name, MuOverlap(w.M))
+		}
+	}
+	// The defining property of Table 2: 2c_i/(μ_i w_i) = 1/2 for both workers.
+	for _, w := range p.Workers {
+		if got := 2 * w.C / (float64(MuOverlap(w.M)) * w.W); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("worker %s: 2c/(μw) = %g, want 0.5", w.Name, got)
+		}
+	}
+}
+
+func TestLyonSpeedOrdering(t *testing.T) {
+	p := LyonAugust2007()
+	// 2.8 GHz nodes (set 4) must be the fastest (w = BaseW).
+	if w := p.Workers[15].W; w != BaseW {
+		t.Errorf("set4 w = %g, want %g", w, BaseW)
+	}
+	if !(p.Workers[0].W > p.Workers[10].W && p.Workers[10].W > p.Workers[15].W) {
+		t.Error("Lyon speed ordering violated: want w(2.4) > w(2.6) > w(2.8)")
+	}
+}

@@ -1,0 +1,77 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The paper's deployments begin with a benchmark step: "the different speeds
+// are determined by sending and computing a square block of size q×q ten
+// times on each worker, and computing the median of the times obtained"
+// (§6.2). This file implements that estimator for the real runtimes: given
+// repeated measurements of a block transfer and a block update, it produces
+// the (c, w) parameters the schedulers consume.
+
+// DefaultProbeTrials is the paper's sample count.
+const DefaultProbeTrials = 10
+
+// Median returns the median duration; for even sample counts the lower
+// middle is used (the paper does not specify; a single sample is its own
+// median). It panics on an empty sample, which is a caller bug.
+func Median(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		panic("platform: Median of no samples")
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// Probe measures one worker's parameters: transfer and update are invoked
+// trials times each and the medians, expressed in the given time unit,
+// become c and w. memBlocks is reported by the worker directly (memory needs
+// no statistical treatment). The measurement closures should perform one
+// block transfer and one block update respectively.
+func Probe(transfer, update func() time.Duration, memBlocks, trials int, unit time.Duration) (Worker, error) {
+	if trials <= 0 {
+		trials = DefaultProbeTrials
+	}
+	if unit <= 0 {
+		return Worker{}, fmt.Errorf("platform: probe needs a positive time unit")
+	}
+	ts := make([]time.Duration, trials)
+	us := make([]time.Duration, trials)
+	for i := 0; i < trials; i++ {
+		ts[i] = transfer()
+		us[i] = update()
+	}
+	c := float64(Median(ts)) / float64(unit)
+	w := float64(Median(us)) / float64(unit)
+	if c <= 0 || w <= 0 {
+		return Worker{}, fmt.Errorf("platform: probe measured non-positive times (c=%g, w=%g)", c, w)
+	}
+	return Worker{C: c, W: w, M: memBlocks}, nil
+}
+
+// ProbePlatform probes every worker through the supplied per-worker
+// measurement functions and assembles the platform, exactly the step the
+// paper runs "before each algorithm".
+func ProbePlatform(n int, transfer, update func(worker int) time.Duration, mem func(worker int) int, trials int, unit time.Duration) (*Platform, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("platform: probe needs at least one worker")
+	}
+	ws := make([]Worker, n)
+	for i := 0; i < n; i++ {
+		w, err := Probe(
+			func() time.Duration { return transfer(i) },
+			func() time.Duration { return update(i) },
+			mem(i), trials, unit)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i+1, err)
+		}
+		w.Name = fmt.Sprintf("P%d", i+1)
+		ws[i] = w
+	}
+	return New(ws...)
+}

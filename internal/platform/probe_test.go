@@ -1,0 +1,96 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []time.Duration
+		want time.Duration
+	}{
+		{[]time.Duration{5}, 5},
+		{[]time.Duration{3, 1, 2}, 2},
+		{[]time.Duration{4, 1, 3, 2}, 2}, // lower middle
+		{[]time.Duration{9, 9, 1, 9, 9}, 9},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestMedianEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestProbeRejectsOutliers(t *testing.T) {
+	// One wild outlier among the transfer samples must not move the median.
+	i := 0
+	transfer := func() time.Duration {
+		i++
+		if i == 3 {
+			return time.Hour // a network hiccup
+		}
+		return 2 * time.Millisecond
+	}
+	update := func() time.Duration { return 5 * time.Millisecond }
+	w, err := Probe(transfer, update, 320, 9, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.C != 2 || w.W != 5 || w.M != 320 {
+		t.Errorf("probed worker = %+v, want c=2 w=5 m=320", w)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	ok := func() time.Duration { return time.Millisecond }
+	if _, err := Probe(ok, ok, 100, 3, 0); err == nil {
+		t.Error("zero unit accepted")
+	}
+	zero := func() time.Duration { return 0 }
+	if _, err := Probe(zero, ok, 100, 3, time.Millisecond); err == nil {
+		t.Error("zero transfer time accepted")
+	}
+}
+
+func TestProbePlatform(t *testing.T) {
+	// Three workers with distinct known parameters.
+	cs := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	ws := []time.Duration{3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond}
+	pl, err := ProbePlatform(3,
+		func(w int) time.Duration { return cs[w] },
+		func(w int) time.Duration { return ws[w] },
+		func(w int) int { return 100 + w },
+		5, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wk := range pl.Workers {
+		if wk.C != float64(cs[i])/float64(time.Millisecond) || wk.W != float64(ws[i])/float64(time.Millisecond) {
+			t.Errorf("worker %d = %+v", i, wk)
+		}
+		if wk.M != 100+i {
+			t.Errorf("worker %d memory = %d", i, wk.M)
+		}
+	}
+	if _, err := ProbePlatform(0, nil, nil, nil, 1, time.Millisecond); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// AblateMultiPort runs the demand-driven scheduler with the one-port
+// constraint removed (an idealized master with an independent port per
+// link), returning the makespan. Comparing it against ODDOML isolates how
+// much of the makespan is due to the master's port serialization — the
+// modelling assumption the whole paper is built on.
+func AblateMultiPort(pl *platform.Platform, inst Instance) (float64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	m := mus(pl)
+	if len(feasibleWorkers(m)) == 0 {
+		return 0, fmt.Errorf("AblateMultiPort: no worker can hold the layout")
+	}
+	mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job { return sim.MakeStandardJob(ch, t, seq) }
+	res, err := sim.Run(sim.Config{
+		Platform:  pl,
+		Source:    sim.NewCarver(inst.R, inst.S, inst.T, m, m, mk),
+		Policy:    &sim.DemandDriven{Label: "multiport"},
+		MultiPort: true,
+		Name:      "MultiPort",
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// AblateSingleBuffer runs the demand-driven scheduler with MaxBuffered = 1
+// (no input double-buffering), isolating the contribution of the 4μ spare
+// buffers in the μ²+4μ layout. Chunk edges shrink to the single-buffer
+// layout 1+μ+μ² ≥ μ²+2μ so jobs still fit.
+func AblateSingleBuffer(pl *platform.Platform, inst Instance) (float64, error) {
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+	m := make([]int, pl.P())
+	feasible := false
+	for i, w := range pl.Workers {
+		// μ² + 1·2μ ≤ m: one chunk plus a single in-flight installment.
+		m[i] = largestSingleBufferMu(w.M)
+		if m[i] > 0 {
+			feasible = true
+		}
+	}
+	if !feasible {
+		return 0, fmt.Errorf("AblateSingleBuffer: no worker can hold the layout")
+	}
+	mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job { return sim.MakeStandardJob(ch, t, seq) }
+	res, err := sim.Run(sim.Config{
+		Platform:    pl,
+		Source:      sim.NewCarver(inst.R, inst.S, inst.T, m, m, mk),
+		Policy:      &sim.DemandDriven{Label: "singlebuf"},
+		MaxBuffered: 1,
+		Name:        "SingleBuffer",
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+func largestSingleBufferMu(m int) int {
+	mu := 0
+	for (mu+1)*(mu+1)+2*(mu+1) <= m {
+		mu++
+	}
+	return mu
+}

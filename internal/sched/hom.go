@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// homProgram builds the per-worker job queues and the rigid master program of
+// Algorithm 1 for P enrolled workers with common chunk edge mu: column
+// groups are dealt P at a time; within a batch the master sends the C chunks
+// of the current row stripe to each worker in turn, interleaves the t input
+// installments worker by worker, then collects the P finished chunks.
+// Program slots 0..p-1 index the enrolled workers.
+func homProgram(inst Instance, mu, p int) ([][]sim.Job, []sim.OpRef) {
+	queues := make([][]sim.Job, p)
+	var ops []sim.OpRef
+	groups := make([]int, 0)
+	for c0 := 0; c0 < inst.S; c0 += mu {
+		groups = append(groups, c0)
+	}
+	seq := 0
+	for g0 := 0; g0 < len(groups); g0 += p {
+		batch := groups[g0:min(g0+p, len(groups))]
+		for r0 := 0; r0 < inst.R; r0 += mu {
+			h := min(mu, inst.R-r0)
+			seqs := make([]int, len(batch))
+			for slot, c0 := range batch {
+				ch := matrix.Chunk{Row0: r0, Col0: c0, H: h, W: min(mu, inst.S-c0)}
+				queues[slot] = append(queues[slot], sim.MakeStandardJob(ch, inst.T, seq))
+				seqs[slot] = seq
+				ops = append(ops, sim.OpRef{Worker: slot, Kind: trace.SendC, JobSeq: seq})
+				seq++
+			}
+			for k := 0; k < inst.T; k++ {
+				for slot := range batch {
+					ops = append(ops, sim.OpRef{Worker: slot, Kind: trace.SendAB, JobSeq: seqs[slot], K: k})
+				}
+			}
+			for slot := range batch {
+				ops = append(ops, sim.OpRef{Worker: slot, Kind: trace.RecvC, JobSeq: seqs[slot]})
+			}
+		}
+	}
+	return queues, ops
+}
+
+// runHomogeneous executes Algorithm 1 on the given workers of pl treating
+// them as identical with chunk edge mu.
+func runHomogeneous(name string, pl *platform.Platform, inst Instance, mu int, workerIdx []int) (*Result, error) {
+	sub, err := pl.Subset(workerIdx)
+	if err != nil {
+		return nil, err
+	}
+	queues, ops := homProgram(inst, mu, len(workerIdx))
+	res, err := sim.Run(sim.Config{
+		Platform: sub,
+		Source:   sim.NewStatic(queues),
+		Policy:   sim.NewFixedOrder(name, ops),
+		Name:     name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := finish(name, res, inst, "")
+	if err != nil {
+		return nil, err
+	}
+	// Report enrollment and plan in original platform indices.
+	enrolled := make([]int, len(out.Enrolled))
+	for i, slot := range out.Enrolled {
+		enrolled[i] = workerIdx[slot]
+	}
+	sort.Ints(enrolled)
+	out.Enrolled = enrolled
+	for i := range out.plan {
+		out.plan[i].Worker = workerIdx[out.plan[i].Worker]
+	}
+	return out, nil
+}
+
+// estimateHomogeneous simulates Algorithm 1 on a virtual platform of enroll
+// identical (c, w, m)-workers and returns the makespan estimate.
+func estimateHomogeneous(inst Instance, c, w float64, m, avail int) (mu, enroll int, makespan float64) {
+	mu = platform.MuOverlap(m)
+	if mu == 0 || avail == 0 {
+		return 0, 0, math.Inf(1)
+	}
+	enroll = platform.HomSelection(avail, mu, w, c)
+	virtual := platform.Homogeneous(enroll, c, w, m)
+	queues, ops := homProgram(inst, mu, enroll)
+	res, err := sim.Run(sim.Config{
+		Platform: virtual,
+		Source:   sim.NewStatic(queues),
+		Policy:   sim.NewFixedOrder("estimate", ops),
+		Name:     "estimate",
+	})
+	if err != nil {
+		return 0, 0, math.Inf(1)
+	}
+	return mu, enroll, res.Makespan
+}
+
+// Hom is the paper's homogeneous algorithm applied to a heterogeneous
+// platform: for every distinct memory size M present, consider the virtual
+// homogeneous platform of all workers with m_i ≥ M, with apparent link and
+// compute costs the worst among them; estimate Algorithm 1's makespan on
+// each virtual platform and run on the one minimizing the estimate.
+type Hom struct{}
+
+// Name implements Scheduler.
+func (Hom) Name() string { return "Hom" }
+
+// Schedule implements Scheduler.
+func (Hom) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	memSizes := map[int]bool{}
+	for _, w := range pl.Workers {
+		memSizes[w.M] = true
+	}
+	bestSpan := math.Inf(1)
+	var bestMu int
+	var bestIdx []int
+	var bestNote string
+	for m := range memSizes {
+		var idx []int
+		cMax, wMax := 0.0, 0.0
+		for i, w := range pl.Workers {
+			if w.M >= m {
+				idx = append(idx, i)
+				cMax = math.Max(cMax, w.C)
+				wMax = math.Max(wMax, w.W)
+			}
+		}
+		mu, enroll, span := estimateHomogeneous(inst, cMax, wMax, m, len(idx))
+		if span < bestSpan {
+			bestSpan = span
+			bestMu = mu
+			bestIdx = idx[:enroll] // platform index order: Hom is oblivious to speeds
+			bestNote = fmt.Sprintf("virtual m=%d c=%.3g w=%.3g P=%d", m, cMax, wMax, enroll)
+		}
+	}
+	if bestIdx == nil {
+		return nil, fmt.Errorf("Hom: no feasible virtual platform")
+	}
+	out, err := runHomogeneous("Hom", pl, inst, bestMu, bestIdx)
+	if err != nil {
+		return nil, err
+	}
+	out.Note = bestNote
+	return out, nil
+}
+
+// HomI is the improved homogeneous algorithm: virtual platforms are built for
+// every (memory, link, speed) combination present, qualifying the workers at
+// least that good on all three axes, and the best estimated one is used. The
+// actual enrollment picks the fastest qualifying workers.
+type HomI struct{}
+
+// Name implements Scheduler.
+func (HomI) Name() string { return "HomI" }
+
+// Schedule implements Scheduler.
+func (HomI) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	memSizes := map[int]bool{}
+	cVals := map[float64]bool{}
+	wVals := map[float64]bool{}
+	for _, w := range pl.Workers {
+		memSizes[w.M] = true
+		cVals[w.C] = true
+		wVals[w.W] = true
+	}
+	bestSpan := math.Inf(1)
+	var bestMu int
+	var bestIdx []int
+	var bestNote string
+	for m := range memSizes {
+		for c := range cVals {
+			for wv := range wVals {
+				var idx []int
+				for i, w := range pl.Workers {
+					if w.M >= m && w.C <= c && w.W <= wv {
+						idx = append(idx, i)
+					}
+				}
+				if len(idx) == 0 {
+					continue
+				}
+				mu, enroll, span := estimateHomogeneous(inst, c, wv, m, len(idx))
+				if span < bestSpan {
+					// Enroll the best qualifying workers: fastest compute,
+					// then fastest link.
+					sort.Slice(idx, func(a, b int) bool {
+						wa, wb := pl.Workers[idx[a]], pl.Workers[idx[b]]
+						if wa.W != wb.W {
+							return wa.W < wb.W
+						}
+						if wa.C != wb.C {
+							return wa.C < wb.C
+						}
+						return idx[a] < idx[b]
+					})
+					bestSpan = span
+					bestMu = mu
+					bestIdx = append([]int(nil), idx[:enroll]...)
+					bestNote = fmt.Sprintf("virtual m=%d c=%.3g w=%.3g P=%d", m, c, wv, enroll)
+				}
+			}
+		}
+	}
+	if bestIdx == nil {
+		return nil, fmt.Errorf("HomI: no feasible virtual platform")
+	}
+	out, err := runHomogeneous("HomI", pl, inst, bestMu, bestIdx)
+	if err != nil {
+		return nil, err
+	}
+	out.Note = bestNote
+	return out, nil
+}

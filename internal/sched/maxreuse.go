@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// MaxReuse is the single-worker maximum re-use algorithm of Section 3: the
+// worker's m buffers are split as 1 for the current A block, μ for a row of B
+// blocks and μ² for the C chunk, with μ the largest integer such that
+// 1 + μ + μ² ≤ m. Blocks of A arrive one at a time, each updating a row of μ
+// C blocks; there is no double buffering, so communication does not overlap
+// the compute it feeds.
+//
+// Its communication-to-computation ratio, 2/t + 2/μ, is the quantity Section
+// 3 compares against the √(27/(8m)) lower bound.
+type MaxReuse struct{}
+
+// Name implements Scheduler.
+func (MaxReuse) Name() string { return "MaxReuse" }
+
+// MakeMaxReuseJob builds the fine-grained job of the §3 algorithm for a C
+// chunk: per inner step, a row of W B blocks arrives (enabling nothing by
+// itself), then H single A blocks, each enabling W updates.
+func MakeMaxReuseJob(ch matrix.Chunk, t, seq int) sim.Job {
+	insts := make([]sim.Installment, 0, t*(1+ch.H))
+	for k := 0; k < t; k++ {
+		insts = append(insts, sim.Installment{Blocks: ch.W, Updates: 0, K0: k, K1: k + 1})
+		for i := 0; i < ch.H; i++ {
+			insts = append(insts, sim.Installment{Blocks: 1, Updates: int64(ch.W), K0: k, K1: k + 1})
+		}
+	}
+	return sim.Job{Chunk: ch, Installments: insts, Seq: seq}
+}
+
+// Schedule implements Scheduler on the first worker of the platform (the §3
+// setting is explicitly single-worker: any algorithm can be simulated on one
+// worker when only communication volume matters).
+func (MaxReuse) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	w := pl.Workers[0]
+	mu := platform.MuMaxReuse(w.M)
+	if mu == 0 {
+		return nil, fmt.Errorf("MaxReuse: worker memory %d cannot hold the 1+μ+μ² layout", w.M)
+	}
+	single, err := pl.Subset([]int{0})
+	if err != nil {
+		return nil, err
+	}
+	var jobs []sim.Job
+	for _, ch := range matrix.SquareChunks(inst.R, inst.S, mu) {
+		jobs = append(jobs, MakeMaxReuseJob(ch, inst.T, len(jobs)))
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:    single,
+		Source:      sim.NewStatic([][]sim.Job{jobs}),
+		Policy:      &sim.Priority{Label: "maxreuse"},
+		MaxBuffered: 1,
+		Name:        "MaxReuse",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("MaxReuse", res, inst, fmt.Sprintf("mu=%d", mu))
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestPerturbBoundsAndReproducibility(t *testing.T) {
+	pl := testPlatform()
+	a := Perturb(pl, 0.5, 7)
+	b := Perturb(pl, 0.5, 7)
+	c := Perturb(pl, 0.5, 8)
+	if a.String() != b.String() {
+		t.Error("same seed produced different perturbations")
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical perturbations")
+	}
+	for i, w := range a.Workers {
+		orig := pl.Workers[i]
+		if w.M != orig.M {
+			t.Errorf("perturbation changed memory of %s", w.Name)
+		}
+		if w.C < orig.C/1.5-1e-9 || w.C > orig.C*1.5+1e-9 {
+			t.Errorf("c perturbed outside bounds: %v vs %v", w.C, orig.C)
+		}
+	}
+}
+
+func TestPerturbZeroEpsilonIsIdentity(t *testing.T) {
+	pl := testPlatform()
+	p := Perturb(pl, 0, 1)
+	for i, w := range p.Workers {
+		if w.C != pl.Workers[i].C || w.W != pl.Workers[i].W {
+			t.Errorf("ε=0 changed worker %d", i)
+		}
+	}
+}
+
+func TestHetWithEstimatesExactEstimatesMatchHet(t *testing.T) {
+	pl := testPlatform()
+	exact, err := HetWithEstimates(pl, pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := Het{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.Makespan != het.Stats.Makespan {
+		t.Errorf("exact estimates give %v, Het gives %v", exact.Stats.Makespan, het.Stats.Makespan)
+	}
+}
+
+func TestHetWithEstimatesNoisyStillCompletes(t *testing.T) {
+	pl := testPlatform()
+	est := Perturb(pl, 0.4, 3)
+	res, err := HetWithEstimates(pl, est, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Updates != testInstance.Updates() {
+		t.Error("work not conserved under misestimation")
+	}
+	het, err := Het{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Het is a heuristic, so a lucky perturbation may plan marginally better;
+	// anything clearly better would mean the informed meta-selection is
+	// broken.
+	if res.Stats.Makespan < 0.9*het.Stats.Makespan {
+		t.Errorf("misinformed plan (%v) clearly beats the informed one (%v): meta-selection bug?",
+			res.Stats.Makespan, het.Stats.Makespan)
+	}
+}
+
+func TestHetWithEstimatesRejectsMismatch(t *testing.T) {
+	pl := testPlatform()
+	if _, err := HetWithEstimates(pl, platform.Homogeneous(2, 1, 1, 60), testInstance); err == nil {
+		t.Error("worker-count mismatch accepted")
+	}
+	ws := append([]platform.Worker(nil), pl.Workers...)
+	ws[0].M += 10
+	if _, err := HetWithEstimates(pl, platform.MustNew(ws...), testInstance); err == nil {
+		t.Error("memory mismatch accepted")
+	}
+}

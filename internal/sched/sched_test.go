@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/platform"
+	"repro/internal/steady"
+	"repro/internal/trace"
+)
+
+// testInstance is small enough for fast tests but has uneven edges (r, s not
+// multiples of typical μ) to exercise partial chunks.
+var testInstance = Instance{R: 13, S: 45, T: 9}
+
+func testPlatform() *platform.Platform {
+	return platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 100},   // μ = 8
+		platform.Worker{C: 2, W: 1.5, M: 60},  // μ = 6
+		platform.Worker{C: 1.2, W: 2, M: 140}, // μ = 9
+		platform.Worker{C: 4, W: 1, M: 45},    // μ = 5
+	)
+}
+
+func allSchedulers() []Scheduler {
+	return []Scheduler{Hom{}, HomI{}, Het{}, ORROML{}, OMMOML{}, ODDOML{}, BMM{}}
+}
+
+func TestAllSchedulersCompleteAndConserve(t *testing.T) {
+	pl := testPlatform()
+	for _, s := range allSchedulers() {
+		res, err := s.Schedule(pl, testInstance)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// finish() already verified update conservation and the one-port
+		// invariant; check the reported stats are coherent.
+		if res.Stats.Makespan <= 0 {
+			t.Errorf("%s: non-positive makespan", s.Name())
+		}
+		if len(res.Enrolled) == 0 {
+			t.Errorf("%s: enrolled nobody", s.Name())
+		}
+		if res.Stats.Updates != testInstance.Updates() {
+			t.Errorf("%s: updates %d, want %d", s.Name(), res.Stats.Updates, testInstance.Updates())
+		}
+	}
+}
+
+func TestAllSchedulersRejectBadInstance(t *testing.T) {
+	pl := testPlatform()
+	for _, s := range allSchedulers() {
+		if _, err := s.Schedule(pl, Instance{R: 0, S: 1, T: 1}); err == nil {
+			t.Errorf("%s accepted empty instance", s.Name())
+		}
+	}
+}
+
+func TestMakespanAboveSteadyStateBound(t *testing.T) {
+	// The steady-state throughput bound ignores C traffic and memory limits;
+	// no real schedule may beat it.
+	pl := testPlatform()
+	lb := steady.MakespanLowerBound(pl, testInstance.R, testInstance.S, testInstance.T)
+	for _, s := range allSchedulers() {
+		res, err := s.Schedule(pl, testInstance)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Stats.Makespan < lb-1e-9 {
+			t.Errorf("%s: makespan %.4g beats the steady-state bound %.4g", s.Name(), res.Stats.Makespan, lb)
+		}
+	}
+}
+
+func TestMaxReuseCCRMatchesFormula(t *testing.T) {
+	// Single worker, m = 21 → μ = 4. The executed communication volume per
+	// update must equal 2/t + 2/μ exactly when μ divides r and s.
+	pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: 21})
+	inst := Instance{R: 8, S: 12, T: 25}
+	res, err := MaxReuse{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCCR := float64(res.Stats.CommBlocks) / float64(res.Stats.Updates)
+	want := bound.CCRMaxReuse(21, inst.T)
+	if math.Abs(gotCCR-want) > 1e-12 {
+		t.Errorf("executed CCR = %v, formula = %v", gotCCR, want)
+	}
+	if res.Stats.Updates != inst.Updates() {
+		t.Errorf("updates = %d, want %d", res.Stats.Updates, inst.Updates())
+	}
+}
+
+func TestMaxReuseRespectsLowerBound(t *testing.T) {
+	pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: 57})
+	inst := Instance{R: 14, S: 21, T: 40}
+	res, err := MaxReuse{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccr := float64(res.Stats.CommBlocks) / float64(res.Stats.Updates)
+	if ccr < bound.CCROpt(57) {
+		t.Errorf("CCR %v beats the theoretical lower bound %v", ccr, bound.CCROpt(57))
+	}
+}
+
+func TestMaxReuseInfeasibleMemory(t *testing.T) {
+	pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: platform.MinMemory})
+	// m = 5 < 7 cannot hold 1+μ+μ² for μ = 2, only μ = 1; still feasible.
+	if _, err := (MaxReuse{}).Schedule(pl, Instance{R: 2, S: 2, T: 2}); err != nil {
+		t.Fatalf("μ=1 should be feasible: %v", err)
+	}
+}
+
+func TestHomOnHomogeneousPlatformEnrollment(t *testing.T) {
+	// c = 2, w = 4.5, m = 21+4·... choose m so μ=4: μ²+4μ = 32 ≤ m < 45.
+	// Paper §4: P = ceil(μ·w/(2c)) = ceil(4·4.5/4) = 5.
+	pl := platform.Homogeneous(8, 2, 4.5, 33)
+	res, err := Hom{}.Schedule(pl, Instance{R: 8, S: 40, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Enrolled) != 5 {
+		t.Errorf("enrolled %d workers, want 5 (paper's example)", len(res.Enrolled))
+	}
+}
+
+func TestHomINeverEnrollsSlowWhenFastSuffice(t *testing.T) {
+	// Two fast workers and six very slow ones, ample memory. HomI's best
+	// virtual platform should use only fast workers.
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = platform.Worker{C: 1, W: 20, M: 100}
+	}
+	ws[0].W = 1
+	ws[1].W = 1
+	pl := platform.MustNew(ws...)
+	res, err := HomI{}.Schedule(pl, Instance{R: 8, S: 40, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Enrolled {
+		if pl.Workers[w].W > 1 {
+			t.Errorf("HomI enrolled slow worker P%d: %v", w+1, res.Enrolled)
+		}
+	}
+}
+
+func TestHetAllVariantsRun(t *testing.T) {
+	pl := testPlatform()
+	if got := len(Variants()); got != 8 {
+		t.Fatalf("Variants() = %d, want 8", got)
+	}
+	seen := map[string]bool{}
+	for _, v := range Variants() {
+		if seen[v.String()] {
+			t.Fatalf("duplicate variant name %s", v)
+		}
+		seen[v.String()] = true
+		res, err := (HetVariant{V: v}).Schedule(pl, testInstance)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Stats.Updates != testInstance.Updates() {
+			t.Errorf("%s: lost work", v)
+		}
+	}
+}
+
+func TestHetPicksBestVariant(t *testing.T) {
+	pl := testPlatform()
+	meta, err := Het{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants() {
+		res, err := (HetVariant{V: v}).Schedule(pl, testInstance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Makespan < meta.Stats.Makespan-1e-9 {
+			t.Errorf("variant %s (%.4g) beats the meta-chosen one (%.4g)", v, res.Stats.Makespan, meta.Stats.Makespan)
+		}
+	}
+}
+
+func TestHetSelectionSkipsHopelessWorker(t *testing.T) {
+	// One worker with a link 100× slower: Het should give it little or
+	// nothing, and certainly less than an equal share.
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 100},
+		platform.Worker{C: 1, W: 1, M: 100},
+		platform.Worker{C: 100, W: 1, M: 100},
+	)
+	res, err := Het{}.Schedule(pl, Instance{R: 16, S: 48, T: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorker := make([]int64, 3)
+	for _, c := range res.Trace.Computes {
+		perWorker[c.Worker] += c.Updates
+	}
+	if perWorker[2] >= perWorker[0]/2 {
+		t.Errorf("hopeless worker got %d updates vs %d for a good one", perWorker[2], perWorker[0])
+	}
+}
+
+func TestBMMUsesThreePanelLayout(t *testing.T) {
+	// m = 147 → β = 7; every transfer must respect the panel geometry:
+	// C chunks ≤ β², installments ≤ 2β².
+	pl := platform.MustNew(platform.Worker{C: 1, W: 1, M: 147})
+	res, err := BMM{}.Schedule(pl, Instance{R: 10, S: 20, T: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Trace.Transfers {
+		switch tr.Kind {
+		case trace.SendC, trace.RecvC:
+			if tr.Blocks > 49 {
+				t.Errorf("C transfer of %d blocks exceeds β²", tr.Blocks)
+			}
+		case trace.SendAB:
+			if tr.Blocks > 2*49 {
+				t.Errorf("input transfer of %d blocks exceeds 2β²", tr.Blocks)
+			}
+		}
+	}
+}
+
+func TestORROMLUsesAllFeasibleWorkers(t *testing.T) {
+	pl := testPlatform()
+	res, err := ORROML{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Enrolled) != pl.P() {
+		t.Errorf("ORROML enrolled %d of %d workers; it must not select resources", len(res.Enrolled), pl.P())
+	}
+}
+
+func TestODDOMLUsesAllFeasibleWorkers(t *testing.T) {
+	pl := testPlatform()
+	res, err := ODDOML{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Enrolled) != pl.P() {
+		t.Errorf("ODDOML enrolled %d of %d workers; it must not select resources", len(res.Enrolled), pl.P())
+	}
+}
+
+func TestSchedulersOnRandomPlatformsProperty(t *testing.T) {
+	inst := Instance{R: 9, S: 22, T: 6}
+	for seed := int64(1); seed <= 6; seed++ {
+		pl := platform.Random(2+int(seed)%4, 4, seed)
+		for _, s := range allSchedulers() {
+			res, err := s.Schedule(pl, inst)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, s.Name(), err)
+			}
+			if res.Stats.Updates != inst.Updates() {
+				t.Errorf("seed %d, %s: work not conserved", seed, s.Name())
+			}
+		}
+	}
+}
+
+func TestHetBeatsBMMOnCommHeterogeneity(t *testing.T) {
+	// The paper's headline (Fig. 5): with heterogeneous links, Het's
+	// makespan is clearly better than BMM's.
+	pl := platform.HeteroComm()
+	inst := Instance{R: 20, S: 100, T: 20}
+	het, err := Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmm, err := BMM{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.Stats.Makespan >= bmm.Stats.Makespan {
+		t.Errorf("Het (%.4g) should beat BMM (%.4g) on heterogeneous links", het.Stats.Makespan, bmm.Stats.Makespan)
+	}
+}
+
+func TestHetDeterministic(t *testing.T) {
+	pl := testPlatform()
+	a, err := Het{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Het{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Makespan != b.Stats.Makespan || a.Note != b.Note {
+		t.Errorf("Het not deterministic: %v/%q vs %v/%q", a.Stats.Makespan, a.Note, b.Stats.Makespan, b.Note)
+	}
+}

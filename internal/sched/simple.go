@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// ORROML — Overlapped Round-Robin, Optimized Memory Layout: column bands are
+// dealt to all feasible workers in round-robin order with no resource
+// selection; execution uses the paper's double-buffered layout, the master
+// serving operations in assignment order whenever they are ready.
+type ORROML struct{}
+
+// Name implements Scheduler.
+func (ORROML) Name() string { return "ORROML" }
+
+// Schedule implements Scheduler.
+func (ORROML) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	m := mus(pl)
+	feasible := feasibleWorkers(m)
+	if len(feasible) == 0 {
+		return nil, fmt.Errorf("ORROML: no worker can hold the layout")
+	}
+	queues := make([][]sim.Job, pl.P())
+	col0 := 0
+	seq := 0
+	for i := 0; col0 < inst.S; i++ {
+		w := feasible[i%len(feasible)]
+		width := min(m[w], inst.S-col0)
+		for r0 := 0; r0 < inst.R; r0 += m[w] {
+			ch := matrix.Chunk{Row0: r0, Col0: col0, H: min(m[w], inst.R-r0), W: width}
+			queues[w] = append(queues[w], sim.MakeStandardJob(ch, inst.T, seq))
+			seq++
+		}
+		col0 += width
+	}
+	res, err := sim.Run(sim.Config{
+		Platform: pl,
+		Source:   sim.NewStatic(queues),
+		Policy:   &sim.Priority{Label: "orroml"},
+		Name:     "ORROML",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("ORROML", res, inst, "")
+}
+
+// ODDOML — Overlapped Demand-Driven, Optimized Memory Layout: the dynamic
+// heuristic of §6. Work is carved on demand (a worker that runs dry claims
+// the next column band sized to its own μ) and the master always serves the
+// first worker able to receive, exploiting the layout's two spare input
+// buffer groups. No resource selection: every feasible worker participates.
+type ODDOML struct{}
+
+// Name implements Scheduler.
+func (ODDOML) Name() string { return "ODDOML" }
+
+// Schedule implements Scheduler.
+func (ODDOML) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	m := mus(pl)
+	if len(feasibleWorkers(m)) == 0 {
+		return nil, fmt.Errorf("ODDOML: no worker can hold the layout")
+	}
+	mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job { return sim.MakeStandardJob(ch, t, seq) }
+	res, err := sim.Run(sim.Config{
+		Platform: pl,
+		Source:   sim.NewCarver(inst.R, inst.S, inst.T, m, m, mk),
+		Policy:   &sim.DemandDriven{Label: "oddoml"},
+		Name:     "ODDOML",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("ODDOML", res, inst, "")
+}
+
+// BMM — Toledo's Block Matrix Multiply baseline: each worker splits its
+// memory into three equal square buffers of edge β = ⌊√(m/3)⌋ (one per
+// matrix), receives a C chunk, then panel pairs of A and B of depth β until
+// the chunk is complete. There is no spare buffer, so a worker's
+// communications never overlap its own compute (MaxBuffered = 1), and blocks
+// are served demand-driven with no resource selection.
+type BMM struct{}
+
+// Name implements Scheduler.
+func (BMM) Name() string { return "BMM" }
+
+// Schedule implements Scheduler.
+func (BMM) Schedule(pl *platform.Platform, inst Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	betas := make([]int, pl.P())
+	for i, w := range pl.Workers {
+		betas[i] = platform.BetaToledo(w.M)
+	}
+	if len(feasibleWorkers(betas)) == 0 {
+		return nil, fmt.Errorf("BMM: no worker can hold the three-panel layout")
+	}
+	mk := func(worker int, ch matrix.Chunk, t, seq int) sim.Job {
+		return sim.MakeBMMJob(ch, t, betas[worker], seq)
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:    pl,
+		Source:      sim.NewCarver(inst.R, inst.S, inst.T, betas, betas, mk),
+		Policy:      &sim.DemandDriven{Label: "bmm"},
+		MaxBuffered: 1,
+		Name:        "BMM",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("BMM", res, inst, "")
+}

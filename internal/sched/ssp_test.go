@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/steady"
+)
+
+func TestSSPCompletesAndConserves(t *testing.T) {
+	pl := testPlatform()
+	res, err := SSP{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Updates != testInstance.Updates() {
+		t.Errorf("updates = %d, want %d", res.Stats.Updates, testInstance.Updates())
+	}
+}
+
+func TestSSPEnrollsOnlySteadyStateWorkers(t *testing.T) {
+	// A worker with a dreadful link is excluded by the bandwidth-centric
+	// greedy once the master saturates; SSP must not enroll it.
+	pl := platform.MustNew(
+		platform.Worker{C: 0.5, W: 1, M: 100},
+		platform.Worker{C: 0.5, W: 1, M: 100},
+		platform.Worker{C: 50, W: 1, M: 100},
+	)
+	alloc := steady.BandwidthCentric(pl)
+	res, err := SSP{}.Schedule(pl, Instance{R: 16, S: 48, T: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enrolled := map[int]bool{}
+	for _, w := range res.Enrolled {
+		enrolled[w] = true
+	}
+	allowed := map[int]bool{}
+	for _, w := range alloc.Enrolled {
+		allowed[w] = true
+	}
+	for w := range enrolled {
+		if !allowed[w] {
+			t.Errorf("SSP enrolled P%d which the steady state excludes", w+1)
+		}
+	}
+}
+
+func TestSSPRespectsSteadyBound(t *testing.T) {
+	pl := testPlatform()
+	res, err := SSP{}.Schedule(pl, testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := steady.MakespanLowerBound(pl, testInstance.R, testInstance.S, testInstance.T)
+	if res.Stats.Makespan < lb-1e-9 {
+		t.Errorf("SSP makespan %v beats the steady-state bound %v", res.Stats.Makespan, lb)
+	}
+}
+
+func TestSSPSharesFollowRates(t *testing.T) {
+	// Two workers, one twice as fast: its share of updates should be roughly
+	// twice the other's (up to chunk granularity).
+	pl := platform.MustNew(
+		platform.Worker{C: 0.2, W: 1, M: 100},
+		platform.Worker{C: 0.2, W: 2, M: 100},
+	)
+	res, err := SSP{}.Schedule(pl, Instance{R: 24, S: 96, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u [2]int64
+	for _, c := range res.Trace.Computes {
+		u[c.Worker] += c.Updates
+	}
+	ratio := float64(u[0]) / float64(u[1])
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Errorf("update ratio fast/slow = %.2f, want ≈ 2", ratio)
+	}
+}

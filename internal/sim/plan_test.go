@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func TestPlanRecordsExecutionOrder(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 100)
+	ch0 := matrix.Chunk{Row0: 0, Col0: 0, H: 2, W: 2}
+	ch1 := matrix.Chunk{Row0: 0, Col0: 2, H: 2, W: 2}
+	queues := [][]Job{
+		{MakeStandardJob(ch0, 2, 0)},
+		{MakeStandardJob(ch1, 2, 1)},
+	}
+	res, err := Run(Config{Platform: pl, Source: NewStatic(queues), Policy: &Priority{}, Name: "plan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan) != len(res.Trace.Transfers) {
+		t.Fatalf("plan has %d ops, trace %d transfers", len(res.Plan), len(res.Trace.Transfers))
+	}
+	for i, op := range res.Plan {
+		tr := res.Trace.Transfers[i]
+		if op.Worker != tr.Worker || op.Kind != tr.Kind {
+			t.Fatalf("plan op %d (%+v) disagrees with transfer (%+v)", i, op, tr)
+		}
+	}
+	// Each worker's plan ops must carry its own chunk coordinates.
+	for _, op := range res.Plan {
+		want := ch0
+		if op.Worker == 1 {
+			want = ch1
+		}
+		if op.Chunk != want {
+			t.Fatalf("op %+v carries wrong chunk", op)
+		}
+	}
+}
+
+func TestPlanPanelRanges(t *testing.T) {
+	pl := platform.Homogeneous(1, 1, 1, 200)
+	job := MakeBMMJob(matrix.Chunk{H: 3, W: 3}, 10, 4, 0) // panels [0,4) [4,8) [8,10)
+	res, err := Run(Config{Platform: pl, Source: NewStatic([][]Job{{job}}), Policy: &Priority{}, MaxBuffered: 1, Name: "panels"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ranges [][2]int
+	for _, op := range res.Plan {
+		if op.Kind == trace.SendAB {
+			ranges = append(ranges, [2]int{op.K0, op.K1})
+		}
+	}
+	want := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	if len(ranges) != len(want) {
+		t.Fatalf("got %v", ranges)
+	}
+	for i := range want {
+		if ranges[i] != want[i] {
+			t.Fatalf("panel ranges %v, want %v", ranges, want)
+		}
+	}
+}
+
+func TestZeroUpdateInstallmentProducesNoCompute(t *testing.T) {
+	pl := platform.Homogeneous(1, 1, 1, 100)
+	job := Job{
+		Chunk: matrix.Chunk{H: 2, W: 2},
+		Installments: []Installment{
+			{Blocks: 2, Updates: 0, K0: 0, K1: 1}, // B row alone
+			{Blocks: 2, Updates: 4, K0: 0, K1: 1},
+		},
+		Seq: 0,
+	}
+	res, err := Run(Config{Platform: pl, Source: NewStatic([][]Job{{job}}), Policy: &Priority{}, MaxBuffered: 1, Name: "zero"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Computes) != 1 {
+		t.Fatalf("computes = %d, want 1 (zero-update installment records none)", len(res.Trace.Computes))
+	}
+	if res.Trace.Computes[0].Updates != 4 {
+		t.Errorf("compute updates = %d, want 4", res.Trace.Computes[0].Updates)
+	}
+}
+
+func TestDemandDrivenFeedsHungriestWorker(t *testing.T) {
+	// Worker 2 computes twice as fast, so under demand-driven service it
+	// should receive strictly more installments early on. Verify the policy
+	// classes: no SendC may be chosen while a SendAB is ready at the same
+	// instant.
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 4, M: 100},
+		platform.Worker{C: 1, W: 1, M: 100},
+	)
+	mk := func(worker int, ch matrix.Chunk, t, seq int) Job { return MakeStandardJob(ch, t, seq) }
+	res, err := Run(Config{
+		Platform: pl,
+		Source:   NewCarver(4, 12, 6, []int{4, 4}, []int{4, 4}, mk),
+		Policy:   &DemandDriven{},
+		Name:     "hungry",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var fast, slow int
+	for _, c := range res.Trace.Computes {
+		if c.Worker == 1 {
+			fast += int(c.Updates)
+		} else {
+			slow += int(c.Updates)
+		}
+	}
+	if fast <= slow {
+		t.Errorf("fast worker computed %d updates vs slow %d; demand-driven should favour it", fast, slow)
+	}
+}
+
+func TestChunkGeometryFromCarverIsPhysical(t *testing.T) {
+	// Chunks carved for different workers must tile C exactly, with real
+	// coordinates.
+	mk := func(worker int, ch matrix.Chunk, t, seq int) Job { return MakeStandardJob(ch, t, seq) }
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 100},
+		platform.Worker{C: 1, W: 1, M: 60},
+	)
+	res, err := Run(Config{
+		Platform: pl,
+		Source:   NewCarver(9, 21, 4, []int{5, 3}, []int{5, 3}, mk),
+		Policy:   &DemandDriven{},
+		Name:     "geometry",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []matrix.Chunk
+	for _, op := range res.Plan {
+		if op.Kind == trace.SendC {
+			sent = append(sent, op.Chunk)
+		}
+	}
+	if !matrix.CoverExactly(sent, 9, 21) {
+		t.Errorf("carved chunks do not tile the 9x21 grid: %v", sent)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// OpRef identifies one operation in a precomputed master program: the K-th
+// installment (or C transfer) of the job with sequence number JobSeq.
+type OpRef struct {
+	Worker int
+	Kind   OpKind
+	JobSeq int
+	K      int
+}
+
+// FixedOrder executes a precomputed master program strictly in order, waiting
+// whenever the next operation is not yet ready — the rigid structure of the
+// homogeneous Algorithm 1, where the master's program is a static loop nest.
+type FixedOrder struct {
+	Ops    []OpRef
+	cursor int
+	name   string
+}
+
+// NewFixedOrder builds the policy; name labels it in panics and traces.
+func NewFixedOrder(name string, ops []OpRef) *FixedOrder {
+	return &FixedOrder{Ops: ops, name: name}
+}
+
+// Name implements Policy.
+func (f *FixedOrder) Name() string { return f.name }
+
+// Choose implements Policy: the unique candidate matching the program's next
+// operation. Because the program is a linear extension of every worker's
+// per-chunk order, that operation is always some worker's head op.
+func (f *FixedOrder) Choose(now float64, cands []Candidate) int {
+	if f.cursor >= len(f.Ops) {
+		panic(fmt.Sprintf("sim: fixed program %s exhausted after %d ops but %d candidates remain", f.name, len(f.Ops), len(cands)))
+	}
+	want := f.Ops[f.cursor]
+	for i, c := range cands {
+		if c.Worker == want.Worker && c.Kind == want.Kind && c.JobSeq == want.JobSeq && (c.Kind != trace.SendAB || c.K == want.K) {
+			f.cursor++
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sim: fixed program %s op %d (%+v) is not a head operation; scheduler produced an inconsistent order", f.name, f.cursor, want))
+}
+
+// Priority is a work-conserving policy: among the operations that can start
+// at the earliest achievable instant, serve the one whose job was assigned
+// first (lowest Seq). This is the phase-2 execution rule of the
+// heterogeneous algorithm: messages follow the selection process, but the
+// master never idles while some selected operation is ready.
+type Priority struct{ Label string }
+
+// Name implements Policy.
+func (p *Priority) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "priority"
+}
+
+// Choose implements Policy.
+func (p *Priority) Choose(now float64, cands []Candidate) int {
+	tmin := math.Inf(1)
+	for _, c := range cands {
+		if s := math.Max(now, c.Ready); s < tmin {
+			tmin = s
+		}
+	}
+	best, bestSeq, bestK := -1, math.MaxInt, 0
+	for i, c := range cands {
+		if math.Max(now, c.Ready) > tmin+1e-12 {
+			continue
+		}
+		if c.JobSeq < bestSeq || (c.JobSeq == bestSeq && c.K < bestK) {
+			best, bestSeq, bestK = i, c.JobSeq, c.K
+		}
+	}
+	return best
+}
+
+// DemandDriven feeds the hungriest worker first: among startable operations
+// it prefers input installments for the worker whose compute queue drains
+// soonest, then result retrievals, then new C chunks. This is the master
+// behaviour of ODDOML and BMM ("sends the next block to the first worker
+// which can receive it").
+type DemandDriven struct{ Label string }
+
+// Name implements Policy.
+func (d *DemandDriven) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "demand-driven"
+}
+
+// Choose implements Policy.
+func (d *DemandDriven) Choose(now float64, cands []Candidate) int {
+	tmin := math.Inf(1)
+	for _, c := range cands {
+		if s := math.Max(now, c.Ready); s < tmin {
+			tmin = s
+		}
+	}
+	best := -1
+	var bestKey [3]float64
+	for i, c := range cands {
+		if math.Max(now, c.Ready) > tmin+1e-12 {
+			continue
+		}
+		var class float64
+		switch c.Kind {
+		case trace.SendAB:
+			class = 0
+		case trace.RecvC:
+			class = 1
+		case trace.SendC:
+			class = 2
+		}
+		key := [3]float64{class, c.Ready, float64(c.Worker)}
+		if best < 0 || less3(key, bestKey) {
+			best, bestKey = i, key
+		}
+	}
+	return best
+}
+
+func less3(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

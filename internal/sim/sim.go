@@ -1,0 +1,281 @@
+// Package sim is the discrete-event simulator of the star platform: a master
+// serving workers over a one-port link (at most one transfer, in either
+// direction, at any time), workers that compute sequentially and may overlap
+// communication with computation of independent data, and the linear cost
+// model of the paper — X blocks to/from worker i occupy the port X·c_i time
+// units, X block updates occupy worker i for X·w_i.
+//
+// Schedulers drive the engine by assigning chunk jobs to workers (statically
+// or on demand) and by choosing a master policy that picks, whenever the port
+// frees up, which pending operation to serve next. Per worker and per chunk
+// the operation sequence is fixed by the paper's protocol: send the C chunk,
+// send the input installments in order (double-buffered or not, depending on
+// the memory layout), and, once the chunk is fully updated, receive it back.
+// C I/O is sequentialized with that worker's compute, as in Section 4.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Installment is one input delivery for a chunk: Blocks of A and B data that
+// enable Updates block updates, covering inner-dimension panels [K0, K1).
+// For the paper's layout an installment is a B row plus an A column (H+W
+// blocks, H·W updates, K1 = K0+1); for Toledo's BMM it is a depth-d panel
+// pair (d·(H+W) blocks, d·H·W updates).
+type Installment struct {
+	Blocks  int
+	Updates int64
+	K0, K1  int
+}
+
+// Job is one chunk's worth of work assigned to a worker.
+type Job struct {
+	Chunk        matrix.Chunk // the C region this job computes
+	Installments []Installment
+	Seq          int // global assignment order (priority policies use it)
+}
+
+// CBlocks is the number of C blocks moved in each direction for the job.
+func (j Job) CBlocks() int { return j.Chunk.Blocks() }
+
+// TotalUpdates sums the job's block updates.
+func (j Job) TotalUpdates() int64 {
+	var n int64
+	for _, inst := range j.Installments {
+		n += inst.Updates
+	}
+	return n
+}
+
+// OpKind distinguishes the three master operations; it aliases the trace
+// kinds so records can be written without conversion.
+type OpKind = trace.Kind
+
+// Candidate is a pending master operation the policy can choose from.
+type Candidate struct {
+	Worker int
+	Kind   OpKind
+	JobSeq int     // Seq of the job this op belongs to
+	K      int     // installment index (SendAB only)
+	Ready  float64 // earliest time the op may start (worker-side constraint)
+	Blocks int
+}
+
+// Policy selects which candidate the master serves next. Candidates are the
+// head operations of every worker with pending work; the engine guarantees
+// the slice is non-empty. now is the time the master port frees up.
+type Policy interface {
+	Name() string
+	Choose(now float64, cands []Candidate) int
+}
+
+// Source hands out chunk jobs. Static schedulers precompute per-worker
+// queues; demand-driven schedulers carve jobs when a worker goes idle.
+type Source interface {
+	// Next returns the next job for worker w, or ok=false if w gets no more.
+	Next(w int) (Job, bool)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Platform *platform.Platform
+	Source   Source
+	Policy   Policy
+	// MaxBuffered is the number of installments a worker may hold
+	// concurrently (arrived but not fully computed): 2 under the overlapped
+	// μ²+4μ layout, 1 under single-buffered layouts (max re-use, BMM).
+	// Defaults to 2.
+	MaxBuffered int
+	// MultiPort, when true, removes the master's serialization constraint
+	// (ablation: an idealized master with one independent port per link).
+	MultiPort bool
+	// SkipMemCheck disables the per-job memory validation (used by ablations
+	// that deliberately exceed the layout).
+	SkipMemCheck bool
+	// Name labels the trace.
+	Name string
+}
+
+type workerState struct {
+	job        *Job
+	active     bool      // C chunk delivered, installments under way
+	nextK      int       // next installment to send
+	ceHist     []float64 // compute-end time of each installment of the active chunk
+	computeEnd float64   // compute end of the last sent installment
+	idleAt     float64   // when the worker last became idle (RecvC end)
+	cArrive    float64   // when the active chunk's C blocks finished arriving
+	done       bool      // source exhausted
+	linkFree   float64   // per-link availability (multi-port ablation)
+}
+
+// PlanOp is one executed master operation with full data coordinates, in
+// execution order — a replayable program for the real execution engines.
+type PlanOp struct {
+	Worker int
+	Kind   OpKind
+	Chunk  matrix.Chunk
+	K0, K1 int // SendAB only: inner panels delivered
+}
+
+// Result bundles the trace with engine-level accounting.
+type Result struct {
+	Trace    *trace.Trace
+	Makespan float64
+	Plan     []PlanOp
+}
+
+// Run executes the simulation to completion. It panics on scheduler protocol
+// violations (assigning a job that cannot fit the worker's memory is a bug in
+// the scheduler, not an input error).
+func Run(cfg Config) (*Result, error) {
+	pl := cfg.Platform
+	if pl == nil || cfg.Source == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: incomplete config (platform/source/policy required)")
+	}
+	maxBuf := cfg.MaxBuffered
+	if maxBuf <= 0 {
+		maxBuf = 2
+	}
+	p := pl.P()
+	ws := make([]workerState, p)
+	tr := &trace.Trace{Algorithm: cfg.Name, Workers: p}
+
+	fetch := func(w int) {
+		if ws[w].done || ws[w].job != nil {
+			return
+		}
+		job, ok := cfg.Source.Next(w)
+		if !ok {
+			ws[w].done = true
+			return
+		}
+		if !cfg.SkipMemCheck {
+			validateJob(pl, w, job, maxBuf)
+		}
+		ws[w].job = &job
+	}
+	for w := 0; w < p; w++ {
+		fetch(w)
+	}
+
+	masterFree := 0.0
+	res := &Result{}
+	var cands []Candidate
+	for {
+		cands = cands[:0]
+		for w := 0; w < p; w++ {
+			st := &ws[w]
+			if st.job == nil {
+				continue
+			}
+			j := st.job
+			switch {
+			case !st.active:
+				cands = append(cands, Candidate{Worker: w, Kind: trace.SendC, JobSeq: j.Seq, Ready: st.idleAt, Blocks: j.CBlocks()})
+			case st.nextK < len(j.Installments):
+				ready := st.cArrive
+				if st.nextK >= maxBuf {
+					// A buffer slot frees when installment nextK-maxBuf
+					// finishes computing.
+					ready = math.Max(ready, st.ceHist[st.nextK-maxBuf])
+				}
+				cands = append(cands, Candidate{Worker: w, Kind: trace.SendAB, JobSeq: j.Seq, K: st.nextK, Ready: ready, Blocks: j.Installments[st.nextK].Blocks})
+			default:
+				cands = append(cands, Candidate{Worker: w, Kind: trace.RecvC, JobSeq: j.Seq, Ready: st.computeEnd, Blocks: j.CBlocks()})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cfg.Policy.Choose(masterFree, cands)
+		if pick < 0 || pick >= len(cands) {
+			panic(fmt.Sprintf("sim: policy %s chose invalid candidate %d of %d", cfg.Policy.Name(), pick, len(cands)))
+		}
+		c := cands[pick]
+		st := &ws[c.Worker]
+		cw := pl.Workers[c.Worker].C
+		var start float64
+		if cfg.MultiPort {
+			start = math.Max(c.Ready, st.linkFree)
+		} else {
+			start = math.Max(c.Ready, masterFree)
+		}
+		end := start + float64(c.Blocks)*cw
+		tr.Transfers = append(tr.Transfers, trace.Transfer{Worker: c.Worker, Kind: c.Kind, Blocks: c.Blocks, Start: start, End: end})
+		op := PlanOp{Worker: c.Worker, Kind: c.Kind, Chunk: st.job.Chunk}
+		if c.Kind == trace.SendAB {
+			op.K0 = st.job.Installments[c.K].K0
+			op.K1 = st.job.Installments[c.K].K1
+		}
+		res.Plan = append(res.Plan, op)
+		if cfg.MultiPort {
+			st.linkFree = end
+		} else {
+			masterFree = end
+		}
+
+		switch c.Kind {
+		case trace.SendC:
+			st.active = true
+			st.cArrive = end
+			st.nextK = 0
+			st.ceHist = st.ceHist[:0]
+			st.computeEnd = end
+		case trace.SendAB:
+			inst := st.job.Installments[c.K]
+			cs := math.Max(end, st.computeEnd)
+			ce := cs + float64(inst.Updates)*pl.Workers[c.Worker].W
+			if inst.Updates > 0 {
+				tr.Computes = append(tr.Computes, trace.Compute{Worker: c.Worker, Updates: inst.Updates, Start: cs, End: ce})
+			}
+			st.computeEnd = ce
+			st.ceHist = append(st.ceHist, ce)
+			st.nextK++
+		case trace.RecvC:
+			st.job = nil
+			st.active = false
+			st.idleAt = end
+			fetch(c.Worker)
+		}
+	}
+
+	res.Trace = tr
+	for _, t := range tr.Transfers {
+		if t.End > res.Makespan {
+			res.Makespan = t.End
+		}
+	}
+	return res, nil
+}
+
+func validateJob(pl *platform.Platform, w int, job Job, maxBuf int) {
+	if job.Chunk.H <= 0 || job.Chunk.W <= 0 {
+		panic(fmt.Sprintf("sim: worker P%d assigned empty job %+v", w+1, job))
+	}
+	if len(job.Installments) == 0 {
+		panic(fmt.Sprintf("sim: worker P%d assigned job with no installments", w+1))
+	}
+	maxInst := 0
+	for _, inst := range job.Installments {
+		if inst.Blocks > maxInst {
+			maxInst = inst.Blocks
+		}
+		if inst.Blocks <= 0 || inst.Updates < 0 {
+			panic(fmt.Sprintf("sim: worker P%d assigned malformed installment %+v", w+1, inst))
+		}
+	}
+	// Memory invariant: the C chunk plus maxBuf installment groups (the
+	// buffered ones and the one being received occupy distinct groups of the
+	// layout's 2×(2μ) input buffers) must fit in m_w.
+	need := job.CBlocks() + maxBuf*maxInst
+	if need > pl.Workers[w].M {
+		panic(fmt.Sprintf("sim: job %dx%d with %d-block installments needs %d buffers on P%d (m=%d)",
+			job.Chunk.H, job.Chunk.W, maxInst, need, w+1, pl.Workers[w].M))
+	}
+}

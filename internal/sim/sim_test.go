@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func onePortRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleWorkerHandTimeline(t *testing.T) {
+	// c = w = 1, one 2×2 chunk, 3 installments of 4 blocks / 4 updates.
+	// SendC 0→4; inst0 4→8, compute 8→12; inst1 8→12, compute 12→16;
+	// inst2 waits for buffer slot (ceHist[0] = 12): 12→16, compute 16→20;
+	// RecvC 20→24.
+	pl := platform.Homogeneous(1, 1, 1, 100)
+	job := MakeStandardJob(sq(2, 2), 3, 0)
+	res := onePortRun(t, Config{
+		Platform: pl,
+		Source:   NewStatic([][]Job{{job}}),
+		Policy:   &Priority{},
+		Name:     "hand",
+	})
+	if math.Abs(res.Makespan-24) > 1e-9 {
+		t.Errorf("makespan = %g, want 24", res.Makespan)
+	}
+	st := res.Trace.Stats()
+	if st.CommBlocks != 4+3*4+4 {
+		t.Errorf("comm blocks = %d, want 20", st.CommBlocks)
+	}
+	if st.Updates != 12 {
+		t.Errorf("updates = %d, want 12", st.Updates)
+	}
+	if st.Enrolled != 1 {
+		t.Errorf("enrolled = %d, want 1", st.Enrolled)
+	}
+}
+
+func TestSingleBufferSerializes(t *testing.T) {
+	// With MaxBuffered = 1 the worker cannot receive installment k+1 while
+	// computing installment k, so the makespan must strictly exceed the
+	// double-buffered run on a compute-bound worker.
+	pl := platform.Homogeneous(1, 1, 2, 100)
+	mk := func() Config {
+		return Config{
+			Platform: pl,
+			Source:   NewStatic([][]Job{{MakeStandardJob(sq(2, 2), 5, 0)}}),
+			Policy:   &Priority{},
+			Name:     "buf",
+		}
+	}
+	cfg1 := mk()
+	cfg1.MaxBuffered = 1
+	cfg2 := mk()
+	cfg2.MaxBuffered = 2
+	r1 := onePortRun(t, cfg1)
+	r2 := onePortRun(t, cfg2)
+	if r1.Makespan <= r2.Makespan {
+		t.Errorf("single-buffer makespan %g should exceed double-buffer %g", r1.Makespan, r2.Makespan)
+	}
+	// Double-buffered, compute-bound: after the pipeline fills, computes are
+	// back-to-back, so makespan ≈ SendC + inst0 + t·compute + RecvC.
+	want := 4.0 + 4 + 5*8 + 4
+	if math.Abs(r2.Makespan-want) > 1e-9 {
+		t.Errorf("double-buffered makespan = %g, want %g", r2.Makespan, want)
+	}
+}
+
+func TestOnePortNeverOverlaps(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 2, M: 50},
+		platform.Worker{C: 3, W: 1, M: 50},
+		platform.Worker{C: 2, W: 4, M: 30},
+	)
+	queues := [][]Job{
+		{MakeStandardJob(sq(3, 3), 7, 0), MakeStandardJob(sq(3, 3), 7, 3)},
+		{MakeStandardJob(sq(4, 4), 7, 1)},
+		{MakeStandardJob(sq(2, 2), 7, 2)},
+	}
+	res := onePortRun(t, Config{Platform: pl, Source: NewStatic(queues), Policy: &Priority{}, Name: "overlap"})
+	// Validate() (called by onePortRun) checks transfer disjointness; also
+	// check all work completed.
+	st := res.Trace.Stats()
+	wantUpdates := int64(7 * (9 + 9 + 16 + 4))
+	if st.Updates != wantUpdates {
+		t.Errorf("updates = %d, want %d", st.Updates, wantUpdates)
+	}
+}
+
+func TestMultiPortAblationIsFaster(t *testing.T) {
+	pl := platform.Homogeneous(4, 2, 1, 60)
+	mkQueues := func() [][]Job {
+		qs := make([][]Job, 4)
+		for w := range qs {
+			qs[w] = []Job{MakeStandardJob(sq(5, 5), 10, w)}
+		}
+		return qs
+	}
+	one, err := Run(Config{Platform: pl, Source: NewStatic(mkQueues()), Policy: &Priority{}, Name: "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(Config{Platform: pl, Source: NewStatic(mkQueues()), Policy: &Priority{}, MultiPort: true, Name: "multi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Makespan >= one.Makespan {
+		t.Errorf("multi-port %g should beat one-port %g on a comm-heavy platform", multi.Makespan, one.Makespan)
+	}
+}
+
+func TestMemoryInvariantEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: job exceeds worker memory")
+		}
+	}()
+	pl := platform.Homogeneous(1, 1, 1, 20)
+	// 4×4 chunk with 8-block installments needs 16 + 2·8 = 32 > 20.
+	_, _ = Run(Config{
+		Platform: pl,
+		Source:   NewStatic([][]Job{{MakeStandardJob(sq(4, 4), 3, 0)}}),
+		Policy:   &Priority{},
+	})
+}
+
+func TestFixedOrderReplaysProgram(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 100)
+	queues := [][]Job{
+		{MakeStandardJob(sq(2, 2), 2, 0)},
+		{MakeStandardJob(sq(2, 2), 2, 1)},
+	}
+	// Interleave the two workers' installments by hand.
+	ops := []OpRef{
+		{Worker: 0, Kind: trace.SendC, JobSeq: 0},
+		{Worker: 1, Kind: trace.SendC, JobSeq: 1},
+		{Worker: 0, Kind: trace.SendAB, JobSeq: 0, K: 0},
+		{Worker: 1, Kind: trace.SendAB, JobSeq: 1, K: 0},
+		{Worker: 0, Kind: trace.SendAB, JobSeq: 0, K: 1},
+		{Worker: 1, Kind: trace.SendAB, JobSeq: 1, K: 1},
+		{Worker: 0, Kind: trace.RecvC, JobSeq: 0},
+		{Worker: 1, Kind: trace.RecvC, JobSeq: 1},
+	}
+	res := onePortRun(t, Config{Platform: pl, Source: NewStatic(queues), Policy: NewFixedOrder("test", ops), Name: "fixed"})
+	// The trace must follow exactly the programmed order.
+	for i, tr := range res.Trace.Transfers {
+		if tr.Worker != ops[i].Worker || tr.Kind != ops[i].Kind {
+			t.Fatalf("transfer %d = P%d/%s, want P%d/%s", i, tr.Worker+1, tr.Kind, ops[i].Worker+1, ops[i].Kind)
+		}
+	}
+}
+
+func TestFixedOrderRejectsInvalidProgram(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inconsistent fixed program")
+		}
+	}()
+	pl := platform.Homogeneous(1, 1, 1, 100)
+	ops := []OpRef{
+		{Worker: 0, Kind: trace.SendAB, JobSeq: 0, K: 0}, // installment before SendC
+	}
+	_, _ = Run(Config{
+		Platform: pl,
+		Source:   NewStatic([][]Job{{MakeStandardJob(sq(2, 2), 2, 0)}}),
+		Policy:   NewFixedOrder("bad", ops),
+	})
+}
+
+func TestPriorityPolicyPrefersEarlierSeq(t *testing.T) {
+	// Both workers idle at t=0; the job with the lower Seq must be served
+	// first even if it was listed second.
+	pl := platform.Homogeneous(2, 1, 1, 100)
+	queues := [][]Job{
+		{MakeStandardJob(sq(2, 2), 2, 5)},
+		{MakeStandardJob(sq(2, 2), 2, 1)},
+	}
+	res := onePortRun(t, Config{Platform: pl, Source: NewStatic(queues), Policy: &Priority{}, Name: "prio"})
+	if first := res.Trace.Transfers[0]; first.Worker != 1 {
+		t.Errorf("first transfer went to P%d, want P2 (lower Seq)", first.Worker+1)
+	}
+}
+
+func TestCarverCoversMatrixExactly(t *testing.T) {
+	r, s, tt := 10, 17, 6
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 100},
+		platform.Worker{C: 2, W: 2, M: 60},
+	)
+	width := []int{4, 3}
+	mk := func(worker int, ch matrix.Chunk, t, seq int) Job { return MakeStandardJob(ch, t, seq) }
+	carver := NewCarver(r, s, tt, width, width, mk)
+	res := onePortRun(t, Config{Platform: pl, Source: carver, Policy: &DemandDriven{}, Name: "carve"})
+	st := res.Trace.Stats()
+	if st.Updates != int64(r)*int64(s)*int64(tt) {
+		t.Errorf("updates = %d, want %d (full product)", st.Updates, r*s*tt)
+	}
+	// Every C block delivered and returned exactly once: C traffic = 2·r·s.
+	var cBlocks int64
+	for _, tr := range res.Trace.Transfers {
+		if tr.Kind == trace.SendC || tr.Kind == trace.RecvC {
+			cBlocks += int64(tr.Blocks)
+		}
+	}
+	if cBlocks != int64(2*r*s) {
+		t.Errorf("C traffic = %d blocks, want %d", cBlocks, 2*r*s)
+	}
+	if carver.Remaining() != 0 {
+		t.Errorf("carver left %d columns unassigned", carver.Remaining())
+	}
+}
+
+func TestCarverSkipsInfeasibleWorker(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 100},
+		platform.Worker{C: 1, W: 1, M: 5},
+	)
+	width := []int{3, 0} // worker 2 has no feasible layout
+	mk := func(worker int, ch matrix.Chunk, t, seq int) Job { return MakeStandardJob(ch, t, seq) }
+	res := onePortRun(t, Config{
+		Platform: pl,
+		Source:   NewCarver(6, 6, 4, width, width, mk),
+		Policy:   &DemandDriven{},
+		Name:     "skip",
+	})
+	st := res.Trace.Stats()
+	if st.Enrolled != 1 {
+		t.Errorf("enrolled = %d, want 1 (infeasible worker skipped)", st.Enrolled)
+	}
+	if st.Updates != 6*6*4 {
+		t.Errorf("updates = %d, want %d", st.Updates, 6*6*4)
+	}
+}
+
+func TestMakeBMMJob(t *testing.T) {
+	job := MakeBMMJob(sq(3, 2), 10, 4, 0)
+	if len(job.Installments) != 3 { // depths 4, 4, 2
+		t.Fatalf("BMM installments = %d, want 3", len(job.Installments))
+	}
+	wantBlocks := []int{20, 20, 10}
+	wantUpdates := []int64{24, 24, 12}
+	for i, inst := range job.Installments {
+		if inst.Blocks != wantBlocks[i] || inst.Updates != wantUpdates[i] {
+			t.Errorf("installment %d = %+v, want {%d %d}", i, inst, wantBlocks[i], wantUpdates[i])
+		}
+	}
+	if job.TotalUpdates() != 60 {
+		t.Errorf("total updates = %d, want 60 (=3·2·10)", job.TotalUpdates())
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+// Makespan must never beat the trivial lower bounds: total master occupation
+// and the per-worker compute+serve time.
+func TestMakespanLowerBounds(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1.5, W: 1, M: 60},
+		platform.Worker{C: 1, W: 3, M: 60},
+	)
+	queues := [][]Job{
+		{MakeStandardJob(sq(5, 5), 8, 0), MakeStandardJob(sq(5, 5), 8, 2)},
+		{MakeStandardJob(sq(5, 5), 8, 1)},
+	}
+	res := onePortRun(t, Config{Platform: pl, Source: NewStatic(queues), Policy: &Priority{}, Name: "lb"})
+	var masterBusy float64
+	for _, tr := range res.Trace.Transfers {
+		masterBusy += tr.End - tr.Start
+	}
+	if res.Makespan < masterBusy-1e-9 {
+		t.Errorf("makespan %g below master busy time %g", res.Makespan, masterBusy)
+	}
+	var computeBusy [2]float64
+	for _, c := range res.Trace.Computes {
+		computeBusy[c.Worker] += c.End - c.Start
+	}
+	for w, busy := range computeBusy {
+		if res.Makespan < busy-1e-9 {
+			t.Errorf("makespan %g below P%d compute time %g", res.Makespan, w+1, busy)
+		}
+	}
+}
+
+// sq builds a chunk at the origin with the given dimensions; tests that only
+// care about geometry use it.
+func sq(h, w int) matrix.Chunk { return matrix.Chunk{H: h, W: w} }

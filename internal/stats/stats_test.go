@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean(1,4) = %v, want 2", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("negative sample should give NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if sd := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(sd-2.138089935) > 1e-6 {
+		t.Errorf("sd = %v", sd)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("singleton sd should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -1)) {
+		t.Error("invalid inputs should give NaN")
+	}
+	// Quantile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Properties: geo ≤ mean (AM–GM), min ≤ quantile ≤ max.
+func TestAMGMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*10
+		}
+		g, m := GeoMean(xs), Mean(xs)
+		if g > m+1e-9 {
+			return false
+		}
+		q := rng.Float64()
+		v := Quantile(xs, q)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package steady implements the steady-state analysis of Section 5: the
+// bandwidth-centric resource-selection linear program of Table 1, its
+// closed-form greedy solution, the resulting throughput upper bound on any
+// schedule, and the buffer-demand analysis behind the Table 2 counterexample
+// (the steady-state optimum can require unboundedly many buffers, which is
+// why the paper falls back to incremental resource selection).
+package steady
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// Allocation is a steady-state operating point: per time unit, worker i
+// computes X[i] C-block updates and receives Y[i] input (A or B) blocks.
+type Allocation struct {
+	X          []float64
+	Y          []float64
+	Throughput float64 // Σ X[i], block updates per time unit
+	Enrolled   []int   // workers with X[i] > 0, in enrollment order
+}
+
+// Mu returns the per-worker chunk edges μ_i under the overlapped memory
+// layout μ² + 4μ ≤ m used by all the heterogeneous algorithms.
+func Mu(pl *platform.Platform) []int {
+	mus := make([]int, pl.P())
+	for i, w := range pl.Workers {
+		mus[i] = platform.MuOverlap(w.M)
+	}
+	return mus
+}
+
+// BandwidthCentric computes the optimal solution of the Table 1 program in
+// closed form. At the optimum y_i = 2x_i/μ_i (a worker receives exactly the
+// inputs its updates consume), so the program collapses to a fractional
+// knapsack on the master's unit bandwidth: worker i consumes 2c_i/μ_i of
+// master time per unit of x_i, capped at x_i ≤ 1/w_i. The greedy therefore
+// sorts workers by non-decreasing 2c_i/μ_i and enrolls them while
+// Σ 2c_i/(μ_i w_i) ≤ 1, giving the last worker the leftover fraction.
+func BandwidthCentric(pl *platform.Platform) *Allocation {
+	p := pl.P()
+	mus := Mu(pl)
+	a := &Allocation{X: make([]float64, p), Y: make([]float64, p)}
+	order := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		if mus[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(u, v int) bool {
+		i, j := order[u], order[v]
+		return 2*pl.Workers[i].C/float64(mus[i]) < 2*pl.Workers[j].C/float64(mus[j])
+	})
+	bandwidth := 1.0
+	for _, i := range order {
+		if bandwidth <= 0 {
+			break
+		}
+		w := pl.Workers[i]
+		costPerX := 2 * w.C / float64(mus[i]) // master time per unit x_i
+		full := costPerX / w.W                // master time to sustain x_i = 1/w_i
+		if full <= bandwidth {
+			a.X[i] = 1 / w.W
+			bandwidth -= full
+		} else {
+			a.X[i] = bandwidth / costPerX
+			bandwidth = 0
+		}
+		a.Y[i] = 2 * a.X[i] / float64(mus[i])
+		a.Throughput += a.X[i]
+		a.Enrolled = append(a.Enrolled, i)
+	}
+	return a
+}
+
+// SolveLP solves the Table 1 program with the simplex solver, as a
+// cross-check of the greedy. Variables are ordered x_1..x_p, y_1..y_p.
+//
+//	maximize Σ x_i
+//	s.t.     Σ c_i y_i         ≤ 1        (master bandwidth)
+//	         w_i x_i           ≤ 1  ∀i    (worker compute)
+//	         (2/μ_i) x_i - y_i ≤ 0  ∀i    (inputs cover updates)
+func SolveLP(pl *platform.Platform) (*Allocation, error) {
+	p := pl.P()
+	mus := Mu(pl)
+	for i, mu := range mus {
+		if mu == 0 {
+			return nil, fmt.Errorf("steady: worker %s has no feasible layout (m=%d)", pl.Workers[i].Name, pl.Workers[i].M)
+		}
+	}
+	n := 2 * p
+	obj := make([]float64, n)
+	var rows [][]float64
+	var rhs []float64
+	bw := make([]float64, n)
+	for i := 0; i < p; i++ {
+		obj[i] = 1
+		bw[p+i] = pl.Workers[i].C
+	}
+	rows = append(rows, bw)
+	rhs = append(rhs, 1)
+	for i := 0; i < p; i++ {
+		comp := make([]float64, n)
+		comp[i] = pl.Workers[i].W
+		rows = append(rows, comp)
+		rhs = append(rhs, 1)
+
+		cover := make([]float64, n)
+		cover[i] = 2 / float64(mus[i])
+		cover[p+i] = -1
+		rows = append(rows, cover)
+		rhs = append(rhs, 0)
+	}
+	sol, err := lp.Maximize(obj, rows, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("steady: %w", err)
+	}
+	a := &Allocation{X: sol.X[:p], Y: sol.X[p:], Throughput: sol.Obj}
+	for i := 0; i < p; i++ {
+		if a.X[i] > 1e-9 {
+			a.Enrolled = append(a.Enrolled, i)
+		}
+	}
+	return a, nil
+}
+
+// MakespanLowerBound returns the steady-state bound on the makespan of any
+// schedule for an r×s×t block product: total updates divided by the optimal
+// throughput. The paper uses it as the (optimistic) yardstick for Het: the
+// bound ignores C-block traffic and memory limits, and was on average 2.29×
+// the throughput Het achieved.
+func MakespanLowerBound(pl *platform.Platform, r, s, t int) float64 {
+	a := BandwidthCentric(pl)
+	if a.Throughput == 0 {
+		return 0
+	}
+	return float64(int64(r)*int64(s)*int64(t)) / a.Throughput
+}
+
+// InputBufferDemand estimates how many input (A and B) buffers worker i must
+// hold to sustain its steady-state compute rate while the master serves every
+// other enrolled worker one installment (2μ_j blocks) each — the quantity
+// that blows up in the Table 2 counterexample. An installment of 2μ_i blocks
+// enables μ_i² updates, so each update consumes 2/μ_i input blocks.
+func InputBufferDemand(pl *platform.Platform, a *Allocation, i int) float64 {
+	mus := Mu(pl)
+	gap := 0.0
+	for _, j := range a.Enrolled {
+		if j != i {
+			gap += 2 * float64(mus[j]) * pl.Workers[j].C
+		}
+	}
+	updatesDuringGap := a.X[i] * gap
+	return updatesDuringGap * 2 / float64(mus[i])
+}
+
+// Feasible reports whether the steady-state allocation fits every enrolled
+// worker's memory: the C chunk (μ_i²), the working input group (2μ_i), and
+// the buffered inputs demanded by the master's service pattern must fit in
+// m_i. For Table 2 platforms this fails once x grows past the memory budget,
+// reproducing the paper's observation that "the bandwidth-centric solution
+// cannot always be realized in practice".
+func Feasible(pl *platform.Platform, a *Allocation) bool {
+	mus := Mu(pl)
+	for _, i := range a.Enrolled {
+		need := float64(mus[i]*mus[i]+2*mus[i]) + InputBufferDemand(pl, a, i)
+		if need > float64(pl.Workers[i].M)+1e-9 {
+			return false
+		}
+	}
+	return true
+}

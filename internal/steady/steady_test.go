@@ -1,0 +1,170 @@
+package steady
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestBandwidthCentricSingleWorker(t *testing.T) {
+	pl := platform.Homogeneous(1, 1, 2, 60) // μ = 6
+	a := BandwidthCentric(pl)
+	// 2c/(μw) = 2/(6·2) = 1/6 ≤ 1 → fully enrolled at x = 1/w = 0.5.
+	if !almost(a.X[0], 0.5) || !almost(a.Throughput, 0.5) {
+		t.Errorf("x = %v, throughput = %v, want 0.5", a.X[0], a.Throughput)
+	}
+	if !almost(a.Y[0], 2*0.5/6) {
+		t.Errorf("y = %v, want %v", a.Y[0], 2*0.5/6)
+	}
+}
+
+func TestBandwidthCentricSaturation(t *testing.T) {
+	// Expensive links: each fully-enrolled worker eats 2c/(μw) = 2·3/(2·1) = 3
+	// of the unit bandwidth, so only a third of one worker is sustainable.
+	pl := platform.Homogeneous(4, 3, 1, 12) // μ = 2
+	a := BandwidthCentric(pl)
+	if len(a.Enrolled) != 1 {
+		t.Fatalf("enrolled %d workers, want 1 (bandwidth saturated)", len(a.Enrolled))
+	}
+	if !almost(a.Throughput, 1.0/3) {
+		t.Errorf("throughput = %v, want 1/3", a.Throughput)
+	}
+}
+
+func TestBandwidthCentricOrdering(t *testing.T) {
+	// Worker 2 has a better (smaller) 2c/μ and must be enrolled first.
+	pl := platform.MustNew(
+		platform.Worker{C: 4, W: 1, M: 60},  // 2c/μ = 8/6
+		platform.Worker{C: 1, W: 1, M: 60},  // 2c/μ = 2/6
+		platform.Worker{C: 10, W: 1, M: 60}, // 2c/μ = 20/6
+	)
+	a := BandwidthCentric(pl)
+	if len(a.Enrolled) == 0 || a.Enrolled[0] != 1 {
+		t.Errorf("enrollment order %v, want worker 1 first", a.Enrolled)
+	}
+}
+
+func TestTable2SteadyState(t *testing.T) {
+	// Table 2 with x = 1 reduces to the paper's numbers: both workers have
+	// 2c_i/(μ_i w_i) = 1/2, so both are fully enrolled and the master link is
+	// exactly saturated.
+	pl := platform.Table2(1)
+	a := BandwidthCentric(pl)
+	if len(a.Enrolled) != 2 {
+		t.Fatalf("enrolled %v, want both", a.Enrolled)
+	}
+	if !almost(a.X[0], 0.5) || !almost(a.X[1], 0.5) {
+		t.Errorf("x = %v, want [0.5 0.5]", a.X)
+	}
+	used := 0.0
+	for i, w := range pl.Workers {
+		used += a.Y[i] * w.C
+	}
+	if !almost(used, 1) {
+		t.Errorf("master bandwidth used = %v, want 1 (saturated)", used)
+	}
+}
+
+func TestTable2InfeasibleForLargeX(t *testing.T) {
+	// The paper's point: as x grows, P1 must buffer ~2x input blocks to ride
+	// out the master's long service of P2, exceeding any fixed memory.
+	if !Feasible(platform.Table2(1), BandwidthCentric(platform.Table2(1))) {
+		t.Error("Table 2 with x=1 should be feasible")
+	}
+	feasibleSmall := false
+	infeasibleLarge := false
+	for _, x := range []float64{0.5, 1, 2, 8, 32, 128} {
+		pl := platform.Table2(x)
+		a := BandwidthCentric(pl)
+		if Feasible(pl, a) {
+			feasibleSmall = true
+		} else if x >= 8 {
+			infeasibleLarge = true
+		}
+	}
+	if !feasibleSmall {
+		t.Error("no small-x Table 2 instance was feasible")
+	}
+	if !infeasibleLarge {
+		t.Error("large-x Table 2 instances should be infeasible (buffer demand grows with x)")
+	}
+}
+
+func TestInputBufferDemandGrowsWithX(t *testing.T) {
+	prev := -1.0
+	for _, x := range []float64{1, 2, 4, 8, 16} {
+		pl := platform.Table2(x)
+		a := BandwidthCentric(pl)
+		d := InputBufferDemand(pl, a, 0)
+		if d <= prev {
+			t.Fatalf("buffer demand not increasing: %v at x=%v after %v", d, x, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSolveLPMatchesGreedy(t *testing.T) {
+	platforms := []*platform.Platform{
+		platform.HeteroMemory(),
+		platform.HeteroComm(),
+		platform.HeteroComp(),
+		platform.FullyHetero(2),
+		platform.FullyHetero(4),
+		platform.Table2(1),
+		platform.Table2(5),
+		platform.Homogeneous(4, 3, 1, 12),
+	}
+	for pi, pl := range platforms {
+		greedy := BandwidthCentric(pl)
+		exact, err := SolveLP(pl)
+		if err != nil {
+			t.Fatalf("platform %d: %v", pi, err)
+		}
+		if math.Abs(greedy.Throughput-exact.Throughput) > 1e-6*(1+exact.Throughput) {
+			t.Errorf("platform %d: greedy throughput %v != LP %v", pi, greedy.Throughput, exact.Throughput)
+		}
+	}
+}
+
+func TestSolveLPMatchesGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		pl := platform.Random(2+int(abs64(seed))%6, 4, seed)
+		greedy := BandwidthCentric(pl)
+		exact, err := SolveLP(pl)
+		if err != nil {
+			return false
+		}
+		return math.Abs(greedy.Throughput-exact.Throughput) <= 1e-6*(1+exact.Throughput)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakespanLowerBound(t *testing.T) {
+	pl := platform.Homogeneous(2, 0.1, 1, 60) // compute bound, ρ = 2
+	lb := MakespanLowerBound(pl, 10, 10, 10)
+	if !almost(lb, 500) { // 1000 updates / 2 per unit
+		t.Errorf("lower bound = %v, want 500", lb)
+	}
+}
+
+func TestMakespanLowerBoundScalesWithWork(t *testing.T) {
+	pl := platform.HeteroMemory()
+	lb1 := MakespanLowerBound(pl, 100, 800, 100)
+	lb2 := MakespanLowerBound(pl, 100, 1600, 100)
+	if !almost(lb2/lb1, 2) {
+		t.Errorf("doubling s should double the bound: %v vs %v", lb1, lb2)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

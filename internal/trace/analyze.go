@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bottleneck classifies what limited a run's makespan.
+type Bottleneck int
+
+const (
+	// MasterBound: the master port is busy most of the makespan — adding
+	// workers cannot help; ordering and volume reduction can.
+	MasterBound Bottleneck = iota
+	// ComputeBound: some worker computes most of the makespan while the port
+	// has slack — enrollment or balance is the lever.
+	ComputeBound
+	// Mixed: neither resource dominates; fill/drain and dependency stalls
+	// account for the rest.
+	Mixed
+)
+
+func (b Bottleneck) String() string {
+	switch b {
+	case MasterBound:
+		return "master-bound"
+	case ComputeBound:
+		return "compute-bound"
+	default:
+		return "mixed"
+	}
+}
+
+// WorkerLoad describes one worker's share of an execution.
+type WorkerLoad struct {
+	Worker      int
+	ComputeBusy float64 // total compute time
+	CommBusy    float64 // total time its link was in use
+	Updates     int64
+	Utilization float64 // ComputeBusy / makespan
+}
+
+// Analysis is the utilization breakdown of a trace.
+type Analysis struct {
+	Makespan        float64
+	MasterBusy      float64
+	MasterUtil      float64
+	CIOShare        float64 // fraction of port time spent on C chunks
+	Workers         []WorkerLoad
+	PeakWorkerUtil  float64
+	Classification  Bottleneck
+	ImbalanceRatio  float64 // max/mean compute busy over enrolled workers
+	EnrolledWorkers int
+	TotalUpdates    int64
+	TotalCommBlocks int64
+	CommPerUpdate   float64
+}
+
+// Analyze computes the utilization breakdown. Thresholds: a resource above
+// 90% of the makespan is considered the bottleneck.
+func (t *Trace) Analyze() Analysis {
+	s := t.Stats()
+	a := Analysis{
+		Makespan:        s.Makespan,
+		MasterBusy:      s.MasterBusy,
+		TotalUpdates:    s.Updates,
+		TotalCommBlocks: s.CommBlocks,
+	}
+	if s.Makespan <= 0 {
+		return a
+	}
+	a.MasterUtil = s.MasterBusy / s.Makespan
+	var cio float64
+	commBusy := map[int]float64{}
+	for _, tr := range t.Transfers {
+		d := tr.End - tr.Start
+		if tr.Kind != SendAB {
+			cio += d
+		}
+		commBusy[tr.Worker] += d
+	}
+	if s.MasterBusy > 0 {
+		a.CIOShare = cio / s.MasterBusy
+	}
+	compute := map[int]float64{}
+	updates := map[int]int64{}
+	for _, c := range t.Computes {
+		compute[c.Worker] += c.End - c.Start
+		updates[c.Worker] += c.Updates
+	}
+	workers := make([]int, 0, len(commBusy))
+	for w := range commBusy {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	var sumBusy float64
+	for _, w := range workers {
+		load := WorkerLoad{
+			Worker:      w,
+			ComputeBusy: compute[w],
+			CommBusy:    commBusy[w],
+			Updates:     updates[w],
+			Utilization: compute[w] / s.Makespan,
+		}
+		a.Workers = append(a.Workers, load)
+		if load.Utilization > a.PeakWorkerUtil {
+			a.PeakWorkerUtil = load.Utilization
+		}
+		sumBusy += compute[w]
+	}
+	a.EnrolledWorkers = len(workers)
+	if len(workers) > 0 && sumBusy > 0 {
+		mean := sumBusy / float64(len(workers))
+		var peak float64
+		for _, w := range a.Workers {
+			if w.ComputeBusy > peak {
+				peak = w.ComputeBusy
+			}
+		}
+		a.ImbalanceRatio = peak / mean
+	}
+	if s.Updates > 0 {
+		a.CommPerUpdate = float64(s.CommBlocks) / float64(s.Updates)
+	}
+	switch {
+	case a.MasterUtil >= 0.9:
+		a.Classification = MasterBound
+	case a.PeakWorkerUtil >= 0.9:
+		a.Classification = ComputeBound
+	default:
+		a.Classification = Mixed
+	}
+	return a
+}
+
+// Report renders the analysis as a human-readable block.
+func (a Analysis) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.1f — %s (master %.1f%% busy, C I/O %.1f%% of port; peak worker %.1f%%)\n",
+		a.Makespan, a.Classification, 100*a.MasterUtil, 100*a.CIOShare, 100*a.PeakWorkerUtil)
+	fmt.Fprintf(&b, "%d workers enrolled, imbalance %.2f, %.4f comm blocks per update\n",
+		a.EnrolledWorkers, a.ImbalanceRatio, a.CommPerUpdate)
+	for _, w := range a.Workers {
+		fmt.Fprintf(&b, "  P%-3d compute %6.1f%%  link %6.1f%%  updates %d\n",
+			w.Worker+1, 100*w.Utilization, 100*w.CommBusy/a.Makespan, w.Updates)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func denseTrace() *Trace {
+	// Master busy 95 of 100 → master-bound.
+	tr := &Trace{Workers: 2}
+	at := 0.0
+	for i := 0; i < 19; i++ {
+		tr.Transfers = append(tr.Transfers, Transfer{Worker: i % 2, Kind: SendAB, Blocks: 5, Start: at, End: at + 5})
+		at += 5
+	}
+	tr.Transfers = append(tr.Transfers, Transfer{Worker: 0, Kind: RecvC, Blocks: 1, Start: 99, End: 100})
+	tr.Computes = append(tr.Computes, Compute{Worker: 0, Updates: 10, Start: 5, End: 30})
+	tr.Computes = append(tr.Computes, Compute{Worker: 1, Updates: 10, Start: 10, End: 35})
+	return tr
+}
+
+func TestAnalyzeMasterBound(t *testing.T) {
+	a := denseTrace().Analyze()
+	if a.Classification != MasterBound {
+		t.Errorf("classification = %v, want master-bound (util %.2f)", a.Classification, a.MasterUtil)
+	}
+	if a.EnrolledWorkers != 2 {
+		t.Errorf("enrolled = %d", a.EnrolledWorkers)
+	}
+	if math.Abs(a.MasterUtil-0.96) > 1e-9 {
+		t.Errorf("master util = %v, want 0.96", a.MasterUtil)
+	}
+}
+
+func TestAnalyzeComputeBound(t *testing.T) {
+	tr := &Trace{
+		Workers:   1,
+		Transfers: []Transfer{{Worker: 0, Kind: SendC, Blocks: 1, Start: 0, End: 1}},
+		Computes:  []Compute{{Worker: 0, Updates: 100, Start: 1, End: 100}},
+	}
+	a := tr.Analyze()
+	if a.Classification != ComputeBound {
+		t.Errorf("classification = %v, want compute-bound", a.Classification)
+	}
+	if a.PeakWorkerUtil < 0.98 {
+		t.Errorf("peak worker util = %v", a.PeakWorkerUtil)
+	}
+}
+
+func TestAnalyzeMixed(t *testing.T) {
+	tr := &Trace{
+		Workers:   1,
+		Transfers: []Transfer{{Worker: 0, Kind: SendC, Blocks: 1, Start: 0, End: 10}},
+		Computes:  []Compute{{Worker: 0, Updates: 5, Start: 10, End: 20}},
+	}
+	// Makespan 20, master 50%, worker 50%.
+	a := tr.Analyze()
+	if a.Classification != Mixed {
+		t.Errorf("classification = %v, want mixed", a.Classification)
+	}
+}
+
+func TestAnalyzeCIOShare(t *testing.T) {
+	tr := &Trace{
+		Workers: 1,
+		Transfers: []Transfer{
+			{Worker: 0, Kind: SendC, Blocks: 4, Start: 0, End: 4},
+			{Worker: 0, Kind: SendAB, Blocks: 12, Start: 4, End: 16},
+			{Worker: 0, Kind: RecvC, Blocks: 4, Start: 16, End: 20},
+		},
+	}
+	a := tr.Analyze()
+	if math.Abs(a.CIOShare-0.4) > 1e-9 {
+		t.Errorf("C I/O share = %v, want 0.4", a.CIOShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := (&Trace{}).Analyze()
+	if a.Makespan != 0 || a.EnrolledWorkers != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	rep := denseTrace().Analyze().Report()
+	for _, want := range []string{"master-bound", "P1", "P2", "updates"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestBottleneckString(t *testing.T) {
+	if MasterBound.String() != "master-bound" || ComputeBound.String() != "compute-bound" || Mixed.String() != "mixed" {
+		t.Error("bottleneck names wrong")
+	}
+}

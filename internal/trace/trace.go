@@ -1,0 +1,200 @@
+// Package trace records what a simulated (or real) execution did: every
+// master transfer, every worker compute interval, and summary statistics —
+// makespan, enrolled workers, communication volume, master utilization. The
+// experiment harness consumes these to build the paper's relative-cost and
+// relative-work figures, and the bound package audits the per-worker access
+// streams they induce.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind labels a transfer direction/content.
+type Kind uint8
+
+const (
+	SendC  Kind = iota // master → worker: C chunk
+	SendAB             // master → worker: one installment of A and B blocks
+	RecvC              // worker → master: finished C chunk
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SendC:
+		return "sendC"
+	case SendAB:
+		return "sendAB"
+	case RecvC:
+		return "recvC"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Transfer is one master-port occupation.
+type Transfer struct {
+	Worker     int
+	Kind       Kind
+	Blocks     int
+	Start, End float64
+}
+
+// Compute is one worker compute interval (one installment's updates).
+type Compute struct {
+	Worker     int
+	Updates    int64
+	Start, End float64
+}
+
+// Trace is the full record of one execution.
+type Trace struct {
+	Algorithm string
+	Workers   int
+	Transfers []Transfer
+	Computes  []Compute
+}
+
+// Stats are the summary measurements the experiments report.
+type Stats struct {
+	Makespan      float64
+	Enrolled      int     // workers that received at least one block
+	CommBlocks    int64   // total blocks through the master port
+	Updates       int64   // total block updates performed
+	MasterBusy    float64 // time the master port was occupied
+	ComputeVolume float64 // Σ worker compute time
+}
+
+// Work is the relative-work numerator of the paper: makespan × enrolled.
+func (s Stats) Work() float64 { return s.Makespan * float64(s.Enrolled) }
+
+// Stats computes summary statistics from the raw record.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	enrolled := make(map[int]bool)
+	for _, tr := range t.Transfers {
+		if tr.End > s.Makespan {
+			s.Makespan = tr.End
+		}
+		s.CommBlocks += int64(tr.Blocks)
+		s.MasterBusy += tr.End - tr.Start
+		enrolled[tr.Worker] = true
+	}
+	for _, c := range t.Computes {
+		if c.End > s.Makespan {
+			s.Makespan = c.End
+		}
+		s.Updates += c.Updates
+		s.ComputeVolume += c.End - c.Start
+	}
+	s.Enrolled = len(enrolled)
+	return s
+}
+
+// Validate checks the structural invariants every one-port execution must
+// satisfy: transfers do not overlap each other (one-port master), and no
+// worker's compute intervals overlap (sequential compute). It returns the
+// first violation found.
+func (t *Trace) Validate() error {
+	trs := append([]Transfer(nil), t.Transfers...)
+	sort.Slice(trs, func(i, j int) bool { return trs[i].Start < trs[j].Start })
+	const tol = 1e-9
+	for i := 1; i < len(trs); i++ {
+		if trs[i].Start < trs[i-1].End-tol {
+			return fmt.Errorf("trace: one-port violation: transfer %d (%s→P%d, starts %.6g) overlaps previous (ends %.6g)",
+				i, trs[i].Kind, trs[i].Worker+1, trs[i].Start, trs[i-1].End)
+		}
+	}
+	byWorker := map[int][]Compute{}
+	for _, c := range t.Computes {
+		byWorker[c.Worker] = append(byWorker[c.Worker], c)
+	}
+	for w, cs := range byWorker {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Start < cs[i-1].End-tol {
+				return fmt.Errorf("trace: worker P%d computes overlap at %.6g", w+1, cs[i].Start)
+			}
+		}
+	}
+	for _, tr := range t.Transfers {
+		if tr.End < tr.Start || tr.Blocks <= 0 {
+			return fmt.Errorf("trace: malformed transfer %+v", tr)
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the transfers and computes as CSV rows for external
+// plotting: type,worker,kind,blocks/updates,start,end.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "type,worker,kind,amount,start,end"); err != nil {
+		return err
+	}
+	for _, tr := range t.Transfers {
+		if _, err := fmt.Fprintf(w, "transfer,%d,%s,%d,%g,%g\n", tr.Worker, tr.Kind, tr.Blocks, tr.Start, tr.End); err != nil {
+			return err
+		}
+	}
+	for _, c := range t.Computes {
+		if _, err := fmt.Fprintf(w, "compute,%d,update,%d,%g,%g\n", c.Worker, c.Updates, c.Start, c.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders a coarse text Gantt chart (one row per worker plus the
+// master) with the given number of character columns. Intended for CLI
+// inspection of small runs.
+func (t *Trace) Gantt(cols int) string {
+	s := t.Stats()
+	if s.Makespan == 0 || cols <= 0 {
+		return ""
+	}
+	scale := float64(cols) / s.Makespan
+	paint := func(row []byte, start, end float64, ch byte) {
+		a, b := int(start*scale), int(end*scale)
+		if b >= len(row) {
+			b = len(row) - 1
+		}
+		for i := a; i <= b; i++ {
+			row[i] = ch
+		}
+	}
+	master := blankRow(cols)
+	rows := make([][]byte, t.Workers)
+	for i := range rows {
+		rows[i] = blankRow(cols)
+	}
+	for _, tr := range t.Transfers {
+		ch := byte('c')
+		switch tr.Kind {
+		case SendAB:
+			ch = 's'
+		case RecvC:
+			ch = 'r'
+		}
+		paint(master, tr.Start, tr.End, ch)
+	}
+	for _, c := range t.Computes {
+		paint(rows[c.Worker], c.Start, c.End, '#')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s|%s|\n", "master", master)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%-8s|%s|\n", fmt.Sprintf("P%d", i+1), row)
+	}
+	return b.String()
+}
+
+func blankRow(cols int) []byte {
+	row := make([]byte, cols)
+	for i := range row {
+		row[i] = ' '
+	}
+	return row
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Algorithm: "test",
+		Workers:   2,
+		Transfers: []Transfer{
+			{Worker: 0, Kind: SendC, Blocks: 4, Start: 0, End: 4},
+			{Worker: 0, Kind: SendAB, Blocks: 2, Start: 4, End: 6},
+			{Worker: 1, Kind: SendC, Blocks: 4, Start: 6, End: 10},
+			{Worker: 0, Kind: RecvC, Blocks: 4, Start: 10, End: 14},
+		},
+		Computes: []Compute{
+			{Worker: 0, Updates: 4, Start: 6, End: 10},
+		},
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := sample().Stats()
+	if s.Makespan != 14 {
+		t.Errorf("makespan = %g, want 14", s.Makespan)
+	}
+	if s.CommBlocks != 14 {
+		t.Errorf("comm blocks = %d, want 14", s.CommBlocks)
+	}
+	if s.Enrolled != 2 {
+		t.Errorf("enrolled = %d, want 2", s.Enrolled)
+	}
+	if s.Updates != 4 {
+		t.Errorf("updates = %d, want 4", s.Updates)
+	}
+	if s.MasterBusy != 14 { // 4 + 2 + 4 + 4
+		t.Errorf("master busy = %g, want 14", s.MasterBusy)
+	}
+	if s.Work() != 28 {
+		t.Errorf("work = %g, want 28", s.Work())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesOnePortViolation(t *testing.T) {
+	tr := sample()
+	tr.Transfers = append(tr.Transfers, Transfer{Worker: 1, Kind: SendAB, Blocks: 1, Start: 5, End: 7})
+	if tr.Validate() == nil {
+		t.Fatal("overlapping transfers not detected")
+	}
+}
+
+func TestValidateCatchesComputeOverlap(t *testing.T) {
+	tr := sample()
+	tr.Computes = append(tr.Computes, Compute{Worker: 0, Updates: 1, Start: 8, End: 9})
+	if tr.Validate() == nil {
+		t.Fatal("overlapping computes on one worker not detected")
+	}
+}
+
+func TestValidateCatchesMalformedTransfer(t *testing.T) {
+	tr := &Trace{Workers: 1, Transfers: []Transfer{{Worker: 0, Kind: SendC, Blocks: 0, Start: 0, End: 1}}}
+	if tr.Validate() == nil {
+		t.Fatal("zero-block transfer not detected")
+	}
+}
+
+func TestValidateAllowsDifferentWorkerComputeOverlap(t *testing.T) {
+	tr := sample()
+	tr.Computes = append(tr.Computes, Compute{Worker: 1, Updates: 1, Start: 8, End: 9})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("computes on different workers may overlap: %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4+1 {
+		t.Fatalf("CSV has %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "transfer,0,sendC,4,0,4") {
+		t.Errorf("unexpected first row %q", lines[1])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := sample().Gantt(40)
+	if !strings.Contains(g, "master") || !strings.Contains(g, "P2") {
+		t.Errorf("Gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Errorf("Gantt missing compute marks:\n%s", g)
+	}
+	if (&Trace{}).Gantt(10) != "" {
+		t.Error("empty trace should render empty Gantt")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SendC.String() != "sendC" || SendAB.String() != "sendAB" || RecvC.String() != "recvC" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
