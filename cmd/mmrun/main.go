@@ -1,12 +1,15 @@
 // Command mmrun schedules a product with a chosen algorithm and then
-// executes the plan for real on the in-process channel engine: goroutine
-// workers receive actual matrix blocks, perform genuine floating-point
-// updates, and the result is verified against a reference multiplication.
+// executes the plan for real — either on the in-process channel engine
+// (goroutine workers exchanging actual matrix blocks) or, with -distributed,
+// against remote mmworker processes over TCP. Both paths perform genuine
+// floating-point updates through the same executor, and the result is
+// verified against a reference multiplication.
 //
 // Usage:
 //
 //	mmrun -alg Het -r 8 -s 24 -t 6 -q 16
 //	mmrun -alg BMM -r 8 -s 24 -t 6 -q 16 -pace 50us
+//	mmrun -alg Het -distributed 127.0.0.1:9801,127.0.0.1:9802
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/matrix"
+	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -31,15 +35,16 @@ func main() {
 	q := flag.Int("q", 16, "block edge (elements)")
 	seed := flag.Int64("seed", 1, "random seed for matrix data")
 	pace := flag.Duration("pace", 0, "per (block × unit link cost) transfer pacing, e.g. 50us")
+	distributed := flag.String("distributed", "", "comma-separated mmworker addresses; drive remote workers over TCP instead of in-process goroutines")
 	flag.Parse()
 
-	if err := run(*alg, sched.Instance{R: *r, S: *s, T: *t}, *q, *seed, *pace); err != nil {
+	if err := run(*alg, sched.Instance{R: *r, S: *s, T: *t}, *q, *seed, *pace, *distributed); err != nil {
 		fmt.Fprintln(os.Stderr, "mmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration) error {
+func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration, distributed string) error {
 	schedulers := map[string]sched.Scheduler{
 		"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
 		"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
@@ -48,14 +53,35 @@ func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration)
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}
-	// A small heterogeneous platform whose memories are expressed in blocks;
-	// chunk edges stay small so the plan exercises many chunks.
-	pl := platform.MustNew(
-		platform.Worker{C: 1, W: 1, M: 60},
-		platform.Worker{C: 1.5, W: 1.2, M: 40},
-		platform.Worker{C: 2, W: 1.5, M: 24},
-		platform.Worker{C: 3, W: 2, M: 96},
-	)
+
+	var addrs []string
+	var pl *platform.Platform
+	if distributed != "" {
+		if pace != 0 {
+			return fmt.Errorf("-pace applies to the in-process engine only; remote links are real, drop it with -distributed")
+		}
+		for _, a := range strings.Split(distributed, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("-distributed given but no worker addresses parsed")
+		}
+		// One platform slot per remote worker; remote capabilities are not
+		// probed yet, so model them as homogeneous.
+		pl = platform.Homogeneous(len(addrs), 1, 1, 60)
+	} else {
+		// A small heterogeneous platform whose memories are expressed in
+		// blocks; chunk edges stay small so the plan exercises many chunks.
+		pl = platform.MustNew(
+			platform.Worker{C: 1, W: 1, M: 60},
+			platform.Worker{C: 1.5, W: 1.2, M: 40},
+			platform.Worker{C: 2, W: 1.5, M: 24},
+			platform.Worker{C: 3, W: 2, M: 96},
+		)
+	}
+
 	res, err := s.Schedule(pl, inst)
 	if err != nil {
 		return err
@@ -76,9 +102,23 @@ func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration)
 	}
 
 	start := time.Now()
-	err = engine.Run(engine.Config{Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: pace}, res.Plan(), a, b, c)
-	if err != nil {
-		return err
+	if len(addrs) > 0 {
+		m, err := mmnet.Dial(addrs, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("driving %d remote workers: %v\n", m.Workers(), m.WorkerNames())
+		if err := m.Run(inst.T, res.Plan(), a, b, c); err != nil {
+			m.Close()
+			return err
+		}
+		if err := m.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "mmrun: shutdown:", err)
+		}
+	} else {
+		if err := engine.Run(engine.Config{Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: pace}, res.Plan(), a, b, c); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	diff := c.MaxAbsDiff(want)

@@ -1,19 +1,49 @@
 package main
 
 import (
+	stdnet "net"
+	"strings"
 	"testing"
+	"time"
 
+	mmnet "repro/internal/net"
 	"repro/internal/sched"
 )
 
 func TestRunVerifiesSmallProduct(t *testing.T) {
-	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0); err != nil {
+	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if err := run("nope", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0); err == nil {
+	if err := run("nope", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0, ""); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestRunDistributedAgainstLoopbackWorkers is the acceptance check for
+// -distributed: two loopback workers, the full mmrun path (schedule, drive
+// over TCP, verify C within 1e-9 of the serial product — run fails itself if
+// the deviation exceeds that).
+func TestRunDistributedAgainstLoopbackWorkers(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs = append(addrs, ln.Addr().String())
+		go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 50 * time.Millisecond})
+	}
+	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0, strings.Join(addrs, ",")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDistributedRejectsEmptyAddressList(t *testing.T) {
+	if err := run("het", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0, " , "); err == nil {
+		t.Fatal("empty address list accepted")
 	}
 }

@@ -1,0 +1,81 @@
+// Command mmworker is the worker daemon of the distributed runtime: it
+// listens for a master (cmd/mmrun -distributed, or any internal/net Master),
+// registers, receives C chunks and A/B installments, applies the block
+// updates with the shared engine kernel, returns finished chunks, and beats a
+// heartbeat so the master can tell a slow worker from a dead one.
+//
+// Start two workers and drive them:
+//
+//	mmworker -listen 127.0.0.1:9801 -name node1 &
+//	mmworker -listen 127.0.0.1:9802 -name node2 &
+//	mmrun -alg Het -distributed 127.0.0.1:9801,127.0.0.1:9802
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	stdnet "net"
+	"os"
+	"time"
+
+	mmnet "repro/internal/net"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9801", "address to serve masters on")
+	name := flag.String("name", "", "worker name announced at registration (default: listen address)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop a session whose socket stays silent this long (negative: never)")
+	sessions := flag.Int("sessions", 0, "exit after this many master sessions (0: serve forever)")
+	quiet := flag.Bool("quiet", false, "suppress session logging")
+	flag.Parse()
+
+	if err := run(*listen, *name, *heartbeat, *idle, *sessions, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "mmworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, name string, heartbeat, idle time.Duration, sessions int, quiet bool) error {
+	ln, err := stdnet.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	return serve(ln, name, heartbeat, idle, sessions, quiet)
+}
+
+// serve runs the accept loop on an existing listener (tests hand in a
+// listener bound to an ephemeral port).
+func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions int, quiet bool) error {
+	if name == "" {
+		name = ln.Addr().String()
+	}
+	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle}
+	if !quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	if !quiet {
+		fmt.Printf("worker %s serving on %s\n", name, ln.Addr())
+	}
+	if sessions <= 0 {
+		return mmnet.Serve(ln, name, opts)
+	}
+	for i := 0; i < sessions; i++ {
+		// A master vanishing mid-session is an event the runtime tolerates
+		// (that is what failover is for), so an errored session counts and
+		// the daemon keeps serving; only a dead listener stops it.
+		if err := mmnet.ServeOne(ln, name, opts); err != nil {
+			if errors.Is(err, stdnet.ErrClosed) {
+				return err
+			}
+			if !quiet {
+				fmt.Printf("worker %s: session %d: %v\n", name, i+1, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,15 +1,19 @@
-// Package engine executes a scheduled plan for real: master and workers are
-// goroutines exchanging actual matrix blocks over channels, workers perform
-// genuine floating-point block updates, and the master replays the exact
-// operation order a scheduler produced (the Plan recorded by internal/sim).
+// Package engine executes a scheduled plan for real: master and workers
+// exchange actual matrix blocks, workers perform genuine floating-point block
+// updates, and the master replays the exact operation order a scheduler
+// produced (the Plan recorded by internal/sim).
 //
-// It is the in-process stand-in for the paper's MPI runtime: the master
+// The package splits into two layers. Execute is the backend-agnostic plan
+// executor — validation, operation ordering, C-accumulation, and failover of
+// dead workers' jobs — shared by every real runtime. Run wires Execute to the
+// in-process backend: workers are goroutines behind channels, the master
 // performs its transfers strictly one at a time (the one-port model — the
-// master goroutine is the port), while each worker's input channel provides
-// one buffered slot so communication to a worker overlaps that worker's
+// master goroutine is the port), and each worker's input channel provides one
+// buffered slot so communication to a worker overlaps that worker's
 // computation, exactly the double-buffering of the μ²+4μ layout. Optionally
 // each transfer is paced at the platform's c_i per block so heterogeneous
-// links are felt in wall-clock time.
+// links are felt in wall-clock time. internal/net wires the same Execute to
+// remote workers over TCP.
 //
 // Its purpose is verification: after Run, C must equal the reference product,
 // proving the scheduler moved every block where it claimed and no update was
@@ -23,7 +27,6 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Config controls a real execution.
@@ -55,102 +58,74 @@ type workerMsg struct {
 	flush   bool // return the current chunk
 }
 
-// Run replays plan against real matrices: C ← C + A·B restricted to the
-// chunks the plan covers (a correct plan covers all of C exactly once).
-// A is r×t, B t×s, C r×s blocks.
+// chanBackend is the in-process Backend: one goroutine per worker, channels
+// as links. Its sends never fail, so Execute's failover path is inert here.
+type chanBackend struct {
+	cfg Config
+	in  []chan workerMsg
+	out []chan chunkMsg
+}
+
+func (cb *chanBackend) Workers() int { return len(cb.in) }
+
+func (cb *chanBackend) pace(w, blocks int) {
+	if cb.cfg.Platform == nil || cb.cfg.TimePerUnit <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(blocks) * cb.cfg.Platform.Workers[w].C * float64(cb.cfg.TimePerUnit)))
+}
+
+func (cb *chanBackend) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
+	cb.pace(w, ch.Blocks())
+	cb.in[w] <- workerMsg{chunk: &chunkMsg{chunk: ch, blocks: blocks}}
+	return nil
+}
+
+func (cb *chanBackend) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
+	cb.pace(w, (k1-k0)*(ch.H+ch.W))
+	cb.in[w] <- workerMsg{install: &installMsg{k0: k0, k1: k1, a: a, b: b}}
+	return nil
+}
+
+func (cb *chanBackend) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
+	cb.in[w] <- workerMsg{flush: true}
+	done := <-cb.out[w]
+	cb.pace(w, ch.Blocks())
+	if done.chunk != ch {
+		return nil, fmt.Errorf("engine: worker P%d returned chunk %v, expected %v", w+1, done.chunk, ch)
+	}
+	return done.blocks, nil
+}
+
+// Run replays plan against real matrices on the in-process backend:
+// C ← C + A·B restricted to the chunks the plan covers (a correct plan
+// covers all of C exactly once). A is r×t, B t×s, C r×s blocks.
 func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 	if cfg.Workers <= 0 {
 		return fmt.Errorf("engine: need a positive worker count")
-	}
-	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Cols != cfg.T {
-		return fmt.Errorf("engine: shape mismatch A %dx%d, B %dx%d, C %dx%d, t=%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols, cfg.T)
 	}
 	if cfg.Platform != nil && cfg.Platform.P() < cfg.Workers {
 		return fmt.Errorf("engine: plan references %d workers but platform has %d", cfg.Workers, cfg.Platform.P())
 	}
 
-	in := make([]chan workerMsg, cfg.Workers)
-	out := make([]chan chunkMsg, cfg.Workers)
+	cb := &chanBackend{
+		cfg: cfg,
+		in:  make([]chan workerMsg, cfg.Workers),
+		out: make([]chan chunkMsg, cfg.Workers),
+	}
 	errs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		// Capacity 1 gives each worker one buffered installment slot: the
 		// master's send of step k+1 completes while step k computes.
-		in[w] = make(chan workerMsg, 1)
-		out[w] = make(chan chunkMsg)
-		go worker(in[w], out[w], errs)
+		cb.in[w] = make(chan workerMsg, 1)
+		cb.out[w] = make(chan chunkMsg)
+		go worker(cb.in[w], cb.out[w], errs)
 	}
 
-	pace := func(w, blocks int) {
-		if cfg.Platform == nil || cfg.TimePerUnit <= 0 {
-			return
-		}
-		time.Sleep(time.Duration(float64(blocks) * cfg.Platform.Workers[w].C * float64(cfg.TimePerUnit)))
-	}
+	runErr := Execute(cfg.T, plan, a, b, c, cb)
 
-	var runErr error
-	for _, op := range plan {
-		if op.Worker < 0 || op.Worker >= cfg.Workers {
-			runErr = fmt.Errorf("engine: plan references worker %d of %d", op.Worker, cfg.Workers)
-			break
-		}
-		ch := op.Chunk
-		switch op.Kind {
-		case trace.SendC:
-			if !ch.Valid(c.Rows, c.Cols) {
-				runErr = fmt.Errorf("engine: plan chunk %v outside C (%dx%d)", ch, c.Rows, c.Cols)
-			} else {
-				blocks := make([]*matrix.Block, 0, ch.Blocks())
-				for i := ch.Row0; i < ch.Row0+ch.H; i++ {
-					for j := ch.Col0; j < ch.Col0+ch.W; j++ {
-						blocks = append(blocks, c.Block(i, j).Clone())
-					}
-				}
-				pace(op.Worker, ch.Blocks())
-				in[op.Worker] <- workerMsg{chunk: &chunkMsg{chunk: ch, blocks: blocks}}
-			}
-		case trace.SendAB:
-			if op.K0 < 0 || op.K1 > cfg.T || op.K0 >= op.K1 {
-				runErr = fmt.Errorf("engine: plan installment panels [%d,%d) outside t=%d", op.K0, op.K1, cfg.T)
-			} else {
-				d := op.K1 - op.K0
-				am := make([]*matrix.Block, 0, ch.H*d)
-				for i := ch.Row0; i < ch.Row0+ch.H; i++ {
-					for k := op.K0; k < op.K1; k++ {
-						am = append(am, a.Block(i, k))
-					}
-				}
-				bm := make([]*matrix.Block, 0, d*ch.W)
-				for k := op.K0; k < op.K1; k++ {
-					for j := ch.Col0; j < ch.Col0+ch.W; j++ {
-						bm = append(bm, b.Block(k, j))
-					}
-				}
-				pace(op.Worker, d*(ch.H+ch.W))
-				in[op.Worker] <- workerMsg{install: &installMsg{k0: op.K0, k1: op.K1, a: am, b: bm}}
-			}
-		case trace.RecvC:
-			in[op.Worker] <- workerMsg{flush: true}
-			done := <-out[op.Worker]
-			pace(op.Worker, ch.Blocks())
-			if done.chunk != ch {
-				runErr = fmt.Errorf("engine: worker P%d returned chunk %v, expected %v", op.Worker+1, done.chunk, ch)
-			} else {
-				idx := 0
-				for i := ch.Row0; i < ch.Row0+ch.H; i++ {
-					for j := ch.Col0; j < ch.Col0+ch.W; j++ {
-						c.SetBlock(i, j, done.blocks[idx])
-						idx++
-					}
-				}
-			}
-		}
-		if runErr != nil {
-			break
-		}
-	}
 	for w := 0; w < cfg.Workers; w++ {
-		close(in[w])
+		close(cb.in[w])
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		if err := <-errs; err != nil && runErr == nil {
@@ -187,15 +162,8 @@ func worker(in <-chan workerMsg, out chan<- chunkMsg, errs chan<- error) {
 				continue
 			}
 			inst := msg.install
-			d := inst.k1 - inst.k0
-			h, w := cur.chunk.H, cur.chunk.W
-			for i := 0; i < h; i++ {
-				for dk := 0; dk < d; dk++ {
-					ab := inst.a[i*d+dk]
-					for j := 0; j < w; j++ {
-						matrix.MulAdd(cur.blocks[i*w+j], ab, inst.b[dk*w+j])
-					}
-				}
+			if err := ApplyInstallment(cur.chunk, cur.blocks, inst.a, inst.b, inst.k1-inst.k0); err != nil {
+				fail("%v", err)
 			}
 		case msg.flush:
 			if cur == nil {

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Backend abstracts where a plan's workers actually live: goroutines behind
+// channels (this package's Run) or remote processes behind TCP connections
+// (internal/net). Execute drives any Backend with identical buffer
+// accounting, operation ordering, and C-accumulation, so the in-process and
+// networked runtimes cannot drift apart.
+type Backend interface {
+	// Workers is the number of addressable workers; plans may only reference
+	// workers in [0, Workers).
+	Workers() int
+	// SendC delivers the current contents of chunk ch (cloned from C) to
+	// worker w.
+	SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error
+	// SendAB delivers one installment: A panels a (ch.H×(k1-k0), row-major)
+	// and B panels b ((k1-k0)×ch.W, row-major) for inner range [k0, k1).
+	SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error
+	// RecvC asks worker w to return its finished chunk, which must be ch, and
+	// yields the ch.Blocks() updated C blocks in row-major order.
+	RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error)
+}
+
+// ErrWorkerDown marks a backend operation that failed because the worker is
+// gone (connection lost, heartbeat timeout). Execute reacts by re-queueing
+// the worker's outstanding jobs onto survivors; any other backend error
+// aborts the run.
+var ErrWorkerDown = errors.New("worker down")
+
+// Execute replays plan against real matrices through be: C ← C + A·B
+// restricted to the chunks the plan covers. A is r×t, B t×s, C r×s blocks.
+// The plan is validated up front (protocol, worker range, chunk geometry,
+// panel ranges), then ops are issued in plan order. Workers that fail with
+// ErrWorkerDown are retired and their incomplete jobs replayed on surviving
+// workers; Execute fails only when a non-failover error occurs or no workers
+// remain.
+func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Cols != t {
+		return fmt.Errorf("engine: shape mismatch A %dx%d, B %dx%d, C %dx%d, t=%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols, t)
+	}
+	jobs, opJob, err := sim.JobsFromPlan(plan)
+	if err != nil {
+		return err
+	}
+	nw := be.Workers()
+	for _, j := range jobs {
+		if j.Worker >= nw {
+			return fmt.Errorf("engine: plan references worker %d of %d", j.Worker, nw)
+		}
+		if !j.Chunk.Valid(c.Rows, c.Cols) {
+			return fmt.Errorf("engine: plan chunk %v outside C (%dx%d)", j.Chunk, c.Rows, c.Cols)
+		}
+		for _, p := range j.Panels {
+			if p[0] < 0 || p[1] > t || p[0] >= p[1] {
+				return fmt.Errorf("engine: plan installment panels [%d,%d) outside t=%d", p[0], p[1], t)
+			}
+		}
+	}
+
+	alive := make([]bool, nw)
+	for i := range alive {
+		alive[i] = true
+	}
+	done := make([]bool, len(jobs))
+	var orphans []int // jobs whose worker died before their RecvC landed
+	retire := func(w int) {
+		if !alive[w] {
+			return
+		}
+		alive[w] = false
+		for ji, j := range jobs {
+			if j.Worker == w && !done[ji] {
+				orphans = append(orphans, ji)
+			}
+		}
+	}
+
+	for i, op := range plan {
+		w := op.Worker
+		if !alive[w] {
+			continue // ops of a retired worker; its jobs are queued for replay
+		}
+		var opErr error
+		switch op.Kind {
+		case trace.SendC:
+			opErr = be.SendC(w, op.Chunk, cloneChunk(c, op.Chunk))
+		case trace.SendAB:
+			am, bm := gatherPanels(a, b, op.Chunk, op.K0, op.K1)
+			opErr = be.SendAB(w, op.Chunk, op.K0, op.K1, am, bm)
+		case trace.RecvC:
+			var blocks []*matrix.Block
+			blocks, opErr = be.RecvC(w, op.Chunk)
+			if opErr == nil {
+				if opErr = writeChunk(c, op.Chunk, blocks); opErr == nil {
+					done[opJob[i]] = true
+				}
+			}
+		}
+		if opErr != nil {
+			if errors.Is(opErr, ErrWorkerDown) {
+				retire(w)
+				continue
+			}
+			return opErr
+		}
+	}
+
+	// Replay orphaned jobs round-robin over the survivors. A job's chunk
+	// region of C is untouched until its RecvC lands, so replaying from the
+	// master's copy repeats no update and loses none.
+	next := 0
+	for len(orphans) > 0 {
+		ji := orphans[0]
+		orphans = orphans[1:]
+		w, ok := nextAlive(alive, &next)
+		if !ok {
+			return fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[ji].Chunk, ErrWorkerDown)
+		}
+		if err := replayJob(be, w, jobs[ji], a, b, c); err != nil {
+			if errors.Is(err, ErrWorkerDown) {
+				retire(w)
+				orphans = append(orphans, ji)
+				continue
+			}
+			return err
+		}
+		done[ji] = true
+	}
+	return nil
+}
+
+// replayJob runs one complete job synchronously on worker w.
+func replayJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix) error {
+	if err := be.SendC(w, j.Chunk, cloneChunk(c, j.Chunk)); err != nil {
+		return err
+	}
+	for _, p := range j.Panels {
+		am, bm := gatherPanels(a, b, j.Chunk, p[0], p[1])
+		if err := be.SendAB(w, j.Chunk, p[0], p[1], am, bm); err != nil {
+			return err
+		}
+	}
+	blocks, err := be.RecvC(w, j.Chunk)
+	if err != nil {
+		return err
+	}
+	return writeChunk(c, j.Chunk, blocks)
+}
+
+func nextAlive(alive []bool, cursor *int) (int, bool) {
+	for range alive {
+		w := *cursor % len(alive)
+		*cursor++
+		if alive[w] {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// cloneChunk snapshots chunk ch of c in row-major order.
+func cloneChunk(c *matrix.BlockMatrix, ch matrix.Chunk) []*matrix.Block {
+	blocks := make([]*matrix.Block, 0, ch.Blocks())
+	for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+		for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+			blocks = append(blocks, c.Block(i, j).Clone())
+		}
+	}
+	return blocks
+}
+
+// gatherPanels collects the A panels (ch.H×d, row-major) and B panels
+// (d×ch.W, row-major) of installment [k0, k1) for chunk ch.
+func gatherPanels(a, b *matrix.BlockMatrix, ch matrix.Chunk, k0, k1 int) (am, bm []*matrix.Block) {
+	d := k1 - k0
+	am = make([]*matrix.Block, 0, ch.H*d)
+	for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+		for k := k0; k < k1; k++ {
+			am = append(am, a.Block(i, k))
+		}
+	}
+	bm = make([]*matrix.Block, 0, d*ch.W)
+	for k := k0; k < k1; k++ {
+		for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+			bm = append(bm, b.Block(k, j))
+		}
+	}
+	return am, bm
+}
+
+// writeChunk stores a returned chunk's blocks back into c.
+func writeChunk(c *matrix.BlockMatrix, ch matrix.Chunk, blocks []*matrix.Block) error {
+	if len(blocks) != ch.Blocks() {
+		return fmt.Errorf("engine: result for %v has %d blocks, want %d", ch, len(blocks), ch.Blocks())
+	}
+	for _, blk := range blocks {
+		if blk == nil || blk.Q != c.Q {
+			return fmt.Errorf("engine: result for %v carries a block with edge mismatch", ch)
+		}
+	}
+	idx := 0
+	for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+		for j := ch.Col0; j < ch.Col0+ch.W; j++ {
+			c.SetBlock(i, j, blocks[idx])
+			idx++
+		}
+	}
+	return nil
+}
+
+// ApplyInstallment performs the block updates one installment enables on a
+// held chunk: cb (ch.H×ch.W, row-major) accumulates ab·bb where ab is
+// ch.H×d and bb d×ch.W, d = k1-k0 panels deep. Both the goroutine worker and
+// the networked worker apply installments through this one function, so every
+// backend performs bitwise-identical arithmetic.
+func ApplyInstallment(ch matrix.Chunk, cb, ab, bb []*matrix.Block, d int) error {
+	if d <= 0 || len(cb) != ch.H*ch.W || len(ab) != ch.H*d || len(bb) != d*ch.W {
+		return fmt.Errorf("engine: installment shape mismatch: chunk %v, d=%d, |c|=%d |a|=%d |b|=%d",
+			ch, d, len(cb), len(ab), len(bb))
+	}
+	for i := 0; i < ch.H; i++ {
+		for dk := 0; dk < d; dk++ {
+			a := ab[i*d+dk]
+			for j := 0; j < ch.W; j++ {
+				matrix.MulAdd(cb[i*ch.W+j], a, bb[dk*ch.W+j])
+			}
+		}
+	}
+	return nil
+}

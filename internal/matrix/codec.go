@@ -59,3 +59,48 @@ func ReadBlock(r io.Reader) (*Block, error) {
 // BlockWireSize returns the framed size in bytes of a q×q block, used by the
 // cluster runtime to budget link-rate emulation.
 func BlockWireSize(q int) int { return 8 + 8*q*q }
+
+// maxBlockList caps how many blocks one message may carry; the largest real
+// payload is a full installment or chunk of a huge instance, far below this.
+const maxBlockList = 1 << 22
+
+// WriteBlocks serializes a block list as a count followed by each block in
+// the framed binary format. It is the payload primitive of the distributed
+// runtime's wire protocol.
+func WriteBlocks(w io.Writer, blocks []*Block) error {
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(blocks)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return fmt.Errorf("matrix: write block count: %w", err)
+	}
+	for _, b := range blocks {
+		if err := WriteBlock(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBlocks deserializes a block list written by WriteBlocks.
+func ReadBlocks(r io.Reader) ([]*Block, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("matrix: read block count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	if n > maxBlockList {
+		return nil, fmt.Errorf("matrix: implausible block count %d", n)
+	}
+	// Grow the list as blocks actually arrive rather than trusting the
+	// count prefix with an up-front allocation: a hostile header then costs
+	// only what it ships.
+	var blocks []*Block
+	for i := 0; i < n; i++ {
+		b, err := ReadBlock(r)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}

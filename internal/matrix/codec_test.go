@@ -48,6 +48,43 @@ func TestReadBlockTruncated(t *testing.T) {
 	}
 }
 
+func TestBlocksListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 7} {
+		blocks := make([]*Block, n)
+		for i := range blocks {
+			blocks[i] = NewBlock(5)
+			blocks[i].FillRandom(rng)
+		}
+		var buf bytes.Buffer
+		if err := WriteBlocks(&buf, blocks); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBlocks(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d blocks back", n, len(got))
+		}
+		for i := range blocks {
+			if !blocks[i].Equal(got[i], 0) {
+				t.Errorf("n=%d: block %d altered in round trip", n, i)
+			}
+		}
+		if buf.Len() != 0 {
+			t.Errorf("n=%d: %d bytes left unread", n, buf.Len())
+		}
+	}
+}
+
+func TestReadBlocksRejectsHugeCount(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadBlocks(buf); err == nil {
+		t.Fatal("expected error on implausible block count")
+	}
+}
+
 func TestBlockRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,201 @@
+package net
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// MasterOptions tunes the master's link handling.
+type MasterOptions struct {
+	// DialTimeout bounds each worker connection attempt. Default 10s.
+	DialTimeout time.Duration
+	// IOTimeout bounds every send and, together with the worker's announced
+	// heartbeat interval, every receive: a worker that neither beats nor
+	// answers within max(IOTimeout, 3×heartbeat) is declared down. Default 30s.
+	IOTimeout time.Duration
+}
+
+func (o *MasterOptions) withDefaults() MasterOptions {
+	out := MasterOptions{DialTimeout: 10 * time.Second, IOTimeout: 30 * time.Second}
+	if o != nil {
+		if o.DialTimeout > 0 {
+			out.DialTimeout = o.DialTimeout
+		}
+		if o.IOTimeout > 0 {
+			out.IOTimeout = o.IOTimeout
+		}
+	}
+	return out
+}
+
+// link is one worker connection; a nil conn marks a retired worker.
+type link struct {
+	conn      net.Conn
+	rd        *bufio.Reader
+	wr        *bufio.Writer
+	name      string
+	heartbeat time.Duration
+}
+
+// Master drives remote workers over TCP. It implements engine.Backend, so
+// Run executes plans through exactly the same code path as the in-process
+// engine; only the block transport differs.
+type Master struct {
+	links []*link
+	opts  MasterOptions
+}
+
+var _ engine.Backend = (*Master)(nil)
+
+// Dial connects to every worker address and collects their registrations.
+// Worker i of any plan maps to addrs[i].
+func Dial(addrs []string, opts *MasterOptions) (*Master, error) {
+	m := &Master{opts: opts.withDefaults()}
+	for _, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, m.opts.DialTimeout)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("net: dial worker %s: %w", addr, err)
+		}
+		l := &link{conn: conn, rd: bufio.NewReaderSize(conn, 1<<16), wr: bufio.NewWriterSize(conn, 1<<16)}
+		conn.SetReadDeadline(time.Now().Add(m.opts.DialTimeout))
+		hello, err := ReadMsg(l.rd)
+		if err != nil {
+			conn.Close()
+			m.Close()
+			return nil, fmt.Errorf("net: bad registration from %s: %v", addr, err)
+		}
+		if hello.Kind != MsgHello {
+			conn.Close()
+			m.Close()
+			return nil, fmt.Errorf("net: bad registration from %s: got %s frame, want hello", addr, hello.Kind)
+		}
+		conn.SetReadDeadline(time.Time{})
+		l.name, l.heartbeat = hello.Name, hello.Heartbeat
+		m.links = append(m.links, l)
+	}
+	return m, nil
+}
+
+// WorkerNames returns the registered worker names in plan-index order.
+func (m *Master) WorkerNames() []string {
+	names := make([]string, len(m.links))
+	for i, l := range m.links {
+		names[i] = l.name
+	}
+	return names
+}
+
+// Workers implements engine.Backend.
+func (m *Master) Workers() int { return len(m.links) }
+
+// down retires a worker's link and wraps the cause as engine.ErrWorkerDown so
+// Execute re-queues its jobs.
+func (m *Master) down(w int, op string, cause error) error {
+	l := m.links[w]
+	name := l.name
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	return fmt.Errorf("net: %s to worker %d (%s): %v: %w", op, w, name, cause, engine.ErrWorkerDown)
+}
+
+// send frames one message to worker w with the write deadline applied.
+func (m *Master) send(w int, op string, msg *Msg) error {
+	l := m.links[w]
+	if l.conn == nil {
+		return fmt.Errorf("net: %s to worker %d (%s): link retired: %w", op, w, l.name, engine.ErrWorkerDown)
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(m.opts.IOTimeout))
+	if err := WriteMsg(l.wr, msg); err != nil {
+		return m.down(w, op, err)
+	}
+	if err := l.wr.Flush(); err != nil {
+		return m.down(w, op, err)
+	}
+	return nil
+}
+
+// SendC implements engine.Backend.
+func (m *Master) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
+	return m.send(w, "send chunk", &Msg{Kind: MsgChunk, Chunk: ch, Blocks: blocks})
+}
+
+// SendAB implements engine.Backend.
+func (m *Master) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
+	blocks := make([]*matrix.Block, 0, len(a)+len(b))
+	blocks = append(blocks, a...)
+	blocks = append(blocks, b...)
+	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: blocks})
+}
+
+// RecvC implements engine.Backend: flush the worker and wait for its result,
+// treating heartbeats as liveness that extends the wait.
+func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
+	if err := m.send(w, "flush", &Msg{Kind: MsgFlush, Chunk: ch}); err != nil {
+		return nil, err
+	}
+	l := m.links[w]
+	wait := m.opts.IOTimeout
+	if hb := 3 * l.heartbeat; hb > wait {
+		wait = hb
+	}
+	for {
+		l.conn.SetReadDeadline(time.Now().Add(wait))
+		msg, err := ReadMsg(l.rd)
+		if err != nil {
+			return nil, m.down(w, "receive result", err)
+		}
+		switch msg.Kind {
+		case MsgHeartbeat:
+			continue // still alive, keep waiting
+		case MsgResult:
+			if msg.Chunk != ch {
+				return nil, fmt.Errorf("net: worker %d (%s) returned chunk %v, expected %v", w, l.name, msg.Chunk, ch)
+			}
+			return msg.Blocks, nil
+		default:
+			return nil, fmt.Errorf("net: worker %d (%s) sent %s while a result was due", w, l.name, msg.Kind)
+		}
+	}
+}
+
+// Run executes plan against the connected workers: C ← C + A·B. It is the
+// networked twin of engine.Run — same executor, same failover, different
+// transport. Workers that die mid-run have their outstanding chunks replayed
+// on the survivors.
+func (m *Master) Run(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	return engine.Execute(t, plan, a, b, c, m)
+}
+
+// Shutdown tells every live worker to exit and closes all connections.
+func (m *Master) Shutdown() error {
+	var first error
+	for w, l := range m.links {
+		if l.conn == nil {
+			continue
+		}
+		if err := m.send(w, "shutdown", &Msg{Kind: MsgShutdown}); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.Close()
+	return first
+}
+
+// Close drops all connections without the shutdown handshake.
+func (m *Master) Close() {
+	for _, l := range m.links {
+		if l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+	}
+}

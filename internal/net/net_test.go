@@ -1,0 +1,227 @@
+package net
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// startWorkers launches n loopback worker endpoints and returns their
+// addresses. Each serves master sessions until the test ends.
+func startWorkers(t *testing.T, n int, opts func(i int) WorkerOptions) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		o := WorkerOptions{Heartbeat: 50 * time.Millisecond}
+		if opts != nil {
+			o = opts(i)
+		}
+		go Serve(ln, addrs[i], o)
+	}
+	return addrs
+}
+
+// testMatrices builds random A, B, C plus the serial reference product.
+func testMatrices(t *testing.T, inst sched.Instance, q int, seed int64) (a, b, c, want *matrix.BlockMatrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a = matrix.NewBlockMatrix(inst.R, inst.T, q)
+	b = matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c = matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want = c.Clone()
+	if err := matrix.Multiply(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, c, want
+}
+
+// TestLoopbackMatchesEngineBitwise runs the same plan through the in-process
+// engine and through TCP loopback workers and demands bitwise-identical C:
+// both backends funnel through engine.Execute and engine.ApplyInstallment,
+// so every floating-point operation happens in the same order.
+func TestLoopbackMatchesEngineBitwise(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 40},
+		platform.Worker{C: 2, W: 1.5, M: 24},
+		platform.Worker{C: 1.5, W: 2, M: 60},
+	)
+	inst := sched.Instance{R: 7, S: 11, T: 5}
+	for _, s := range []sched.Scheduler{sched.Het{}, sched.ODDOML{}, sched.BMM{}} {
+		res, err := s.Schedule(pl, inst)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		plan := res.Plan()
+		q := 4
+
+		a, b, cNet, want := testMatrices(t, inst, q, 21)
+		_, _, cEng, _ := testMatrices(t, inst, q, 21)
+
+		if err := engine.Run(engine.Config{Workers: pl.P(), T: inst.T}, plan, a, b, cEng); err != nil {
+			t.Fatalf("%s: engine: %v", s.Name(), err)
+		}
+
+		addrs := startWorkers(t, pl.P(), nil)
+		m, err := Dial(addrs, &MasterOptions{IOTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: dial: %v", s.Name(), err)
+		}
+		if err := m.Run(inst.T, plan, a, b, cNet); err != nil {
+			t.Fatalf("%s: distributed run: %v", s.Name(), err)
+		}
+		if err := m.Shutdown(); err != nil {
+			t.Errorf("%s: shutdown: %v", s.Name(), err)
+		}
+
+		if d := cNet.MaxAbsDiff(cEng); d != 0 {
+			t.Errorf("%s: distributed C differs from in-process C by %g (want bitwise equal)", s.Name(), d)
+		}
+		if d := cNet.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("%s: distributed C differs from serial reference by %g", s.Name(), d)
+		}
+	}
+}
+
+// TestWorkerCrashFailover kills one worker mid-run (abrupt connection close
+// after a few installments) and checks the survivors complete the product
+// correctly via the executor's job replay.
+func TestWorkerCrashFailover(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 1, 40)
+	inst := sched.Instance{R: 6, S: 9, T: 4}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for victim := 0; victim < pl.P(); victim++ {
+		a, b, c, want := testMatrices(t, inst, 3, int64(31+victim))
+		addrs := startWorkers(t, pl.P(), func(i int) WorkerOptions {
+			o := WorkerOptions{Heartbeat: 50 * time.Millisecond}
+			if i == victim {
+				o.CrashAfterInstalls = 2
+			}
+			return o
+		})
+		m, err := Dial(addrs, &MasterOptions{IOTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("victim %d: dial: %v", victim, err)
+		}
+		if err := m.Run(inst.T, res.Plan(), a, b, c); err != nil {
+			t.Fatalf("victim %d: run did not survive the crash: %v", victim, err)
+		}
+		if err := m.Shutdown(); err != nil {
+			t.Logf("victim %d: shutdown: %v (expected: one link is dead)", victim, err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("victim %d: C wrong by %g after failover", victim, d)
+		}
+	}
+}
+
+// TestWorkerKillMidRunViaConnDrop drops a worker by closing its listener and
+// live connection from outside — the closest a test gets to kill -9 — and
+// checks the run still completes.
+func TestWorkerKillMidRunViaConnDrop(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 40)
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, want := testMatrices(t, inst, 3, 47)
+
+	// Worker 0 is normal; worker 1 crashes after its first installment.
+	addrs := startWorkers(t, 2, func(i int) WorkerOptions {
+		o := WorkerOptions{Heartbeat: 50 * time.Millisecond}
+		if i == 1 {
+			o.CrashAfterInstalls = 1
+		}
+		return o
+	})
+	m, err := Dial(addrs, &MasterOptions{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(inst.T, res.Plan(), a, b, c); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m.Shutdown()
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("C wrong by %g", d)
+	}
+}
+
+// TestIdleClientCannotWedgeWorker connects a mute client to a worker and
+// checks the idle timeout frees the (sequential) serve loop for a real
+// master afterwards.
+func TestIdleClientCannotWedgeWorker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go Serve(ln, "wedgeable", WorkerOptions{Heartbeat: 50 * time.Millisecond, IdleTimeout: 200 * time.Millisecond})
+
+	mute, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	time.Sleep(100 * time.Millisecond) // let the worker accept the mute session
+
+	m, err := Dial([]string{ln.Addr().String()}, &MasterOptions{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("real master starved behind a mute client: %v", err)
+	}
+	defer m.Close()
+
+	pl := platform.Homogeneous(1, 1, 1, 40)
+	inst := sched.Instance{R: 2, S: 2, T: 2}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, want := testMatrices(t, inst, 2, 53)
+	if err := m.Run(inst.T, res.Plan(), a, b, c); err != nil {
+		t.Fatalf("run after mute client: %v", err)
+	}
+	m.Shutdown()
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("C wrong by %g", d)
+	}
+}
+
+// TestDialRejectsSilentPeer ensures a listener that never registers is
+// reported instead of hanging the master forever.
+func TestDialRejectsSilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(2 * time.Second) // never send hello
+		}
+	}()
+	if _, err := Dial([]string{ln.Addr().String()}, &MasterOptions{DialTimeout: 300 * time.Millisecond}); err == nil {
+		t.Fatal("silent peer accepted as a worker")
+	}
+}

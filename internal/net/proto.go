@@ -1,0 +1,259 @@
+// Package net is the distributed master-worker runtime: a master process
+// drives worker processes (possibly on other machines) over TCP, replaying
+// the same sim.Plan the in-process engine executes. It plays the role MPI
+// plays in the paper's experiments, with the one-port model arising
+// naturally: the master issues one blocking transfer at a time, while each
+// worker computes in its own process and the socket buffers provide the
+// input double-buffering of the optimized memory layout.
+//
+// Plan execution — buffer accounting, operation ordering, C-accumulation,
+// failover — lives in internal/engine (Execute); this package only supplies
+// the engine.Backend that moves blocks over sockets and the worker loop that
+// applies them, so the loopback path is a strict correctness oracle:
+// distributed C is bitwise-equal to in-process C.
+//
+// The wire format is length-prefixed binary frames whose block payloads
+// reuse the framed float64 codec of internal/matrix (gob costs ~3× on large
+// numeric slices, and the runtime moves thousands of 51 KB blocks).
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// MsgKind labels protocol frames.
+type MsgKind uint8
+
+const (
+	MsgHello     MsgKind = iota + 1 // worker → master: registration
+	MsgChunk                        // master → worker: C chunk
+	MsgInstall                      // master → worker: A/B panels
+	MsgFlush                        // master → worker: return the chunk
+	MsgResult                       // worker → master: finished chunk
+	MsgHeartbeat                    // worker → master: liveness beacon
+	MsgShutdown                     // master → worker: exit
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgHello:
+		return "hello"
+	case MsgChunk:
+		return "chunk"
+	case MsgInstall:
+		return "install"
+	case MsgFlush:
+		return "flush"
+	case MsgResult:
+		return "result"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Msg is the single protocol envelope; fields irrelevant to a Kind stay at
+// their zero values and are not encoded.
+type Msg struct {
+	Kind      MsgKind
+	Name      string        // Hello: worker name
+	Heartbeat time.Duration // Hello: interval at which the worker will beat
+	Chunk     matrix.Chunk  // Chunk / Install / Flush / Result
+	K0, K1    int           // Install: inner panel range [K0, K1)
+	Blocks    []*matrix.Block
+}
+
+const (
+	frameMagic      = 0x4d4d5031 // "MMP1"
+	maxFramePayload = 1 << 30    // 1 GiB: far above any real installment
+	maxNameLen      = 1 << 10
+)
+
+// payloadLen computes a frame's exact payload size from its fields, so
+// WriteMsg can emit the length prefix first and then stream the payload —
+// block data is written once, never staged in an intermediate buffer.
+func payloadLen(m *Msg) (int, error) {
+	blocksLen := func() int {
+		n := 4 // count prefix
+		for _, b := range m.Blocks {
+			n += matrix.BlockWireSize(b.Q)
+		}
+		return n
+	}
+	switch m.Kind {
+	case MsgHello:
+		if len(m.Name) > maxNameLen {
+			return 0, fmt.Errorf("net: worker name %d bytes long", len(m.Name))
+		}
+		return 6 + len(m.Name), nil
+	case MsgChunk, MsgResult:
+		return 16 + blocksLen(), nil
+	case MsgInstall:
+		return 16 + 8 + blocksLen(), nil
+	case MsgFlush:
+		return 16, nil
+	case MsgHeartbeat, MsgShutdown:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("net: cannot encode message kind %d", m.Kind)
+	}
+}
+
+// WriteMsg writes one length-prefixed frame to w.
+func WriteMsg(w io.Writer, m *Msg) error {
+	n, err := payloadLen(m)
+	if err != nil {
+		return err
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("net: write frame header: %w", err)
+	}
+	switch m.Kind {
+	case MsgHello:
+		var hello [6]byte
+		binary.LittleEndian.PutUint32(hello[0:4], uint32(m.Heartbeat/time.Millisecond))
+		binary.LittleEndian.PutUint16(hello[4:6], uint16(len(m.Name)))
+		if _, err := w.Write(hello[:]); err != nil {
+			return fmt.Errorf("net: write hello: %w", err)
+		}
+		if _, err := io.WriteString(w, m.Name); err != nil {
+			return fmt.Errorf("net: write hello name: %w", err)
+		}
+	case MsgChunk, MsgResult:
+		if err := putChunk(w, m.Chunk); err != nil {
+			return err
+		}
+		if err := matrix.WriteBlocks(w, m.Blocks); err != nil {
+			return err
+		}
+	case MsgInstall:
+		if err := putChunk(w, m.Chunk); err != nil {
+			return err
+		}
+		var kr [8]byte
+		binary.LittleEndian.PutUint32(kr[0:4], uint32(m.K0))
+		binary.LittleEndian.PutUint32(kr[4:8], uint32(m.K1))
+		if _, err := w.Write(kr[:]); err != nil {
+			return fmt.Errorf("net: write panel range: %w", err)
+		}
+		if err := matrix.WriteBlocks(w, m.Blocks); err != nil {
+			return err
+		}
+	case MsgFlush:
+		if err := putChunk(w, m.Chunk); err != nil {
+			return err
+		}
+	case MsgHeartbeat, MsgShutdown:
+		// empty payload
+	}
+	return nil
+}
+
+// ReadMsg reads one frame from r. The payload is decoded straight off the
+// stream through an io.LimitedReader rather than staged in a frame-sized
+// buffer: allocation tracks bytes that actually arrive, so a hostile 9-byte
+// header cannot reserve a gigabyte, and large block frames cost one copy,
+// mirroring the write side.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("net: read frame header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != frameMagic {
+		return nil, fmt.Errorf("net: bad frame magic %#x", m)
+	}
+	kind := MsgKind(hdr[4])
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("net: implausible frame payload %d bytes", n)
+	}
+	buf := &io.LimitedReader{R: r, N: int64(n)}
+
+	m := &Msg{Kind: kind}
+	var err error
+	switch kind {
+	case MsgHello:
+		var hdr [6]byte
+		if _, err = io.ReadFull(buf, hdr[:]); err != nil {
+			break
+		}
+		m.Heartbeat = time.Duration(binary.LittleEndian.Uint32(hdr[0:4])) * time.Millisecond
+		nameLen := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("net: hello name %d bytes long", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err = io.ReadFull(buf, name); err != nil {
+			break
+		}
+		m.Name = string(name)
+	case MsgChunk, MsgResult:
+		if m.Chunk, err = getChunk(buf); err != nil {
+			break
+		}
+		m.Blocks, err = matrix.ReadBlocks(buf)
+	case MsgInstall:
+		if m.Chunk, err = getChunk(buf); err != nil {
+			break
+		}
+		var kr [8]byte
+		if _, err = io.ReadFull(buf, kr[:]); err != nil {
+			break
+		}
+		m.K0 = int(int32(binary.LittleEndian.Uint32(kr[0:4])))
+		m.K1 = int(int32(binary.LittleEndian.Uint32(kr[4:8])))
+		m.Blocks, err = matrix.ReadBlocks(buf)
+	case MsgFlush:
+		m.Chunk, err = getChunk(buf)
+	case MsgHeartbeat, MsgShutdown:
+		// empty payload
+	default:
+		return nil, fmt.Errorf("net: unknown message kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("net: decode %s: %w", kind, err)
+	}
+	if buf.N != 0 {
+		// Erroring without consuming the remainder is fine: framing is
+		// unrecoverable at this point and the session ends.
+		return nil, fmt.Errorf("net: %s frame has %d trailing bytes", kind, buf.N)
+	}
+	return m, nil
+}
+
+func putChunk(w io.Writer, ch matrix.Chunk) error {
+	var b [16]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(ch.Row0))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(ch.Col0))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(ch.H))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(ch.W))
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("net: write chunk coords: %w", err)
+	}
+	return nil
+}
+
+func getChunk(r io.Reader) (matrix.Chunk, error) {
+	var b [16]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return matrix.Chunk{}, err
+	}
+	return matrix.Chunk{
+		Row0: int(int32(binary.LittleEndian.Uint32(b[0:4]))),
+		Col0: int(int32(binary.LittleEndian.Uint32(b[4:8]))),
+		H:    int(int32(binary.LittleEndian.Uint32(b[8:12]))),
+		W:    int(int32(binary.LittleEndian.Uint32(b[12:16]))),
+	}, nil
+}

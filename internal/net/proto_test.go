@@ -1,0 +1,110 @@
+package net
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+func randBlocks(t *testing.T, n, q int, seed int64) []*matrix.Block {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*matrix.Block, n)
+	for i := range out {
+		out[i] = matrix.NewBlock(q)
+		out[i].FillRandom(rng)
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, m); err != nil {
+		t.Fatalf("write %s: %v", m.Kind, err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatalf("read %s: %v", m.Kind, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%s: %d bytes left after read", m.Kind, buf.Len())
+	}
+	return got
+}
+
+// TestProtoRoundTripEveryKind encodes and decodes one message of every
+// protocol kind and checks all fields survive bit-for-bit.
+func TestProtoRoundTripEveryKind(t *testing.T) {
+	ch := matrix.Chunk{Row0: 3, Col0: 7, H: 2, W: 4}
+	msgs := []*Msg{
+		{Kind: MsgHello, Name: "node-17", Heartbeat: 250 * time.Millisecond},
+		{Kind: MsgChunk, Chunk: ch, Blocks: randBlocks(t, ch.Blocks(), 5, 1)},
+		{Kind: MsgInstall, Chunk: ch, K0: 2, K1: 5, Blocks: randBlocks(t, 3*(ch.H+ch.W), 5, 2)},
+		{Kind: MsgFlush, Chunk: ch},
+		{Kind: MsgResult, Chunk: ch, Blocks: randBlocks(t, ch.Blocks(), 5, 3)},
+		{Kind: MsgHeartbeat},
+		{Kind: MsgShutdown},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if got.Kind != m.Kind || got.Name != m.Name || got.Heartbeat != m.Heartbeat ||
+			got.Chunk != m.Chunk || got.K0 != m.K0 || got.K1 != m.K1 {
+			t.Errorf("%s: fields mangled: sent %+v got %+v", m.Kind, m, got)
+		}
+		if len(got.Blocks) != len(m.Blocks) {
+			t.Fatalf("%s: %d blocks back, sent %d", m.Kind, len(got.Blocks), len(m.Blocks))
+		}
+		for i := range m.Blocks {
+			if got.Blocks[i].MaxAbsDiff(m.Blocks[i]) != 0 {
+				t.Errorf("%s: block %d not bitwise identical", m.Kind, i)
+			}
+		}
+	}
+}
+
+// TestProtoStreamOfMessages checks framing survives back-to-back messages on
+// one stream, as the socket carries them.
+func TestProtoStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	ch := matrix.Chunk{H: 1, W: 1}
+	sent := []*Msg{
+		{Kind: MsgChunk, Chunk: ch, Blocks: randBlocks(t, 1, 3, 4)},
+		{Kind: MsgHeartbeat},
+		{Kind: MsgInstall, Chunk: ch, K0: 0, K1: 1, Blocks: randBlocks(t, 2, 3, 5)},
+		{Kind: MsgFlush, Chunk: ch},
+	}
+	for _, m := range sent {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range sent {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Kind != want.Kind {
+			t.Fatalf("message %d: kind %s, want %s", i, got.Kind, want.Kind)
+		}
+	}
+}
+
+func TestProtoRejectsGarbage(t *testing.T) {
+	if _, err := ReadMsg(bytes.NewReader([]byte("this is not a frame, not even close"))); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, &Msg{Kind: MsgChunk, Chunk: matrix.Chunk{H: 1, W: 1}, Blocks: randBlocks(t, 1, 4, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if err := WriteMsg(&buf, &Msg{Kind: MsgKind(99)}); err == nil {
+		t.Error("unknown kind encoded")
+	}
+}

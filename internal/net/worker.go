@@ -1,0 +1,268 @@
+package net
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+)
+
+// WorkerOptions tunes a worker endpoint.
+type WorkerOptions struct {
+	// Heartbeat is the interval at which the worker beats while serving a
+	// master, announced in its registration. Default 500ms.
+	Heartbeat time.Duration
+	// IdleTimeout ends a session whose socket stays silent this long, so one
+	// stalled or mute client cannot wedge the (sequential) serve loop
+	// forever. Default 2 minutes; negative disables.
+	IdleTimeout time.Duration
+	// CrashAfterInstalls is a chaos hook for failover tests: after applying
+	// this many installments the worker abruptly closes its connection, as a
+	// killed process would. Zero disables.
+	CrashAfterInstalls int
+	// Logf, when non-nil, receives serve-loop events (registrations,
+	// session ends).
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) heartbeat() time.Duration {
+	if o.Heartbeat > 0 {
+		return o.Heartbeat
+	}
+	return 500 * time.Millisecond
+}
+
+func (o WorkerOptions) idleTimeout() time.Duration {
+	if o.IdleTimeout != 0 {
+		return o.IdleTimeout
+	}
+	return 2 * time.Minute
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// ErrCrashInjected reports a session ended by the CrashAfterInstalls hook.
+var ErrCrashInjected = errors.New("net: worker crash injected")
+
+// ListenAndServe listens on addr and serves master sessions sequentially,
+// forever (one master drives the worker at a time, as one MPI rank would).
+// It returns only on a listener error.
+func ListenAndServe(addr, name string, opts WorkerOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("net: worker listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	return Serve(ln, name, opts)
+}
+
+// Serve accepts master sessions on ln sequentially, forever. Session errors
+// are logged (a master vanishing must not kill the worker daemon); accept
+// errors back off briefly (an fd-exhausted process must not spin); closing
+// the listener ends the loop.
+func Serve(ln net.Listener, name string, opts WorkerOptions) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return fmt.Errorf("net: worker accept: %w", err)
+			}
+			opts.logf("worker %s: accept: %v", name, err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		opts.logf("worker %s: master connected from %s", name, conn.RemoteAddr())
+		if err := ServeConn(conn, name, opts); err != nil {
+			opts.logf("worker %s: session: %v", name, err)
+		}
+	}
+}
+
+// ServeOne accepts and serves exactly one master session.
+func ServeOne(ln net.Listener, name string, opts WorkerOptions) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return fmt.Errorf("net: worker accept: %w", err)
+	}
+	opts.logf("worker %s: master connected from %s", name, conn.RemoteAddr())
+	err = ServeConn(conn, name, opts)
+	opts.logf("worker %s: session ended: %v", name, err)
+	return err
+}
+
+// ServeConn runs one master session over conn: register, then hold a chunk,
+// apply installments with the shared engine kernel, answer flushes, and beat
+// the heartbeat until shutdown. It closes conn before returning and returns
+// nil on a clean shutdown.
+//
+// Frames are drained by a dedicated reader goroutine and processed from an
+// in-memory queue, so the socket keeps emptying while an installment
+// computes — the master's sends never block behind this worker's compute,
+// exactly the buffered-installment overlap of the paper's memory layout.
+func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
+	defer conn.Close()
+
+	// Results and heartbeats share the connection, so writes go through one
+	// mutex-guarded, immediately-flushed path.
+	var wmu sync.Mutex
+	wr := bufio.NewWriterSize(conn, 1<<16)
+	write := func(m *Msg) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := WriteMsg(wr, m); err != nil {
+			return err
+		}
+		return wr.Flush()
+	}
+
+	hb := opts.heartbeat()
+	if err := write(&Msg{Kind: MsgHello, Name: name, Heartbeat: hb}); err != nil {
+		return fmt.Errorf("net: worker %s: register: %w", name, err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// Skip a beat rather than queue behind a write in progress
+				// (or one stalled on full buffers): heartbeats are liveness,
+				// not data, and must never delay a result frame.
+				if !wmu.TryLock() {
+					continue
+				}
+				err := WriteMsg(wr, &Msg{Kind: MsgHeartbeat})
+				if err == nil {
+					err = wr.Flush()
+				}
+				wmu.Unlock()
+				if err != nil {
+					return // master is gone; the read loop will see it too
+				}
+			}
+		}
+	}()
+
+	type frame struct {
+		msg *Msg
+		err error
+	}
+	// The idle deadline guards against clients that connect and go mute
+	// before or between jobs. While a chunk is held the session is mid-job —
+	// a one-port master legitimately goes silent here while it serves other
+	// workers — so the deadline is disarmed; a master that dies mid-job
+	// surfaces as a read error via its closing socket or, on a silent
+	// partition, the kernel's TCP keepalive probes. busy flags that state to
+	// the reader; a timeout that races the flag is simply retried, and the
+	// consumer re-arms the deadline directly when a job completes (the
+	// reader may already be blocked in a deadline-less read by then).
+	var busy atomic.Bool
+	idle := opts.idleTimeout()
+	// Queue depth bounds how many frames a master can run ahead; one job is
+	// at most a chunk, one frame per installment, and a flush, so this
+	// accommodates t up to several thousand panels without ever letting the
+	// reader stall the socket.
+	frames := make(chan frame, 4096)
+	go func() {
+		rd := bufio.NewReaderSize(conn, 1<<16)
+		for {
+			if idle > 0 && !busy.Load() {
+				conn.SetReadDeadline(time.Now().Add(idle))
+			} else {
+				conn.SetReadDeadline(time.Time{})
+			}
+			msg, err := ReadMsg(rd)
+			if err != nil && busy.Load() {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue // deadline armed just before the job started
+				}
+			}
+			select {
+			case frames <- frame{msg: msg, err: err}:
+			case <-stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var cur matrix.Chunk
+	var blocks []*matrix.Block // nil ⇔ no chunk held
+	installs := 0
+	for {
+		f := <-frames
+		if f.err != nil {
+			return fmt.Errorf("net: worker %s: read: %w", name, f.err)
+		}
+		msg := f.msg
+		switch msg.Kind {
+		case MsgChunk:
+			if blocks != nil {
+				return fmt.Errorf("net: worker %s: received chunk %v while holding %v", name, msg.Chunk, cur)
+			}
+			if msg.Chunk.Blocks() != len(msg.Blocks) {
+				return fmt.Errorf("net: worker %s: chunk %v carries %d blocks", name, msg.Chunk, len(msg.Blocks))
+			}
+			cur, blocks = msg.Chunk, msg.Blocks
+			busy.Store(true)
+		case MsgInstall:
+			if blocks == nil {
+				return fmt.Errorf("net: worker %s: received inputs with no chunk", name)
+			}
+			if msg.Chunk != cur {
+				return fmt.Errorf("net: worker %s: inputs for %v while holding %v", name, msg.Chunk, cur)
+			}
+			d := msg.K1 - msg.K0
+			if d <= 0 || len(msg.Blocks) != d*(cur.H+cur.W) {
+				return fmt.Errorf("net: worker %s: install payload %d blocks for %v depth %d", name, len(msg.Blocks), cur, d)
+			}
+			am, bm := msg.Blocks[:cur.H*d], msg.Blocks[cur.H*d:]
+			if err := engine.ApplyInstallment(cur, blocks, am, bm, d); err != nil {
+				return fmt.Errorf("net: worker %s: %w", name, err)
+			}
+			installs++
+			if opts.CrashAfterInstalls > 0 && installs >= opts.CrashAfterInstalls {
+				conn.Close() // simulate a killed process: vanish mid-protocol
+				return ErrCrashInjected
+			}
+		case MsgFlush:
+			if blocks == nil {
+				return fmt.Errorf("net: worker %s: flush with no chunk", name)
+			}
+			if msg.Chunk != cur {
+				return fmt.Errorf("net: worker %s: flush for %v while holding %v", name, msg.Chunk, cur)
+			}
+			if err := write(&Msg{Kind: MsgResult, Chunk: cur, Blocks: blocks}); err != nil {
+				return fmt.Errorf("net: worker %s: send result: %w", name, err)
+			}
+			blocks = nil
+			busy.Store(false)
+			if idle > 0 {
+				// The reader may be mid-read with no deadline armed;
+				// SetReadDeadline applies to blocked reads too.
+				conn.SetReadDeadline(time.Now().Add(idle))
+			}
+		case MsgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("net: worker %s: unexpected %s message", name, msg.Kind)
+		}
+	}
+}

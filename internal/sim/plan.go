@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// PlanJob is one chunk's complete operation program extracted from a plan:
+// the C-chunk delivery, the ordered installment panel ranges, and the final
+// chunk retrieval, all addressed to Worker. Jobs are the unit of failover in
+// the real runtimes — chunk results only land in C at RecvC, so when a worker
+// dies mid-job the whole job can be replayed verbatim on a survivor from the
+// master's untouched copy of the chunk.
+type PlanJob struct {
+	Worker int
+	Chunk  matrix.Chunk
+	Panels [][2]int // [K0, K1) of each installment, in delivery order
+}
+
+// JobsFromPlan groups a plan's ops into per-chunk jobs and validates the
+// per-worker protocol: each worker's op stream must be a sequence of
+// SendC (SendAB)* RecvC rounds over a consistent chunk. It returns the jobs
+// in order of their SendC appearance and opJob, mapping every plan index to
+// the index of the job its op belongs to.
+func JobsFromPlan(plan []PlanOp) (jobs []PlanJob, opJob []int, err error) {
+	opJob = make([]int, len(plan))
+	open := map[int]int{} // worker → index of its in-flight job
+	for i, op := range plan {
+		if op.Worker < 0 {
+			return nil, nil, fmt.Errorf("sim: plan op %d references worker %d", i, op.Worker)
+		}
+		ji, inFlight := open[op.Worker]
+		switch op.Kind {
+		case trace.SendC:
+			if inFlight {
+				return nil, nil, fmt.Errorf("sim: plan op %d sends chunk %v to P%d which already holds %v",
+					i, op.Chunk, op.Worker+1, jobs[ji].Chunk)
+			}
+			open[op.Worker] = len(jobs)
+			opJob[i] = len(jobs)
+			jobs = append(jobs, PlanJob{Worker: op.Worker, Chunk: op.Chunk})
+		case trace.SendAB:
+			if !inFlight {
+				return nil, nil, fmt.Errorf("sim: plan op %d sends inputs to P%d with no chunk in flight", i, op.Worker+1)
+			}
+			if jobs[ji].Chunk != op.Chunk {
+				return nil, nil, fmt.Errorf("sim: plan op %d sends inputs for %v while P%d holds %v",
+					i, op.Chunk, op.Worker+1, jobs[ji].Chunk)
+			}
+			opJob[i] = ji
+			jobs[ji].Panels = append(jobs[ji].Panels, [2]int{op.K0, op.K1})
+		case trace.RecvC:
+			if !inFlight {
+				return nil, nil, fmt.Errorf("sim: plan op %d receives from P%d with no chunk in flight", i, op.Worker+1)
+			}
+			if jobs[ji].Chunk != op.Chunk {
+				return nil, nil, fmt.Errorf("sim: plan op %d receives %v while P%d holds %v",
+					i, op.Chunk, op.Worker+1, jobs[ji].Chunk)
+			}
+			opJob[i] = ji
+			delete(open, op.Worker)
+		default:
+			return nil, nil, fmt.Errorf("sim: plan op %d has unknown kind %v", i, op.Kind)
+		}
+	}
+	for w, ji := range open {
+		return nil, nil, fmt.Errorf("sim: plan leaves chunk %v in flight on P%d (missing RecvC)", jobs[ji].Chunk, w+1)
+	}
+	return jobs, opJob, nil
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// TestJobsFromPlanRebuildsJobs groups a real scheduler-produced plan and
+// checks every op maps to a job whose chunk and panels match the plan.
+func TestJobsFromPlanRebuildsJobs(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 100)
+	ch0 := matrix.Chunk{Row0: 0, Col0: 0, H: 2, W: 2}
+	ch1 := matrix.Chunk{Row0: 0, Col0: 2, H: 2, W: 2}
+	queues := [][]Job{
+		{MakeStandardJob(ch0, 3, 0)},
+		{MakeStandardJob(ch1, 3, 1)},
+	}
+	res, err := Run(Config{Platform: pl, Source: NewStatic(queues), Policy: &Priority{}, Name: "jobs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, opJob, err := JobsFromPlan(res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	if len(opJob) != len(res.Plan) {
+		t.Fatalf("opJob covers %d ops of %d", len(opJob), len(res.Plan))
+	}
+	for i, op := range res.Plan {
+		j := jobs[opJob[i]]
+		if j.Worker != op.Worker || j.Chunk != op.Chunk {
+			t.Errorf("op %d (%+v) mapped to job %+v", i, op, j)
+		}
+	}
+	for _, j := range jobs {
+		if len(j.Panels) != 3 {
+			t.Errorf("job %v has %d panels, want 3 (t=3, standard layout)", j.Chunk, len(j.Panels))
+		}
+		for k, p := range j.Panels {
+			if p != [2]int{k, k + 1} {
+				t.Errorf("job %v panel %d is %v", j.Chunk, k, p)
+			}
+		}
+	}
+}
+
+func TestJobsFromPlanRejectsProtocolViolations(t *testing.T) {
+	ch := matrix.Chunk{H: 1, W: 1}
+	other := matrix.Chunk{Row0: 1, H: 1, W: 1}
+	cases := map[string][]PlanOp{
+		"install before chunk": {
+			{Worker: 0, Kind: trace.SendAB, Chunk: ch, K0: 0, K1: 1},
+		},
+		"recv before chunk": {
+			{Worker: 0, Kind: trace.RecvC, Chunk: ch},
+		},
+		"double send": {
+			{Worker: 0, Kind: trace.SendC, Chunk: ch},
+			{Worker: 0, Kind: trace.SendC, Chunk: other},
+		},
+		"chunk mismatch": {
+			{Worker: 0, Kind: trace.SendC, Chunk: ch},
+			{Worker: 0, Kind: trace.SendAB, Chunk: other, K0: 0, K1: 1},
+		},
+		"missing recv": {
+			{Worker: 0, Kind: trace.SendC, Chunk: ch},
+			{Worker: 0, Kind: trace.SendAB, Chunk: ch, K0: 0, K1: 1},
+		},
+		"negative worker": {
+			{Worker: -1, Kind: trace.SendC, Chunk: ch},
+		},
+	}
+	for name, plan := range cases {
+		if _, _, err := JobsFromPlan(plan); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Smoke-test the runnable examples: build every example, then actually run
+# the fast ones (quickstart: scheduling only; distributed: a real TCP
+# master-worker round trip on loopback) and fail on any non-zero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./examples/..."
+go build ./examples/...
+
+echo "== go run ./examples/quickstart"
+go run ./examples/quickstart
+
+echo "== go run ./examples/distributed"
+go run ./examples/distributed
+
+echo "examples smoke OK"
