@@ -8,13 +8,19 @@
 package repro
 
 import (
+	"bytes"
+	"math/rand"
+	stdnet "net"
 	"testing"
+	"time"
 
 	"repro/internal/bound"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/lp"
 	"repro/internal/lu"
 	"repro/internal/matrix"
+	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/steady"
@@ -203,19 +209,153 @@ func BenchmarkLUSimulation(b *testing.B) {
 }
 
 // BenchmarkBlockMulAdd is the q=80 kernel the whole model normalizes
-// against: one block update = 2·q³ flops.
+// against: one block update = 2·q³ flops. The operands are zero-free, like
+// the engine's random dense blocks (an earlier version used i%7, whose 14%
+// exact zeros flattered the since-removed zero-skip branch).
 func BenchmarkBlockMulAdd(b *testing.B) {
 	a := matrix.NewBlock(80)
 	bb := matrix.NewBlock(80)
 	c := matrix.NewBlock(80)
 	for i := range a.Data {
-		a.Data[i] = float64(i % 7)
-		bb.Data[i] = float64(i % 5)
+		a.Data[i] = float64(i%7) + 0.5
+		bb.Data[i] = float64(i%5) + 0.25
 	}
 	b.SetBytes(3 * 8 * 80 * 80)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		matrix.MulAdd(c, a, bb)
+	}
+}
+
+func benchRNG() *rand.Rand { return rand.New(rand.NewSource(3)) }
+
+// runEngineBench executes one plan repeatedly on the in-process engine with
+// paced transfers (5µs per block×unit-cost — the modeled link time a real
+// cluster would spend on the wire) and reports blocks moved per second of
+// modeled+real time. Sequential vs pipelined on the same plan isolates the
+// executor: the sequential op loop leaves the link idle while it waits in
+// RecvC, the pipelined executor does not.
+func runEngineBench(b *testing.B, pipelined, onePort bool) {
+	pl := platform.Homogeneous(4, 1, 1, 60)
+	inst := sched.Instance{R: 8, S: 16, T: 6}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := res.Plan()
+	q := 16
+	rng := benchRNG()
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	bm := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c0 := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	c0.FillRandom(rng)
+	cfg := engine.Config{
+		Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: 5 * time.Microsecond,
+		Pipelined: pipelined, OnePort: onePort,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := c0.Clone()
+		b.StartTimer()
+		if err := engine.Run(cfg, plan, a, bm, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRun is the sequential executor: ops issued strictly in plan
+// order from one goroutine, every paced transfer and every RecvC wait
+// serializing against everything else.
+func BenchmarkEngineRun(b *testing.B) { runEngineBench(b, false, false) }
+
+// BenchmarkEngineRunPipelined is the concurrent executor on the same plan:
+// per-worker dispatch goroutines overlap transfers to distinct workers with
+// each other and with all compute. C is bitwise-identical to the sequential
+// run's.
+func BenchmarkEngineRunPipelined(b *testing.B) { runEngineBench(b, true, false) }
+
+// BenchmarkEngineRunPipelinedOnePort adds the one-port gate: transfers
+// serialize (the paper's model) but compute still overlaps, bounding the
+// run by total transfer time rather than total transfer+wait time.
+func BenchmarkEngineRunPipelinedOnePort(b *testing.B) { runEngineBench(b, true, true) }
+
+// BenchmarkDistributedLoopback drives 3 loopback-TCP mmworker serve loops
+// with the pipelined executor — real sockets, real codec traffic, the
+// steady-state zero-alloc block path end to end.
+func BenchmarkDistributedLoopback(b *testing.B) {
+	pl := platform.Homogeneous(3, 1, 1, 60)
+	inst := sched.Instance{R: 6, S: 12, T: 4}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := res.Plan()
+	q := 16
+	rng := benchRNG()
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	bm := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c0 := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	c0.FillRandom(rng)
+
+	var addrs []string
+	for i := 0; i < pl.P(); i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, ln.Addr().String())
+		go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 200 * time.Millisecond})
+	}
+	m, err := mmnet.Dial(addrs, &mmnet.MasterOptions{IOTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := c0.Clone()
+		b.StartTimer()
+		if err := m.RunPipelined(inst.T, plan, a, bm, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecReadBlock measures the steady-state pooled decode path the
+// workers' receive loops run on: one warm BlockCodec + BlockPool, q=80
+// frames. The headline number is allocs/op (near zero once warm).
+func BenchmarkCodecReadBlock(b *testing.B) {
+	var pool matrix.BlockPool
+	enc := &matrix.BlockCodec{}
+	dec := &matrix.BlockCodec{Pool: &pool}
+	src := matrix.NewBlock(80)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	var frame bytes.Buffer
+	if err := enc.WriteBlock(&frame, src); err != nil {
+		b.Fatal(err)
+	}
+	data := frame.Bytes()
+	rd := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(data)
+		blk, err := dec.ReadBlock(rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(blk)
 	}
 }
 

@@ -5,11 +5,21 @@
 // floating-point updates through the same executor, and the result is
 // verified against a reference multiplication.
 //
+// By default the plan runs on the pipelined executor: one dispatch goroutine
+// per worker, so transfers to distinct workers and every worker's compute
+// overlap. -pipelined=false falls back to the strictly sequential op loop;
+// the computed C is bitwise-identical either way. With -pace (in-process
+// only) transfers cost simulated wall-clock time, and -oneport keeps those
+// paced transfer slots serialized as the paper's one-port model demands.
+//
 // Usage:
 //
-//	mmrun -alg Het -r 8 -s 24 -t 6 -q 16
-//	mmrun -alg BMM -r 8 -s 24 -t 6 -q 16 -pace 50us
+//	mmrun -alg Het -r 8 -s 24 -t 6 -q 16 -procs 4
+//	mmrun -alg BMM -r 8 -s 24 -t 6 -q 16 -pace 50us -oneport
 //	mmrun -alg Het -distributed 127.0.0.1:9801,127.0.0.1:9802
+//
+// -procs applies to the in-process goroutine workers; remote workers pick
+// their own parallelism via mmworker -procs.
 package main
 
 import (
@@ -27,40 +37,60 @@ import (
 	"repro/internal/sched"
 )
 
+// options collects one mmrun invocation's knobs.
+type options struct {
+	alg         string
+	inst        sched.Instance
+	q           int
+	seed        int64
+	pace        time.Duration
+	distributed string
+	pipelined   bool
+	onePort     bool
+	procs       int
+}
+
 func main() {
-	alg := flag.String("alg", "Het", "algorithm: Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM")
-	r := flag.Int("r", 8, "rows of C in blocks")
-	s := flag.Int("s", 24, "columns of C in blocks")
-	t := flag.Int("t", 6, "inner dimension in blocks")
-	q := flag.Int("q", 16, "block edge (elements)")
-	seed := flag.Int64("seed", 1, "random seed for matrix data")
-	pace := flag.Duration("pace", 0, "per (block × unit link cost) transfer pacing, e.g. 50us")
-	distributed := flag.String("distributed", "", "comma-separated mmworker addresses; drive remote workers over TCP instead of in-process goroutines")
+	var o options
+	flag.StringVar(&o.alg, "alg", "Het", "algorithm: Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM")
+	flag.IntVar(&o.inst.R, "r", 8, "rows of C in blocks")
+	flag.IntVar(&o.inst.S, "s", 24, "columns of C in blocks")
+	flag.IntVar(&o.inst.T, "t", 6, "inner dimension in blocks")
+	flag.IntVar(&o.q, "q", 16, "block edge (elements)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for matrix data")
+	flag.DurationVar(&o.pace, "pace", 0, "per (block × unit link cost) transfer pacing, e.g. 50us")
+	flag.StringVar(&o.distributed, "distributed", "", "comma-separated mmworker addresses; drive remote workers over TCP instead of in-process goroutines")
+	flag.BoolVar(&o.pipelined, "pipelined", true, "use the concurrent per-worker executor (false: strictly sequential op loop)")
+	flag.BoolVar(&o.onePort, "oneport", false, "serialize transfer slots across workers (one-port master); meaningful with -pace or -distributed under -pipelined")
+	flag.IntVar(&o.procs, "procs", 0, "goroutines per in-process worker's block updates (≤1: sequential); remote workers set their own via mmworker -procs")
 	flag.Parse()
 
-	if err := run(*alg, sched.Instance{R: *r, S: *s, T: *t}, *q, *seed, *pace, *distributed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration, distributed string) error {
+func run(o options) error {
 	schedulers := map[string]sched.Scheduler{
 		"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
 		"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
 	}
-	s, ok := schedulers[strings.ToLower(alg)]
+	s, ok := schedulers[strings.ToLower(o.alg)]
 	if !ok {
-		return fmt.Errorf("unknown algorithm %q", alg)
+		return fmt.Errorf("unknown algorithm %q", o.alg)
 	}
 
 	var addrs []string
 	var pl *platform.Platform
-	if distributed != "" {
-		if pace != 0 {
+	if o.distributed != "" {
+		if o.pace != 0 {
 			return fmt.Errorf("-pace applies to the in-process engine only; remote links are real, drop it with -distributed")
 		}
-		for _, a := range strings.Split(distributed, ",") {
+		if o.procs != 0 {
+			return fmt.Errorf("-procs applies to the in-process engine only; remote workers set their own parallelism via mmworker -procs")
+		}
+		for _, a := range strings.Split(o.distributed, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				addrs = append(addrs, a)
 			}
@@ -82,17 +112,17 @@ func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration,
 		)
 	}
 
-	res, err := s.Schedule(pl, inst)
+	res, err := s.Schedule(pl, o.inst)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scheduled %s: makespan %.1f units, %d workers, %d transfers\n",
 		res.Algorithm, res.Stats.Makespan, len(res.Enrolled), len(res.Trace.Transfers))
 
-	rng := rand.New(rand.NewSource(seed))
-	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
-	b := matrix.NewBlockMatrix(inst.T, inst.S, q)
-	c := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	rng := rand.New(rand.NewSource(o.seed))
+	a := matrix.NewBlockMatrix(o.inst.R, o.inst.T, o.q)
+	b := matrix.NewBlockMatrix(o.inst.T, o.inst.S, o.q)
+	c := matrix.NewBlockMatrix(o.inst.R, o.inst.S, o.q)
 	a.FillRandom(rng)
 	b.FillRandom(rng)
 	c.FillRandom(rng)
@@ -101,28 +131,42 @@ func run(alg string, inst sched.Instance, q int, seed int64, pace time.Duration,
 		return err
 	}
 
+	executor := "sequential"
+	if o.pipelined {
+		executor = "pipelined"
+	}
 	start := time.Now()
 	if len(addrs) > 0 {
-		m, err := mmnet.Dial(addrs, nil)
+		m, err := mmnet.Dial(addrs, &mmnet.MasterOptions{OnePort: o.onePort})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("driving %d remote workers: %v\n", m.Workers(), m.WorkerNames())
-		if err := m.Run(inst.T, res.Plan(), a, b, c); err != nil {
+		fmt.Printf("driving %d remote workers (%s executor): %v\n", m.Workers(), executor, m.WorkerNames())
+		runErr := error(nil)
+		if o.pipelined {
+			runErr = m.RunPipelined(o.inst.T, res.Plan(), a, b, c)
+		} else {
+			runErr = m.Run(o.inst.T, res.Plan(), a, b, c)
+		}
+		if runErr != nil {
 			m.Close()
-			return err
+			return runErr
 		}
 		if err := m.Shutdown(); err != nil {
 			fmt.Fprintln(os.Stderr, "mmrun: shutdown:", err)
 		}
 	} else {
-		if err := engine.Run(engine.Config{Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: pace}, res.Plan(), a, b, c); err != nil {
+		cfg := engine.Config{
+			Workers: pl.P(), T: o.inst.T, Platform: pl, TimePerUnit: o.pace,
+			Pipelined: o.pipelined, OnePort: o.onePort, Procs: o.procs,
+		}
+		if err := engine.Run(cfg, res.Plan(), a, b, c); err != nil {
 			return err
 		}
 	}
 	elapsed := time.Since(start)
 	diff := c.MaxAbsDiff(want)
-	fmt.Printf("executed for real in %v; max |C - reference| = %.3g\n", elapsed, diff)
+	fmt.Printf("executed for real (%s) in %v; max |C - reference| = %.3g\n", executor, elapsed, diff)
 	if diff > 1e-9 {
 		return fmt.Errorf("verification FAILED (deviation %g)", diff)
 	}

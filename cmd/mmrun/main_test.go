@@ -11,21 +11,34 @@ import (
 )
 
 func TestRunVerifiesSmallProduct(t *testing.T) {
-	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0, ""); err != nil {
+	for _, pipelined := range []bool{false, true} {
+		o := options{alg: "het", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 1, pipelined: pipelined}
+		if err := run(o); err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
+	}
+}
+
+func TestRunPipelinedWithProcsAndOnePortPace(t *testing.T) {
+	o := options{
+		alg: "bmm", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 2,
+		pace: 2 * time.Microsecond, pipelined: true, onePort: true, procs: 2,
+	}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if err := run("nope", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0, ""); err == nil {
+	if err := run(options{alg: "nope", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 // TestRunDistributedAgainstLoopbackWorkers is the acceptance check for
 // -distributed: two loopback workers, the full mmrun path (schedule, drive
-// over TCP, verify C within 1e-9 of the serial product — run fails itself if
-// the deviation exceeds that).
+// over TCP with both executors, verify C within 1e-9 of the serial product —
+// run fails itself if the deviation exceeds that).
 func TestRunDistributedAgainstLoopbackWorkers(t *testing.T) {
 	var addrs []string
 	for i := 0; i < 2; i++ {
@@ -37,13 +50,26 @@ func TestRunDistributedAgainstLoopbackWorkers(t *testing.T) {
 		addrs = append(addrs, ln.Addr().String())
 		go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 50 * time.Millisecond})
 	}
-	if err := run("het", sched.Instance{R: 4, S: 10, T: 3}, 4, 1, 0, strings.Join(addrs, ",")); err != nil {
-		t.Fatal(err)
+	for _, pipelined := range []bool{false, true} {
+		o := options{
+			alg: "het", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 1,
+			distributed: strings.Join(addrs, ","), pipelined: pipelined,
+		}
+		if err := run(o); err != nil {
+			t.Fatalf("pipelined=%v: %v", pipelined, err)
+		}
 	}
 }
 
 func TestRunDistributedRejectsEmptyAddressList(t *testing.T) {
-	if err := run("het", sched.Instance{R: 2, S: 2, T: 2}, 2, 1, 0, " , "); err == nil {
+	if err := run(options{alg: "het", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1, distributed: " , "}); err == nil {
 		t.Fatal("empty address list accepted")
+	}
+}
+
+func TestRunDistributedRejectsProcs(t *testing.T) {
+	o := options{alg: "het", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1, distributed: "127.0.0.1:1", procs: 4}
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "mmworker -procs") {
+		t.Fatalf("-procs with -distributed not rejected clearly: %v", err)
 	}
 }

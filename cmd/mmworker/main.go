@@ -17,6 +17,7 @@ import (
 	"fmt"
 	stdnet "net"
 	"os"
+	"runtime"
 	"time"
 
 	mmnet "repro/internal/net"
@@ -28,31 +29,32 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop a session whose socket stays silent this long (negative: never)")
 	sessions := flag.Int("sessions", 0, "exit after this many master sessions (0: serve forever)")
+	procs := flag.Int("procs", runtime.NumCPU(), "goroutines per installment's block updates (≤1: sequential); results are bitwise-identical regardless")
 	quiet := flag.Bool("quiet", false, "suppress session logging")
 	flag.Parse()
 
-	if err := run(*listen, *name, *heartbeat, *idle, *sessions, *quiet); err != nil {
+	if err := run(*listen, *name, *heartbeat, *idle, *sessions, *procs, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mmworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name string, heartbeat, idle time.Duration, sessions int, quiet bool) error {
+func run(listen, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
 	ln, err := stdnet.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	return serve(ln, name, heartbeat, idle, sessions, quiet)
+	return serve(ln, name, heartbeat, idle, sessions, procs, quiet)
 }
 
 // serve runs the accept loop on an existing listener (tests hand in a
 // listener bound to an ephemeral port).
-func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions int, quiet bool) error {
+func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
 	if name == "" {
 		name = ln.Addr().String()
 	}
-	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle}
+	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle, Procs: procs}
 	if !quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)

@@ -1,8 +1,9 @@
 // Distributed run on a single machine: two worker endpoints on loopback TCP,
 // a master that schedules the product with the heterogeneous algorithm and
-// replays the plan over the wire, and a three-way verification — the
-// distributed C must equal the in-process engine's C bitwise (same executor,
-// same kernel, same operation order) and match the serial product.
+// replays the plan over the wire, and a four-way verification — the
+// distributed C of BOTH executors (the sequential op loop and the pipelined
+// per-worker dispatcher) must equal the in-process engine's C bitwise (same
+// per-chunk operation order, same kernel) and match the serial product.
 //
 //	go run ./examples/distributed
 //
@@ -60,6 +61,7 @@ func main() {
 	b.FillRandom(rng)
 	cNet.FillRandom(rng)
 	cEng := cNet.Clone()
+	cPipe := cNet.Clone()
 	want := cNet.Clone()
 	if err := matrix.Multiply(want, a, b); err != nil {
 		log.Fatal(err)
@@ -70,7 +72,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Distributed execution over TCP.
+	// Distributed execution over TCP: once with the sequential executor,
+	// once with the pipelined per-worker dispatcher, on the same sessions.
 	m, err := mmnet.Dial(addrs, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -80,7 +83,12 @@ func main() {
 	if err := m.Run(inst.T, res.Plan(), a, b, cNet); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("distributed run finished in %v\n", time.Since(start))
+	seqElapsed := time.Since(start)
+	start = time.Now()
+	if err := m.RunPipelined(inst.T, res.Plan(), a, b, cPipe); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed runs finished: sequential %v, pipelined %v\n", seqElapsed, time.Since(start))
 	if err := m.Shutdown(); err != nil {
 		log.Fatal(err)
 	}
@@ -88,10 +96,13 @@ func main() {
 	if d := cNet.MaxAbsDiff(cEng); d != 0 {
 		log.Fatalf("distributed C deviates from in-process C by %g (want bitwise equality)", d)
 	}
+	if d := cPipe.MaxAbsDiff(cEng); d != 0 {
+		log.Fatalf("pipelined distributed C deviates from in-process C by %g (want bitwise equality)", d)
+	}
 	if d := cNet.MaxAbsDiff(want); d > 1e-9 {
 		log.Fatalf("distributed C deviates from serial product by %g", d)
 	}
-	fmt.Println("verification OK: distributed C ≡ in-process C, C = C₀ + A·B")
+	fmt.Println("verification OK: sequential ≡ pipelined ≡ in-process C, C = C₀ + A·B")
 }
 
 func countChunks(res *sched.Result) int {

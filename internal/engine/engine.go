@@ -3,17 +3,21 @@
 // updates, and the master replays the exact operation order a scheduler
 // produced (the Plan recorded by internal/sim).
 //
-// The package splits into two layers. Execute is the backend-agnostic plan
-// executor — validation, operation ordering, C-accumulation, and failover of
-// dead workers' jobs — shared by every real runtime. Run wires Execute to the
-// in-process backend: workers are goroutines behind channels, the master
-// performs its transfers strictly one at a time (the one-port model — the
-// master goroutine is the port), and each worker's input channel provides one
-// buffered slot so communication to a worker overlaps that worker's
-// computation, exactly the double-buffering of the μ²+4μ layout. Optionally
-// each transfer is paced at the platform's c_i per block so heterogeneous
-// links are felt in wall-clock time. internal/net wires the same Execute to
-// remote workers over TCP.
+// The package splits into two layers. The backend-agnostic plan executors —
+// validation, operation ordering, C-accumulation, and failover of dead
+// workers' jobs — are shared by every real runtime: Execute issues ops
+// strictly in plan order from one goroutine, while ExecutePipelined drives
+// each worker from a dedicated dispatch goroutine so transfers to distinct
+// workers and all computes overlap (bitwise-identical C either way). Run
+// wires either executor, chosen by Config.Pipelined, to the in-process
+// backend: workers are goroutines behind channels, and each worker's input
+// channel provides one buffered slot so communication to a worker overlaps
+// that worker's computation, exactly the double-buffering of the μ²+4μ
+// layout. Optionally each transfer is paced at the platform's c_i per block
+// so heterogeneous links are felt in wall-clock time; under the pipelined
+// executor, Config.OnePort serializes those paced slots through a
+// TransferGate, recovering the paper's one-port master. internal/net wires
+// the same executors to remote workers over TCP.
 //
 // Its purpose is verification: after Run, C must equal the reference product,
 // proving the scheduler moved every block where it claimed and no update was
@@ -22,6 +26,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/matrix"
@@ -38,6 +43,20 @@ type Config struct {
 	// TimePerUnit zero for full-speed verification runs.
 	Platform    *platform.Platform
 	TimePerUnit time.Duration
+	// Pipelined selects the concurrent executor: each worker's jobs are
+	// dispatched by a dedicated goroutine, so transfers to distinct workers
+	// and all computes overlap. C is bitwise-identical either way.
+	Pipelined bool
+	// OnePort, with Pipelined and pacing, serializes the paced transfer
+	// slots across workers through a TransferGate, restoring the paper's
+	// one-port master: overlap of transfer and compute, but never of two
+	// transfers. Without pacing the gate is idle and costs nothing.
+	OnePort bool
+	// Procs bounds the goroutines each in-process worker spends on one
+	// installment (its C blocks are split across them; per-block arithmetic
+	// order is unchanged). ≤1 means sequential — the right default when
+	// several goroutine workers already share the process.
+	Procs int
 }
 
 // message types exchanged between master and workers.
@@ -58,21 +77,52 @@ type workerMsg struct {
 	flush   bool // return the current chunk
 }
 
+// TransferGate serializes the transfer slots of a one-port master: pipelined
+// dispatch goroutines hold it only while a (paced) transfer occupies the
+// link, never while waiting on a worker's compute. A nil gate is an
+// unconstrained (multi-port) master.
+type TransferGate struct{ mu sync.Mutex }
+
+// Lock acquires the port; nil-safe.
+func (g *TransferGate) Lock() {
+	if g != nil {
+		g.mu.Lock()
+	}
+}
+
+// Unlock releases the port; nil-safe.
+func (g *TransferGate) Unlock() {
+	if g != nil {
+		g.mu.Unlock()
+	}
+}
+
 // chanBackend is the in-process Backend: one goroutine per worker, channels
 // as links. Its sends never fail, so Execute's failover path is inert here.
 type chanBackend struct {
-	cfg Config
-	in  []chan workerMsg
-	out []chan chunkMsg
+	cfg  Config
+	gate *TransferGate // non-nil: serialize paced transfer slots (one-port)
+	in   []chan workerMsg
+	out  []chan chunkMsg
 }
 
 func (cb *chanBackend) Workers() int { return len(cb.in) }
 
+// CopiesBlocks implements CopyingBackend: it reports false because the
+// channel transport hands the executor's block pointers straight to the
+// worker goroutine, which holds them across the whole job — staging blocks
+// must not be recycled behind its back.
+func (cb *chanBackend) CopiesBlocks() bool { return false }
+
+// pace charges one transfer slot: it occupies the master's port (the gate,
+// when one-port) for the blocks' modeled link time.
 func (cb *chanBackend) pace(w, blocks int) {
 	if cb.cfg.Platform == nil || cb.cfg.TimePerUnit <= 0 {
 		return
 	}
+	cb.gate.Lock()
 	time.Sleep(time.Duration(float64(blocks) * cb.cfg.Platform.Workers[w].C * float64(cb.cfg.TimePerUnit)))
+	cb.gate.Unlock()
 }
 
 func (cb *chanBackend) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
@@ -90,10 +140,15 @@ func (cb *chanBackend) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix
 func (cb *chanBackend) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 	cb.in[w] <- workerMsg{flush: true}
 	done := <-cb.out[w]
-	cb.pace(w, ch.Blocks())
 	if done.chunk != ch {
 		return nil, fmt.Errorf("engine: worker P%d returned chunk %v, expected %v", w+1, done.chunk, ch)
 	}
+	// The return transfer is charged after the worker's answer is validated
+	// and before the chunk is handed back: the link is busy between the
+	// worker finishing and the master owning the data, and under a one-port
+	// gate that slot — not the wait for compute — is what serializes against
+	// other workers' transfers.
+	cb.pace(w, ch.Blocks())
 	return done.blocks, nil
 }
 
@@ -113,16 +168,24 @@ func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 		in:  make([]chan workerMsg, cfg.Workers),
 		out: make([]chan chunkMsg, cfg.Workers),
 	}
+	if cfg.Pipelined && cfg.OnePort {
+		cb.gate = &TransferGate{}
+	}
 	errs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		// Capacity 1 gives each worker one buffered installment slot: the
 		// master's send of step k+1 completes while step k computes.
 		cb.in[w] = make(chan workerMsg, 1)
 		cb.out[w] = make(chan chunkMsg)
-		go worker(cb.in[w], cb.out[w], errs)
+		go worker(cb.in[w], cb.out[w], errs, cfg.Procs)
 	}
 
-	runErr := Execute(cfg.T, plan, a, b, c, cb)
+	var runErr error
+	if cfg.Pipelined {
+		runErr = ExecutePipelined(cfg.T, plan, a, b, c, cb)
+	} else {
+		runErr = Execute(cfg.T, plan, a, b, c, cb)
+	}
 
 	for w := 0; w < cfg.Workers; w++ {
 		close(cb.in[w])
@@ -140,7 +203,7 @@ func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 // with the real block kernel. On a protocol violation it keeps answering
 // flushes (with an empty chunk the master will reject) so the master never
 // blocks forever, and reports the first error when the channel closes.
-func worker(in <-chan workerMsg, out chan<- chunkMsg, errs chan<- error) {
+func worker(in <-chan workerMsg, out chan<- chunkMsg, errs chan<- error, procs int) {
 	var cur *chunkMsg
 	var firstErr error
 	fail := func(format string, args ...any) {
@@ -162,7 +225,7 @@ func worker(in <-chan workerMsg, out chan<- chunkMsg, errs chan<- error) {
 				continue
 			}
 			inst := msg.install
-			if err := ApplyInstallment(cur.chunk, cur.blocks, inst.a, inst.b, inst.k1-inst.k0); err != nil {
+			if err := ApplyInstallmentParallel(cur.chunk, cur.blocks, inst.a, inst.b, inst.k1-inst.k0, procs); err != nil {
 				fail("%v", err)
 			}
 		case msg.flush:

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/matrix"
 	"repro/internal/sim"
@@ -29,11 +30,70 @@ type Backend interface {
 	RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error)
 }
 
+// CopyingBackend is optionally implemented by Backends whose SendC/SendAB
+// copy their block payloads before returning (serializing transports like
+// internal/net, which stage blocks onto the wire). For such backends the
+// executor recycles its staging blocks and panel slices through a pool the
+// moment a send returns, keeping the steady-state send path allocation-free.
+// Backends that retain the pointers (the channel backend hands them straight
+// to worker goroutines) must not implement this, or must report false.
+type CopyingBackend interface {
+	CopiesBlocks() bool
+}
+
 // ErrWorkerDown marks a backend operation that failed because the worker is
 // gone (connection lost, heartbeat timeout). Execute reacts by re-queueing
 // the worker's outstanding jobs onto survivors; any other backend error
 // aborts the run.
 var ErrWorkerDown = errors.New("worker down")
+
+// stagePool recycles the staging blocks of all executions against copying
+// backends. Package-level so consecutive runs (and concurrent dispatch
+// goroutines) share one warm pool.
+var stagePool matrix.BlockPool
+
+// stager owns one dispatch path's staging state: scratch slices for panel
+// gathering and chunk cloning, reused across operations when (and only when)
+// the backend copies payloads before returning. One stager per goroutine —
+// it is deliberately not synchronized.
+type stager struct {
+	copies       bool
+	cBuf, am, bm []*matrix.Block
+}
+
+func newStager(be Backend) *stager {
+	cp, ok := be.(CopyingBackend)
+	return &stager{copies: ok && cp.CopiesBlocks()}
+}
+
+// stageChunk snapshots chunk ch of c. Against a copying backend the snapshot
+// lives in pooled blocks and a reused slice; otherwise it is freshly
+// allocated, because the backend will hold it for the whole job.
+func (st *stager) stageChunk(c *matrix.BlockMatrix, ch matrix.Chunk) []*matrix.Block {
+	if !st.copies {
+		return cloneChunk(c, ch, nil, nil)
+	}
+	st.cBuf = cloneChunk(c, ch, &stagePool, st.cBuf[:0])
+	return st.cBuf
+}
+
+// releaseChunk recycles a stageChunk snapshot once the backend is done with
+// it (no-op for retaining backends).
+func (st *stager) releaseChunk(blocks []*matrix.Block) {
+	if st.copies {
+		stagePool.PutAll(blocks)
+	}
+}
+
+// stagePanels gathers the A/B panels of installment [k0, k1), reusing the
+// stager's slices against copying backends.
+func (st *stager) stagePanels(a, b *matrix.BlockMatrix, ch matrix.Chunk, k0, k1 int) (am, bm []*matrix.Block) {
+	if !st.copies {
+		return gatherPanels(a, b, ch, k0, k1, nil, nil)
+	}
+	st.am, st.bm = gatherPanels(a, b, ch, k0, k1, st.am[:0], st.bm[:0])
+	return st.am, st.bm
+}
 
 // Execute replays plan against real matrices through be: C ← C + A·B
 // restricted to the chunks the plan covers. A is r×t, B t×s, C r×s blocks.
@@ -43,28 +103,12 @@ var ErrWorkerDown = errors.New("worker down")
 // workers; Execute fails only when a non-failover error occurs or no workers
 // remain.
 func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
-	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Cols != t {
-		return fmt.Errorf("engine: shape mismatch A %dx%d, B %dx%d, C %dx%d, t=%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols, t)
-	}
-	jobs, opJob, err := sim.JobsFromPlan(plan)
+	jobs, opJob, err := validatePlan(t, plan, a, b, c, be)
 	if err != nil {
 		return err
 	}
 	nw := be.Workers()
-	for _, j := range jobs {
-		if j.Worker >= nw {
-			return fmt.Errorf("engine: plan references worker %d of %d", j.Worker, nw)
-		}
-		if !j.Chunk.Valid(c.Rows, c.Cols) {
-			return fmt.Errorf("engine: plan chunk %v outside C (%dx%d)", j.Chunk, c.Rows, c.Cols)
-		}
-		for _, p := range j.Panels {
-			if p[0] < 0 || p[1] > t || p[0] >= p[1] {
-				return fmt.Errorf("engine: plan installment panels [%d,%d) outside t=%d", p[0], p[1], t)
-			}
-		}
-	}
+	st := newStager(be)
 
 	alive := make([]bool, nw)
 	for i := range alive {
@@ -92,9 +136,11 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 		var opErr error
 		switch op.Kind {
 		case trace.SendC:
-			opErr = be.SendC(w, op.Chunk, cloneChunk(c, op.Chunk))
+			blocks := st.stageChunk(c, op.Chunk)
+			opErr = be.SendC(w, op.Chunk, blocks)
+			st.releaseChunk(blocks)
 		case trace.SendAB:
-			am, bm := gatherPanels(a, b, op.Chunk, op.K0, op.K1)
+			am, bm := st.stagePanels(a, b, op.Chunk, op.K0, op.K1)
 			opErr = be.SendAB(w, op.Chunk, op.K0, op.K1, am, bm)
 		case trace.RecvC:
 			var blocks []*matrix.Block
@@ -125,7 +171,7 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 		if !ok {
 			return fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[ji].Chunk, ErrWorkerDown)
 		}
-		if err := replayJob(be, w, jobs[ji], a, b, c); err != nil {
+		if err := runJob(be, w, jobs[ji], a, b, c, st); err != nil {
 			if errors.Is(err, ErrWorkerDown) {
 				retire(w)
 				orphans = append(orphans, ji)
@@ -138,22 +184,57 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 	return nil
 }
 
-// replayJob runs one complete job synchronously on worker w.
-func replayJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix) error {
-	if err := be.SendC(w, j.Chunk, cloneChunk(c, j.Chunk)); err != nil {
+// validatePlan performs the shape, protocol, worker-range, chunk-geometry,
+// and panel-range checks shared by both executors, returning the plan's jobs
+// and the op→job mapping.
+func validatePlan(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) (jobs []sim.PlanJob, opJob []int, err error) {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows || a.Cols != t {
+		return nil, nil, fmt.Errorf("engine: shape mismatch A %dx%d, B %dx%d, C %dx%d, t=%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols, t)
+	}
+	jobs, opJob, err = sim.JobsFromPlan(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	nw := be.Workers()
+	for _, j := range jobs {
+		if j.Worker >= nw {
+			return nil, nil, fmt.Errorf("engine: plan references worker %d of %d", j.Worker, nw)
+		}
+		if !j.Chunk.Valid(c.Rows, c.Cols) {
+			return nil, nil, fmt.Errorf("engine: plan chunk %v outside C (%dx%d)", j.Chunk, c.Rows, c.Cols)
+		}
+		for _, p := range j.Panels {
+			if p[0] < 0 || p[1] > t || p[0] >= p[1] {
+				return nil, nil, fmt.Errorf("engine: plan installment panels [%d,%d) outside t=%d", p[0], p[1], t)
+			}
+		}
+	}
+	return jobs, opJob, nil
+}
+
+// runJob runs one complete job synchronously on worker w: chunk delivery,
+// every installment in order, retrieval, and the write-back into C. It is
+// the replay unit of both executors' failover and the per-job dispatch unit
+// of the pipelined executor.
+func runJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix, st *stager) error {
+	blocks := st.stageChunk(c, j.Chunk)
+	err := be.SendC(w, j.Chunk, blocks)
+	st.releaseChunk(blocks)
+	if err != nil {
 		return err
 	}
 	for _, p := range j.Panels {
-		am, bm := gatherPanels(a, b, j.Chunk, p[0], p[1])
+		am, bm := st.stagePanels(a, b, j.Chunk, p[0], p[1])
 		if err := be.SendAB(w, j.Chunk, p[0], p[1], am, bm); err != nil {
 			return err
 		}
 	}
-	blocks, err := be.RecvC(w, j.Chunk)
+	result, err := be.RecvC(w, j.Chunk)
 	if err != nil {
 		return err
 	}
-	return writeChunk(c, j.Chunk, blocks)
+	return writeChunk(c, j.Chunk, result)
 }
 
 func nextAlive(alive []bool, cursor *int) (int, bool) {
@@ -167,34 +248,51 @@ func nextAlive(alive []bool, cursor *int) (int, bool) {
 	return 0, false
 }
 
-// cloneChunk snapshots chunk ch of c in row-major order.
-func cloneChunk(c *matrix.BlockMatrix, ch matrix.Chunk) []*matrix.Block {
-	blocks := make([]*matrix.Block, 0, ch.Blocks())
+// cloneChunk snapshots chunk ch of c in row-major order into dst (grown as
+// needed; pass nil for a fresh slice). With a pool, the snapshot blocks are
+// recycled ones — the caller owns them and decides when to Put them back.
+func cloneChunk(c *matrix.BlockMatrix, ch matrix.Chunk, pool *matrix.BlockPool, dst []*matrix.Block) []*matrix.Block {
+	if dst == nil {
+		dst = make([]*matrix.Block, 0, ch.Blocks())
+	}
 	for i := ch.Row0; i < ch.Row0+ch.H; i++ {
 		for j := ch.Col0; j < ch.Col0+ch.W; j++ {
-			blocks = append(blocks, c.Block(i, j).Clone())
+			src := c.Block(i, j)
+			if pool == nil {
+				dst = append(dst, src.Clone())
+				continue
+			}
+			blk := pool.Get(c.Q)
+			copy(blk.Data, src.Data)
+			dst = append(dst, blk)
 		}
 	}
-	return blocks
+	return dst
 }
 
 // gatherPanels collects the A panels (ch.H×d, row-major) and B panels
-// (d×ch.W, row-major) of installment [k0, k1) for chunk ch.
-func gatherPanels(a, b *matrix.BlockMatrix, ch matrix.Chunk, k0, k1 int) (am, bm []*matrix.Block) {
+// (d×ch.W, row-major) of installment [k0, k1) for chunk ch, appending to
+// amDst and bmDst (pass nil for fresh slices). The returned entries alias
+// the input matrices' blocks; only the slice headers are staged.
+func gatherPanels(a, b *matrix.BlockMatrix, ch matrix.Chunk, k0, k1 int, amDst, bmDst []*matrix.Block) (am, bm []*matrix.Block) {
 	d := k1 - k0
-	am = make([]*matrix.Block, 0, ch.H*d)
+	if amDst == nil {
+		amDst = make([]*matrix.Block, 0, ch.H*d)
+	}
+	if bmDst == nil {
+		bmDst = make([]*matrix.Block, 0, d*ch.W)
+	}
 	for i := ch.Row0; i < ch.Row0+ch.H; i++ {
 		for k := k0; k < k1; k++ {
-			am = append(am, a.Block(i, k))
+			amDst = append(amDst, a.Block(i, k))
 		}
 	}
-	bm = make([]*matrix.Block, 0, d*ch.W)
 	for k := k0; k < k1; k++ {
 		for j := ch.Col0; j < ch.Col0+ch.W; j++ {
-			bm = append(bm, b.Block(k, j))
+			bmDst = append(bmDst, b.Block(k, j))
 		}
 	}
-	return am, bm
+	return amDst, bmDst
 }
 
 // writeChunk stores a returned chunk's blocks back into c.
@@ -223,17 +321,48 @@ func writeChunk(c *matrix.BlockMatrix, ch matrix.Chunk, blocks []*matrix.Block) 
 // the networked worker apply installments through this one function, so every
 // backend performs bitwise-identical arithmetic.
 func ApplyInstallment(ch matrix.Chunk, cb, ab, bb []*matrix.Block, d int) error {
+	return ApplyInstallmentParallel(ch, cb, ab, bb, d, 1)
+}
+
+// ApplyInstallmentParallel is ApplyInstallment across up to procs goroutines.
+// Each C block (i,j) of the chunk is owned by exactly one goroutine, which
+// applies that block's d panel updates in ascending-k order — no two
+// goroutines touch the same block and the per-block floating-point order is
+// exactly the sequential one, so the result is bitwise-identical for every
+// procs value. procs ≤ 1 runs inline; procs ≤ 0 is treated as 1.
+func ApplyInstallmentParallel(ch matrix.Chunk, cb, ab, bb []*matrix.Block, d, procs int) error {
 	if d <= 0 || len(cb) != ch.H*ch.W || len(ab) != ch.H*d || len(bb) != d*ch.W {
 		return fmt.Errorf("engine: installment shape mismatch: chunk %v, d=%d, |c|=%d |a|=%d |b|=%d",
 			ch, d, len(cb), len(ab), len(bb))
 	}
-	for i := 0; i < ch.H; i++ {
+	blocks := ch.H * ch.W
+	if procs > blocks {
+		procs = blocks
+	}
+	if procs <= 1 {
+		applyBlockRange(ch, cb, ab, bb, d, 0, blocks, 1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			applyBlockRange(ch, cb, ab, bb, d, g, blocks, procs)
+		}(g)
+	}
+	wg.Wait()
+	return nil
+}
+
+// applyBlockRange updates C blocks start, start+stride, … of the chunk, each
+// through its full ascending-k panel sequence.
+func applyBlockRange(ch matrix.Chunk, cb, ab, bb []*matrix.Block, d, start, blocks, stride int) {
+	for idx := start; idx < blocks; idx += stride {
+		i, j := idx/ch.W, idx%ch.W
+		cij := cb[idx]
 		for dk := 0; dk < d; dk++ {
-			a := ab[i*d+dk]
-			for j := 0; j < ch.W; j++ {
-				matrix.MulAdd(cb[i*ch.W+j], a, bb[dk*ch.W+j])
-			}
+			matrix.MulAdd(cij, ab[i*d+dk], bb[dk*ch.W+j])
 		}
 	}
-	return nil
 }

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// ExecutePipelined replays plan against real matrices through be with one
+// dispatch goroutine per worker: C ← C + A·B restricted to the chunks the
+// plan covers, exactly as Execute, but concurrently.
+//
+// Each worker's jobs are issued in that worker's plan order by its own
+// goroutine, so a blocking RecvC on one worker never stalls sends to the
+// others — the paper's one-port model only ever serializes transfers, never
+// transfer-vs-compute overlap, and the sequential executor's single op loop
+// was stricter than the model for no fidelity gain. Chunk results land
+// asynchronously in C as each RecvC completes; the plan's chunks are
+// required to be pairwise disjoint (any correct plan covers C at most once),
+// which makes those writes race-free without locking. Workers that fail with
+// ErrWorkerDown are retired and their incomplete jobs replayed on the
+// survivors, a whole replay wave in parallel.
+//
+// C is bitwise-identical to Execute's: a chunk's result depends only on the
+// master's snapshot of that chunk (taken before any update to it, since jobs
+// are disjoint) and on its own installment sequence, which one goroutine
+// applies in plan order. When transfers are paced, pass a one-port gate to
+// the backend (Config.OnePort, MasterOptions.OnePort) to keep modeled
+// transfer slots serialized while still overlapping them with compute.
+func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
+	jobs, _, err := validatePlan(t, plan, a, b, c, be)
+	if err != nil {
+		return err
+	}
+	if err := checkChunksDisjoint(jobs, c.Rows, c.Cols); err != nil {
+		return err
+	}
+	// Materialize the A and B blocks the plan references, up front: dispatch
+	// goroutines gather overlapping panels concurrently, and lazy
+	// materialization inside the shared input grids would race. Walking the
+	// jobs (rather than the whole grids) keeps partial plans over large
+	// lazily-allocated matrices from paying for blocks no job touches.
+	for _, j := range jobs {
+		ch := j.Chunk
+		for _, p := range j.Panels {
+			for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+				for k := p[0]; k < p[1]; k++ {
+					a.Block(i, k)
+				}
+			}
+			for k := p[0]; k < p[1]; k++ {
+				for jj := ch.Col0; jj < ch.Col0+ch.W; jj++ {
+					b.Block(k, jj)
+				}
+			}
+		}
+	}
+
+	nw := be.Workers()
+	byWorker := make([][]int, nw)
+	for ji, j := range jobs {
+		byWorker[j.Worker] = append(byWorker[j.Worker], ji)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		aborted  atomic.Bool
+		orphans  []int // jobs whose worker died before their RecvC landed
+	)
+	alive := make([]bool, nw)
+	for w := range alive {
+		alive[w] = true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		aborted.Store(true)
+	}
+
+	// runWave dispatches each worker's assigned jobs from a dedicated
+	// goroutine. A worker that dies is retired and its unfinished share
+	// (current job included) queued for the next wave; any other error
+	// aborts every goroutine at its next job boundary.
+	runWave := func(assign [][]int) {
+		var wg sync.WaitGroup
+		for w, list := range assign {
+			if len(list) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w int, list []int) {
+				defer wg.Done()
+				st := newStager(be)
+				for idx, ji := range list {
+					if aborted.Load() {
+						return
+					}
+					if err := runJob(be, w, jobs[ji], a, b, c, st); err != nil {
+						if errors.Is(err, ErrWorkerDown) {
+							mu.Lock()
+							alive[w] = false
+							orphans = append(orphans, list[idx:]...)
+							mu.Unlock()
+							return
+						}
+						fail(err)
+						return
+					}
+				}
+			}(w, list)
+		}
+		wg.Wait()
+	}
+
+	runWave(byWorker)
+
+	// Replay waves: orphans are spread round-robin over the survivors, each
+	// survivor again working through its share concurrently with the rest.
+	// Every wave either finishes jobs or retires workers, so this
+	// terminates; it fails only when replayable jobs remain with no worker
+	// left to take them.
+	for firstErr == nil && len(orphans) > 0 {
+		var survivors []int
+		for w := 0; w < nw; w++ {
+			if alive[w] {
+				survivors = append(survivors, w)
+			}
+		}
+		if len(survivors) == 0 {
+			return fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[orphans[0]].Chunk, ErrWorkerDown)
+		}
+		assign := make([][]int, nw)
+		for i, ji := range orphans {
+			w := survivors[i%len(survivors)]
+			assign[w] = append(assign[w], ji)
+		}
+		orphans = orphans[:0]
+		runWave(assign)
+	}
+	return firstErr
+}
+
+// checkChunksDisjoint verifies no two jobs' chunks share a C block, marking
+// covered cells on the r×s grid. Disjointness is what lets completed chunks
+// be written back to C concurrently without synchronization (and it is
+// implied by any plan that computes the product correctly, since a block
+// covered twice would accumulate its initial C contribution twice).
+func checkChunksDisjoint(jobs []sim.PlanJob, r, s int) error {
+	covered := make([]bool, r*s)
+	for _, j := range jobs {
+		ch := j.Chunk
+		for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+			for k := ch.Col0; k < ch.Col0+ch.W; k++ {
+				if covered[i*s+k] {
+					return fmt.Errorf("engine: plan chunks overlap at C block (%d,%d); the pipelined executor requires disjoint chunks", i, k)
+				}
+				covered[i*s+k] = true
+			}
+		}
+	}
+	return nil
+}

@@ -94,20 +94,39 @@ func (m *BlockMatrix) Clone() *BlockMatrix {
 	return n
 }
 
+// normalizePair resolves an entry pair's implicit zeros for comparison:
+// nil/nil pairs are trivially equal and reported as skip; when exactly one
+// side is implicit it is replaced by *zero, materialized lazily (at most one
+// shared zero block per comparison, and none for matrices that agree on
+// which blocks are implicit).
+func normalizePair(a, b *Block, zero **Block, q int) (na, nb *Block, skip bool) {
+	if a == nil && b == nil {
+		return nil, nil, true
+	}
+	if a == nil || b == nil {
+		if *zero == nil {
+			*zero = NewBlock(q)
+		}
+		if a == nil {
+			a = *zero
+		} else {
+			b = *zero
+		}
+	}
+	return a, b, false
+}
+
 // Equal reports elementwise agreement within tol; implicit zeros compare as
-// zero blocks.
+// zero blocks (nil/nil pairs are skipped outright, without allocating).
 func (m *BlockMatrix) Equal(o *BlockMatrix, tol float64) bool {
 	if o == nil || m.Rows != o.Rows || m.Cols != o.Cols || m.Q != o.Q {
 		return false
 	}
-	zero := NewBlock(m.Q)
+	var zero *Block
 	for i := range m.blocks {
-		a, b := m.blocks[i], o.blocks[i]
-		if a == nil {
-			a = zero
-		}
-		if b == nil {
-			b = zero
+		a, b, skip := normalizePair(m.blocks[i], o.blocks[i], &zero, m.Q)
+		if skip {
+			continue
 		}
 		if !a.Equal(b, tol) {
 			return false
@@ -116,20 +135,18 @@ func (m *BlockMatrix) Equal(o *BlockMatrix, tol float64) bool {
 	return true
 }
 
-// MaxAbsDiff returns the largest absolute elementwise difference.
+// MaxAbsDiff returns the largest absolute elementwise difference. As in
+// Equal, nil/nil pairs contribute zero and are skipped without allocating.
 func (m *BlockMatrix) MaxAbsDiff(o *BlockMatrix) float64 {
 	if m.Rows != o.Rows || m.Cols != o.Cols || m.Q != o.Q {
 		panic("matrix: MaxAbsDiff shape mismatch")
 	}
-	zero := NewBlock(m.Q)
+	var zero *Block
 	worst := 0.0
 	for i := range m.blocks {
-		a, b := m.blocks[i], o.blocks[i]
-		if a == nil {
-			a = zero
-		}
-		if b == nil {
-			b = zero
+		a, b, skip := normalizePair(m.blocks[i], o.blocks[i], &zero, m.Q)
+		if skip {
+			continue
 		}
 		if d := a.MaxAbsDiff(b); d > worst {
 			worst = d

@@ -14,15 +14,38 @@ import (
 
 const blockMagic = 0x424c4b31 // "BLK1"
 
+// BlockCodec serializes and deserializes framed blocks through a reusable
+// scratch buffer, optionally drawing decoded blocks from a BlockPool. A
+// plain WriteBlock/ReadBlock call allocates a staging buffer the size of the
+// block payload (~51 KB at q=80) every time; a long-lived codec per
+// connection reuses one buffer and, with a pool, reuses the blocks
+// themselves, so a steady-state transfer loop performs no allocation at all.
+//
+// A BlockCodec is not safe for concurrent use; give each goroutine (or each
+// connection direction) its own.
+type BlockCodec struct {
+	// Pool, when non-nil, supplies the blocks ReadBlock decodes into. The
+	// consumer of those blocks decides when (whether) to Put them back.
+	Pool *BlockPool
+	buf  []byte
+}
+
+func (c *BlockCodec) scratch(n int) []byte {
+	if cap(c.buf) < n {
+		c.buf = make([]byte, n)
+	}
+	return c.buf[:n]
+}
+
 // WriteBlock serializes b to w in the framed binary format.
-func WriteBlock(w io.Writer, b *Block) error {
+func (c *BlockCodec) WriteBlock(w io.Writer, b *Block) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], blockMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(b.Q))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("matrix: write block header: %w", err)
 	}
-	buf := make([]byte, 8*len(b.Data))
+	buf := c.scratch(8 * len(b.Data))
 	for i, v := range b.Data {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
@@ -32,8 +55,10 @@ func WriteBlock(w io.Writer, b *Block) error {
 	return nil
 }
 
-// ReadBlock deserializes one framed block from r.
-func ReadBlock(r io.Reader) (*Block, error) {
+// ReadBlock deserializes one framed block from r. With a Pool set, the
+// returned block is recycled rather than freshly allocated; every element is
+// overwritten, so stale pool contents never leak through.
+func (c *BlockCodec) ReadBlock(r io.Reader) (*Block, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("matrix: read block header: %w", err)
@@ -45,9 +70,10 @@ func ReadBlock(r io.Reader) (*Block, error) {
 	if q <= 0 || q > 1<<14 {
 		return nil, fmt.Errorf("matrix: implausible block edge %d", q)
 	}
-	b := NewBlock(q)
-	buf := make([]byte, 8*len(b.Data))
+	b := c.Pool.Get(q)
+	buf := c.scratch(8 * len(b.Data))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		c.Pool.Put(b)
 		return nil, fmt.Errorf("matrix: read block payload: %w", err)
 	}
 	for i := range b.Data {
@@ -56,25 +82,15 @@ func ReadBlock(r io.Reader) (*Block, error) {
 	return b, nil
 }
 
-// BlockWireSize returns the framed size in bytes of a q×q block, used by the
-// cluster runtime to budget link-rate emulation.
-func BlockWireSize(q int) int { return 8 + 8*q*q }
-
-// maxBlockList caps how many blocks one message may carry; the largest real
-// payload is a full installment or chunk of a huge instance, far below this.
-const maxBlockList = 1 << 22
-
-// WriteBlocks serializes a block list as a count followed by each block in
-// the framed binary format. It is the payload primitive of the distributed
-// runtime's wire protocol.
-func WriteBlocks(w io.Writer, blocks []*Block) error {
+// WriteBlocks serializes a block list as a count followed by each block.
+func (c *BlockCodec) WriteBlocks(w io.Writer, blocks []*Block) error {
 	var cnt [4]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(blocks)))
 	if _, err := w.Write(cnt[:]); err != nil {
 		return fmt.Errorf("matrix: write block count: %w", err)
 	}
 	for _, b := range blocks {
-		if err := WriteBlock(w, b); err != nil {
+		if err := c.WriteBlock(w, b); err != nil {
 			return err
 		}
 	}
@@ -82,7 +98,7 @@ func WriteBlocks(w io.Writer, blocks []*Block) error {
 }
 
 // ReadBlocks deserializes a block list written by WriteBlocks.
-func ReadBlocks(r io.Reader) ([]*Block, error) {
+func (c *BlockCodec) ReadBlocks(r io.Reader) ([]*Block, error) {
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
 		return nil, fmt.Errorf("matrix: read block count: %w", err)
@@ -96,11 +112,44 @@ func ReadBlocks(r io.Reader) ([]*Block, error) {
 	// only what it ships.
 	var blocks []*Block
 	for i := 0; i < n; i++ {
-		b, err := ReadBlock(r)
+		b, err := c.ReadBlock(r)
 		if err != nil {
+			c.Pool.PutAll(blocks)
 			return nil, err
 		}
 		blocks = append(blocks, b)
 	}
 	return blocks, nil
+}
+
+// WriteBlock serializes b to w in the framed binary format with a one-shot
+// codec (allocates a staging buffer; hot paths should hold a BlockCodec).
+func WriteBlock(w io.Writer, b *Block) error {
+	return (&BlockCodec{}).WriteBlock(w, b)
+}
+
+// ReadBlock deserializes one framed block from r with a one-shot codec.
+func ReadBlock(r io.Reader) (*Block, error) {
+	return (&BlockCodec{}).ReadBlock(r)
+}
+
+// BlockWireSize returns the framed size in bytes of a q×q block, used by the
+// cluster runtime to budget link-rate emulation.
+func BlockWireSize(q int) int { return 8 + 8*q*q }
+
+// maxBlockList caps how many blocks one message may carry; the largest real
+// payload is a full installment or chunk of a huge instance, far below this.
+const maxBlockList = 1 << 22
+
+// WriteBlocks serializes a block list with a one-shot codec. It is the
+// payload primitive of the distributed runtime's wire protocol; hot paths
+// should hold a BlockCodec instead.
+func WriteBlocks(w io.Writer, blocks []*Block) error {
+	return (&BlockCodec{}).WriteBlocks(w, blocks)
+}
+
+// ReadBlocks deserializes a block list written by WriteBlocks with a
+// one-shot codec.
+func ReadBlocks(r io.Reader) ([]*Block, error) {
+	return (&BlockCodec{}).ReadBlocks(r)
 }

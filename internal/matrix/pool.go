@@ -1,0 +1,53 @@
+package matrix
+
+import "sync"
+
+// BlockPool recycles Blocks to keep steady-state execution off the
+// allocator: a q×q float64 block is ~51 KB at the default q=80, and the real
+// runtimes move thousands of them per run — one per installment panel, per
+// chunk clone, per codec read. The pool keeps one sync.Pool per block edge,
+// created on first use, so mixed-q workloads (tests, LU panels) coexist.
+//
+// The zero value is ready to use, and all methods are safe for concurrent
+// use. A nil *BlockPool is also valid: Get falls back to a fresh allocation
+// and Put discards, so pool-threading code needs no nil checks.
+type BlockPool struct {
+	pools sync.Map // block edge (int) → *sync.Pool of *Block
+}
+
+func (p *BlockPool) pool(q int) *sync.Pool {
+	if v, ok := p.pools.Load(q); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.pools.LoadOrStore(q, &sync.Pool{New: func() any { return NewBlock(q) }})
+	return v.(*sync.Pool)
+}
+
+// Get returns a q×q block. Its contents are arbitrary (stale data from a
+// previous user); callers that do not overwrite every element should call
+// Zero first.
+func (p *BlockPool) Get(q int) *Block {
+	if p == nil {
+		return NewBlock(q)
+	}
+	return p.pool(q).Get().(*Block)
+}
+
+// Put recycles b for a future Get of the same edge. The caller must hold no
+// other reference to b; nil is ignored.
+func (p *BlockPool) Put(b *Block) {
+	if p == nil || b == nil {
+		return
+	}
+	p.pool(b.Q).Put(b)
+}
+
+// PutAll recycles every non-nil block in the list.
+func (p *BlockPool) PutAll(blocks []*Block) {
+	if p == nil {
+		return
+	}
+	for _, b := range blocks {
+		p.Put(b)
+	}
+}

@@ -1,0 +1,98 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBlockPoolRecyclesPerEdge(t *testing.T) {
+	var p BlockPool
+	b3 := p.Get(3)
+	b5 := p.Get(5)
+	if b3.Q != 3 || len(b3.Data) != 9 || b5.Q != 5 || len(b5.Data) != 25 {
+		t.Fatalf("pool returned wrong shapes: q=%d len=%d, q=%d len=%d", b3.Q, len(b3.Data), b5.Q, len(b5.Data))
+	}
+	b3.Set(1, 1, 42)
+	p.Put(b3)
+	again := p.Get(3)
+	if again.Q != 3 || len(again.Data) != 9 {
+		t.Fatalf("recycled block has q=%d len=%d", again.Q, len(again.Data))
+	}
+	// Contents are explicitly unspecified after Get; only the shape matters.
+	p.Put(again)
+	p.Put(b5)
+	p.Put(nil) // must not panic
+}
+
+func TestNilBlockPoolFallsBack(t *testing.T) {
+	var p *BlockPool
+	b := p.Get(4)
+	if b == nil || b.Q != 4 {
+		t.Fatalf("nil pool Get = %v", b)
+	}
+	p.Put(b)                   // discards silently
+	p.PutAll([]*Block{b, nil}) // also silently
+}
+
+// TestBlockCodecPooledRoundTrip pushes blocks through an encode/decode cycle
+// with a pooled codec and checks values survive despite block reuse.
+func TestBlockCodecPooledRoundTrip(t *testing.T) {
+	var pool BlockPool
+	enc := &BlockCodec{}
+	dec := &BlockCodec{Pool: &pool}
+	var buf bytes.Buffer
+	for round := 0; round < 3; round++ {
+		buf.Reset()
+		want := NewBlock(6)
+		for i := range want.Data {
+			want.Data[i] = float64(round*100 + i)
+		}
+		if err := enc.WriteBlock(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.ReadBlock(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("round %d: decoded block differs", round)
+		}
+		pool.Put(got) // next round decodes into this same block
+	}
+}
+
+// TestBlockCodecReadSteadyStateAllocs checks the pooled decode path stays
+// off the allocator once warm — the zero-alloc block path of the runtime's
+// receive loops.
+func TestBlockCodecReadSteadyStateAllocs(t *testing.T) {
+	var pool BlockPool
+	enc := &BlockCodec{}
+	dec := &BlockCodec{Pool: &pool}
+	src := NewBlock(16)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	var frame bytes.Buffer
+	if err := enc.WriteBlock(&frame, src); err != nil {
+		t.Fatal(err)
+	}
+	data := frame.Bytes()
+	// Warm the pool and the codec scratch buffer.
+	rd := bytes.NewReader(data)
+	b, err := dec.ReadBlock(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(b)
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(data)
+		b, err := dec.ReadBlock(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(b)
+	})
+	if allocs > 1 {
+		t.Errorf("pooled ReadBlock allocates %.1f objects/op in steady state, want ≤1", allocs)
+	}
+}

@@ -19,6 +19,15 @@ type MasterOptions struct {
 	// heartbeat interval, every receive: a worker that neither beats nor
 	// answers within max(IOTimeout, 3×heartbeat) is declared down. Default 30s.
 	IOTimeout time.Duration
+	// OnePort serializes outbound frames across workers when RunPipelined
+	// drives the links concurrently, approximating the paper's one-port
+	// master on the send side (return transfers ride the kernel's receive
+	// path and are not gated). Faithful to the model, the port stays busy
+	// for a send's full duration — including a stalled worker's, so a dead
+	// link can head-of-line-block every send for up to IOTimeout before
+	// failover kicks in. Leave false (the default) for throughput or fast
+	// failover: real worker links have their own capacity anyway.
+	OnePort bool
 }
 
 func (o *MasterOptions) withDefaults() MasterOptions {
@@ -30,17 +39,23 @@ func (o *MasterOptions) withDefaults() MasterOptions {
 		if o.IOTimeout > 0 {
 			out.IOTimeout = o.IOTimeout
 		}
+		out.OnePort = o.OnePort
 	}
 	return out
 }
 
-// link is one worker connection; a nil conn marks a retired worker.
+// link is one worker connection; a nil conn marks a retired worker. Each
+// link carries its own block codecs (one per direction) so the pipelined
+// executor's per-worker goroutines encode and decode without shared state,
+// and steady-state frames reuse the codecs' scratch buffers.
 type link struct {
 	conn      net.Conn
 	rd        *bufio.Reader
 	wr        *bufio.Writer
 	name      string
 	heartbeat time.Duration
+	enc, dec  matrix.BlockCodec
+	abBuf     []*matrix.Block // SendAB concatenation scratch, reused per send
 }
 
 // Master drives remote workers over TCP. It implements engine.Backend, so
@@ -49,14 +64,25 @@ type link struct {
 type Master struct {
 	links []*link
 	opts  MasterOptions
+	gate  *engine.TransferGate // non-nil when opts.OnePort: serializes sends
 }
 
 var _ engine.Backend = (*Master)(nil)
+var _ engine.CopyingBackend = (*Master)(nil)
+
+// CopiesBlocks implements engine.CopyingBackend: SendC and SendAB stage
+// every block onto the wire (through the connection's buffered writer)
+// before returning, so the executor may recycle its staging blocks the
+// moment a send completes.
+func (m *Master) CopiesBlocks() bool { return true }
 
 // Dial connects to every worker address and collects their registrations.
 // Worker i of any plan maps to addrs[i].
 func Dial(addrs []string, opts *MasterOptions) (*Master, error) {
 	m := &Master{opts: opts.withDefaults()}
+	if m.opts.OnePort {
+		m.gate = &engine.TransferGate{}
+	}
 	for _, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, m.opts.DialTimeout)
 		if err != nil {
@@ -107,14 +133,20 @@ func (m *Master) down(w int, op string, cause error) error {
 	return fmt.Errorf("net: %s to worker %d (%s): %v: %w", op, w, name, cause, engine.ErrWorkerDown)
 }
 
-// send frames one message to worker w with the write deadline applied.
+// send frames one message to worker w with the write deadline applied. With
+// OnePort, the frame occupies the master's single send port (the gate) for
+// the duration of the write — the pipelined executor's concurrent dispatch
+// goroutines then ship at most one outbound transfer at a time, while their
+// workers keep computing.
 func (m *Master) send(w int, op string, msg *Msg) error {
 	l := m.links[w]
 	if l.conn == nil {
 		return fmt.Errorf("net: %s to worker %d (%s): link retired: %w", op, w, l.name, engine.ErrWorkerDown)
 	}
+	m.gate.Lock()
+	defer m.gate.Unlock()
 	l.conn.SetWriteDeadline(time.Now().Add(m.opts.IOTimeout))
-	if err := WriteMsg(l.wr, msg); err != nil {
+	if err := WriteMsgCodec(l.wr, msg, &l.enc); err != nil {
 		return m.down(w, op, err)
 	}
 	if err := l.wr.Flush(); err != nil {
@@ -128,12 +160,14 @@ func (m *Master) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
 	return m.send(w, "send chunk", &Msg{Kind: MsgChunk, Chunk: ch, Blocks: blocks})
 }
 
-// SendAB implements engine.Backend.
+// SendAB implements engine.Backend. The A/B pointer lists are concatenated
+// into the link's scratch slice — safe to reuse per send because the frame
+// is fully staged on the wire before send returns, and each link is driven
+// by at most one dispatch goroutine at a time.
 func (m *Master) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
-	blocks := make([]*matrix.Block, 0, len(a)+len(b))
-	blocks = append(blocks, a...)
-	blocks = append(blocks, b...)
-	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: blocks})
+	l := m.links[w]
+	l.abBuf = append(append(l.abBuf[:0], a...), b...)
+	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: l.abBuf})
 }
 
 // RecvC implements engine.Backend: flush the worker and wait for its result,
@@ -149,7 +183,7 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 	}
 	for {
 		l.conn.SetReadDeadline(time.Now().Add(wait))
-		msg, err := ReadMsg(l.rd)
+		msg, err := ReadMsgCodec(l.rd, &l.dec)
 		if err != nil {
 			return nil, m.down(w, "receive result", err)
 		}
@@ -173,6 +207,15 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 // on the survivors.
 func (m *Master) Run(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 	return engine.Execute(t, plan, a, b, c, m)
+}
+
+// RunPipelined executes plan with the concurrent executor: one dispatch
+// goroutine per worker link, so every worker's socket stays fed while other
+// workers compute or return results. C is bitwise-identical to Run's. With
+// MasterOptions.OnePort the outbound frames are still serialized through the
+// master's single send port.
+func (m *Master) RunPipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	return engine.ExecutePipelined(t, plan, a, b, c, m)
 }
 
 // Shutdown tells every live worker to exit and closes all connections.

@@ -97,6 +97,96 @@ func TestLoopbackMatchesEngineBitwise(t *testing.T) {
 	}
 }
 
+// TestPipelinedLoopbackMatchesEngineBitwise runs the same plan through the
+// sequential in-process engine and through the concurrent executor over TCP
+// loopback (with the one-port send gate on, for good measure) and demands
+// bitwise-identical C: per-worker dispatch goroutines change only when
+// transfers happen, never the per-chunk arithmetic order.
+func TestPipelinedLoopbackMatchesEngineBitwise(t *testing.T) {
+	pl := platform.MustNew(
+		platform.Worker{C: 1, W: 1, M: 40},
+		platform.Worker{C: 2, W: 1.5, M: 24},
+		platform.Worker{C: 1.5, W: 2, M: 60},
+	)
+	inst := sched.Instance{R: 7, S: 11, T: 5}
+	for _, s := range []sched.Scheduler{sched.Het{}, sched.ODDOML{}} {
+		res, err := s.Schedule(pl, inst)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		plan := res.Plan()
+		q := 4
+
+		a, b, cNet, want := testMatrices(t, inst, q, 63)
+		_, _, cEng, _ := testMatrices(t, inst, q, 63)
+
+		if err := engine.Run(engine.Config{Workers: pl.P(), T: inst.T}, plan, a, b, cEng); err != nil {
+			t.Fatalf("%s: engine: %v", s.Name(), err)
+		}
+
+		// Worker-side multicore kernels must not change results either.
+		addrs := startWorkers(t, pl.P(), func(i int) WorkerOptions {
+			return WorkerOptions{Heartbeat: 50 * time.Millisecond, Procs: 2}
+		})
+		m, err := Dial(addrs, &MasterOptions{IOTimeout: 10 * time.Second, OnePort: true})
+		if err != nil {
+			t.Fatalf("%s: dial: %v", s.Name(), err)
+		}
+		if err := m.RunPipelined(inst.T, plan, a, b, cNet); err != nil {
+			t.Fatalf("%s: pipelined distributed run: %v", s.Name(), err)
+		}
+		if err := m.Shutdown(); err != nil {
+			t.Errorf("%s: shutdown: %v", s.Name(), err)
+		}
+
+		if d := cNet.MaxAbsDiff(cEng); d != 0 {
+			t.Errorf("%s: pipelined distributed C differs from in-process C by %g (want bitwise equal)", s.Name(), d)
+		}
+		if d := cNet.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("%s: pipelined distributed C differs from serial reference by %g", s.Name(), d)
+		}
+	}
+}
+
+// TestPipelinedWorkerCrashFailover kills a loopback TCP worker mid-pipeline
+// (abrupt connection close after a few installments, while the other
+// dispatch goroutines are in full flight) and checks the concurrent
+// executor's parallel replay waves still produce the serial product. CI runs
+// this under -race, which is the real point: worker death exercises the
+// retire/orphan/replay paths concurrently with healthy dispatch goroutines.
+func TestPipelinedWorkerCrashFailover(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 1, 40)
+	inst := sched.Instance{R: 6, S: 9, T: 4}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for victim := 0; victim < pl.P(); victim++ {
+		a, b, c, want := testMatrices(t, inst, 3, int64(71+victim))
+		addrs := startWorkers(t, pl.P(), func(i int) WorkerOptions {
+			o := WorkerOptions{Heartbeat: 50 * time.Millisecond}
+			if i == victim {
+				o.CrashAfterInstalls = 2
+			}
+			return o
+		})
+		m, err := Dial(addrs, &MasterOptions{IOTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("victim %d: dial: %v", victim, err)
+		}
+		if err := m.RunPipelined(inst.T, res.Plan(), a, b, c); err != nil {
+			t.Fatalf("victim %d: pipelined run did not survive the crash: %v", victim, err)
+		}
+		if err := m.Shutdown(); err != nil {
+			t.Logf("victim %d: shutdown: %v (expected: one link is dead)", victim, err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("victim %d: C wrong by %g after pipelined failover", victim, d)
+		}
+	}
+}
+
 // TestWorkerCrashFailover kills one worker mid-run (abrupt connection close
 // after a few installments) and checks the survivors complete the product
 // correctly via the executor's job replay.

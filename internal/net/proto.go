@@ -107,8 +107,19 @@ func payloadLen(m *Msg) (int, error) {
 	}
 }
 
-// WriteMsg writes one length-prefixed frame to w.
+// WriteMsg writes one length-prefixed frame to w with a one-shot codec.
+// Long-lived connections should hold a matrix.BlockCodec and use
+// WriteMsgCodec so block payloads are staged through one reused buffer.
 func WriteMsg(w io.Writer, m *Msg) error {
+	return WriteMsgCodec(w, m, nil)
+}
+
+// WriteMsgCodec writes one length-prefixed frame to w, staging block
+// payloads through bc (nil falls back to a one-shot codec).
+func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
+	if bc == nil {
+		bc = &matrix.BlockCodec{}
+	}
 	n, err := payloadLen(m)
 	if err != nil {
 		return err
@@ -135,7 +146,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 		if err := putChunk(w, m.Chunk); err != nil {
 			return err
 		}
-		if err := matrix.WriteBlocks(w, m.Blocks); err != nil {
+		if err := bc.WriteBlocks(w, m.Blocks); err != nil {
 			return err
 		}
 	case MsgInstall:
@@ -148,7 +159,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 		if _, err := w.Write(kr[:]); err != nil {
 			return fmt.Errorf("net: write panel range: %w", err)
 		}
-		if err := matrix.WriteBlocks(w, m.Blocks); err != nil {
+		if err := bc.WriteBlocks(w, m.Blocks); err != nil {
 			return err
 		}
 	case MsgFlush:
@@ -167,6 +178,16 @@ func WriteMsg(w io.Writer, m *Msg) error {
 // header cannot reserve a gigabyte, and large block frames cost one copy,
 // mirroring the write side.
 func ReadMsg(r io.Reader) (*Msg, error) {
+	return ReadMsgCodec(r, nil)
+}
+
+// ReadMsgCodec reads one frame from r, decoding block payloads through bc —
+// with a pooled codec, a connection's receive loop stops allocating once
+// warm (nil falls back to a one-shot codec).
+func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
+	if bc == nil {
+		bc = &matrix.BlockCodec{}
+	}
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("net: read frame header: %w", err)
@@ -203,7 +224,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		if m.Chunk, err = getChunk(buf); err != nil {
 			break
 		}
-		m.Blocks, err = matrix.ReadBlocks(buf)
+		m.Blocks, err = bc.ReadBlocks(buf)
 	case MsgInstall:
 		if m.Chunk, err = getChunk(buf); err != nil {
 			break
@@ -214,7 +235,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		}
 		m.K0 = int(int32(binary.LittleEndian.Uint32(kr[0:4])))
 		m.K1 = int(int32(binary.LittleEndian.Uint32(kr[4:8])))
-		m.Blocks, err = matrix.ReadBlocks(buf)
+		m.Blocks, err = bc.ReadBlocks(buf)
 	case MsgFlush:
 		m.Chunk, err = getChunk(buf)
 	case MsgHeartbeat, MsgShutdown:

@@ -26,6 +26,11 @@ type WorkerOptions struct {
 	// this many installments the worker abruptly closes its connection, as a
 	// killed process would. Zero disables.
 	CrashAfterInstalls int
+	// Procs bounds the goroutines spent on each installment's block updates
+	// (the chunk's C blocks are split across them; per-block arithmetic
+	// order — and therefore the result — is unchanged). ≤1 computes
+	// sequentially; a dedicated worker machine wants runtime.NumCPU().
+	Procs int
 	// Logf, when non-nil, receives serve-loop events (registrations,
 	// session ends).
 	Logf func(format string, args ...any)
@@ -113,13 +118,15 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 	defer conn.Close()
 
 	// Results and heartbeats share the connection, so writes go through one
-	// mutex-guarded, immediately-flushed path.
+	// mutex-guarded, immediately-flushed path with a session-lived codec
+	// (one reused staging buffer for all outbound block payloads).
 	var wmu sync.Mutex
 	wr := bufio.NewWriterSize(conn, 1<<16)
+	var enc matrix.BlockCodec
 	write := func(m *Msg) error {
 		wmu.Lock()
 		defer wmu.Unlock()
-		if err := WriteMsg(wr, m); err != nil {
+		if err := WriteMsgCodec(wr, m, &enc); err != nil {
 			return err
 		}
 		return wr.Flush()
@@ -177,15 +184,22 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 	// accommodates t up to several thousand panels without ever letting the
 	// reader stall the socket.
 	frames := make(chan frame, 4096)
+	// pool recycles every block this session receives: the consumer loop
+	// puts installment panels back once applied and chunk blocks back once
+	// their result frame is on the wire, so the reader's decodes stop
+	// allocating once the first job has warmed the pool (sync.Pool is safe
+	// for this cross-goroutine Get/Put traffic).
+	var pool matrix.BlockPool
 	go func() {
 		rd := bufio.NewReaderSize(conn, 1<<16)
+		dec := matrix.BlockCodec{Pool: &pool}
 		for {
 			if idle > 0 && !busy.Load() {
 				conn.SetReadDeadline(time.Now().Add(idle))
 			} else {
 				conn.SetReadDeadline(time.Time{})
 			}
-			msg, err := ReadMsg(rd)
+			msg, err := ReadMsgCodec(rd, &dec)
 			if err != nil && busy.Load() {
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
@@ -234,9 +248,11 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 				return fmt.Errorf("net: worker %s: install payload %d blocks for %v depth %d", name, len(msg.Blocks), cur, d)
 			}
 			am, bm := msg.Blocks[:cur.H*d], msg.Blocks[cur.H*d:]
-			if err := engine.ApplyInstallment(cur, blocks, am, bm, d); err != nil {
+			if err := engine.ApplyInstallmentParallel(cur, blocks, am, bm, d, opts.Procs); err != nil {
 				return fmt.Errorf("net: worker %s: %w", name, err)
 			}
+			// The panels are consumed; recycle them for the next decode.
+			pool.PutAll(msg.Blocks)
 			installs++
 			if opts.CrashAfterInstalls > 0 && installs >= opts.CrashAfterInstalls {
 				conn.Close() // simulate a killed process: vanish mid-protocol
@@ -252,6 +268,9 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 			if err := write(&Msg{Kind: MsgResult, Chunk: cur, Blocks: blocks}); err != nil {
 				return fmt.Errorf("net: worker %s: send result: %w", name, err)
 			}
+			// The result frame is staged on the wire; the chunk blocks (also
+			// pool-born, via the chunk decode) are free for reuse.
+			pool.PutAll(blocks)
 			blocks = nil
 			busy.Store(false)
 			if idle > 0 {

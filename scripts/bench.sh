@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the root benchmark suite (the paper-reproduction experiments plus the
+# executor/kernel/codec perf benchmarks) and emit a JSON map of
+# benchmark name → metrics: iterations, ns/op, B/op, allocs/op, MB/s, and
+# every custom b.ReportMetric value. Checked-in snapshots (BENCH_2.json, …)
+# track the perf trajectory PR over PR.
+#
+# Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
+#   OUT.json   output path (default: BENCH_local.json — deliberately NOT a
+#              checked-in BENCH_N.json name, so a casual no-arg run cannot
+#              clobber a committed snapshot; pass BENCH_<PR>.json explicitly
+#              when cutting the snapshot for a PR)
+#   BENCHTIME  go test -benchtime value (default 1s; CI smoke passes 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_local.json}"
+benchtime="${2:-1s}"
+
+raw=$(go test -run='^$' -bench=. -benchmem -benchtime="$benchtime" -count=1 .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+BEGIN { first = 1 }
+/^cpu: / { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (first) { printf "{\n"; first = 0 } else { printf ",\n" }
+	printf "  \"%s\": {\"iterations\": %s", name, $2
+	# Remaining fields come in value/unit pairs: 1234 ns/op, 8 B/op,
+	# 1.23 relcost_Het, … — slashes become underscores for JSON keys.
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	if (first) { print "{}"; exit 1 }
+	printf ",\n  \"_meta\": {\"host\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}\n}\n", host, cpu, bt
+}' bt="$benchtime" >"$out"
+
+echo "wrote $out"
