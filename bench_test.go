@@ -23,6 +23,7 @@ import (
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/steady"
 )
 
@@ -327,6 +328,72 @@ func BenchmarkDistributedLoopback(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeThroughput measures the multi-job scheduling service end to
+// end: a persistent 4-worker loopback fleet behind an mmserve job queue, fed
+// batches of 4 concurrently submitted products. Each iteration is one batch
+// — admission, per-job resource selection, disjoint leases, pipelined
+// distributed execution, lease return — and the headline metric is jobs/s.
+func BenchmarkServeThroughput(b *testing.B) {
+	const fleetSize = 4
+	var addrs []string
+	for i := 0; i < fleetSize; i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, ln.Addr().String())
+		go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 200 * time.Millisecond})
+	}
+	fleet, err := serve.NewFleet(addrs, platform.Homogeneous(fleetSize, 1, 1, 60).Workers, serve.FleetOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	srv := serve.NewServer(fleet, serve.Config{MaxWorkersPerJob: 2})
+	defer srv.Close()
+
+	inst := sched.Instance{R: 6, S: 9, T: 4}
+	q := 16
+	rng := benchRNG()
+	mk := func() (a, bm, c *matrix.BlockMatrix) {
+		a = matrix.NewBlockMatrix(inst.R, inst.T, q)
+		bm = matrix.NewBlockMatrix(inst.T, inst.S, q)
+		c = matrix.NewBlockMatrix(inst.R, inst.S, q)
+		a.FillRandom(rng)
+		bm.FillRandom(rng)
+		c.FillRandom(rng)
+		return
+	}
+
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		type op struct{ a, bm, c *matrix.BlockMatrix }
+		batch := make([]op, fleetSize)
+		for j := range batch {
+			batch[j].a, batch[j].bm, batch[j].c = mk()
+		}
+		b.StartTimer()
+		ids := make([]uint64, len(batch))
+		for j, o := range batch {
+			id, err := srv.Submit(o.a, o.bm, o.c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = id
+		}
+		for _, id := range ids {
+			if err := srv.Wait(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		jobs += len(batch)
+	}
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs_s")
 }
 
 // BenchmarkCodecReadBlock measures the steady-state pooled decode path the

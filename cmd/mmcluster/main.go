@@ -1,6 +1,11 @@
-// Command mmcluster deploys the matrix product on a real TCP cluster: one
-// master process and any number of worker processes (possibly on other
-// machines), speaking the gob protocol of internal/cluster.
+// Command mmcluster deploys the matrix product on the repository's FIRST
+// distributed runtime: the gob-over-TCP protocol of internal/cluster, where
+// workers dial a listening master. It is kept as a comparison baseline; the
+// canonical wire protocol going forward is internal/net — length-prefixed
+// binary frames, master dials workers, heartbeats, failover, pooled
+// lease-able sessions — served by cmd/mmworker and driven by cmd/mmrun
+// -distributed (one-shot) or the cmd/mmserve daemon (multi-job). New
+// features land on internal/net; this runtime only has to keep working.
 //
 // Start workers first, then the master:
 //
@@ -17,7 +22,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -117,25 +121,9 @@ func buildPlatform(n int, specs string) (*platform.Platform, error) {
 	if specs == "" {
 		return platform.Homogeneous(n, 1, 1, 60), nil
 	}
-	var ws []platform.Worker
-	for _, spec := range strings.Split(specs, ",") {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("worker spec %q: want c:w:m", spec)
-		}
-		c, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return nil, err
-		}
-		w, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, err
-		}
-		m, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, err
-		}
-		ws = append(ws, platform.Worker{C: c, W: w, M: m})
+	ws, err := platform.ParseWorkers(specs)
+	if err != nil {
+		return nil, err
 	}
 	if len(ws) != n {
 		return nil, fmt.Errorf("%d specs for %d workers", len(ws), n)

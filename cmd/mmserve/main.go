@@ -1,0 +1,239 @@
+// Command mmserve is the multi-job scheduling service: a long-lived daemon
+// that holds a persistent fleet of mmworker sessions open, queues submitted
+// products, picks a throughput-best worker subset per job (the paper's
+// resource selection, applied per product), and runs the leased jobs
+// concurrently — one daemon, many products, no worker restarts in between.
+//
+// Daemon mode dials the fleet once and listens for clients:
+//
+//	mmworker -listen 127.0.0.1:9801 &   # ×4 …
+//	mmserve -listen 127.0.0.1:9700 \
+//	        -workers 127.0.0.1:9801,127.0.0.1:9802,127.0.0.1:9803,127.0.0.1:9804
+//
+// Client mode streams A, B and C to the daemon and receives the updated C
+// (matrices are generated from -seed here; a library client ships real data
+// through serve.SubmitProduct):
+//
+//	mmserve -submit -addr 127.0.0.1:9700 -r 8 -s 24 -t 6 -q 16 -seed 7
+//	mmserve -status -addr 127.0.0.1:9700
+//
+// Resource-selection knobs: -specs gives per-worker c:w:m platform
+// descriptions (heterogeneous fleets get heterogeneous selections), -alg
+// picks the scheduling algorithm, and -max-workers-per-job caps any one
+// lease so concurrent submissions always split the fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	stdnet "net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+type options struct {
+	// daemon
+	listen    string
+	workers   string
+	specs     string
+	alg       string
+	maxPerJob int
+	keepalive time.Duration
+	quiet     bool
+	// client
+	submit  bool
+	status  bool
+	addr    string
+	inst    sched.Instance
+	q       int
+	seed    int64
+	timeout time.Duration
+	verify  bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:9700", "daemon: address to serve clients on")
+	flag.StringVar(&o.workers, "workers", "", "daemon: comma-separated mmworker addresses (required)")
+	flag.StringVar(&o.specs, "specs", "", "daemon: per-worker c:w:m specs, comma separated (default: homogeneous 1:1:60)")
+	flag.StringVar(&o.alg, "alg", "Het", "daemon: per-job scheduling algorithm: Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM")
+	flag.IntVar(&o.maxPerJob, "max-workers-per-job", 0, "daemon: cap any one job's lease (0: split the idle fleet across queued jobs)")
+	flag.DurationVar(&o.keepalive, "keepalive", 15*time.Second, "daemon: idle fleet connection ping interval (negative: never)")
+	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
+	flag.BoolVar(&o.submit, "submit", false, "client: submit one product and wait for C")
+	flag.BoolVar(&o.status, "status", false, "client: print the daemon's fleet and job snapshot")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:9700", "client: daemon address")
+	flag.IntVar(&o.inst.R, "r", 8, "client: rows of C in blocks")
+	flag.IntVar(&o.inst.S, "s", 24, "client: columns of C in blocks")
+	flag.IntVar(&o.inst.T, "t", 6, "client: inner dimension in blocks")
+	flag.IntVar(&o.q, "q", 16, "client: block edge (elements)")
+	flag.Int64Var(&o.seed, "seed", 1, "client: random seed for matrix data")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "client: bound on the whole submission exchange")
+	flag.BoolVar(&o.verify, "verify", true, "client: check the returned C against a local reference product")
+	flag.Parse()
+
+	var err error
+	switch {
+	case o.submit:
+		err = runSubmit(o)
+	case o.status:
+		err = runStatus(o)
+	default:
+		err = runDaemon(o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmserve:", err)
+		os.Exit(1)
+	}
+}
+
+// runDaemon brings up the fleet and serves clients until the process dies.
+func runDaemon(o options) error {
+	ln, err := stdnet.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	return daemon(ln, o)
+}
+
+// daemon serves clients on an existing listener (tests hand in an ephemeral
+// port) until the listener closes.
+func daemon(ln stdnet.Listener, o options) error {
+	addrs := splitList(o.workers)
+	if len(addrs) == 0 {
+		return fmt.Errorf("daemon mode needs -workers (or use -submit / -status for client mode)")
+	}
+	specs, err := parseSpecs(o.specs, len(addrs))
+	if err != nil {
+		return err
+	}
+	scheduler, err := pickScheduler(o.alg)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		if !o.quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	fleet, err := serve.NewFleet(addrs, specs, serve.FleetOptions{Keepalive: o.keepalive, Logf: logf})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	srv := serve.NewServer(fleet, serve.Config{Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob, Logf: logf})
+	defer srv.Close()
+
+	logf("mmserve: daemon on %s, fleet of %d workers, algorithm %s", ln.Addr(), len(addrs), scheduler.Name())
+	return srv.ListenAndServe(ln)
+}
+
+// runSubmit generates a seeded product, ships it, and verifies the answer.
+func runSubmit(o options) error {
+	if err := o.inst.Validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	a := matrix.NewBlockMatrix(o.inst.R, o.inst.T, o.q)
+	b := matrix.NewBlockMatrix(o.inst.T, o.inst.S, o.q)
+	c := matrix.NewBlockMatrix(o.inst.R, o.inst.S, o.q)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	var want *matrix.BlockMatrix
+	if o.verify {
+		want = c.Clone()
+		if err := matrix.Multiply(want, a, b); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	got, id, err := serve.SubmitProduct(o.addr, a, b, c, o.timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d: C(%dx%d blocks, q=%d) returned in %v\n", id, got.Rows, got.Cols, got.Q, time.Since(start))
+	if o.verify {
+		diff := got.MaxAbsDiff(want)
+		fmt.Printf("max |C - reference| = %.3g\n", diff)
+		if diff > 1e-9 {
+			return fmt.Errorf("verification FAILED (deviation %g)", diff)
+		}
+		fmt.Println("verification OK: C = C₀ + A·B")
+	}
+	return nil
+}
+
+// runStatus prints the daemon's snapshot.
+func runStatus(o options) error {
+	st, err := serve.FetchStats(o.addr, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed\n", st.Queued, st.Running, st.Done, st.Failed)
+	for _, w := range st.Workers {
+		fmt.Printf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d\n", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
+	}
+	for _, j := range st.Jobs {
+		line := fmt.Sprintf("job %d: %s C(%dx%d)·t=%d q=%d", j.ID, j.State, j.Instance.R, j.Instance.S, j.Instance.T, j.Q)
+		if j.Algorithm != "" {
+			line += fmt.Sprintf(" alg=%s workers=%v", j.Algorithm, j.Workers)
+		}
+		if j.ElapsedMS > 0 {
+			line += fmt.Sprintf(" elapsed=%.1fms", j.ElapsedMS)
+		}
+		if j.Error != "" {
+			line += " error=" + j.Error
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// parseSpecs turns "c:w:m,c:w:m,…" into per-worker platform descriptions,
+// defaulting to a homogeneous fleet when empty.
+func parseSpecs(s string, n int) ([]platform.Worker, error) {
+	if s == "" {
+		return platform.Homogeneous(n, 1, 1, 60).Workers, nil
+	}
+	ws, err := platform.ParseWorkers(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) != n {
+		return nil, fmt.Errorf("%d specs for %d workers", len(ws), n)
+	}
+	return ws, nil
+}
+
+func pickScheduler(alg string) (sched.Scheduler, error) {
+	schedulers := map[string]sched.Scheduler{
+		"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
+		"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
+	}
+	s, ok := schedulers[strings.ToLower(alg)]
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+	return s, nil
+}

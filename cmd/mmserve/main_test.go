@@ -1,0 +1,79 @@
+package main
+
+import (
+	stdnet "net"
+	"strings"
+	"testing"
+	"time"
+
+	mmnet "repro/internal/net"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// TestDaemonSubmitStatus drives the whole CLI surface on loopback: a
+// 2-worker fleet, the daemon loop, one seeded client submission (with its
+// local verification), and a status query.
+func TestDaemonSubmitStatus(t *testing.T) {
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		workerAddrs = append(workerAddrs, ln.Addr().String())
+		go mmnet.Serve(ln, ln.Addr().String(), mmnet.WorkerOptions{Heartbeat: 50 * time.Millisecond})
+	}
+
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	o := options{
+		workers:   strings.Join(workerAddrs, ","),
+		specs:     "1:1:60,1.5:1.2:40",
+		alg:       "Het",
+		keepalive: 200 * time.Millisecond,
+		quiet:     true,
+	}
+	go daemon(ln, o)
+
+	client := options{
+		addr: ln.Addr().String(),
+		inst: sched.Instance{R: 4, S: 6, T: 3},
+		q:    4, seed: 11, timeout: time.Minute, verify: true,
+	}
+	if err := runSubmit(client); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := runStatus(client); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	st, err := serve.FetchStats(ln.Addr().String(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 {
+		t.Errorf("done = %d, want 1", st.Done)
+	}
+}
+
+// TestParseSpecs covers the c:w:m parser.
+func TestParseSpecs(t *testing.T) {
+	ws, err := parseSpecs("", 3)
+	if err != nil || len(ws) != 3 {
+		t.Fatalf("default specs: %v %v", ws, err)
+	}
+	ws, err = parseSpecs("1:2:30, 2:1:60", 2)
+	if err != nil || ws[1].C != 2 || ws[0].M != 30 {
+		t.Fatalf("parsed %v, err %v", ws, err)
+	}
+	if _, err := parseSpecs("1:2", 1); err == nil {
+		t.Error("malformed spec accepted")
+	}
+	if _, err := parseSpecs("1:2:30", 2); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/platform"
@@ -104,25 +103,9 @@ func buildPlatform(name, workers string) (*platform.Platform, error) {
 		}
 		return b(), nil
 	case workers != "":
-		var ws []platform.Worker
-		for _, spec := range strings.Split(workers, ",") {
-			parts := strings.Split(spec, ":")
-			if len(parts) != 3 {
-				return nil, fmt.Errorf("worker spec %q: want c:w:m", spec)
-			}
-			c, err := strconv.ParseFloat(parts[0], 64)
-			if err != nil {
-				return nil, fmt.Errorf("worker spec %q: %w", spec, err)
-			}
-			w, err := strconv.ParseFloat(parts[1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("worker spec %q: %w", spec, err)
-			}
-			m, err := strconv.Atoi(parts[2])
-			if err != nil {
-				return nil, fmt.Errorf("worker spec %q: %w", spec, err)
-			}
-			ws = append(ws, platform.Worker{C: c, W: w, M: m})
+		ws, err := platform.ParseWorkers(workers)
+		if err != nil {
+			return nil, err
 		}
 		return platform.New(ws...)
 	default:

@@ -1,14 +1,24 @@
 // Command mmworker is the worker daemon of the distributed runtime: it
-// listens for a master (cmd/mmrun -distributed, or any internal/net Master),
-// registers, receives C chunks and A/B installments, applies the block
-// updates with the shared engine kernel, returns finished chunks, and beats a
-// heartbeat so the master can tell a slow worker from a dead one.
+// listens for a master (cmd/mmrun -distributed, the cmd/mmserve daemon's
+// fleet, or any internal/net Master), registers, receives C chunks and A/B
+// installments, applies the block updates with the shared engine kernel,
+// returns finished chunks, and beats a heartbeat so the master can tell a
+// slow worker from a dead one.
 //
-// Start two workers and drive them:
+// A session survives end-of-job: a fleet holds the connection open across
+// many products (answering its keepalive pings between jobs), and a release
+// frame returns the daemon to the accept loop without killing it — the
+// worker process is never restarted between jobs or between masters.
+//
+// Start two workers and drive them one-shot:
 //
 //	mmworker -listen 127.0.0.1:9801 -name node1 &
 //	mmworker -listen 127.0.0.1:9802 -name node2 &
 //	mmrun -alg Het -distributed 127.0.0.1:9801,127.0.0.1:9802
+//
+// or hand them to a long-lived scheduling service:
+//
+//	mmserve -listen 127.0.0.1:9700 -workers 127.0.0.1:9801,127.0.0.1:9802
 package main
 
 import (

@@ -15,6 +15,16 @@ import (
 // (internal/net). Execute drives any Backend with identical buffer
 // accounting, operation ordering, and C-accumulation, so the in-process and
 // networked runtimes cannot drift apart.
+//
+// Reusable-backend contract: a successful Execute/ExecutePipelined leaves
+// every worker idle (each SendC is balanced by a RecvC, so no worker holds a
+// chunk afterwards), and the executors keep no state of their own between
+// calls. A Backend whose workers outlive a plan — internal/net's Master over
+// persistent worker sessions — may therefore be handed to any number of
+// consecutive executions; internal/serve leases such backends across jobs
+// without re-establishing the fleet. After a failed execution no such
+// guarantee holds (workers may hold chunks, C may be partially updated):
+// discard the backend's sessions, not just the error.
 type Backend interface {
 	// Workers is the number of addressable workers; plans may only reference
 	// workers in [0, Workers).

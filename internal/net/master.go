@@ -2,6 +2,7 @@ package net
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -58,9 +59,157 @@ type link struct {
 	abBuf     []*matrix.Block // SendAB concatenation scratch, reused per send
 }
 
+// WorkerConn is one registered, open worker connection, detached from any
+// master. It is the unit a long-lived service pools: dial once, lease the
+// connection to a Master for a job (NewMaster), recover it afterwards
+// (Master.Detach), and reuse it for the next job — the worker session
+// survives end-of-job, so no re-dial, re-registration, or codec warm-up is
+// paid between jobs. A WorkerConn is not safe for concurrent use; hand it to
+// one master (or one keepalive loop) at a time.
+type WorkerConn struct {
+	l    *link
+	opts MasterOptions
+}
+
+// DialWorker connects to one worker and collects its registration.
+func DialWorker(addr string, opts *MasterOptions) (*WorkerConn, error) {
+	o := opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("net: dial worker %s: %w", addr, err)
+	}
+	l := &link{conn: conn, rd: bufio.NewReaderSize(conn, 1<<16), wr: bufio.NewWriterSize(conn, 1<<16)}
+	conn.SetReadDeadline(time.Now().Add(o.DialTimeout))
+	hello, err := ReadMsg(l.rd)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("net: bad registration from %s: %v", addr, err)
+	}
+	if hello.Kind != MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("net: bad registration from %s: got %s frame, want hello", addr, hello.Kind)
+	}
+	conn.SetReadDeadline(time.Time{})
+	l.name, l.heartbeat = hello.Name, hello.Heartbeat
+	return &WorkerConn{l: l, opts: o}, nil
+}
+
+// Name returns the name the worker announced at registration.
+func (wc *WorkerConn) Name() string { return wc.l.name }
+
+// Alive reports whether the connection has not been closed or retired.
+func (wc *WorkerConn) Alive() bool { return wc.l.conn != nil }
+
+// Ping sends a master→worker heartbeat, keeping an idle pooled session from
+// tripping the worker's idle timeout. An error means the link is dead; the
+// caller should Close and re-dial.
+func (wc *WorkerConn) Ping() error {
+	l := wc.l
+	if l.conn == nil {
+		return fmt.Errorf("net: ping worker %s: link retired", l.name)
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(wc.opts.IOTimeout))
+	err := WriteMsg(l.wr, &Msg{Kind: MsgHeartbeat})
+	if err == nil {
+		err = l.wr.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("net: ping worker %s: %w", l.name, err)
+	}
+	return nil
+}
+
+// DrainBacklog consumes the worker heartbeats an idle pooled connection
+// accumulates (workers beat for the whole session, masters only read during
+// jobs), so the socket buffer never fills while the connection waits between
+// leases. It never blocks: frames are consumed only when complete, a partial
+// frame stays buffered for the next drain, and the stream remains at a frame
+// boundary. A non-heartbeat frame or a dead socket is an error; the caller
+// should Close and re-dial.
+func (wc *WorkerConn) DrainBacklog() error {
+	l := wc.l
+	if l.conn == nil {
+		return fmt.Errorf("net: drain worker %s: link retired", l.name)
+	}
+	defer l.conn.SetReadDeadline(time.Time{})
+	for {
+		l.conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+		hdr, err := l.rd.Peek(FrameHeaderLen)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return nil // drained (a partial frame may stay buffered)
+			}
+			return fmt.Errorf("net: drain worker %s: %w", l.name, err)
+		}
+		kind, n, err := parseFrameHeader(hdr)
+		if err != nil {
+			return fmt.Errorf("net: drain worker %s: %w", l.name, err)
+		}
+		if kind != MsgHeartbeat || n != 0 {
+			return fmt.Errorf("net: worker %s sent %s frame while idle", l.name, kind)
+		}
+		l.rd.Discard(FrameHeaderLen)
+	}
+}
+
+// releaseDrain bounds the read-to-EOF that follows a release frame: the
+// worker closes the session as soon as it processes the release, so the
+// drain normally ends in milliseconds; the bound only caps a wedged peer.
+const releaseDrain = time.Second
+
+// drainToEOF consumes whatever the worker still has in flight (buffered
+// heartbeats, the EOF of its closing socket) after a release frame was sent.
+// Closing with unread received data would RST the connection and could
+// destroy the in-flight release frame before the worker reads it; reading to
+// EOF first makes the handshake clean.
+func drainToEOF(l *link) {
+	l.conn.SetReadDeadline(time.Now().Add(releaseDrain))
+	for {
+		if _, err := ReadMsgCodec(l.rd, &l.dec); err != nil {
+			return
+		}
+	}
+}
+
+// Release ends the worker's session without killing the daemon: the worker
+// returns to its accept loop and re-registers with the next master that
+// dials. The connection is closed either way.
+func (wc *WorkerConn) Release() error {
+	l := wc.l
+	if l.conn == nil {
+		return nil
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(wc.opts.IOTimeout))
+	err := WriteMsg(l.wr, &Msg{Kind: MsgRelease})
+	if err == nil {
+		err = l.wr.Flush()
+	}
+	if err == nil {
+		drainToEOF(l)
+	}
+	wc.Close()
+	if err != nil {
+		return fmt.Errorf("net: release worker %s: %w", l.name, err)
+	}
+	return nil
+}
+
+// Close drops the connection without any handshake.
+func (wc *WorkerConn) Close() {
+	if wc.l.conn != nil {
+		wc.l.conn.Close()
+		wc.l.conn = nil
+	}
+}
+
 // Master drives remote workers over TCP. It implements engine.Backend, so
 // Run executes plans through exactly the same code path as the in-process
 // engine; only the block transport differs.
+//
+// A Master is reusable: successive Run/RunPipelined calls replay successive
+// plans over the same worker sessions (each job leaves every worker idle
+// again), and Detach recovers the still-open connections for pooling.
 type Master struct {
 	links []*link
 	opts  MasterOptions
@@ -79,34 +228,51 @@ func (m *Master) CopiesBlocks() bool { return true }
 // Dial connects to every worker address and collects their registrations.
 // Worker i of any plan maps to addrs[i].
 func Dial(addrs []string, opts *MasterOptions) (*Master, error) {
+	conns := make([]*WorkerConn, 0, len(addrs))
+	for _, addr := range addrs {
+		wc, err := DialWorker(addr, opts)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, wc)
+	}
+	return NewMaster(conns, opts)
+}
+
+// NewMaster leases already-dialed worker connections to a fresh master:
+// worker i of any plan maps to conns[i]. The master owns the connections
+// until Detach, Release, Shutdown, or Close; the conns must not be used
+// directly in the meantime.
+func NewMaster(conns []*WorkerConn, opts *MasterOptions) (*Master, error) {
 	m := &Master{opts: opts.withDefaults()}
 	if m.opts.OnePort {
 		m.gate = &engine.TransferGate{}
 	}
-	for _, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, m.opts.DialTimeout)
-		if err != nil {
-			m.Close()
-			return nil, fmt.Errorf("net: dial worker %s: %w", addr, err)
+	for i, wc := range conns {
+		if wc == nil || wc.l.conn == nil {
+			return nil, fmt.Errorf("net: worker conn %d is closed", i)
 		}
-		l := &link{conn: conn, rd: bufio.NewReaderSize(conn, 1<<16), wr: bufio.NewWriterSize(conn, 1<<16)}
-		conn.SetReadDeadline(time.Now().Add(m.opts.DialTimeout))
-		hello, err := ReadMsg(l.rd)
-		if err != nil {
-			conn.Close()
-			m.Close()
-			return nil, fmt.Errorf("net: bad registration from %s: %v", addr, err)
-		}
-		if hello.Kind != MsgHello {
-			conn.Close()
-			m.Close()
-			return nil, fmt.Errorf("net: bad registration from %s: got %s frame, want hello", addr, hello.Kind)
-		}
-		conn.SetReadDeadline(time.Time{})
-		l.name, l.heartbeat = hello.Name, hello.Heartbeat
-		m.links = append(m.links, l)
+		m.links = append(m.links, wc.l)
 	}
 	return m, nil
+}
+
+// Detach releases the master's hold on its connections and returns them,
+// still open and registered, for reuse by a later NewMaster: position i holds
+// conns[i] of the original lease, nil where that worker died during the job.
+// The master is spent afterwards (no links remain).
+func (m *Master) Detach() []*WorkerConn {
+	out := make([]*WorkerConn, len(m.links))
+	for i, l := range m.links {
+		if l.conn != nil {
+			out[i] = &WorkerConn{l: l, opts: m.opts}
+		}
+	}
+	m.links = nil
+	return out
 }
 
 // WorkerNames returns the registered worker names in plan-index order.
@@ -218,22 +384,50 @@ func (m *Master) RunPipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMat
 	return engine.ExecutePipelined(t, plan, a, b, c, m)
 }
 
-// Shutdown tells every live worker to exit and closes all connections.
+// Shutdown tells every live worker to end its session and closes all
+// connections. It is idempotent: a second call (or one after Release, Close,
+// or Detach) finds no links and returns nil.
 func (m *Master) Shutdown() error {
 	var first error
 	for w, l := range m.links {
 		if l.conn == nil {
 			continue
 		}
-		if err := m.send(w, "shutdown", &Msg{Kind: MsgShutdown}); err != nil && first == nil {
-			first = err
+		if err := m.send(w, "shutdown", &Msg{Kind: MsgShutdown}); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
 		}
+		drainToEOF(l)
 	}
 	m.Close()
 	return first
 }
 
-// Close drops all connections without the shutdown handshake.
+// Release returns every live worker to its accept loop without killing the
+// daemon: each gets a release frame and its connection is closed; the worker
+// re-registers with the next master that dials. Idempotent, like Shutdown.
+func (m *Master) Release() error {
+	var first error
+	for w, l := range m.links {
+		if l.conn == nil {
+			continue
+		}
+		if err := m.send(w, "release", &Msg{Kind: MsgRelease}); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		drainToEOF(l)
+	}
+	m.Close()
+	return first
+}
+
+// Close drops all connections without the shutdown handshake. The links stay
+// with the master (marked retired), so Close after Detach touches nothing.
 func (m *Master) Close() {
 	for _, l := range m.links {
 		if l.conn != nil {

@@ -315,3 +315,148 @@ func TestDialRejectsSilentPeer(t *testing.T) {
 		t.Fatal("silent peer accepted as a worker")
 	}
 }
+
+// TestMasterReleaseWorkerReregisters releases a worker (session over, daemon
+// alive) and immediately dials it again: the serve loop must hand the next
+// master a fresh registration, and the re-registered worker must run a job.
+func TestMasterReleaseWorkerReregisters(t *testing.T) {
+	addrs := startWorkers(t, 1, nil)
+	pl := platform.Homogeneous(1, 1, 1, 40)
+	inst := sched.Instance{R: 2, S: 3, T: 2}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		m, err := Dial(addrs, &MasterOptions{DialTimeout: 5 * time.Second, IOTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("round %d: dial after release: %v", round, err)
+		}
+		a, b, c, want := testMatrices(t, inst, 3, int64(90+round))
+		if err := m.RunPipelined(inst.T, res.Plan(), a, b, c); err != nil {
+			t.Fatalf("round %d: run: %v", round, err)
+		}
+		if err := m.Release(); err != nil {
+			t.Fatalf("round %d: release: %v", round, err)
+		}
+		if err := m.Release(); err != nil {
+			t.Fatalf("round %d: second release not idempotent: %v", round, err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("round %d: C wrong by %g", round, d)
+		}
+	}
+}
+
+// TestShutdownIdempotent calls Shutdown repeatedly and after Close/Detach:
+// every call past the first must find no links and return nil.
+func TestShutdownIdempotent(t *testing.T) {
+	addrs := startWorkers(t, 2, nil)
+	m, err := Dial(addrs, &MasterOptions{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := m.Shutdown(); err != nil {
+		t.Fatalf("second shutdown not idempotent: %v", err)
+	}
+
+	m2, err := Dial(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := m2.Detach()
+	if err := m2.Shutdown(); err != nil {
+		t.Fatalf("shutdown after detach must be a no-op: %v", err)
+	}
+	for _, wc := range conns {
+		if wc == nil || !wc.Alive() {
+			t.Fatal("detach returned a dead conn from a healthy master")
+		}
+		wc.Close()
+	}
+}
+
+// TestMasterReuseAcrossJobs runs two different products back to back over one
+// master without re-dialing: the reusable-backend contract — a successful
+// execution leaves every worker session idle — is what a job-queue service
+// leases against, so it is asserted here at the net level.
+func TestMasterReuseAcrossJobs(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 40)
+	addrs := startWorkers(t, 2, nil)
+	m, err := Dial(addrs, &MasterOptions{IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i, inst := range []sched.Instance{{R: 4, S: 6, T: 3}, {R: 3, S: 5, T: 4}} {
+		res, err := sched.Het{}.Schedule(pl, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c, want := testMatrices(t, inst, 3, int64(101+i))
+		if err := m.RunPipelined(inst.T, res.Plan(), a, b, c); err != nil {
+			t.Fatalf("job %d on reused master: %v", i, err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("job %d: C wrong by %g", i, d)
+		}
+	}
+	if err := m.Shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestDetachedConnSurvivesIdleAndReruns parks a detached conn past the
+// worker's idle timeout, keeping it alive with Ping and draining the worker's
+// accumulated heartbeats, then leases it to a new master and runs a job — the
+// pooled-connection lifecycle of a long-lived service, minus the service.
+func TestDetachedConnSurvivesIdleAndReruns(t *testing.T) {
+	addrs := startWorkers(t, 1, func(i int) WorkerOptions {
+		return WorkerOptions{Heartbeat: 20 * time.Millisecond, IdleTimeout: 250 * time.Millisecond}
+	})
+	wc, err := DialWorker(addrs[0], &MasterOptions{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle for 2× the worker's idle timeout, pinging under it.
+	for i := 0; i < 5; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if err := wc.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		if err := wc.DrainBacklog(); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+
+	m, err := NewMaster([]*WorkerConn{wc}, &MasterOptions{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := platform.Homogeneous(1, 1, 1, 40)
+	inst := sched.Instance{R: 2, S: 3, T: 2}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, want := testMatrices(t, inst, 3, 113)
+	if err := m.RunPipelined(inst.T, res.Plan(), a, b, c); err != nil {
+		t.Fatalf("run on kept-alive conn: %v", err)
+	}
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Errorf("C wrong by %g", d)
+	}
+	conns := m.Detach()
+	if len(conns) != 1 || conns[0] == nil {
+		t.Fatal("healthy conn lost at detach")
+	}
+	if err := conns[0].Release(); err != nil {
+		t.Errorf("release: %v", err)
+	}
+}

@@ -35,8 +35,9 @@ const (
 	MsgInstall                      // master → worker: A/B panels
 	MsgFlush                        // master → worker: return the chunk
 	MsgResult                       // worker → master: finished chunk
-	MsgHeartbeat                    // worker → master: liveness beacon
+	MsgHeartbeat                    // bidirectional: liveness beacon / fleet keepalive
 	MsgShutdown                     // master → worker: exit
+	MsgRelease                      // master → worker: end the session, keep serving
 )
 
 func (k MsgKind) String() string {
@@ -55,6 +56,8 @@ func (k MsgKind) String() string {
 		return "heartbeat"
 	case MsgShutdown:
 		return "shutdown"
+	case MsgRelease:
+		return "release"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -75,7 +78,42 @@ const (
 	frameMagic      = 0x4d4d5031 // "MMP1"
 	maxFramePayload = 1 << 30    // 1 GiB: far above any real installment
 	maxNameLen      = 1 << 10
+
+	// FrameHeaderLen is the fixed size of every frame's magic+kind+length
+	// prefix. Peek-based consumers (WorkerConn.DrainBacklog) read whole
+	// header-only frames by this length without consuming partial ones.
+	FrameHeaderLen = 9
 )
+
+// PutFrameHeader encodes the magic+kind+u32-length frame prefix every
+// protocol in this codebase shares (the worker protocol here, the client
+// protocol of internal/serve) — the single owner of the header layout.
+func PutFrameHeader(hdr []byte, magic uint32, kind uint8, payloadLen int) {
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	hdr[4] = kind
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(payloadLen))
+}
+
+// ParseFrameHeader decodes the shared frame prefix, rejecting a foreign or
+// corrupt magic.
+func ParseFrameHeader(hdr []byte, magic uint32) (kind uint8, payloadLen uint32, err error) {
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != magic {
+		return 0, 0, fmt.Errorf("net: bad frame magic %#x", m)
+	}
+	return hdr[4], binary.LittleEndian.Uint32(hdr[5:9]), nil
+}
+
+// putFrameHeader / parseFrameHeader bind the shared layout to this package's
+// magic and message kinds; the stream reader and the idle-connection drain
+// both go through parseFrameHeader.
+func putFrameHeader(hdr []byte, kind MsgKind, payloadLen int) {
+	PutFrameHeader(hdr, frameMagic, uint8(kind), payloadLen)
+}
+
+func parseFrameHeader(hdr []byte) (MsgKind, uint32, error) {
+	kind, n, err := ParseFrameHeader(hdr, frameMagic)
+	return MsgKind(kind), n, err
+}
 
 // payloadLen computes a frame's exact payload size from its fields, so
 // WriteMsg can emit the length prefix first and then stream the payload —
@@ -100,7 +138,7 @@ func payloadLen(m *Msg) (int, error) {
 		return 16 + 8 + blocksLen(), nil
 	case MsgFlush:
 		return 16, nil
-	case MsgHeartbeat, MsgShutdown:
+	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		return 0, nil
 	default:
 		return 0, fmt.Errorf("net: cannot encode message kind %d", m.Kind)
@@ -124,10 +162,8 @@ func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
 	if err != nil {
 		return err
 	}
-	var hdr [9]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
-	hdr[4] = byte(m.Kind)
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(n))
+	var hdr [FrameHeaderLen]byte
+	putFrameHeader(hdr[:], m.Kind, n)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("net: write frame header: %w", err)
 	}
@@ -166,7 +202,7 @@ func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
 		if err := putChunk(w, m.Chunk); err != nil {
 			return err
 		}
-	case MsgHeartbeat, MsgShutdown:
+	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		// empty payload
 	}
 	return nil
@@ -188,22 +224,20 @@ func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
 	if bc == nil {
 		bc = &matrix.BlockCodec{}
 	}
-	var hdr [9]byte
+	var hdr [FrameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("net: read frame header: %w", err)
 	}
-	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != frameMagic {
-		return nil, fmt.Errorf("net: bad frame magic %#x", m)
+	kind, n, err := parseFrameHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	kind := MsgKind(hdr[4])
-	n := binary.LittleEndian.Uint32(hdr[5:9])
 	if n > maxFramePayload {
 		return nil, fmt.Errorf("net: implausible frame payload %d bytes", n)
 	}
 	buf := &io.LimitedReader{R: r, N: int64(n)}
 
 	m := &Msg{Kind: kind}
-	var err error
 	switch kind {
 	case MsgHello:
 		var hdr [6]byte
@@ -238,7 +272,7 @@ func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
 		m.Blocks, err = bc.ReadBlocks(buf)
 	case MsgFlush:
 		m.Chunk, err = getChunk(buf)
-	case MsgHeartbeat, MsgShutdown:
+	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		// empty payload
 	default:
 		return nil, fmt.Errorf("net: unknown message kind %d", kind)

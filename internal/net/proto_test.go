@@ -48,6 +48,7 @@ func TestProtoRoundTripEveryKind(t *testing.T) {
 		{Kind: MsgResult, Chunk: ch, Blocks: randBlocks(t, ch.Blocks(), 5, 3)},
 		{Kind: MsgHeartbeat},
 		{Kind: MsgShutdown},
+		{Kind: MsgRelease},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)

@@ -107,8 +107,9 @@ func ServeOne(ln net.Listener, name string, opts WorkerOptions) error {
 
 // ServeConn runs one master session over conn: register, then hold a chunk,
 // apply installments with the shared engine kernel, answer flushes, and beat
-// the heartbeat until shutdown. It closes conn before returning and returns
-// nil on a clean shutdown.
+// the heartbeat until shutdown or release. It closes conn before returning
+// and returns nil on a clean shutdown or release — after a release the serve
+// loop simply accepts the next master and registers afresh.
 //
 // Frames are drained by a dedicated reader goroutine and processed from an
 // in-memory queue, so the socket keeps emptying while an installment
@@ -278,7 +279,16 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 				// SetReadDeadline applies to blocked reads too.
 				conn.SetReadDeadline(time.Now().Add(idle))
 			}
+		case MsgHeartbeat:
+			// Master keepalive for a pooled idle session (a fleet pinging
+			// between jobs); the read itself already re-armed the idle
+			// deadline, so there is nothing else to do.
 		case MsgShutdown:
+			return nil
+		case MsgRelease:
+			// End of a leased session: back to the accept loop, where the
+			// next master's dial gets a fresh registration.
+			opts.logf("worker %s: released by master", name)
 			return nil
 		default:
 			return fmt.Errorf("net: worker %s: unexpected %s message", name, msg.Kind)

@@ -3,6 +3,8 @@ package platform
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 )
 
 // Experimental platforms of Section 6. All times are expressed in normalized
@@ -154,4 +156,39 @@ func Table2(x float64) *Platform {
 // Section 4 setting.
 func Homogeneous(p int, c, w float64, m int) *Platform {
 	return MustNew(uniform(p, c, w, m)...)
+}
+
+// ParseWorkers parses the CLI worker-spec format shared by every command
+// ("c:w:m,c:w:m,…"): link cost, compute cost, and memory capacity per
+// worker. Whitespace around entries is tolerated; validation happens in the
+// caller's New/NewFleet.
+func ParseWorkers(specs string) ([]Worker, error) {
+	var ws []Worker
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("platform: worker spec %q: want c:w:m", spec)
+		}
+		c, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("platform: worker spec %q: %w", spec, err)
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("platform: worker spec %q: %w", spec, err)
+		}
+		m, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("platform: worker spec %q: %w", spec, err)
+		}
+		ws = append(ws, Worker{C: c, W: w, M: m})
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("platform: no worker specs in %q", specs)
+	}
+	return ws, nil
 }

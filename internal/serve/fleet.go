@@ -1,0 +1,410 @@
+// Package serve is the multi-job scheduling service over a persistent worker
+// fleet: the layer that turns the one-shot master-worker runtime into a
+// long-lived daemon. A Fleet dials every worker once and keeps the registered
+// sessions open across jobs (internal/net's WorkerConn/Detach lease
+// handshake); a Server admits submitted products into a queue, picks a
+// throughput-best *subset* of the idle fleet per job — the paper's resource
+// selection, applied per product instead of per process — and runs the leased
+// jobs concurrently through the backend-agnostic pipelined executor. Disjoint
+// leases mean concurrent jobs never share a worker session, so one job's
+// failover (a worker dying mid-job is replayed within its own lease) cannot
+// touch another job's arithmetic or its latency.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	mmnet "repro/internal/net"
+	"repro/internal/platform"
+)
+
+// WorkerState is a fleet worker's lease state.
+type WorkerState uint8
+
+const (
+	// StateIdle: connected, registered, available for the next lease.
+	StateIdle WorkerState = iota
+	// StateLeased: its connection is owned by a running job's master.
+	StateLeased
+	// StateDown: unreachable; the fleet re-dials it before the next lease.
+	StateDown
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateLeased:
+		return "leased"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// FleetOptions tunes a worker fleet.
+type FleetOptions struct {
+	// Master carries the per-connection options every lease's master runs
+	// with (timeouts, one-port gating).
+	Master mmnet.MasterOptions
+	// Keepalive is the interval at which idle pooled connections are pinged
+	// (so the worker's idle timeout never fires between jobs) and their
+	// heartbeat backlog drained (so the socket buffer never fills while a
+	// session waits). Default 15s; negative disables.
+	Keepalive time.Duration
+	// Logf, when non-nil, receives fleet events (redials, downed workers).
+	Logf func(format string, args ...any)
+}
+
+func (o FleetOptions) keepalive() time.Duration {
+	if o.Keepalive != 0 {
+		return o.Keepalive
+	}
+	return 15 * time.Second
+}
+
+func (o FleetOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Fleet holds one persistent, registered connection per worker daemon and
+// leases disjoint subsets of them to jobs. Workers that die (or were never
+// reachable) are marked down and re-dialed before the next lease — the
+// worker *process* is never restarted, only its session.
+type Fleet struct {
+	opts  FleetOptions
+	addrs []string
+	specs []platform.Worker
+
+	mu       sync.Mutex
+	conns    []*mmnet.WorkerConn // non-nil iff state == StateIdle
+	state    []WorkerState
+	names    []string // last registered name per worker ("" before first contact)
+	jobs     []int    // completed leases per worker, for metrics
+	dialing  []bool   // a re-dial is in flight outside the lock
+	pinging  []bool   // borrowed by the keepalive loop, not by a job
+	lastDial []time.Time
+	dials    sync.WaitGroup // in-flight redial goroutines, awaited by Close
+	closed   bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// WorkerMetric is one worker's row in the fleet metrics.
+type WorkerMetric struct {
+	Addr  string          `json:"addr"`
+	Name  string          `json:"name,omitempty"`
+	Spec  platform.Worker `json:"spec"`
+	State string          `json:"state"`
+	Jobs  int             `json:"jobs"`
+}
+
+// NewFleet dials every worker address and keeps the sessions open. specs[i]
+// is worker i's platform description (c_i, w_i, m_i), the input to per-job
+// resource selection; it must match addrs in length. Workers that cannot be
+// reached start down and are re-dialed on demand — the fleet comes up as
+// long as at least one worker registers.
+func NewFleet(addrs []string, specs []platform.Worker, opts FleetOptions) (*Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("serve: fleet needs at least one worker address")
+	}
+	if len(specs) != len(addrs) {
+		return nil, fmt.Errorf("serve: %d specs for %d workers", len(specs), len(addrs))
+	}
+	// Copy before defaulting names, so the caller's slice is never mutated.
+	specs = append([]platform.Worker(nil), specs...)
+	for i := range specs {
+		if specs[i].Name == "" {
+			specs[i].Name = fmt.Sprintf("P%d", i+1)
+		}
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Fleet{
+		opts:     opts,
+		addrs:    append([]string(nil), addrs...),
+		specs:    specs,
+		conns:    make([]*mmnet.WorkerConn, len(addrs)),
+		state:    make([]WorkerState, len(addrs)),
+		names:    make([]string, len(addrs)),
+		jobs:     make([]int, len(addrs)),
+		dialing:  make([]bool, len(addrs)),
+		pinging:  make([]bool, len(addrs)),
+		lastDial: make([]time.Time, len(addrs)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	up := 0
+	for i := range addrs {
+		if f.redialLocked(i) {
+			up++
+		}
+	}
+	if up == 0 {
+		return nil, fmt.Errorf("serve: no worker of %v reachable", addrs)
+	}
+	go f.keepaliveLoop()
+	return f, nil
+}
+
+// redialLocked attempts to (re)connect worker i, updating its state. The
+// fleet lock must be held (or the fleet not yet shared).
+func (f *Fleet) redialLocked(i int) bool {
+	f.lastDial[i] = time.Now()
+	wc, err := mmnet.DialWorker(f.addrs[i], &f.opts.Master)
+	if err != nil {
+		f.state[i] = StateDown
+		f.opts.logf("fleet: worker %d (%s) down: %v", i, f.addrs[i], err)
+		return false
+	}
+	f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+	return true
+}
+
+// Size returns the fleet's worker count (reachable or not).
+func (f *Fleet) Size() int { return len(f.addrs) }
+
+// Specs returns a copy of the per-worker platform descriptions.
+func (f *Fleet) Specs() []platform.Worker {
+	return append([]platform.Worker(nil), f.specs...)
+}
+
+// redialBackoff rate-limits re-dial attempts per down worker, so a
+// permanently dead address costs at most one (off-lock) dial per interval
+// instead of one per scheduling pass.
+const redialBackoff = time.Second
+
+// Idle returns the indices currently available for a lease, kicking off
+// re-dials of down workers (their daemons survive crashes of individual
+// sessions, so a worker lost to one job serves the next). Dials run in
+// their own goroutines — a slow or unroutable address never blocks the
+// scheduling loop, Metrics, Lease or Return — each attempted at most once
+// per redialBackoff; a re-registered worker shows up in a later Idle call
+// (the server's retry timer polls while jobs wait).
+func (f *Fleet) Idle() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	var idle []int
+	for i := range f.addrs {
+		if f.state[i] == StateDown && !f.dialing[i] && time.Since(f.lastDial[i]) >= redialBackoff {
+			f.dialing[i] = true
+			f.lastDial[i] = time.Now()
+			f.dials.Add(1)
+			go f.redial(i)
+		}
+		if f.state[i] == StateIdle {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+// redial attempts to reconnect one down worker and fold the session back
+// into the pool. It owns worker i's dialing flag for the duration.
+func (f *Fleet) redial(i int) {
+	defer f.dials.Done()
+	wc, err := mmnet.DialWorker(f.addrs[i], &f.opts.Master)
+	f.mu.Lock()
+	f.dialing[i] = false
+	closed := f.closed
+	switch {
+	case err != nil:
+		f.opts.logf("fleet: worker %d (%s) still down: %v", i, f.addrs[i], err)
+	case closed || f.state[i] != StateDown:
+		// The fleet closed (or the slot changed hands) while we dialed.
+	default:
+		f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+		f.opts.logf("fleet: worker %d (%s) re-registered", i, f.addrs[i])
+		wc = nil // pooled; do not release below
+	}
+	f.mu.Unlock()
+	if err == nil && wc != nil {
+		// Hand the unwanted session straight back to the daemon's accept loop.
+		wc.Release()
+	}
+}
+
+// Lease hands the connections of the given idle workers to a fresh master,
+// in index order: plan worker j maps to fleet worker idx[j]. The workers
+// stay leased until Return.
+func (f *Fleet) Lease(idx []int) (*mmnet.Master, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("serve: fleet is closed")
+	}
+	conns := make([]*mmnet.WorkerConn, len(idx))
+	for j, i := range idx {
+		if i < 0 || i >= len(f.addrs) {
+			return nil, fmt.Errorf("serve: lease index %d out of range", i)
+		}
+		if f.state[i] != StateIdle {
+			return nil, fmt.Errorf("serve: worker %d (%s) is %s, not idle", i, f.addrs[i], f.state[i])
+		}
+		conns[j] = f.conns[i]
+	}
+	m, err := mmnet.NewMaster(conns, &f.opts.Master)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range idx {
+		f.conns[i], f.state[i] = nil, StateLeased
+	}
+	return m, nil
+}
+
+// Return ends a lease: the master's surviving connections go back to the
+// idle pool, dead ones mark their workers down for re-dial. idx must be the
+// slice the lease was taken with. failed reports whether the job's execution
+// errored — the reusable-backend contract only covers successful runs, so a
+// failed run's survivors may still hold chunks and are never pooled: their
+// sessions are released (the daemon's accept loop hands the next master a
+// fresh one) and the workers marked down for re-dial. Session handshakes
+// happen with the lock released.
+func (f *Fleet) Return(idx []int, m *mmnet.Master, failed bool) {
+	conns := m.Detach()
+	var release []*mmnet.WorkerConn
+	f.mu.Lock()
+	for j, i := range idx {
+		f.jobs[i]++
+		alive := j < len(conns) && conns[j] != nil && conns[j].Alive()
+		switch {
+		case alive && !failed && !f.closed:
+			f.conns[i], f.state[i] = conns[j], StateIdle
+		case alive:
+			if failed {
+				f.opts.logf("fleet: worker %d (%s) survived a failed job; recycling its session", i, f.addrs[i])
+			}
+			release = append(release, conns[j])
+			f.conns[i], f.state[i] = nil, StateDown
+		default:
+			f.conns[i], f.state[i] = nil, StateDown
+			f.opts.logf("fleet: worker %d (%s) died during a job; will re-dial", i, f.addrs[i])
+		}
+	}
+	f.mu.Unlock()
+	for _, wc := range release {
+		wc.Release()
+	}
+}
+
+// Metrics snapshots every worker's state.
+func (f *Fleet) Metrics() []WorkerMetric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerMetric, len(f.addrs))
+	for i := range f.addrs {
+		state := f.state[i]
+		if state == StateLeased && f.pinging[i] {
+			// Borrowed by the keepalive ping, not by a job: the worker is
+			// idle as far as an operator is concerned.
+			state = StateIdle
+		}
+		out[i] = WorkerMetric{
+			Addr: f.addrs[i], Name: f.names[i], Spec: f.specs[i],
+			State: state.String(), Jobs: f.jobs[i],
+		}
+	}
+	return out
+}
+
+// Close stops the keepalive loop and releases every idle connection (the
+// worker daemons keep serving; leased connections are left to their running
+// jobs' masters, whose Return calls find the fleet closed and release them).
+// Idempotent, like Master.Shutdown.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done // a concurrent first Close may still be stopping the loop
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.stop)
+	<-f.done
+	f.dials.Wait()
+	f.mu.Lock()
+	var release []*mmnet.WorkerConn
+	for i, wc := range f.conns {
+		if wc != nil {
+			release = append(release, wc)
+			f.conns[i], f.state[i] = nil, StateDown
+		}
+	}
+	f.mu.Unlock()
+	for _, wc := range release {
+		if err := wc.Release(); err != nil {
+			f.opts.logf("fleet: release on close: %v", err)
+		}
+	}
+}
+
+// keepaliveLoop pings idle pooled connections and drains their heartbeat
+// backlog, so sessions parked between jobs neither trip the worker's idle
+// timeout nor fill the master-side socket buffer. Each connection is
+// borrowed out of the pool for the duration of its (off-lock) ping, so a
+// partitioned worker stalling on a write deadline never blocks Lease,
+// Return, Idle or Metrics.
+func (f *Fleet) keepaliveLoop() {
+	defer close(f.done)
+	interval := f.opts.keepalive()
+	if interval < 0 {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+			type borrow struct {
+				i  int
+				wc *mmnet.WorkerConn
+			}
+			var borrowed []borrow
+			f.mu.Lock()
+			for i, wc := range f.conns {
+				if wc != nil && f.state[i] == StateIdle {
+					// Borrowed for the ping: leased as far as Lease is
+					// concerned, still idle in the metrics (pinging flag).
+					f.conns[i], f.state[i], f.pinging[i] = nil, StateLeased, true
+					borrowed = append(borrowed, borrow{i, wc})
+				}
+			}
+			f.mu.Unlock()
+			for _, b := range borrowed {
+				err := b.wc.DrainBacklog()
+				if err == nil {
+					err = b.wc.Ping()
+				}
+				f.mu.Lock()
+				closed := f.closed
+				f.pinging[b.i] = false
+				switch {
+				case closed || err != nil:
+					f.conns[b.i], f.state[b.i] = nil, StateDown
+				default:
+					f.conns[b.i], f.state[b.i] = b.wc, StateIdle
+				}
+				f.mu.Unlock()
+				if closed {
+					b.wc.Release()
+				} else if err != nil {
+					f.opts.logf("fleet: keepalive lost worker %d (%s): %v", b.i, f.addrs[b.i], err)
+					b.wc.Close()
+				}
+			}
+		}
+	}
+}

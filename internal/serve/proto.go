@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/matrix"
+	mmnet "repro/internal/net"
+)
+
+// The client protocol is a small length-prefixed binary framing, separate
+// from the worker wire protocol of internal/net: clients speak matrices
+// (whole A/B/C operands), workers speak chunks and installments. Block
+// payloads reuse the framed float64 codec of internal/matrix.
+//
+// One submission is one connection: the client ships A, B and C, the server
+// answers with an accept frame carrying the job id (admission — the job may
+// still queue behind others), then, when the job completes, a result frame
+// carrying the updated C (or an error frame). A status connection sends one
+// status frame and gets the service snapshot as JSON.
+
+// clientKind labels client-protocol frames.
+type clientKind uint8
+
+const (
+	cSubmit clientKind = iota + 1 // client → server: R,S,T,Q + A,B,C blocks
+	cAccept                       // server → client: job id (admitted to the queue)
+	cResult                       // server → client: job id + updated C blocks
+	cError                        // server → client: job id (0 = rejected) + message
+	cStatus                       // client → server: snapshot request
+	cStats                        // server → client: Stats as JSON
+)
+
+func (k clientKind) String() string {
+	switch k {
+	case cSubmit:
+		return "submit"
+	case cAccept:
+		return "accept"
+	case cResult:
+		return "result"
+	case cError:
+		return "error"
+	case cStatus:
+		return "status"
+	case cStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("clientkind(%d)", uint8(k))
+	}
+}
+
+const (
+	clientMagic    = 0x4d4d5331 // "MMS1"
+	maxClientFrame = 1 << 31    // 2 GiB: three operands of a large product
+	maxErrLen      = 1 << 16
+	maxStatsLen    = 1 << 24
+)
+
+// clientMsg is the single client-protocol envelope.
+type clientMsg struct {
+	Kind       clientKind
+	R, S, T, Q int             // Submit
+	ID         uint64          // Accept / Result / Error
+	Blocks     []*matrix.Block // Submit: A then B then C; Result: C
+	Err        string          // Error
+	Stats      []byte          // Stats: JSON
+}
+
+func clientPayloadLen(m *clientMsg) (int, error) {
+	blocksLen := func() int {
+		n := 4
+		for _, b := range m.Blocks {
+			n += matrix.BlockWireSize(b.Q)
+		}
+		return n
+	}
+	switch m.Kind {
+	case cSubmit:
+		return 16 + blocksLen(), nil
+	case cAccept:
+		return 8, nil
+	case cResult:
+		return 8 + blocksLen(), nil
+	case cError:
+		if len(m.Err) > maxErrLen {
+			m.Err = m.Err[:maxErrLen]
+		}
+		return 8 + 4 + len(m.Err), nil
+	case cStatus:
+		return 0, nil
+	case cStats:
+		return 4 + len(m.Stats), nil
+	default:
+		return 0, fmt.Errorf("serve: cannot encode client frame kind %d", m.Kind)
+	}
+}
+
+// writeClientMsg writes one length-prefixed client frame, staging block
+// payloads through bc (nil: one-shot codec).
+func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
+	if bc == nil {
+		bc = &matrix.BlockCodec{}
+	}
+	n, err := clientPayloadLen(m)
+	if err != nil {
+		return err
+	}
+	if int64(n) > maxClientFrame {
+		// Reject before writing anything: past this the uint32 length prefix
+		// would wrap (or the reader would reject after a multi-GiB upload).
+		return fmt.Errorf("serve: %s frame payload %d bytes exceeds the %d-byte frame limit", m.Kind, n, int64(maxClientFrame))
+	}
+	var hdr [mmnet.FrameHeaderLen]byte
+	mmnet.PutFrameHeader(hdr[:], clientMagic, uint8(m.Kind), n)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("serve: write frame header: %w", err)
+	}
+	switch m.Kind {
+	case cSubmit:
+		var dims [16]byte
+		binary.LittleEndian.PutUint32(dims[0:4], uint32(m.R))
+		binary.LittleEndian.PutUint32(dims[4:8], uint32(m.S))
+		binary.LittleEndian.PutUint32(dims[8:12], uint32(m.T))
+		binary.LittleEndian.PutUint32(dims[12:16], uint32(m.Q))
+		if _, err := w.Write(dims[:]); err != nil {
+			return fmt.Errorf("serve: write submit dims: %w", err)
+		}
+		return bc.WriteBlocks(w, m.Blocks)
+	case cAccept:
+		var id [8]byte
+		binary.LittleEndian.PutUint64(id[:], m.ID)
+		_, err := w.Write(id[:])
+		return err
+	case cResult:
+		var id [8]byte
+		binary.LittleEndian.PutUint64(id[:], m.ID)
+		if _, err := w.Write(id[:]); err != nil {
+			return err
+		}
+		return bc.WriteBlocks(w, m.Blocks)
+	case cError:
+		var pre [12]byte
+		binary.LittleEndian.PutUint64(pre[0:8], m.ID)
+		binary.LittleEndian.PutUint32(pre[8:12], uint32(len(m.Err)))
+		if _, err := w.Write(pre[:]); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, m.Err)
+		return err
+	case cStatus:
+		return nil
+	case cStats:
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(m.Stats)))
+		if _, err := w.Write(cnt[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(m.Stats)
+		return err
+	}
+	return nil
+}
+
+// readClientMsg reads one client frame, decoding blocks through bc.
+func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
+	if bc == nil {
+		bc = &matrix.BlockCodec{}
+	}
+	var hdr [mmnet.FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: read frame header: %w", err)
+	}
+	rawKind, rawLen, err := mmnet.ParseFrameHeader(hdr[:], clientMagic)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	kind := clientKind(rawKind)
+	n := int64(rawLen)
+	if n > maxClientFrame {
+		return nil, fmt.Errorf("serve: implausible client frame payload %d bytes", n)
+	}
+	buf := &io.LimitedReader{R: r, N: n}
+
+	m := &clientMsg{Kind: kind}
+	switch kind {
+	case cSubmit:
+		var dims [16]byte
+		if _, err = io.ReadFull(buf, dims[:]); err != nil {
+			break
+		}
+		m.R = int(int32(binary.LittleEndian.Uint32(dims[0:4])))
+		m.S = int(int32(binary.LittleEndian.Uint32(dims[4:8])))
+		m.T = int(int32(binary.LittleEndian.Uint32(dims[8:12])))
+		m.Q = int(int32(binary.LittleEndian.Uint32(dims[12:16])))
+		m.Blocks, err = bc.ReadBlocks(buf)
+	case cAccept:
+		var id [8]byte
+		if _, err = io.ReadFull(buf, id[:]); err != nil {
+			break
+		}
+		m.ID = binary.LittleEndian.Uint64(id[:])
+	case cResult:
+		var id [8]byte
+		if _, err = io.ReadFull(buf, id[:]); err != nil {
+			break
+		}
+		m.ID = binary.LittleEndian.Uint64(id[:])
+		m.Blocks, err = bc.ReadBlocks(buf)
+	case cError:
+		var pre [12]byte
+		if _, err = io.ReadFull(buf, pre[:]); err != nil {
+			break
+		}
+		m.ID = binary.LittleEndian.Uint64(pre[0:8])
+		msgLen := int(binary.LittleEndian.Uint32(pre[8:12]))
+		if msgLen > maxErrLen {
+			return nil, fmt.Errorf("serve: error message %d bytes long", msgLen)
+		}
+		text := make([]byte, msgLen)
+		if _, err = io.ReadFull(buf, text); err != nil {
+			break
+		}
+		m.Err = string(text)
+	case cStatus:
+		// empty payload
+	case cStats:
+		var cnt [4]byte
+		if _, err = io.ReadFull(buf, cnt[:]); err != nil {
+			break
+		}
+		statsLen := int(binary.LittleEndian.Uint32(cnt[:]))
+		if statsLen > maxStatsLen {
+			return nil, fmt.Errorf("serve: stats payload %d bytes long", statsLen)
+		}
+		m.Stats = make([]byte, statsLen)
+		_, err = io.ReadFull(buf, m.Stats)
+	default:
+		return nil, fmt.Errorf("serve: unknown client frame kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: decode %s: %w", kind, err)
+	}
+	if buf.N != 0 {
+		return nil, fmt.Errorf("serve: %s frame has %d trailing bytes", kind, buf.N)
+	}
+	return m, nil
+}
+
+// flattenMatrix lists a matrix's blocks in row-major order, materializing
+// lazily-allocated zero blocks so counts stay exact on the wire.
+func flattenMatrix(m *matrix.BlockMatrix) []*matrix.Block {
+	out := make([]*matrix.Block, 0, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out = append(out, m.Block(i, j))
+		}
+	}
+	return out
+}
+
+// matrixFromBlocks rebuilds an r×c blocked matrix from a row-major list.
+func matrixFromBlocks(r, c, q int, blocks []*matrix.Block) (*matrix.BlockMatrix, error) {
+	if len(blocks) != r*c {
+		return nil, fmt.Errorf("serve: %d blocks for a %dx%d matrix", len(blocks), r, c)
+	}
+	m := matrix.NewBlockMatrix(r, c, q)
+	for idx, b := range blocks {
+		if b == nil || b.Q != q {
+			return nil, fmt.Errorf("serve: block %d has edge mismatch", idx)
+		}
+		m.SetBlock(idx/c, idx%c, b)
+	}
+	return m, nil
+}
+
+// ListenAndServe accepts client connections until the listener closes: each
+// submission is admitted to the queue and answered with its updated C when
+// its turn has run; status requests get the JSON snapshot. One goroutine per
+// client — concurrent submissions are exactly how the service gets
+// concurrent jobs.
+func (s *Server) ListenAndServe(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			s.cfg.logf("serve: accept: %v", err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		go s.handleClient(conn)
+	}
+}
+
+// handleClient runs one client connection to completion.
+func (s *Server) handleClient(conn net.Conn) {
+	defer conn.Close()
+	rd := bufio.NewReaderSize(conn, 1<<16)
+	wr := bufio.NewWriterSize(conn, 1<<16)
+	var codec matrix.BlockCodec
+
+	reply := func(m *clientMsg) error {
+		if err := writeClientMsg(wr, m, &codec); err != nil {
+			return err
+		}
+		return wr.Flush()
+	}
+	fail := func(id uint64, err error) {
+		reply(&clientMsg{Kind: cError, ID: id, Err: err.Error()})
+	}
+
+	msg, err := readClientMsg(rd, &codec)
+	if err != nil {
+		s.cfg.logf("serve: client %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	switch msg.Kind {
+	case cStatus:
+		body, err := json.Marshal(s.Status())
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		reply(&clientMsg{Kind: cStats, Stats: body})
+
+	case cSubmit:
+		nA, nB, nC := msg.R*msg.T, msg.T*msg.S, msg.R*msg.S
+		if msg.R <= 0 || msg.S <= 0 || msg.T <= 0 || msg.Q <= 0 || len(msg.Blocks) != nA+nB+nC {
+			fail(0, fmt.Errorf("serve: submit carries %d blocks for r=%d s=%d t=%d", len(msg.Blocks), msg.R, msg.S, msg.T))
+			return
+		}
+		a, err := matrixFromBlocks(msg.R, msg.T, msg.Q, msg.Blocks[:nA])
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		b, err := matrixFromBlocks(msg.T, msg.S, msg.Q, msg.Blocks[nA:nA+nB])
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		c, err := matrixFromBlocks(msg.R, msg.S, msg.Q, msg.Blocks[nA+nB:])
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		id, err := s.Submit(a, b, c)
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		if err := reply(&clientMsg{Kind: cAccept, ID: id}); err != nil {
+			return // client gone; the job still runs
+		}
+		if err := s.Wait(id); err != nil {
+			fail(id, err)
+			return
+		}
+		reply(&clientMsg{Kind: cResult, ID: id, Blocks: flattenMatrix(c)})
+
+	default:
+		fail(0, fmt.Errorf("serve: unexpected %s frame from client", msg.Kind))
+	}
+}
+
+// SubmitProduct is the client side of one submission: it ships A, B and C to
+// the daemon at addr, waits for the job to run, and returns the updated C
+// and the job id. timeout bounds the whole exchange (0: no deadline — the
+// job may legitimately queue for a while).
+func SubmitProduct(addr string, a, b, c *matrix.BlockMatrix, timeout time.Duration) (*matrix.BlockMatrix, uint64, error) {
+	if a == nil || b == nil || c == nil {
+		return nil, 0, fmt.Errorf("serve: submit needs A, B and C")
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	rd := bufio.NewReaderSize(conn, 1<<16)
+	wr := bufio.NewWriterSize(conn, 1<<16)
+	var codec matrix.BlockCodec
+
+	blocks := make([]*matrix.Block, 0, a.Rows*a.Cols+b.Rows*b.Cols+c.Rows*c.Cols)
+	blocks = append(blocks, flattenMatrix(a)...)
+	blocks = append(blocks, flattenMatrix(b)...)
+	blocks = append(blocks, flattenMatrix(c)...)
+	sub := &clientMsg{Kind: cSubmit, R: c.Rows, S: c.Cols, T: a.Cols, Q: a.Q, Blocks: blocks}
+	if err := writeClientMsg(wr, sub, &codec); err != nil {
+		return nil, 0, err
+	}
+	if err := wr.Flush(); err != nil {
+		return nil, 0, err
+	}
+
+	ack, err := readClientMsg(rd, &codec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ack.Kind == cError {
+		return nil, ack.ID, fmt.Errorf("serve: daemon rejected the job: %s", ack.Err)
+	}
+	if ack.Kind != cAccept {
+		return nil, 0, fmt.Errorf("serve: got %s frame, want accept", ack.Kind)
+	}
+
+	res, err := readClientMsg(rd, &codec)
+	if err != nil {
+		return nil, ack.ID, err
+	}
+	switch res.Kind {
+	case cResult:
+		out, err := matrixFromBlocks(c.Rows, c.Cols, c.Q, res.Blocks)
+		if err != nil {
+			return nil, res.ID, err
+		}
+		return out, res.ID, nil
+	case cError:
+		return nil, res.ID, fmt.Errorf("serve: job %d failed: %s", res.ID, res.Err)
+	default:
+		return nil, ack.ID, fmt.Errorf("serve: got %s frame, want result", res.Kind)
+	}
+}
+
+// FetchStats asks the daemon at addr for its service snapshot.
+func FetchStats(addr string, timeout time.Duration) (*Stats, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := writeClientMsg(conn, &clientMsg{Kind: cStatus}, nil); err != nil {
+		return nil, err
+	}
+	msg, err := readClientMsg(bufio.NewReaderSize(conn, 1<<16), nil)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != cStats {
+		return nil, fmt.Errorf("serve: got %s frame, want stats", msg.Kind)
+	}
+	var st Stats
+	if err := json.Unmarshal(msg.Stats, &st); err != nil {
+		return nil, fmt.Errorf("serve: decode stats: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestClientProtoRoundTrip encodes and decodes one frame of every client
+// protocol kind and checks all fields survive bit-for-bit.
+func TestClientProtoRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	blocks := func(n, q int) []*matrix.Block {
+		out := make([]*matrix.Block, n)
+		for i := range out {
+			out[i] = matrix.NewBlock(q)
+			out[i].FillRandom(rng)
+		}
+		return out
+	}
+	msgs := []*clientMsg{
+		{Kind: cSubmit, R: 2, S: 3, T: 2, Q: 4, Blocks: blocks(2*2+2*3+2*3, 4)},
+		{Kind: cAccept, ID: 42},
+		{Kind: cResult, ID: 42, Blocks: blocks(6, 4)},
+		{Kind: cError, ID: 7, Err: "no workers left"},
+		{Kind: cStatus},
+		{Kind: cStats, Stats: []byte(`{"queued":0}`)},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := writeClientMsg(&buf, m, nil); err != nil {
+			t.Fatalf("%s: write: %v", m.Kind, err)
+		}
+		got, err := readClientMsg(&buf, nil)
+		if err != nil {
+			t.Fatalf("%s: read: %v", m.Kind, err)
+		}
+		if got.Kind != m.Kind || got.R != m.R || got.S != m.S || got.T != m.T ||
+			got.Q != m.Q || got.ID != m.ID || got.Err != m.Err || string(got.Stats) != string(m.Stats) {
+			t.Errorf("%s: fields mangled: sent %+v got %+v", m.Kind, m, got)
+		}
+		if len(got.Blocks) != len(m.Blocks) {
+			t.Fatalf("%s: %d blocks back, sent %d", m.Kind, len(got.Blocks), len(m.Blocks))
+		}
+		for i := range m.Blocks {
+			if got.Blocks[i].MaxAbsDiff(m.Blocks[i]) != 0 {
+				t.Errorf("%s: block %d not bitwise identical", m.Kind, i)
+			}
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s: %d trailing bytes after decode", m.Kind, buf.Len())
+		}
+	}
+}
+
+// TestClientProtoRejectsGarbage checks the decoder fails cleanly on junk.
+func TestClientProtoRejectsGarbage(t *testing.T) {
+	if _, err := readClientMsg(bytes.NewReader([]byte("not a frame at all")), nil); err == nil {
+		t.Error("garbage accepted as a client frame")
+	}
+	var buf bytes.Buffer
+	if err := writeClientMsg(&buf, &clientMsg{Kind: cAccept, ID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 200 // unknown kind
+	if _, err := readClientMsg(bytes.NewReader(raw), nil); err == nil {
+		t.Error("unknown frame kind accepted")
+	}
+}
+
+// TestMatrixFromBlocksValidates covers the reassembly guards.
+func TestMatrixFromBlocksValidates(t *testing.T) {
+	if _, err := matrixFromBlocks(2, 2, 4, make([]*matrix.Block, 3)); err == nil {
+		t.Error("wrong block count accepted")
+	}
+	bad := []*matrix.Block{matrix.NewBlock(4), matrix.NewBlock(8)}
+	if _, err := matrixFromBlocks(1, 2, 4, bad); err == nil {
+		t.Error("block edge mismatch accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Selection is one job's resource-selection outcome: the fleet workers to
+// lease (lease order = plan worker order) and the plan remapped onto them.
+type Selection struct {
+	Workers   []int        // fleet indices, disjoint from every other live lease
+	Plan      []sim.PlanOp // worker j refers to Workers[j]
+	Algorithm string
+	Makespan  float64 // simulated makespan on the selected subset, model units
+}
+
+// SelectResources performs per-job resource selection: from the available
+// fleet workers it shortlists at most share candidates by a throughput proxy,
+// lets the scheduler plan the product on that candidate sub-platform — the
+// paper's selection heuristics then enroll the subset that actually pays for
+// itself — and returns the enrolled workers plus the plan compacted onto
+// them. share is the fleet-sharing knob: a service that wants k jobs running
+// concurrently offers each about 1/k of the idle fleet; share ≤ 0 offers
+// everything.
+//
+// The proxy orders workers by w_i + 2·c_i, a worker's modeled time to be fed
+// one A and one B block and perform the update — the per-unit cost the
+// paper's steady-state analysis charges a worker — with index order breaking
+// ties so homogeneous fleets shortlist deterministically.
+func SelectResources(specs []platform.Worker, avail []int, share int, inst sched.Instance, s sched.Scheduler) (*Selection, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if len(avail) == 0 {
+		return nil, fmt.Errorf("serve: no workers available")
+	}
+	if s == nil {
+		s = sched.Het{}
+	}
+	cand := append([]int(nil), avail...)
+	sort.SliceStable(cand, func(a, b int) bool {
+		sa, sb := specs[cand[a]], specs[cand[b]]
+		return sa.W+2*sa.C < sb.W+2*sb.C
+	})
+	if share > 0 && share < len(cand) {
+		cand = cand[:share]
+	}
+
+	ws := make([]platform.Worker, len(cand))
+	for j, i := range cand {
+		ws[j] = specs[i]
+	}
+	sub, err := platform.New(ws...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Schedule(sub, inst)
+	if err != nil {
+		return nil, fmt.Errorf("serve: schedule on candidate subset: %w", err)
+	}
+	if len(res.Enrolled) == 0 {
+		return nil, fmt.Errorf("serve: %s enrolled no workers", res.Algorithm)
+	}
+
+	// Compact the plan onto the enrolled workers only, so the lease holds
+	// exactly the sessions the job will drive.
+	remap := make(map[int]int, len(res.Enrolled))
+	workers := make([]int, len(res.Enrolled))
+	for j, e := range res.Enrolled {
+		remap[e] = j
+		workers[j] = cand[e]
+	}
+	src := res.Plan()
+	plan := make([]sim.PlanOp, len(src))
+	for i, op := range src {
+		lj, ok := remap[op.Worker]
+		if !ok {
+			return nil, fmt.Errorf("serve: plan references worker %d not in enrolled set %v", op.Worker, res.Enrolled)
+		}
+		op.Worker = lj
+		plan[i] = op
+	}
+	return &Selection{Workers: workers, Plan: plan, Algorithm: res.Algorithm, Makespan: res.Stats.Makespan}, nil
+}

@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/matrix"
+	mmnet "repro/internal/net"
+	"repro/internal/sched"
+)
+
+// JobState is a submitted product's lifecycle state.
+type JobState uint8
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Config tunes the job-queue server.
+type Config struct {
+	// Scheduler plans each job on its selected worker subset. Default: the
+	// paper's Het meta-algorithm (best of the eight selection variants).
+	Scheduler sched.Scheduler
+	// MaxWorkersPerJob caps any one lease. 0 means no fixed cap; the server
+	// still splits the idle fleet evenly across the jobs waiting in the
+	// queue, so two concurrent submissions to a 4-worker fleet get disjoint
+	// 2-worker leases rather than running one after the other.
+	MaxWorkersPerJob int
+	// Logf, when non-nil, receives job lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// job is one admitted product. The a/b/c matrices are owned by the server
+// from Submit until the job leaves JobRunning; c is updated in place.
+type job struct {
+	id      uint64
+	inst    sched.Instance
+	q       int
+	a, b, c *matrix.BlockMatrix
+
+	state     JobState
+	sel       *Selection
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{} // closed when the job reaches Done or Failed
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	ID        uint64         `json:"id"`
+	State     string         `json:"state"`
+	Instance  sched.Instance `json:"instance"`
+	Q         int            `json:"q"`
+	Algorithm string         `json:"algorithm,omitempty"`
+	Workers   []int          `json:"workers,omitempty"` // fleet indices of the lease
+	Error     string         `json:"error,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"` // run time (so far) once started
+}
+
+// Stats is the service snapshot reported to clients.
+type Stats struct {
+	Workers []WorkerMetric `json:"workers"`
+	Queued  int            `json:"queued"`
+	Running int            `json:"running"`
+	Done    int            `json:"done"`
+	Failed  int            `json:"failed"`
+	Jobs    []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
+}
+
+// maxJobHistory bounds the completed-job records the daemon retains for
+// Status: the oldest terminal jobs are pruned past this, so a long-lived
+// service neither grows without bound nor overflows a stats reply. Operand
+// matrices are released the moment a job completes either way (submitters
+// hold their own references; C is updated in place).
+const maxJobHistory = 4096
+
+// Server admits products into a queue and runs them on disjoint leased
+// subsets of a persistent fleet, concurrently. It is the paper's
+// master-process role stretched across many products: resource selection per
+// job, execution through the shared pipelined executor, failover within each
+// lease.
+type Server struct {
+	fleet *Fleet
+	cfg   Config
+
+	mu      sync.Mutex
+	queue   []*job
+	jobs    map[uint64]*job
+	order   []uint64
+	nextID  uint64
+	running int
+	closed  bool
+	wake    chan struct{}
+	loop    sync.WaitGroup
+}
+
+// NewServer starts the scheduling loop over an existing fleet. The fleet
+// stays caller-owned: Close the server first, then the fleet.
+func NewServer(fleet *Fleet, cfg Config) *Server {
+	s := &Server{
+		fleet: fleet,
+		cfg:   cfg,
+		jobs:  make(map[uint64]*job),
+		wake:  make(chan struct{}, 1),
+	}
+	s.loop.Add(1)
+	go s.schedule()
+	return s
+}
+
+// Submit admits C += A·B (all matrices blocked with edge q) and returns the
+// job id. The matrices are owned by the server until the job completes; C is
+// updated in place. Submit never blocks on fleet capacity — admission is a
+// queue, execution happens as leases free up.
+func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
+	if a == nil || b == nil || c == nil {
+		return 0, fmt.Errorf("serve: submit needs A, B and C")
+	}
+	if a.Q != b.Q || a.Q != c.Q {
+		return 0, fmt.Errorf("serve: block edges differ: A q=%d, B q=%d, C q=%d", a.Q, b.Q, c.Q)
+	}
+	inst := sched.Instance{R: c.Rows, S: c.Cols, T: a.Cols}
+	if a.Rows != c.Rows || b.Cols != c.Cols || b.Rows != a.Cols {
+		return 0, fmt.Errorf("serve: shape mismatch A %dx%d, B %dx%d, C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	if err := inst.Validate(); err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("serve: server is closed")
+	}
+	s.nextID++
+	j := &job{
+		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c,
+		state: JobQueued, submitted: time.Now(), done: make(chan struct{}),
+	}
+	s.queue = append(s.queue, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.cfg.logf("serve: job %d queued: C(%dx%d) += A(%dx%d)·B(%dx%d), q=%d",
+		j.id, inst.R, inst.S, inst.R, inst.T, inst.T, inst.S, a.Q)
+	s.kick()
+	return j.id, nil
+}
+
+// Wait blocks until job id completes and returns its terminal error (nil for
+// a successful run; the submitted C has been updated in place).
+func (s *Server) Wait(id uint64) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: unknown job %d", id)
+	}
+	<-j.done
+	return j.err
+}
+
+// Status snapshots the fleet and every job.
+func (s *Server) Status() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Workers: s.fleet.Metrics()}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		js := JobStatus{
+			ID: j.id, State: j.state.String(), Instance: j.inst, Q: j.q,
+		}
+		if j.sel != nil {
+			js.Algorithm = j.sel.Algorithm
+			js.Workers = append([]int(nil), j.sel.Workers...)
+		}
+		if j.err != nil {
+			js.Error = j.err.Error()
+		}
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+			js.ElapsedMS = float64(time.Since(j.started)) / float64(time.Millisecond)
+		case JobDone:
+			st.Done++
+			js.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		case JobFailed:
+			st.Failed++
+			if !j.started.IsZero() {
+				js.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+			}
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}
+
+// Close stops admission, fails any still-queued jobs, waits for running jobs
+// and the scheduling loop to finish, and returns. The fleet is untouched.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.loop.Wait()
+		return
+	}
+	s.closed = true
+	for _, j := range s.queue {
+		s.finishLocked(j, JobFailed, fmt.Errorf("serve: server closed before the job ran"))
+	}
+	s.queue = nil
+	s.mu.Unlock()
+	s.kick()
+	s.loop.Wait()
+}
+
+// finishLocked marks j terminal, releases its operand matrices (submitters
+// hold their own references; a successful job's C has been updated in
+// place), wakes its waiters, and prunes the oldest terminal records past
+// maxJobHistory. The caller holds s.mu.
+func (s *Server) finishLocked(j *job, state JobState, err error) {
+	j.state, j.err, j.finished = state, err, time.Now()
+	j.a, j.b, j.c = nil, nil, nil
+	close(j.done)
+	for len(s.order) > maxJobHistory {
+		old := s.jobs[s.order[0]]
+		if old.state != JobDone && old.state != JobFailed {
+			break
+		}
+		delete(s.jobs, old.id)
+		s.order = s.order[1:]
+	}
+}
+
+// kick nudges the scheduling loop without blocking.
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// schedRetry is how often the admission loop re-tries a non-empty queue that
+// found no lease: workers may be down (a re-dial or its backoff has to
+// elapse) or all leased, and neither condition produces a kick by itself.
+const schedRetry = 250 * time.Millisecond
+
+// schedule is the admission loop: whenever kicked (submit, job completion),
+// it leases disjoint worker subsets to as many queued jobs as the idle fleet
+// can host, FIFO. A queue that cannot be served right now is re-tried on a
+// timer, so jobs stranded by a fully-down fleet start as soon as a worker
+// daemon comes back. The loop exits once the server is closed and the last
+// running job has returned its lease.
+func (s *Server) schedule() {
+	defer s.loop.Done()
+	for {
+		for s.dispatchOne() {
+		}
+		s.mu.Lock()
+		finished := s.closed && s.running == 0
+		waiting := len(s.queue) > 0
+		s.mu.Unlock()
+		if finished {
+			return
+		}
+		if waiting {
+			select {
+			case <-s.wake:
+			case <-time.After(schedRetry):
+			}
+		} else {
+			<-s.wake
+		}
+	}
+}
+
+// dispatchOne tries to start the queue's head job; it reports whether the
+// loop should immediately try again (a job was started or dropped).
+func (s *Server) dispatchOne() bool {
+	s.mu.Lock()
+	if len(s.queue) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	j := s.queue[0]
+	pending := len(s.queue) - 1
+	s.mu.Unlock()
+
+	// Everything slow — Idle (which kicks off re-dials of down workers) and
+	// the scheduling simulations — runs without the server lock, so neither
+	// a dead address nor a large instance's selection stalls Submit, Wait
+	// or Status. The queue is re-checked before committing.
+	avail := s.fleet.Idle()
+	if len(avail) == 0 {
+		return false
+	}
+
+	// Fleet sharing: the head job is offered its even share of the idle
+	// workers, rounded up, so jobs queued behind it can lease the rest and
+	// run concurrently. MaxWorkersPerJob caps the share further.
+	share := len(avail)
+	if pending > 0 {
+		share = (len(avail) + pending) / (pending + 1)
+	}
+	if s.cfg.MaxWorkersPerJob > 0 && s.cfg.MaxWorkersPerJob < share {
+		share = s.cfg.MaxWorkersPerJob
+	}
+
+	sel, err := SelectResources(s.fleet.Specs(), avail, share, j.inst, s.cfg.Scheduler)
+	permanent := false
+	if err != nil {
+		// The share-capped shortlist could not host the job: try everything
+		// currently available before deciding anything — bending the
+		// sharing cap beats stalling the queue.
+		full, fullErr := SelectResources(s.fleet.Specs(), avail, 0, j.inst, s.cfg.Scheduler)
+		switch {
+		case fullErr == nil:
+			s.cfg.logf("serve: job %d: selection failed at share %d, using all %d available workers: %v",
+				j.id, share, len(avail), err)
+			sel, err = full, nil
+		case len(avail) < s.fleet.Size():
+			// Even the available workers cannot host the job, but the
+			// leased or down remainder might; retried by the scheduling
+			// loop's timer.
+			s.cfg.logf("serve: job %d waiting: selection on partial fleet (%d of %d workers): %v",
+				j.id, len(avail), s.fleet.Size(), err)
+			return false
+		default:
+			// The whole fleet cannot host the job; the uncapped attempt's
+			// error is the real diagnosis, not the shortlist's.
+			permanent, err = true, fullErr
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 || s.queue[0] != j {
+		return true // the queue changed while we planned; re-examine
+	}
+	if permanent {
+		s.queue = s.queue[1:]
+		s.finishLocked(j, JobFailed, err)
+		s.cfg.logf("serve: job %d failed selection: %v", j.id, err)
+		return true
+	}
+	m, lerr := s.fleet.Lease(sel.Workers)
+	if lerr != nil {
+		// Transient (a keepalive just downed a worker between Idle and
+		// Lease); retry on the next kick.
+		s.cfg.logf("serve: job %d lease %v: %v", j.id, sel.Workers, lerr)
+		s.kick()
+		return false
+	}
+	s.queue = s.queue[1:]
+	j.state, j.sel, j.started = JobRunning, sel, time.Now()
+	s.running++
+	s.cfg.logf("serve: job %d running on workers %v (%s, simulated makespan %.1f)",
+		j.id, sel.Workers, sel.Algorithm, sel.Makespan)
+	go s.run(j, m)
+	return true
+}
+
+// run executes one leased job and returns the lease. Worker deaths inside
+// the lease are the executor's failover problem (replay on lease survivors);
+// only a lease with no survivors fails the job.
+func (s *Server) run(j *job, m *mmnet.Master) {
+	err := m.RunPipelined(j.inst.T, j.sel.Plan, j.a, j.b, j.c)
+	s.fleet.Return(j.sel.Workers, m, err != nil)
+
+	s.mu.Lock()
+	if err != nil {
+		s.finishLocked(j, JobFailed, err)
+	} else {
+		s.finishLocked(j, JobDone, nil)
+	}
+	elapsed := j.finished.Sub(j.started)
+	s.running--
+	s.mu.Unlock()
+
+	if err != nil {
+		s.cfg.logf("serve: job %d failed: %v", j.id, err)
+	} else {
+		s.cfg.logf("serve: job %d done in %v", j.id, elapsed)
+	}
+	s.kick()
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Run the root benchmark suite (the paper-reproduction experiments plus the
-# executor/kernel/codec perf benchmarks) and emit a JSON map of
-# benchmark name → metrics: iterations, ns/op, B/op, allocs/op, MB/s, and
-# every custom b.ReportMetric value. Checked-in snapshots (BENCH_2.json, …)
-# track the perf trajectory PR over PR.
+# executor/kernel/codec perf benchmarks and the mmserve service-throughput
+# benchmark, whose jobs_s metric is the service's jobs/sec) and emit a JSON
+# map of benchmark name → metrics: iterations, ns/op, B/op, allocs/op, MB/s,
+# and every custom b.ReportMetric value. Checked-in snapshots (BENCH_2.json,
+# BENCH_3.json, …) track the perf trajectory PR over PR.
 #
 # Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
 #   OUT.json   output path (default: BENCH_local.json — deliberately NOT a

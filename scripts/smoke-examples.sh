@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-test the runnable examples: build every example, then actually run
 # the fast ones (quickstart: scheduling only; distributed: a real TCP
-# master-worker round trip on loopback) and fail on any non-zero exit.
+# master-worker round trip on loopback; serve: an mmserve daemon over a
+# persistent 4-worker fleet running two concurrent client submissions plus a
+# post-crash job, every C verified bitwise against the in-process engine)
+# and fail on any non-zero exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,5 +16,8 @@ go run ./examples/quickstart
 
 echo "== go run ./examples/distributed"
 go run ./examples/distributed
+
+echo "== go run ./examples/serve"
+go run ./examples/serve
 
 echo "examples smoke OK"
