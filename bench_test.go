@@ -9,6 +9,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	stdnet "net"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/steady"
+	"repro/matmul"
 )
 
 var benchCfg = exp.Config{Scale: 0.25, Seed: 1}
@@ -394,6 +396,80 @@ func BenchmarkServeThroughput(b *testing.B) {
 		jobs += len(batch)
 	}
 	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs_s")
+}
+
+// BenchmarkSessionOverhead prices the matmul facade: the same unpaced
+// product run through a matmul.Session on the in-process runtime
+// (sub-benchmark "facade": Open once, Submit+Wait per iteration) and
+// through direct engine.Run over a pre-built plan ("direct"). The facade
+// re-schedules the plan per job — the by-design cost of a one-call API —
+// so the honest comparison is facade vs direct including scheduling
+// ("direct_sched"); facade vs that must be within noise.
+func BenchmarkSessionOverhead(b *testing.B) {
+	pl := platform.Homogeneous(4, 1, 1, 60)
+	inst := sched.Instance{R: 8, S: 16, T: 6}
+	q := 16
+	rng := benchRNG()
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	bm := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c0 := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	c0.FillRandom(rng)
+
+	b.Run("direct", func(b *testing.B) {
+		res, err := sched.Het{}.Schedule(pl, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := res.Plan()
+		cfg := engine.Config{Workers: pl.P(), T: inst.T, Pipelined: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := c0.Clone()
+			b.StartTimer()
+			if err := engine.Run(cfg, plan, a, bm, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct_sched", func(b *testing.B) {
+		cfg := engine.Config{Workers: pl.P(), T: inst.T, Pipelined: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := c0.Clone()
+			b.StartTimer()
+			res, err := sched.Het{}.Schedule(pl, inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := engine.Run(cfg, res.Plan(), a, bm, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("facade", func(b *testing.B) {
+		sess, err := matmul.Open(context.Background(), matmul.WithPlatform(pl.Workers...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := c0.Clone()
+			b.StartTimer()
+			job, err := sess.Submit(context.Background(), a, bm, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCodecReadBlock measures the steady-state pooled decode path the

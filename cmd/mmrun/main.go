@@ -1,9 +1,9 @@
-// Command mmrun schedules a product with a chosen algorithm and then
-// executes the plan for real — either on the in-process channel engine
-// (goroutine workers exchanging actual matrix blocks) or, with -distributed,
-// against remote mmworker processes over TCP. Both paths perform genuine
-// floating-point updates through the same executor, and the result is
-// verified against a reference multiplication.
+// Command mmrun runs one product through the public matmul facade: a
+// Session is opened on the in-process runtime (goroutine workers exchanging
+// actual matrix blocks) or, with -distributed, on remote mmworker processes
+// over TCP; the submitted job schedules the product with the chosen
+// algorithm, executes the plan for real, and the result is verified against
+// a reference multiplication.
 //
 // By default the plan runs on the pipelined executor: one dispatch goroutine
 // per worker, so transfers to distinct workers and every worker's compute
@@ -11,6 +11,9 @@
 // the computed C is bitwise-identical either way. With -pace (in-process
 // only) transfers cost simulated wall-clock time, and -oneport keeps those
 // paced transfer slots serialized as the paper's one-port model demands.
+//
+// SIGINT cancels gracefully: the in-flight job is aborted (mid-transfer
+// included), workers are drained, and mmrun exits nonzero.
 //
 // Usage:
 //
@@ -23,18 +26,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/matrix"
-	mmnet "repro/internal/net"
-	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/matmul"
 )
 
 // options collects one mmrun invocation's knobs.
@@ -65,24 +69,21 @@ func main() {
 	flag.IntVar(&o.procs, "procs", 0, "goroutines per in-process worker's block updates (≤1: sequential); remote workers set their own via mmworker -procs")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "mmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
-	schedulers := map[string]sched.Scheduler{
-		"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
-		"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
+func run(ctx context.Context, o options) error {
+	opts := []matmul.Option{
+		matmul.WithAlgorithm(o.alg),
+		matmul.WithPipelined(o.pipelined),
+		matmul.WithOnePort(o.onePort),
 	}
-	s, ok := schedulers[strings.ToLower(o.alg)]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", o.alg)
-	}
-
-	var addrs []string
-	var pl *platform.Platform
+	runtime := "in-process"
 	if o.distributed != "" {
 		if o.pace != 0 {
 			return fmt.Errorf("-pace applies to the in-process engine only; remote links are real, drop it with -distributed")
@@ -90,6 +91,7 @@ func run(o options) error {
 		if o.procs != 0 {
 			return fmt.Errorf("-procs applies to the in-process engine only; remote workers set their own parallelism via mmworker -procs")
 		}
+		var addrs []string
 		for _, a := range strings.Split(o.distributed, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				addrs = append(addrs, a)
@@ -98,26 +100,24 @@ func run(o options) error {
 		if len(addrs) == 0 {
 			return fmt.Errorf("-distributed given but no worker addresses parsed")
 		}
-		// One platform slot per remote worker; remote capabilities are not
-		// probed yet, so model them as homogeneous.
-		pl = platform.Homogeneous(len(addrs), 1, 1, 60)
+		// mmrun is a one-shot driver: its workers exist for this run, so the
+		// session shuts the daemons down on Close (as mmrun always has).
+		opts = append(opts, matmul.WithRuntime(matmul.Distributed(addrs...)), matmul.WithWorkerShutdown())
+		runtime = fmt.Sprintf("distributed over %d workers", len(addrs))
 	} else {
-		// A small heterogeneous platform whose memories are expressed in
-		// blocks; chunk edges stay small so the plan exercises many chunks.
-		pl = platform.MustNew(
-			platform.Worker{C: 1, W: 1, M: 60},
-			platform.Worker{C: 1.5, W: 1.2, M: 40},
-			platform.Worker{C: 2, W: 1.5, M: 24},
-			platform.Worker{C: 3, W: 2, M: 96},
-		)
+		if o.pace != 0 {
+			opts = append(opts, matmul.WithPacing(o.pace))
+		}
+		if o.procs != 0 {
+			opts = append(opts, matmul.WithProcs(o.procs))
+		}
 	}
 
-	res, err := s.Schedule(pl, o.inst)
+	sess, err := matmul.Open(ctx, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scheduled %s: makespan %.1f units, %d workers, %d transfers\n",
-		res.Algorithm, res.Stats.Makespan, len(res.Enrolled), len(res.Trace.Transfers))
+	defer sess.Close()
 
 	rng := rand.New(rand.NewSource(o.seed))
 	a := matrix.NewBlockMatrix(o.inst.R, o.inst.T, o.q)
@@ -135,41 +135,28 @@ func run(o options) error {
 	if o.pipelined {
 		executor = "pipelined"
 	}
+	fmt.Printf("running %s via matmul.Session (%s, %s executor)\n", o.alg, runtime, executor)
 	start := time.Now()
-	if len(addrs) > 0 {
-		m, err := mmnet.Dial(addrs, &mmnet.MasterOptions{OnePort: o.onePort})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("driving %d remote workers (%s executor): %v\n", m.Workers(), executor, m.WorkerNames())
-		runErr := error(nil)
-		if o.pipelined {
-			runErr = m.RunPipelined(o.inst.T, res.Plan(), a, b, c)
-		} else {
-			runErr = m.Run(o.inst.T, res.Plan(), a, b, c)
-		}
-		if runErr != nil {
-			m.Close()
-			return runErr
-		}
-		if err := m.Shutdown(); err != nil {
-			fmt.Fprintln(os.Stderr, "mmrun: shutdown:", err)
-		}
-	} else {
-		cfg := engine.Config{
-			Workers: pl.P(), T: o.inst.T, Platform: pl, TimePerUnit: o.pace,
-			Pipelined: o.pipelined, OnePort: o.onePort, Procs: o.procs,
-		}
-		if err := engine.Run(cfg, res.Plan(), a, b, c); err != nil {
-			return err
-		}
+	job, err := sess.Submit(ctx, a, b, c)
+	if err != nil {
+		return err
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		return err // SIGINT surfaces here as a context.Canceled-wrapping error
 	}
 	elapsed := time.Since(start)
+
 	diff := c.MaxAbsDiff(want)
 	fmt.Printf("executed for real (%s) in %v; max |C - reference| = %.3g\n", executor, elapsed, diff)
 	if diff > 1e-9 {
 		return fmt.Errorf("verification FAILED (deviation %g)", diff)
 	}
 	fmt.Println("verification OK: C = C₀ + A·B")
+	// Close is also the worker teardown on the distributed runtime; a failed
+	// shutdown leaves daemons running and deserves a diagnostic (the
+	// deferred second Close is an idempotent no-op).
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmrun: shutdown:", err)
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	stdnet "net"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func TestRunVerifiesSmallProduct(t *testing.T) {
 	for _, pipelined := range []bool{false, true} {
 		o := options{alg: "het", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 1, pipelined: pipelined}
-		if err := run(o); err != nil {
+		if err := run(context.Background(), o); err != nil {
 			t.Fatalf("pipelined=%v: %v", pipelined, err)
 		}
 	}
@@ -24,13 +25,13 @@ func TestRunPipelinedWithProcsAndOnePortPace(t *testing.T) {
 		alg: "bmm", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 2,
 		pace: 2 * time.Microsecond, pipelined: true, onePort: true, procs: 2,
 	}
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if err := run(options{alg: "nope", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1}); err == nil {
+	if err := run(context.Background(), options{alg: "nope", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -55,21 +56,44 @@ func TestRunDistributedAgainstLoopbackWorkers(t *testing.T) {
 			alg: "het", inst: sched.Instance{R: 4, S: 10, T: 3}, q: 4, seed: 1,
 			distributed: strings.Join(addrs, ","), pipelined: pipelined,
 		}
-		if err := run(o); err != nil {
+		if err := run(context.Background(), o); err != nil {
 			t.Fatalf("pipelined=%v: %v", pipelined, err)
 		}
 	}
 }
 
 func TestRunDistributedRejectsEmptyAddressList(t *testing.T) {
-	if err := run(options{alg: "het", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1, distributed: " , "}); err == nil {
+	if err := run(context.Background(), options{alg: "het", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1, distributed: " , "}); err == nil {
 		t.Fatal("empty address list accepted")
 	}
 }
 
 func TestRunDistributedRejectsProcs(t *testing.T) {
 	o := options{alg: "het", inst: sched.Instance{R: 2, S: 2, T: 2}, q: 2, seed: 1, distributed: "127.0.0.1:1", procs: 4}
-	if err := run(o); err == nil || !strings.Contains(err.Error(), "mmworker -procs") {
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "mmworker -procs") {
 		t.Fatalf("-procs with -distributed not rejected clearly: %v", err)
+	}
+}
+
+// TestRunCancelledContext is the SIGINT path: a paced run whose context is
+// cancelled mid-flight must come back promptly with a cancellation error
+// instead of riding out the modeled transfer time.
+func TestRunCancelledContext(t *testing.T) {
+	o := options{
+		alg: "het", inst: sched.Instance{R: 8, S: 16, T: 6}, q: 8, seed: 3,
+		pace: time.Millisecond, pipelined: true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := run(ctx, o)
+	if err == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v, want prompt return", elapsed)
 	}
 }

@@ -11,8 +11,11 @@
 //	        -workers 127.0.0.1:9801,127.0.0.1:9802,127.0.0.1:9803,127.0.0.1:9804
 //
 // Client mode streams A, B and C to the daemon and receives the updated C
-// (matrices are generated from -seed here; a library client ships real data
-// through serve.SubmitProduct):
+// (matrices are generated from -seed here; a library client submits real
+// data through a matmul.Session on the Remote runtime). SIGINT mid-wait
+// sends the protocol's cancel frame, so the daemon dequeues or aborts the
+// job instead of running it for a vanished client; SIGINT in daemon mode
+// drains the queue and shuts down gracefully.
 //
 //	mmserve -submit -addr 127.0.0.1:9700 -r 8 -s 24 -t 6 -q 16 -seed 7
 //	mmserve -status -addr 127.0.0.1:9700
@@ -24,18 +27,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	stdnet "net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/matmul"
 )
 
 type options struct {
@@ -79,14 +87,17 @@ func main() {
 	flag.BoolVar(&o.verify, "verify", true, "client: check the returned C against a local reference product")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case o.submit:
-		err = runSubmit(o)
+		err = runSubmit(ctx, o)
 	case o.status:
-		err = runStatus(o)
+		err = runStatus(ctx, o)
 	default:
-		err = runDaemon(o)
+		err = runDaemon(ctx, o)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmserve:", err)
@@ -94,19 +105,22 @@ func main() {
 	}
 }
 
-// runDaemon brings up the fleet and serves clients until the process dies.
-func runDaemon(o options) error {
+// runDaemon brings up the fleet and serves clients until the process dies
+// or ctx is cancelled (SIGINT), which closes the listener, fails the queued
+// jobs, waits for running leases, and returns the worker sessions to their
+// daemons.
+func runDaemon(ctx context.Context, o options) error {
 	ln, err := stdnet.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	return daemon(ln, o)
+	return daemon(ctx, ln, o)
 }
 
 // daemon serves clients on an existing listener (tests hand in an ephemeral
-// port) until the listener closes.
-func daemon(ln stdnet.Listener, o options) error {
+// port) until the listener closes or ctx is cancelled.
+func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	addrs := splitList(o.workers)
 	if len(addrs) == 0 {
 		return fmt.Errorf("daemon mode needs -workers (or use -submit / -status for client mode)")
@@ -133,12 +147,24 @@ func daemon(ln stdnet.Listener, o options) error {
 	srv := serve.NewServer(fleet, serve.Config{Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob, Logf: logf})
 	defer srv.Close()
 
+	// SIGINT: stop accepting clients; the deferred Close calls fail the
+	// queued jobs, ride out the running leases, and release the fleet.
+	unhook := context.AfterFunc(ctx, func() { ln.Close() })
+	defer unhook()
+
 	logf("mmserve: daemon on %s, fleet of %d workers, algorithm %s", ln.Addr(), len(addrs), scheduler.Name())
-	return srv.ListenAndServe(ln)
+	err = srv.ListenAndServe(ln)
+	if ctx.Err() != nil {
+		logf("mmserve: signal received; draining jobs and releasing the fleet")
+		return nil
+	}
+	return err
 }
 
-// runSubmit generates a seeded product, ships it, and verifies the answer.
-func runSubmit(o options) error {
+// runSubmit generates a seeded product, submits it through a matmul Session
+// on the Remote runtime, and verifies the answer. ctx cancellation (SIGINT)
+// cancels the daemon-side job, not just the local wait.
+func runSubmit(ctx context.Context, o options) error {
 	if err := o.inst.Validate(); err != nil {
 		return err
 	}
@@ -157,14 +183,32 @@ func runSubmit(o options) error {
 		}
 	}
 
-	start := time.Now()
-	got, id, err := serve.SubmitProduct(o.addr, a, b, c, o.timeout)
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	sess, err := matmul.Open(ctx, matmul.WithRuntime(matmul.Remote(o.addr)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("job %d: C(%dx%d blocks, q=%d) returned in %v\n", id, got.Rows, got.Cols, got.Q, time.Since(start))
+	defer sess.Close()
+
+	start := time.Now()
+	job, err := sess.Submit(ctx, a, b, c)
+	if err != nil {
+		return err
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("job canceled (daemon notified): %w", err)
+		}
+		return err
+	}
+	fmt.Printf("job %d: C(%dx%d blocks, q=%d) returned in %v\n",
+		job.Status().RemoteID, c.Rows, c.Cols, c.Q, time.Since(start))
 	if o.verify {
-		diff := got.MaxAbsDiff(want)
+		diff := c.MaxAbsDiff(want)
 		fmt.Printf("max |C - reference| = %.3g\n", diff)
 		if diff > 1e-9 {
 			return fmt.Errorf("verification FAILED (deviation %g)", diff)
@@ -174,13 +218,16 @@ func runSubmit(o options) error {
 	return nil
 }
 
-// runStatus prints the daemon's snapshot.
-func runStatus(o options) error {
-	st, err := serve.FetchStats(o.addr, 30*time.Second)
+// runStatus prints the daemon's snapshot. SIGINT (via ctx) interrupts a
+// wedged daemon's status exchange, like every other client path.
+func runStatus(ctx context.Context, o options) error {
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	st, err := serve.FetchStatsContext(ctx, o.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed\n", st.Queued, st.Running, st.Done, st.Failed)
+	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled\n", st.Queued, st.Running, st.Done, st.Failed, st.Canceled)
 	for _, w := range st.Workers {
 		fmt.Printf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d\n", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
 	}

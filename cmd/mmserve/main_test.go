@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	stdnet "net"
 	"strings"
 	"testing"
@@ -38,17 +39,17 @@ func TestDaemonSubmitStatus(t *testing.T) {
 		keepalive: 200 * time.Millisecond,
 		quiet:     true,
 	}
-	go daemon(ln, o)
+	go daemon(context.Background(), ln, o)
 
 	client := options{
 		addr: ln.Addr().String(),
 		inst: sched.Instance{R: 4, S: 6, T: 3},
 		q:    4, seed: 11, timeout: time.Minute, verify: true,
 	}
-	if err := runSubmit(client); err != nil {
+	if err := runSubmit(context.Background(), client); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	if err := runStatus(client); err != nil {
+	if err := runStatus(context.Background(), client); err != nil {
 		t.Fatalf("status: %v", err)
 	}
 	st, err := serve.FetchStats(ln.Addr().String(), 10*time.Second)

@@ -22,12 +22,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	stdnet "net"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	mmnet "repro/internal/net"
@@ -43,19 +46,32 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress session logging")
 	flag.Parse()
 
-	if err := run(*listen, *name, *heartbeat, *idle, *sessions, *procs, *quiet); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mmworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
+func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
 	ln, err := stdnet.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	return serve(ln, name, heartbeat, idle, sessions, procs, quiet)
+	// SIGINT/SIGTERM: close the listener so the accept loop winds down —
+	// masters mid-job see the session drop and fail the worker over.
+	unhook := context.AfterFunc(ctx, func() { ln.Close() })
+	defer unhook()
+	err = serve(ln, name, heartbeat, idle, sessions, procs, quiet)
+	if ctx.Err() != nil && errors.Is(err, stdnet.ErrClosed) {
+		if !quiet {
+			fmt.Println("mmworker: signal received; exiting")
+		}
+		return nil
+	}
+	return err
 }
 
 // serve runs the accept loop on an existing listener (tests hand in a

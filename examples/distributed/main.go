@@ -1,9 +1,12 @@
 // Distributed run on a single machine: two worker endpoints on loopback TCP,
 // a master that schedules the product with the heterogeneous algorithm and
-// replays the plan over the wire, and a four-way verification — the
-// distributed C of BOTH executors (the sequential op loop and the pipelined
-// per-worker dispatcher) must equal the in-process engine's C bitwise (same
-// per-chunk operation order, same kernel) and match the serial product.
+// replays the plan over the wire, and a five-way verification — the
+// distributed C of BOTH low-level executors (the sequential op loop and the
+// pipelined per-worker dispatcher) must equal the in-process engine's C
+// bitwise (same per-chunk operation order, same kernel) and match the serial
+// product, and the public facade (a matmul.Session on the Distributed
+// runtime, the way library callers drive these workers) must reproduce the
+// same bits over the same daemons.
 //
 //	go run ./examples/distributed
 //
@@ -13,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/matmul"
 )
 
 func main() {
@@ -62,6 +67,7 @@ func main() {
 	cNet.FillRandom(rng)
 	cEng := cNet.Clone()
 	cPipe := cNet.Clone()
+	cLib := cNet.Clone()
 	want := cNet.Clone()
 	if err := matrix.Multiply(want, a, b); err != nil {
 		log.Fatal(err)
@@ -89,7 +95,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("distributed runs finished: sequential %v, pipelined %v\n", seqElapsed, time.Since(start))
-	if err := m.Shutdown(); err != nil {
+	// Release (not Shutdown): the worker daemons keep serving, so the facade
+	// session below re-dials the very same endpoints.
+	if err := m.Release(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The public way in: a matmul.Session on the Distributed runtime over
+	// the same daemons (homogeneous platform, same algorithm — therefore the
+	// same plan, and in any case the same bits). Its Close shuts the worker
+	// daemons down, ending the example cleanly.
+	sess, err := matmul.Open(context.Background(),
+		matmul.WithRuntime(matmul.Distributed(addrs...)),
+		matmul.WithAlgorithm("Het"),
+		matmul.WithWorkerShutdown(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := sess.Submit(context.Background(), a, b, cLib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -99,10 +130,13 @@ func main() {
 	if d := cPipe.MaxAbsDiff(cEng); d != 0 {
 		log.Fatalf("pipelined distributed C deviates from in-process C by %g (want bitwise equality)", d)
 	}
+	if d := cLib.MaxAbsDiff(cEng); d != 0 {
+		log.Fatalf("facade C deviates from in-process C by %g (want bitwise equality)", d)
+	}
 	if d := cNet.MaxAbsDiff(want); d > 1e-9 {
 		log.Fatalf("distributed C deviates from serial product by %g", d)
 	}
-	fmt.Println("verification OK: sequential ≡ pipelined ≡ in-process C, C = C₀ + A·B")
+	fmt.Println("verification OK: sequential ≡ pipelined ≡ facade ≡ in-process C, C = C₀ + A·B")
 }
 
 func countChunks(res *sched.Result) int {

@@ -1,0 +1,140 @@
+// The facade in one process: the same product submitted through all three
+// matmul runtimes — InProcess goroutine workers, Distributed loopback
+// mmworker daemons, and Remote via a loopback mmserve scheduling daemon —
+// each C asserted bitwise-identical to the others, followed by a live
+// cancellation: a paced job is cancelled mid-transfer and must come back
+// promptly with context.Canceled instead of riding out the modeled link
+// time.
+//
+//	go run ./examples/library
+//
+// This is the embedding story: one import (repro/matmul), one Session API,
+// any runtime behind it.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	stdnet "net"
+	"time"
+
+	mmnet "repro/internal/net"
+	"repro/internal/platform"
+	"repro/internal/serve"
+	"repro/matmul"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Loopback infrastructure: four mmworker serve loops; two are dialed
+	// directly by the Distributed session, two form an mmserve daemon's
+	// fleet for the Remote session.
+	var workerAddrs []string
+	for i := 0; i < 4; i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		workerAddrs = append(workerAddrs, ln.Addr().String())
+		go mmnet.Serve(ln, fmt.Sprintf("worker-%d", i+1), mmnet.WorkerOptions{Heartbeat: 100 * time.Millisecond})
+	}
+	fleet, err := serve.NewFleet(workerAddrs[2:], platform.Homogeneous(2, 1, 1, 60).Workers, serve.FleetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	srv := serve.NewServer(fleet, serve.Config{})
+	defer srv.Close()
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.ListenAndServe(ln)
+
+	// One seeded product, three runtimes, one result.
+	const r, s, t, q, seed = 6, 9, 4, 16, 7
+	runtimes := []struct {
+		name string
+		opts []matmul.Option
+	}{
+		{"in-process", nil},
+		{"distributed", []matmul.Option{matmul.WithRuntime(matmul.Distributed(workerAddrs[:2]...))}},
+		{"mmserve", []matmul.Option{matmul.WithRuntime(matmul.Remote(ln.Addr().String()))}},
+	}
+	var results []*matmul.Matrix
+	for _, rt := range runtimes {
+		sess, err := matmul.Open(ctx, rt.opts...)
+		if err != nil {
+			log.Fatalf("%s: open: %v", rt.name, err)
+		}
+		a, b, c := seededProduct(r, s, t, q, seed)
+		job, err := sess.Submit(ctx, a, b, c)
+		if err != nil {
+			log.Fatalf("%s: submit: %v", rt.name, err)
+		}
+		if err := job.Wait(ctx); err != nil {
+			log.Fatalf("%s: %v", rt.name, err)
+		}
+		if err := sess.Close(); err != nil {
+			log.Fatalf("%s: close: %v", rt.name, err)
+		}
+		fmt.Printf("%-12s C computed (%v)\n", rt.name, job.Status().State)
+		results = append(results, c)
+	}
+	for i := 1; i < len(results); i++ {
+		if d := results[i].MaxAbsDiff(results[0]); d != 0 {
+			log.Fatalf("%s C differs from in-process C by %g (want bitwise equality)", runtimes[i].name, d)
+		}
+	}
+	fmt.Println("all three runtimes bitwise-identical ✓")
+
+	// Cancellation: pace transfers at 1ms per block×unit so the plan would
+	// run for seconds, then cancel mid-flight.
+	sess, err := matmul.Open(ctx, matmul.WithPacing(time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	a, b, c := seededProduct(8, 16, 6, q, seed)
+	job, err := sess.Submit(ctx, a, b, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		job.Cancel()
+	}()
+	err = job.Wait(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		log.Fatalf("cancelled job returned %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		log.Fatalf("cancel took %v, want a prompt abort", elapsed)
+	}
+	fmt.Printf("paced job cancelled mid-transfer in %v (state %v) ✓\n", elapsed.Round(time.Millisecond), job.Status().State)
+}
+
+// seededProduct builds the A, B, C operands for one job.
+func seededProduct(r, s, t, q int, seed int64) (a, b, c *matmul.Matrix) {
+	a = matmul.NewMatrix(r, t, q)
+	b = matmul.NewMatrix(t, s, q)
+	c = matmul.NewMatrix(r, s, q)
+	fill := func(m *matmul.Matrix, off float64) {
+		for i := 0; i < m.ElemRows(); i++ {
+			for j := 0; j < m.ElemCols(); j++ {
+				m.Set(i, j, off+float64((i*31+j*17+int(seed))%13)/7)
+			}
+		}
+	}
+	fill(a, 0.25)
+	fill(b, 0.5)
+	fill(c, 0.75)
+	return
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/matmul"
 )
 
 const crasher = 3 // worker index rigged to die mid-job
@@ -99,18 +101,28 @@ func main() {
 			}
 		}
 	}()
+	// The submissions go through the public facade: one matmul.Session on
+	// the Remote runtime multiplexes both concurrent jobs onto the daemon.
+	sess, err := matmul.Open(context.Background(), matmul.WithRuntime(matmul.Remote(daemon)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 	for i := 0; i < 2; i++ {
 		a, b, c := seededProduct(inst, q, int64(40+i))
 		references[i] = engineReference(inst, q, int64(40+i))
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, id, err := serve.SubmitProduct(daemon, a, b, c, time.Minute)
+			job, err := sess.Submit(context.Background(), a, b, c)
 			if err != nil {
 				log.Fatalf("submit %d: %v", i, err)
 			}
-			fmt.Printf("job %d returned C\n", id)
-			results[i] = got
+			if err := job.Wait(context.Background()); err != nil {
+				log.Fatalf("submit %d: %v", i, err)
+			}
+			fmt.Printf("job %d returned C\n", job.Status().RemoteID)
+			results[i] = c
 		}(i)
 	}
 	wg.Wait()
@@ -161,14 +173,17 @@ func main() {
 	// The crashed worker's daemon never exited; a third job sees a healed
 	// 4-worker fleet (the fleet re-dials before leasing).
 	a, b, c := seededProduct(inst, q, 77)
-	got, id, err := serve.SubmitProduct(daemon, a, b, c, time.Minute)
+	job, err := sess.Submit(context.Background(), a, b, c)
 	if err != nil {
 		log.Fatalf("post-crash job: %v", err)
 	}
-	if d := got.MaxAbsDiff(engineReference(inst, q, 77)); d != 0 {
-		log.Fatalf("post-crash job %d: C differs by %g", id, d)
+	if err := job.Wait(context.Background()); err != nil {
+		log.Fatalf("post-crash job: %v", err)
 	}
-	fmt.Printf("job %d ran on the healed fleet, no worker process restarted ✓\n", id)
+	if d := c.MaxAbsDiff(engineReference(inst, q, 77)); d != 0 {
+		log.Fatalf("post-crash job %d: C differs by %g", job.Status().RemoteID, d)
+	}
+	fmt.Printf("job %d ran on the healed fleet, no worker process restarted ✓\n", job.Status().RemoteID)
 }
 
 // seededProduct builds the A, B, C operands for one job.

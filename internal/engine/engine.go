@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -98,10 +99,12 @@ func (g *TransferGate) Unlock() {
 }
 
 // chanBackend is the in-process Backend: one goroutine per worker, channels
-// as links. Its sends never fail, so Execute's failover path is inert here.
+// as links. Its sends only fail when the run's context is cancelled, so
+// Execute's failover path is inert here.
 type chanBackend struct {
 	cfg  Config
-	gate *TransferGate // non-nil: serialize paced transfer slots (one-port)
+	ctx  context.Context // the run's context; aborts paced transfers and waits
+	gate *TransferGate   // non-nil: serialize paced transfer slots (one-port)
 	in   []chan workerMsg
 	out  []chan chunkMsg
 }
@@ -115,31 +118,64 @@ func (cb *chanBackend) Workers() int { return len(cb.in) }
 func (cb *chanBackend) CopiesBlocks() bool { return false }
 
 // pace charges one transfer slot: it occupies the master's port (the gate,
-// when one-port) for the blocks' modeled link time.
-func (cb *chanBackend) pace(w, blocks int) {
+// when one-port) for the blocks' modeled link time. A cancelled run context
+// aborts the slot mid-sleep, so cancellation latency is bounded by one
+// select, not by the remaining modeled transfer time.
+func (cb *chanBackend) pace(w, blocks int) error {
 	if cb.cfg.Platform == nil || cb.cfg.TimePerUnit <= 0 {
-		return
+		return cb.ctx.Err()
 	}
 	cb.gate.Lock()
-	time.Sleep(time.Duration(float64(blocks) * cb.cfg.Platform.Workers[w].C * float64(cb.cfg.TimePerUnit)))
-	cb.gate.Unlock()
+	defer cb.gate.Unlock()
+	d := time.Duration(float64(blocks) * cb.cfg.Platform.Workers[w].C * float64(cb.cfg.TimePerUnit))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-cb.ctx.Done():
+		return fmt.Errorf("engine: transfer to worker P%d aborted: %w", w+1, cb.ctx.Err())
+	}
+}
+
+// deliver hands one message to worker w, giving up when the run's context is
+// cancelled (the worker may be stalled on a full input slot it will never
+// drain in time).
+func (cb *chanBackend) deliver(w int, msg workerMsg) error {
+	select {
+	case cb.in[w] <- msg:
+		return nil
+	case <-cb.ctx.Done():
+		return fmt.Errorf("engine: send to worker P%d aborted: %w", w+1, cb.ctx.Err())
+	}
 }
 
 func (cb *chanBackend) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
-	cb.pace(w, ch.Blocks())
-	cb.in[w] <- workerMsg{chunk: &chunkMsg{chunk: ch, blocks: blocks}}
-	return nil
+	if err := cb.pace(w, ch.Blocks()); err != nil {
+		return err
+	}
+	return cb.deliver(w, workerMsg{chunk: &chunkMsg{chunk: ch, blocks: blocks}})
 }
 
 func (cb *chanBackend) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
-	cb.pace(w, (k1-k0)*(ch.H+ch.W))
-	cb.in[w] <- workerMsg{install: &installMsg{k0: k0, k1: k1, a: a, b: b}}
-	return nil
+	if err := cb.pace(w, (k1-k0)*(ch.H+ch.W)); err != nil {
+		return err
+	}
+	return cb.deliver(w, workerMsg{install: &installMsg{k0: k0, k1: k1, a: a, b: b}})
 }
 
 func (cb *chanBackend) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
-	cb.in[w] <- workerMsg{flush: true}
-	done := <-cb.out[w]
+	if err := cb.deliver(w, workerMsg{flush: true}); err != nil {
+		return nil, err
+	}
+	var done chunkMsg
+	select {
+	case done = <-cb.out[w]:
+	case <-cb.ctx.Done():
+		// The worker's answer lands in its buffered out slot instead; the
+		// worker never blocks on an abandoned flush.
+		return nil, fmt.Errorf("engine: result from worker P%d abandoned: %w", w+1, cb.ctx.Err())
+	}
 	if done.chunk != ch {
 		return nil, fmt.Errorf("engine: worker P%d returned chunk %v, expected %v", w+1, done.chunk, ch)
 	}
@@ -148,14 +184,27 @@ func (cb *chanBackend) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 	// worker finishing and the master owning the data, and under a one-port
 	// gate that slot — not the wait for compute — is what serializes against
 	// other workers' transfers.
-	cb.pace(w, ch.Blocks())
+	if err := cb.pace(w, ch.Blocks()); err != nil {
+		return nil, err
+	}
 	return done.blocks, nil
 }
 
 // Run replays plan against real matrices on the in-process backend:
 // C ← C + A·B restricted to the chunks the plan covers (a correct plan
 // covers all of C exactly once). A is r×t, B t×s, C r×s blocks.
+//
+// Run cannot be interrupted; library callers should prefer RunContext (or
+// the matmul facade, which plumbs a context through every runtime).
 func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	return RunContext(context.Background(), cfg, plan, a, b, c)
+}
+
+// RunContext is Run under a context: cancelling ctx aborts dispatch at the
+// next operation boundary, interrupts in-flight paced transfers, drains the
+// worker goroutines, and returns an error wrapping ctx's error. A run that
+// is aborted leaves C partially updated; the input matrices are untouched.
+func RunContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 	if cfg.Workers <= 0 {
 		return fmt.Errorf("engine: need a positive worker count")
 	}
@@ -165,6 +214,7 @@ func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 
 	cb := &chanBackend{
 		cfg: cfg,
+		ctx: ctx,
 		in:  make([]chan workerMsg, cfg.Workers),
 		out: make([]chan chunkMsg, cfg.Workers),
 	}
@@ -174,17 +224,20 @@ func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 	errs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		// Capacity 1 gives each worker one buffered installment slot: the
-		// master's send of step k+1 completes while step k computes.
+		// master's send of step k+1 completes while step k computes. The out
+		// slot is buffered too, so a worker answering a flush the master
+		// abandoned (context cancelled mid-RecvC) never blocks and still
+		// drains cleanly when its input channel closes.
 		cb.in[w] = make(chan workerMsg, 1)
-		cb.out[w] = make(chan chunkMsg)
+		cb.out[w] = make(chan chunkMsg, 1)
 		go worker(cb.in[w], cb.out[w], errs, cfg.Procs)
 	}
 
 	var runErr error
 	if cfg.Pipelined {
-		runErr = ExecutePipelined(cfg.T, plan, a, b, c, cb)
+		runErr = ExecutePipelinedContext(ctx, cfg.T, plan, a, b, c, cb)
 	} else {
-		runErr = Execute(cfg.T, plan, a, b, c, cb)
+		runErr = ExecuteContext(ctx, cfg.T, plan, a, b, c, cb)
 	}
 
 	for w := 0; w < cfg.Workers; w++ {

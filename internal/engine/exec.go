@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -113,6 +114,29 @@ func (st *stager) stagePanels(a, b *matrix.BlockMatrix, ch matrix.Chunk, k0, k1 
 // workers; Execute fails only when a non-failover error occurs or no workers
 // remain.
 func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
+	return ExecuteContext(context.Background(), t, plan, a, b, c, be)
+}
+
+// abortErr folds a run's outcome with its context: once ctx is done, the
+// caller's cancellation is the result — whatever secondary error the abort
+// provoked on the way down (retired links, half-delivered installments) is
+// kept as detail, and errors.Is(err, ctx.Err()) holds either way.
+func abortErr(ctx context.Context, err error) error {
+	ctxErr := ctx.Err()
+	if ctxErr == nil {
+		return err
+	}
+	if err == nil || errors.Is(err, ctxErr) {
+		return fmt.Errorf("engine: run aborted: %w", ctxErr)
+	}
+	return fmt.Errorf("engine: run aborted: %w (abort surfaced as: %v)", ctxErr, err)
+}
+
+// ExecuteContext is Execute under a context: cancellation stops dispatch at
+// the next operation boundary and fails the run with an error wrapping
+// ctx.Err(). C may be left partially updated; see the Backend docs — after
+// any failed execution the backend's workers must be considered tainted.
+func ExecuteContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
 	jobs, opJob, err := validatePlan(t, plan, a, b, c, be)
 	if err != nil {
 		return err
@@ -139,6 +163,9 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 	}
 
 	for i, op := range plan {
+		if ctx.Err() != nil {
+			return abortErr(ctx, nil)
+		}
 		w := op.Worker
 		if !alive[w] {
 			continue // ops of a retired worker; its jobs are queued for replay
@@ -162,11 +189,11 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 			}
 		}
 		if opErr != nil {
-			if errors.Is(opErr, ErrWorkerDown) {
+			if errors.Is(opErr, ErrWorkerDown) && ctx.Err() == nil {
 				retire(w)
 				continue
 			}
-			return opErr
+			return abortErr(ctx, opErr)
 		}
 	}
 
@@ -175,6 +202,9 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 	// master's copy repeats no update and loses none.
 	next := 0
 	for len(orphans) > 0 {
+		if ctx.Err() != nil {
+			return abortErr(ctx, nil)
+		}
 		ji := orphans[0]
 		orphans = orphans[1:]
 		w, ok := nextAlive(alive, &next)
@@ -182,12 +212,12 @@ func Execute(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) 
 			return fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[ji].Chunk, ErrWorkerDown)
 		}
 		if err := runJob(be, w, jobs[ji], a, b, c, st); err != nil {
-			if errors.Is(err, ErrWorkerDown) {
+			if errors.Is(err, ErrWorkerDown) && ctx.Err() == nil {
 				retire(w)
 				orphans = append(orphans, ji)
 				continue
 			}
-			return err
+			return abortErr(ctx, err)
 		}
 		done[ji] = true
 	}

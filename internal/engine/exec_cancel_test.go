@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// TestRunContextCancelBoundedUnderPacing is the facade's promptness
+// guarantee at the engine layer: with transfers paced slowly enough that the
+// full plan would take many seconds of modeled wall-clock time, cancelling
+// the context must return well before the plan could have finished — the
+// paced sleep in flight is interrupted, not waited out.
+func TestRunContextCancelBoundedUnderPacing(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		inst := sched.Instance{R: 8, S: 16, T: 6}
+		pl := platform.Homogeneous(4, 1, 1, 60)
+		res, err := sched.Het{}.Schedule(pl, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c, _ := buildMatrices(t, inst, 8, 5)
+
+		// ~1ms per block×unit: the Het plan moves hundreds of block-units,
+		// so an uncancelled run would pace for well over a second.
+		cfg := Config{
+			Workers: pl.P(), T: inst.T, Platform: pl, TimePerUnit: time.Millisecond,
+			Pipelined: pipelined, OnePort: pipelined,
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		err = RunContext(ctx, cfg, res.Plan(), a, b, c)
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("pipelined=%v: cancelled run returned nil", pipelined)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pipelined=%v: cancelled run returned %v, want context.Canceled in the chain", pipelined, err)
+		}
+		// Bounded by one in-flight paced slot per dispatch path plus
+		// scheduling noise — far below the seconds a full run paces for.
+		if elapsed > 2*time.Second {
+			t.Fatalf("pipelined=%v: cancelled run took %v, want prompt return", pipelined, elapsed)
+		}
+	}
+}
+
+// TestRunContextBackgroundUnchanged pins the compatibility contract of the
+// shims: Run (background context) still completes and verifies.
+func TestRunContextBackgroundUnchanged(t *testing.T) {
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	pl := smallPlatform()
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, want := buildMatrices(t, inst, 4, 9)
+	if err := Run(Config{Workers: pl.P(), T: inst.T, Pipelined: true}, res.Plan(), a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("C deviates from reference by %g", d)
+	}
+}
+
+// TestExecuteContextPreCancelled: a context cancelled before the first
+// operation fails both executors immediately with the context error and
+// issues no work.
+func TestExecuteContextPreCancelled(t *testing.T) {
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	pl := smallPlatform()
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c, _ := buildMatrices(t, inst, 4, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, pipelined := range []bool{false, true} {
+		err := RunContext(ctx, Config{Workers: pl.P(), T: inst.T, Pipelined: pipelined}, res.Plan(), a, b, c)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pipelined=%v: pre-cancelled run returned %v, want context.Canceled", pipelined, err)
+		}
+	}
+}

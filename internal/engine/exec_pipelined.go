@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,12 +33,26 @@ import (
 // the backend (Config.OnePort, MasterOptions.OnePort) to keep modeled
 // transfer slots serialized while still overlapping them with compute.
 func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
+	return ExecutePipelinedContext(context.Background(), t, plan, a, b, c, be)
+}
+
+// ExecutePipelinedContext is ExecutePipelined under a context: cancellation
+// aborts every dispatch goroutine at its next job boundary (and, through a
+// context-aware backend, interrupts in-flight transfers and waits), then
+// fails the run with an error wrapping ctx.Err(). Cancellation latency is
+// bounded by one backend operation, not by the remaining plan.
+func ExecutePipelinedContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend) error {
 	jobs, _, err := validatePlan(t, plan, a, b, c, be)
 	if err != nil {
 		return err
 	}
 	if err := checkChunksDisjoint(jobs, c.Rows, c.Cols); err != nil {
 		return err
+	}
+	if ctx.Err() != nil {
+		// Fail an already-dead context before any dispatch: no worker is
+		// left holding a half-delivered job by a run that never had a chance.
+		return abortErr(ctx, nil)
 	}
 	// Materialize the A and B blocks the plan references, up front: dispatch
 	// goroutines gather overlapping panels concurrently, and lazy
@@ -84,6 +99,16 @@ func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be 
 		mu.Unlock()
 		aborted.Store(true)
 	}
+	getErr := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+	// Cancellation trips the same abort flag a fatal backend error does, so
+	// every dispatch goroutine stops at its next job boundary; the watcher
+	// runs concurrently with them, hence getErr/fail over bare reads.
+	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
+	defer stopWatch()
 
 	// runWave dispatches each worker's assigned jobs from a dedicated
 	// goroutine. A worker that dies is retired and its unfinished share
@@ -104,7 +129,7 @@ func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be 
 						return
 					}
 					if err := runJob(be, w, jobs[ji], a, b, c, st); err != nil {
-						if errors.Is(err, ErrWorkerDown) {
+						if errors.Is(err, ErrWorkerDown) && ctx.Err() == nil {
 							mu.Lock()
 							alive[w] = false
 							orphans = append(orphans, list[idx:]...)
@@ -127,7 +152,7 @@ func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be 
 	// Every wave either finishes jobs or retires workers, so this
 	// terminates; it fails only when replayable jobs remain with no worker
 	// left to take them.
-	for firstErr == nil && len(orphans) > 0 {
+	for getErr() == nil && len(orphans) > 0 {
 		var survivors []int
 		for w := 0; w < nw; w++ {
 			if alive[w] {
@@ -135,7 +160,7 @@ func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be 
 			}
 		}
 		if len(survivors) == 0 {
-			return fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[orphans[0]].Chunk, ErrWorkerDown)
+			return abortErr(ctx, fmt.Errorf("engine: no workers left to replay chunk %v: %w", jobs[orphans[0]].Chunk, ErrWorkerDown))
 		}
 		assign := make([][]int, nw)
 		for i, ji := range orphans {
@@ -145,7 +170,7 @@ func ExecutePipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be 
 		orphans = orphans[:0]
 		runWave(assign)
 	}
-	return firstErr
+	return abortErr(ctx, getErr())
 }
 
 // checkChunksDisjoint verifies no two jobs' chunks share a C block, marking

@@ -2,6 +2,7 @@ package net
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -73,14 +74,26 @@ type WorkerConn struct {
 
 // DialWorker connects to one worker and collects its registration.
 func DialWorker(addr string, opts *MasterOptions) (*WorkerConn, error) {
+	return DialWorkerContext(context.Background(), addr, opts)
+}
+
+// DialWorkerContext is DialWorker bounded by ctx: both the TCP connect and
+// the registration read finish by the earlier of ctx's deadline and the
+// configured DialTimeout, and a cancelled ctx aborts either phase in flight
+// — the connect through the dialer, the registration read through an
+// immediately-expired deadline.
+func DialWorkerContext(ctx context.Context, addr string, opts *MasterOptions) (*WorkerConn, error) {
 	o := opts.withDefaults()
-	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	d := net.Dialer{Timeout: o.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("net: dial worker %s: %w", addr, err)
 	}
 	l := &link{conn: conn, rd: bufio.NewReaderSize(conn, 1<<16), wr: bufio.NewWriterSize(conn, 1<<16)}
-	conn.SetReadDeadline(time.Now().Add(o.DialTimeout))
+	conn.SetReadDeadline(deadlineWithin(ctx, o.DialTimeout))
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	hello, err := ReadMsg(l.rd)
+	stop()
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("net: bad registration from %s: %v", addr, err)
@@ -89,9 +102,21 @@ func DialWorker(addr string, opts *MasterOptions) (*WorkerConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("net: bad registration from %s: got %s frame, want hello", addr, hello.Kind)
 	}
-	conn.SetReadDeadline(time.Time{})
+	// Clear both directions: a cancellation that raced a successful
+	// registration may have left an expired write deadline behind.
+	conn.SetDeadline(time.Time{})
 	l.name, l.heartbeat = hello.Name, hello.Heartbeat
 	return &WorkerConn{l: l, opts: o}, nil
+}
+
+// deadlineWithin returns now+d, clipped to ctx's deadline when that is
+// sooner: the caller's context budget wins over a configured default.
+func deadlineWithin(ctx context.Context, d time.Duration) time.Time {
+	dl := time.Now().Add(d)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(dl) {
+		dl = cd
+	}
+	return dl
 }
 
 // Name returns the name the worker announced at registration.
@@ -214,6 +239,11 @@ type Master struct {
 	links []*link
 	opts  MasterOptions
 	gate  *engine.TransferGate // non-nil when opts.OnePort: serializes sends
+	// runCtx is the context of the run in flight (nil between runs). It is
+	// set single-threaded before the executor spawns its dispatch goroutines
+	// and cleared after they join, so the concurrent reads in send/RecvC are
+	// ordered by the goroutine create/join edges.
+	runCtx context.Context
 }
 
 var _ engine.Backend = (*Master)(nil)
@@ -228,9 +258,16 @@ func (m *Master) CopiesBlocks() bool { return true }
 // Dial connects to every worker address and collects their registrations.
 // Worker i of any plan maps to addrs[i].
 func Dial(addrs []string, opts *MasterOptions) (*Master, error) {
+	return DialContext(context.Background(), addrs, opts)
+}
+
+// DialContext is Dial bounded by ctx: each per-worker connect and
+// registration finishes within the earlier of ctx's deadline and
+// DialTimeout, and cancelling ctx aborts the whole dial sequence.
+func DialContext(ctx context.Context, addrs []string, opts *MasterOptions) (*Master, error) {
 	conns := make([]*WorkerConn, 0, len(addrs))
 	for _, addr := range addrs {
-		wc, err := DialWorker(addr, opts)
+		wc, err := DialWorkerContext(ctx, addr, opts)
 		if err != nil {
 			for _, c := range conns {
 				c.Close()
@@ -299,6 +336,17 @@ func (m *Master) down(w int, op string, cause error) error {
 	return fmt.Errorf("net: %s to worker %d (%s): %v: %w", op, w, name, cause, engine.ErrWorkerDown)
 }
 
+// ioDeadline is now+base clipped to the running context's deadline, so a
+// ctx with a budget shorter than IOTimeout bounds every blocking send and
+// receive; a cancelled (not merely deadlined) ctx is handled separately by
+// the interrupt installed in runContext.
+func (m *Master) ioDeadline(base time.Duration) time.Time {
+	if m.runCtx != nil {
+		return deadlineWithin(m.runCtx, base)
+	}
+	return time.Now().Add(base)
+}
+
 // send frames one message to worker w with the write deadline applied. With
 // OnePort, the frame occupies the master's single send port (the gate) for
 // the duration of the write — the pipelined executor's concurrent dispatch
@@ -311,7 +359,7 @@ func (m *Master) send(w int, op string, msg *Msg) error {
 	}
 	m.gate.Lock()
 	defer m.gate.Unlock()
-	l.conn.SetWriteDeadline(time.Now().Add(m.opts.IOTimeout))
+	l.conn.SetWriteDeadline(m.ioDeadline(m.opts.IOTimeout))
 	if err := WriteMsgCodec(l.wr, msg, &l.enc); err != nil {
 		return m.down(w, op, err)
 	}
@@ -348,7 +396,7 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 		wait = hb
 	}
 	for {
-		l.conn.SetReadDeadline(time.Now().Add(wait))
+		l.conn.SetReadDeadline(m.ioDeadline(wait))
 		msg, err := ReadMsgCodec(l.rd, &l.dec)
 		if err != nil {
 			return nil, m.down(w, "receive result", err)
@@ -371,8 +419,22 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 // networked twin of engine.Run — same executor, same failover, different
 // transport. Workers that die mid-run have their outstanding chunks replayed
 // on the survivors.
+//
+// Run cannot be interrupted; library callers should prefer RunContext (or
+// the matmul facade).
 func (m *Master) Run(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
-	return engine.Execute(t, plan, a, b, c, m)
+	return m.RunContext(context.Background(), t, plan, a, b, c)
+}
+
+// RunContext is Run under a context: every blocking send and receive
+// finishes by the earlier of ctx's deadline and IOTimeout, and cancelling
+// ctx interrupts in-flight socket I/O immediately (the links are slammed
+// with an already-expired deadline), failing the run with an error wrapping
+// ctx.Err(). After an aborted run the worker sessions are tainted — discard
+// them (Close / a failed-lease Return), do not pool them.
+func (m *Master) RunContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	defer m.runContext(ctx)()
+	return engine.ExecuteContext(ctx, t, plan, a, b, c, m)
 }
 
 // RunPipelined executes plan with the concurrent executor: one dispatch
@@ -380,8 +442,45 @@ func (m *Master) Run(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) erro
 // workers compute or return results. C is bitwise-identical to Run's. With
 // MasterOptions.OnePort the outbound frames are still serialized through the
 // master's single send port.
+//
+// RunPipelined cannot be interrupted; library callers should prefer
+// RunPipelinedContext (or the matmul facade).
 func (m *Master) RunPipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
-	return engine.ExecutePipelined(t, plan, a, b, c, m)
+	return m.RunPipelinedContext(context.Background(), t, plan, a, b, c)
+}
+
+// RunPipelinedContext is RunPipelined under a context, with RunContext's
+// cancellation semantics.
+func (m *Master) RunPipelinedContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	defer m.runContext(ctx)()
+	return engine.ExecutePipelinedContext(ctx, t, plan, a, b, c, m)
+}
+
+// runContext binds one run to ctx and returns the unbind function. While
+// bound, ioDeadline clips blocking I/O to ctx's deadline, and a cancellation
+// slams an already-expired deadline onto every connection that was live at
+// bind time — a dispatch goroutine parked in a 30s RecvC wait wakes within
+// milliseconds instead of timing out. The conn set is snapshotted before the
+// executor spawns goroutines, so the interrupt never races the links' conn
+// fields (a conn retired by down in the meantime just absorbs a harmless
+// SetDeadline on a closed socket).
+func (m *Master) runContext(ctx context.Context) (unbind func()) {
+	m.runCtx = ctx
+	conns := make([]net.Conn, 0, len(m.links))
+	for _, l := range m.links {
+		if l.conn != nil {
+			conns = append(conns, l.conn)
+		}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		for _, c := range conns {
+			c.SetDeadline(time.Now())
+		}
+	})
+	return func() {
+		stop()
+		m.runCtx = nil
+	}
 }
 
 // Shutdown tells every live worker to end its session and closes all

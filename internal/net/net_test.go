@@ -1,6 +1,8 @@
 package net
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
@@ -458,5 +460,88 @@ func TestDetachedConnSurvivesIdleAndReruns(t *testing.T) {
 	}
 	if err := conns[0].Release(); err != nil {
 		t.Errorf("release: %v", err)
+	}
+}
+
+// TestRunContextCancelPromptOnStalledWorker: a worker that stalls mid-job
+// (heartbeats flowing, no result — the case neither IOTimeout nor the crash
+// failover ends early) blocks RecvC for the whole stall. Cancelling the run
+// context must interrupt the parked socket read immediately, for both
+// executors, and surface context.Canceled.
+func TestRunContextCancelPromptOnStalledWorker(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		addrs := startWorkers(t, 2, func(i int) WorkerOptions {
+			o := WorkerOptions{Heartbeat: 50 * time.Millisecond}
+			if i == 0 {
+				o.StallAfterInstalls = 1
+				o.StallFor = 30 * time.Second
+			}
+			return o
+		})
+		pl := platform.Homogeneous(2, 1, 1, 60)
+		inst := sched.Instance{R: 4, S: 8, T: 3}
+		res, err := sched.Het{}.Schedule(pl, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c, _ := testMatrices(t, inst, 4, 33)
+
+		m, err := Dial(addrs, &MasterOptions{IOTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(300 * time.Millisecond) // let the stalled worker reach its stall
+			cancel()
+		}()
+		start := time.Now()
+		if pipelined {
+			err = m.RunPipelinedContext(ctx, inst.T, res.Plan(), a, b, c)
+		} else {
+			err = m.RunContext(ctx, inst.T, res.Plan(), a, b, c)
+		}
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("pipelined=%v: cancelled distributed run returned nil", pipelined)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pipelined=%v: cancelled run returned %v, want context.Canceled in the chain", pipelined, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("pipelined=%v: cancelled run took %v, want prompt return", pipelined, elapsed)
+		}
+	}
+}
+
+// TestDialContextHonorsDeadline: a dial budgeted well below DialTimeout must
+// give up within the context budget, not the configured 10s default.
+func TestDialContextHonorsDeadline(t *testing.T) {
+	// A listener that accepts but never sends a hello: the registration read
+	// is what must be bounded by the context deadline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = DialContext(ctx, []string{ln.Addr().String()}, nil)
+	if err == nil {
+		t.Fatal("dial of a mute peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial took %v, want it bounded by the 200ms context budget", elapsed)
 	}
 }

@@ -26,6 +26,14 @@ type WorkerOptions struct {
 	// this many installments the worker abruptly closes its connection, as a
 	// killed process would. Zero disables.
 	CrashAfterInstalls int
+	// StallAfterInstalls is a chaos hook for cancellation tests: after
+	// applying this many installments the worker stops consuming frames for
+	// StallFor (heartbeats keep beating, so the master sees a live-but-slow
+	// worker, not a dead one — the case only cancellation can end early).
+	// Zero disables.
+	StallAfterInstalls int
+	// StallFor is how long the StallAfterInstalls stall lasts. Default 30s.
+	StallFor time.Duration
 	// Procs bounds the goroutines spent on each installment's block updates
 	// (the chunk's C blocks are split across them; per-block arithmetic
 	// order — and therefore the result — is unchanged). ≤1 computes
@@ -258,6 +266,19 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 			if opts.CrashAfterInstalls > 0 && installs >= opts.CrashAfterInstalls {
 				conn.Close() // simulate a killed process: vanish mid-protocol
 				return ErrCrashInjected
+			}
+			if opts.StallAfterInstalls > 0 && installs == opts.StallAfterInstalls {
+				// Simulate a live-but-glacial worker: stop consuming for a
+				// while (the heartbeat goroutine keeps beating, and the
+				// reader goroutine keeps draining the socket into the frame
+				// queue), then resume as if nothing happened — unless the
+				// master hung up in the meantime, which the next frame read
+				// reports.
+				stall := opts.StallFor
+				if stall <= 0 {
+					stall = 30 * time.Second
+				}
+				time.Sleep(stall)
 			}
 		case MsgFlush:
 			if blocks == nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ const (
 	cError                        // server → client: job id (0 = rejected) + message
 	cStatus                       // client → server: snapshot request
 	cStats                        // server → client: Stats as JSON
+	cCancel                       // client → server: job id — cancel the submitted job
 )
 
 func (k clientKind) String() string {
@@ -51,6 +53,8 @@ func (k clientKind) String() string {
 		return "status"
 	case cStats:
 		return "stats"
+	case cCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("clientkind(%d)", uint8(k))
 	}
@@ -84,7 +88,7 @@ func clientPayloadLen(m *clientMsg) (int, error) {
 	switch m.Kind {
 	case cSubmit:
 		return 16 + blocksLen(), nil
-	case cAccept:
+	case cAccept, cCancel:
 		return 8, nil
 	case cResult:
 		return 8 + blocksLen(), nil
@@ -133,7 +137,7 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 			return fmt.Errorf("serve: write submit dims: %w", err)
 		}
 		return bc.WriteBlocks(w, m.Blocks)
-	case cAccept:
+	case cAccept, cCancel:
 		var id [8]byte
 		binary.LittleEndian.PutUint64(id[:], m.ID)
 		_, err := w.Write(id[:])
@@ -200,7 +204,7 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 		m.T = int(int32(binary.LittleEndian.Uint32(dims[8:12])))
 		m.Q = int(int32(binary.LittleEndian.Uint32(dims[12:16])))
 		m.Blocks, err = bc.ReadBlocks(buf)
-	case cAccept:
+	case cAccept, cCancel:
 		var id [8]byte
 		if _, err = io.ReadFull(buf, id[:]); err != nil {
 			break
@@ -360,6 +364,23 @@ func (s *Server) handleClient(conn net.Conn) {
 		if err := reply(&clientMsg{Kind: cAccept, ID: id}); err != nil {
 			return // client gone; the job still runs
 		}
+		// While the job queues or runs, keep reading the connection for a
+		// cancel frame (the submit goroutine wrote its last frame already, so
+		// this reader owns rd). A cancel for the accepted job cancels it
+		// server-side; a vanished client merely ends the reader — its job
+		// keeps running, exactly as before the cancel frame existed.
+		go func() {
+			var rdCodec matrix.BlockCodec
+			for {
+				msg, err := readClientMsg(rd, &rdCodec)
+				if err != nil {
+					return
+				}
+				if msg.Kind == cCancel && msg.ID == id {
+					s.Cancel(id)
+				}
+			}
+		}()
 		if err := s.Wait(id); err != nil {
 			fail(id, err)
 			return
@@ -373,39 +394,69 @@ func (s *Server) handleClient(conn net.Conn) {
 
 // SubmitProduct is the client side of one submission: it ships A, B and C to
 // the daemon at addr, waits for the job to run, and returns the updated C
-// and the job id. timeout bounds the whole exchange (0: no deadline — the
-// job may legitimately queue for a while).
+// and the job id. timeout bounds the whole exchange — dial included (0: no
+// deadline — the job may legitimately queue for a while).
+//
+// Deprecated: library clients should use SubmitProductContext (or the matmul
+// facade's Remote runtime), which can also cancel the job mid-queue or
+// mid-run instead of merely abandoning the wait.
 func SubmitProduct(addr string, a, b, c *matrix.BlockMatrix, timeout time.Duration) (*matrix.BlockMatrix, uint64, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return SubmitProductContext(ctx, addr, a, b, c)
+}
+
+// cancelGrace bounds how long a cancelled submission waits for the daemon to
+// acknowledge the cancel frame with an error frame before abandoning the
+// connection.
+const cancelGrace = 10 * time.Second
+
+// SubmitProductContext is one submission under a context. The dial, the
+// upload, and the wait for the result are all bounded by ctx's deadline —
+// there is no hidden fixed dial budget that can outlive the caller's. If ctx
+// is cancelled while the job queues or runs, a cancel frame is sent so the
+// daemon dequeues or aborts the job (other jobs keep their leases), and the
+// returned error wraps ctx's error.
+func SubmitProductContext(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix) (*matrix.BlockMatrix, uint64, error) {
 	if a == nil || b == nil || c == nil {
 		return nil, 0, fmt.Errorf("serve: submit needs A, B and C")
 	}
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	conn, err := dialClient(ctx, addr)
 	if err != nil {
-		return nil, 0, fmt.Errorf("serve: dial %s: %w", addr, err)
+		return nil, 0, err
 	}
 	defer conn.Close()
-	if timeout > 0 {
-		conn.SetDeadline(time.Now().Add(timeout))
-	}
 	rd := bufio.NewReaderSize(conn, 1<<16)
 	wr := bufio.NewWriterSize(conn, 1<<16)
 	var codec matrix.BlockCodec
+
+	// Until the daemon accepts the job there is nothing to cancel — a ctx
+	// that dies during the upload or the ack wait just slams the connection,
+	// so a deadline-less submission is still interruptible mid-upload.
+	stopEarly := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 
 	blocks := make([]*matrix.Block, 0, a.Rows*a.Cols+b.Rows*b.Cols+c.Rows*c.Cols)
 	blocks = append(blocks, flattenMatrix(a)...)
 	blocks = append(blocks, flattenMatrix(b)...)
 	blocks = append(blocks, flattenMatrix(c)...)
 	sub := &clientMsg{Kind: cSubmit, R: c.Rows, S: c.Cols, T: a.Cols, Q: a.Q, Blocks: blocks}
-	if err := writeClientMsg(wr, sub, &codec); err != nil {
-		return nil, 0, err
+	err = writeClientMsg(wr, sub, &codec)
+	if err == nil {
+		err = wr.Flush()
 	}
-	if err := wr.Flush(); err != nil {
-		return nil, 0, err
+	if err != nil {
+		stopEarly()
+		return nil, 0, clientErr(ctx, err)
 	}
 
 	ack, err := readClientMsg(rd, &codec)
+	stopEarly()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, clientErr(ctx, err)
 	}
 	if ack.Kind == cError {
 		return nil, ack.ID, fmt.Errorf("serve: daemon rejected the job: %s", ack.Err)
@@ -413,10 +464,40 @@ func SubmitProduct(addr string, a, b, c *matrix.BlockMatrix, timeout time.Durati
 	if ack.Kind != cAccept {
 		return nil, 0, fmt.Errorf("serve: got %s frame, want accept", ack.Kind)
 	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// The early watcher may already have fired (poisoning the conn's
+		// deadlines); re-check before arming the cancel path so the job is
+		// cancelled daemon-side (best-effort) rather than silently abandoned.
+		conn.SetWriteDeadline(time.Now().Add(cancelGrace))
+		writeClientMsg(wr, &clientMsg{Kind: cCancel, ID: ack.ID}, nil)
+		wr.Flush()
+		return nil, ack.ID, fmt.Errorf("serve: submission ended: %w", ctxErr)
+	}
+
+	// Job accepted: arm the cancel path. The submit goroutine wrote its last
+	// frame above, so the AfterFunc owns the writer; it asks the daemon to
+	// cancel the job, then bounds the remaining read so a wedged daemon
+	// cannot hold a cancelled caller hostage. An expired deadline grants no
+	// grace: the caller's budget bounds the whole exchange, so the read is
+	// failed immediately and only an explicit cancel waits for the daemon's
+	// acknowledgement.
+	var cancelCodec matrix.BlockCodec
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetWriteDeadline(time.Now().Add(cancelGrace))
+		if err := writeClientMsg(wr, &clientMsg{Kind: cCancel, ID: ack.ID}, &cancelCodec); err == nil {
+			wr.Flush()
+		}
+		if errors.Is(ctx.Err(), context.Canceled) {
+			conn.SetReadDeadline(time.Now().Add(cancelGrace))
+		} else {
+			conn.SetReadDeadline(time.Now())
+		}
+	})
+	defer stop()
 
 	res, err := readClientMsg(rd, &codec)
 	if err != nil {
-		return nil, ack.ID, err
+		return nil, ack.ID, clientErr(ctx, err)
 	}
 	switch res.Kind {
 	case cResult:
@@ -426,28 +507,68 @@ func SubmitProduct(addr string, a, b, c *matrix.BlockMatrix, timeout time.Durati
 		}
 		return out, res.ID, nil
 	case cError:
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, res.ID, fmt.Errorf("serve: job %d canceled: %w (daemon: %s)", res.ID, ctxErr, res.Err)
+		}
 		return nil, res.ID, fmt.Errorf("serve: job %d failed: %s", res.ID, res.Err)
 	default:
 		return nil, ack.ID, fmt.Errorf("serve: got %s frame, want result", res.Kind)
 	}
 }
 
-// FetchStats asks the daemon at addr for its service snapshot.
-func FetchStats(addr string, timeout time.Duration) (*Stats, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// dialClient connects to the daemon with the dial bounded by ctx (falling
+// back to a 10s cap for deadline-less contexts, so a dead address cannot
+// hang an unbounded submission forever).
+func dialClient(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
-	defer conn.Close()
-	if timeout > 0 {
-		conn.SetDeadline(time.Now().Add(timeout))
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
 	}
-	if err := writeClientMsg(conn, &clientMsg{Kind: cStatus}, nil); err != nil {
+	return conn, nil
+}
+
+// clientErr maps a connection error observed after ctx ended to the context
+// error (the deadline slam or daemon hang-up it provoked is detail, not the
+// story).
+func clientErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("serve: submission ended: %w (connection: %v)", ctxErr, err)
+	}
+	return err
+}
+
+// FetchStats asks the daemon at addr for its service snapshot. timeout
+// bounds the whole exchange, dial included.
+func FetchStats(addr string, timeout time.Duration) (*Stats, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return FetchStatsContext(ctx, addr)
+}
+
+// FetchStatsContext is FetchStats under a context: cancelling ctx
+// interrupts the exchange even when ctx carries no deadline.
+func FetchStatsContext(ctx context.Context, addr string) (*Stats, error) {
+	conn, err := dialClient(ctx, addr)
+	if err != nil {
 		return nil, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	if err := writeClientMsg(conn, &clientMsg{Kind: cStatus}, nil); err != nil {
+		return nil, clientErr(ctx, err)
 	}
 	msg, err := readClientMsg(bufio.NewReaderSize(conn, 1<<16), nil)
 	if err != nil {
-		return nil, err
+		return nil, clientErr(ctx, err)
 	}
 	if msg.Kind != cStats {
 		return nil, fmt.Errorf("serve: got %s frame, want stats", msg.Kind)

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"testing"
@@ -463,5 +465,352 @@ func TestSubmitRejectsBadShapes(t *testing.T) {
 	b2 := matrix.NewBlockMatrix(3, 2, 8) // wrong q
 	if _, err := s.Submit(a, b2, c); err == nil {
 		t.Error("mismatched block edge admitted")
+	}
+}
+
+// stalledWorkerOpts rigs worker i (for i < n) to stall mid-job: heartbeats
+// keep flowing but no result comes for stallFor — the live-but-wedged case
+// that only cancellation can end early.
+func stalledWorkerOpts(stallSet map[int]bool, stallFor time.Duration) func(i int) mmnet.WorkerOptions {
+	return func(i int) mmnet.WorkerOptions {
+		o := mmnet.WorkerOptions{Heartbeat: 50 * time.Millisecond}
+		if stallSet[i] {
+			o.StallAfterInstalls = 1
+			o.StallFor = stallFor
+		}
+		return o
+	}
+}
+
+// TestCancelQueuedJobNeverLeases: cancelling a job that is still waiting in
+// the admission queue dequeues it immediately — no lease is ever taken, the
+// waiter gets an error wrapping context.Canceled, and the status records the
+// canceled state with no workers.
+func TestCancelQueuedJobNeverLeases(t *testing.T) {
+	addrs := startWorkers(t, 2, stalledWorkerOpts(map[int]bool{0: true, 1: true}, 10*time.Second))
+	f, err := NewFleet(addrs, homSpecs(2), FleetOptions{Master: mmnet.MasterOptions{IOTimeout: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewServer(f, Config{Logf: t.Logf})
+	defer s.Close()
+
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	a1, b1, c1, _ := testMatrices(t, inst, 4, 501)
+	a2, b2, c2, _ := testMatrices(t, inst, 4, 502)
+
+	id1, err := s.Submit(a1, b1, c1) // leases the whole (stalled) fleet
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, id1, "running")
+	id2, err := s.Submit(a2, b2, c2) // must queue: no idle workers remain
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Cancel(id2); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = s.Wait(id2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-cancel wait returned %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("queued-cancel wait took %v, want immediate", elapsed)
+	}
+	for _, js := range s.Status().Jobs {
+		if js.ID == id2 {
+			if js.State != "canceled" {
+				t.Errorf("queued-cancelled job state %q, want canceled", js.State)
+			}
+			if len(js.Workers) != 0 {
+				t.Errorf("queued-cancelled job leased workers %v, want none", js.Workers)
+			}
+		}
+	}
+	// Unwedge the fleet so Close does not ride out the stall.
+	if err := s.Cancel(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(id1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("running-cancel wait returned %v, want context.Canceled in the chain", err)
+	}
+}
+
+// waitForState polls the server until job id reaches the given state.
+func waitForState(t *testing.T, s *Server, id uint64, state string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, js := range s.Status().Jobs {
+			if js.ID == id && js.State == state {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never reached state %q: %+v", id, state, s.Status().Jobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelRunningJobLeaseIsolation is the cancellation twin of the crash
+// isolation test: cancelling a mid-run job under a stalled lease returns its
+// workers to the fleet while the concurrent job on the disjoint lease runs
+// to completion with a bitwise-identical C and undisturbed latency.
+func TestCancelRunningJobLeaseIsolation(t *testing.T) {
+	addrs := startWorkers(t, 4, stalledWorkerOpts(map[int]bool{0: true, 1: true}, 10*time.Second))
+	f, err := NewFleet(addrs, homSpecs(4), FleetOptions{Master: mmnet.MasterOptions{IOTimeout: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewServer(f, Config{MaxWorkersPerJob: 2, Logf: t.Logf})
+	defer s.Close()
+
+	inst := sched.Instance{R: 6, S: 9, T: 4}
+	aS, bS, cS, _ := testMatrices(t, inst, 8, 601)     // stalled lease [0,1]
+	aH, bH, cH, wantH := testMatrices(t, inst, 8, 602) // healthy lease [2,3]
+
+	idS, err := s.Submit(aS, bS, cS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, idS, "running")
+	idH, err := s.Submit(aH, bH, cH)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the stalled lease reach its stall, then cancel it mid-run.
+	time.Sleep(200 * time.Millisecond)
+	if err := s.Cancel(idS); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = s.Wait(idS)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %v to come back, want prompt abort", elapsed)
+	}
+
+	healthyStart := time.Now()
+	if err := s.Wait(idH); err != nil {
+		t.Fatalf("healthy concurrent job: %v", err)
+	}
+	if latency := time.Since(healthyStart); latency > 5*time.Second {
+		t.Errorf("healthy job took %v after the foreign cancel; leases are not isolated", latency)
+	}
+	if d := cH.MaxAbsDiff(wantH); d != 0 {
+		t.Errorf("healthy job's C perturbed by a foreign cancel: differs by %g (want bitwise equal)", d)
+	}
+
+	st := s.Status()
+	for _, js := range st.Jobs {
+		if js.ID == idS {
+			if js.State != "canceled" {
+				t.Errorf("cancelled job state %q, want canceled", js.State)
+			}
+			for _, w := range js.Workers {
+				if w != 0 && w != 1 {
+					t.Fatalf("test premise broken: stalled job leased %v, want subset of [0 1]", js.Workers)
+				}
+			}
+		}
+		if js.ID == idH {
+			for _, w := range js.Workers {
+				if w != 2 && w != 3 {
+					t.Fatalf("test premise broken: healthy job leased %v, want subset of [2 3]", js.Workers)
+				}
+			}
+		}
+	}
+	if st.Canceled != 1 {
+		t.Errorf("stats count %d canceled jobs, want 1", st.Canceled)
+	}
+}
+
+// TestCloseFailsQueuedJobsPromptly is the shutdown regression: a job parked
+// in the queue behind a busy fleet must have its done channel failed by
+// Close (with an error wrapping context.Canceled) the moment admission
+// stops — not left for Wait to hang on until the running job drains.
+func TestCloseFailsQueuedJobsPromptly(t *testing.T) {
+	addrs := startWorkers(t, 1, stalledWorkerOpts(map[int]bool{0: true}, 3*time.Second))
+	f, err := NewFleet(addrs, homSpecs(1), FleetOptions{Master: mmnet.MasterOptions{IOTimeout: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewServer(f, Config{Logf: t.Logf})
+
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	a1, b1, c1, _ := testMatrices(t, inst, 4, 701)
+	a2, b2, c2, _ := testMatrices(t, inst, 4, 702)
+	id1, err := s.Submit(a1, b1, c1) // occupies the 1-worker fleet, stalled
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, id1, "running")
+	id2, err := s.Submit(a2, b2, c2) // queued behind it
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close() // blocks until the running job drains; queued jobs must not
+		close(closed)
+	}()
+
+	start := time.Now()
+	err = s.Wait(id2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued job's Wait after Close returned %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("queued job's Wait returned %v after Close, want immediate failure", elapsed)
+	}
+	// The running job is not cancelled by Close; it rides out its stall (or
+	// fails when its worker's session ends) and Close returns afterwards.
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+}
+
+// TestWaitContext: an abandoned wait returns the waiter's context error
+// without touching the job.
+func TestWaitContext(t *testing.T) {
+	addrs := startWorkers(t, 1, stalledWorkerOpts(map[int]bool{0: true}, 2*time.Second))
+	f, err := NewFleet(addrs, homSpecs(1), FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewServer(f, Config{Logf: t.Logf})
+	defer s.Close()
+
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	a, b, c, want := testMatrices(t, inst, 4, 801)
+	id, err := s.Submit(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.WaitContext(ctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned wait returned %v, want context.DeadlineExceeded", err)
+	}
+	// The job itself was not cancelled: it completes and verifies.
+	if err := s.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(want); d != 0 {
+		t.Errorf("C differs by %g after an abandoned wait", d)
+	}
+}
+
+// TestClientCancelFrameAbortsJob drives the cancel path over the wire: a
+// SubmitProductContext whose context dies while the job is wedged mid-run
+// must send the cancel frame, the daemon must abort the job's lease, and the
+// client must come back promptly with the context error — while the daemon's
+// stats record the cancel.
+func TestClientCancelFrameAbortsJob(t *testing.T) {
+	addrs := startWorkers(t, 2, stalledWorkerOpts(map[int]bool{0: true, 1: true}, 10*time.Second))
+	f, err := NewFleet(addrs, homSpecs(2), FleetOptions{Master: mmnet.MasterOptions{IOTimeout: 10 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := NewServer(f, Config{Logf: t.Logf})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go s.ListenAndServe(ln)
+	daemon := ln.Addr().String()
+
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	a, b, c, _ := testMatrices(t, inst, 8, 901)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond) // submit, lease, reach the stall
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = SubmitProductContext(ctx, daemon, a, b, c)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submission returned %v, want context.Canceled in the chain", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled submission took %v, want prompt return", elapsed)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Status()
+		if st.Canceled == 1 && st.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never recorded the cancel: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubmitCancelBeforeAccept: a deadline-less submission whose context is
+// cancelled while the daemon is still mute (operands uploaded, no accept
+// frame yet) must return promptly — the pre-accept watcher slams the
+// connection; there is no job to cancel yet.
+func TestSubmitCancelBeforeAccept(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the upload, never answer: a wedged daemon.
+			go func() {
+				buf := make([]byte, 1<<16)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	inst := sched.Instance{R: 4, S: 6, T: 3}
+	a, b, c, _ := testMatrices(t, inst, 4, 1001)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err = SubmitProductContext(ctx, ln.Addr().String(), a, b, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-accept cancel returned %v, want context.Canceled in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pre-accept cancel took %v, want prompt return", elapsed)
 	}
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +20,9 @@ const (
 	JobRunning
 	JobDone
 	JobFailed
+	// JobCanceled: ended by Cancel (or server shutdown) before completing —
+	// dequeued if it had not leased yet, its lease aborted if it had.
+	JobCanceled
 )
 
 func (s JobState) String() string {
@@ -30,6 +35,8 @@ func (s JobState) String() string {
 		return "done"
 	case JobFailed:
 		return "failed"
+	case JobCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -69,7 +76,13 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
-	done      chan struct{} // closed when the job reaches Done or Failed
+	done      chan struct{} // closed when the job reaches a terminal state
+	// ctx governs the job's execution; cancel fires on Cancel (and on every
+	// terminal transition, releasing the context's resources). A running
+	// lease executes under ctx, so cancelling aborts its master's in-flight
+	// I/O without touching any other lease.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // JobStatus is one job's externally visible state.
@@ -86,12 +99,13 @@ type JobStatus struct {
 
 // Stats is the service snapshot reported to clients.
 type Stats struct {
-	Workers []WorkerMetric `json:"workers"`
-	Queued  int            `json:"queued"`
-	Running int            `json:"running"`
-	Done    int            `json:"done"`
-	Failed  int            `json:"failed"`
-	Jobs    []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
+	Workers  []WorkerMetric `json:"workers"`
+	Queued   int            `json:"queued"`
+	Running  int            `json:"running"`
+	Done     int            `json:"done"`
+	Failed   int            `json:"failed"`
+	Canceled int            `json:"canceled"`
+	Jobs     []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
 }
 
 // maxJobHistory bounds the completed-job records the daemon retains for
@@ -161,9 +175,11 @@ func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
 		return 0, fmt.Errorf("serve: server is closed")
 	}
 	s.nextID++
+	jctx, jcancel := context.WithCancel(context.Background())
 	j := &job{
 		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c,
 		state: JobQueued, submitted: time.Now(), done: make(chan struct{}),
+		ctx: jctx, cancel: jcancel,
 	}
 	s.queue = append(s.queue, j)
 	s.jobs[j.id] = j
@@ -179,14 +195,60 @@ func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
 // Wait blocks until job id completes and returns its terminal error (nil for
 // a successful run; the submitted C has been updated in place).
 func (s *Server) Wait(id uint64) error {
+	return s.WaitContext(context.Background(), id)
+}
+
+// WaitContext is Wait under a context: it returns ctx.Err() if ctx ends
+// first. The job itself keeps running — abandoning a wait is not a cancel;
+// use Cancel for that.
+func (s *Server) WaitContext(ctx context.Context, id uint64) error {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("serve: unknown job %d", id)
 	}
-	<-j.done
-	return j.err
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel ends job id: a queued job is dequeued without ever leasing workers;
+// a running job's lease is aborted (its master's in-flight I/O interrupted,
+// its workers handed back to the fleet for re-dial) while every other
+// concurrent lease keeps running untouched. Cancelling a terminal job is a
+// no-op. The job's waiters observe an error wrapping context.Canceled.
+func (s *Server) Cancel(id uint64) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: unknown job %d", id)
+	}
+	switch j.state {
+	case JobQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, JobCanceled, fmt.Errorf("serve: job %d canceled while queued: %w", id, context.Canceled))
+		s.mu.Unlock()
+		s.cfg.logf("serve: job %d canceled while queued", id)
+		s.kick()
+	case JobRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		s.cfg.logf("serve: job %d cancel requested; aborting its lease", id)
+		cancel() // the run goroutine observes the abort and finishes the job
+	default:
+		s.mu.Unlock() // already terminal
+	}
+	return nil
 }
 
 // Status snapshots the fleet and every job.
@@ -215,8 +277,12 @@ func (s *Server) Status() Stats {
 		case JobDone:
 			st.Done++
 			js.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
-		case JobFailed:
-			st.Failed++
+		case JobFailed, JobCanceled:
+			if j.state == JobFailed {
+				st.Failed++
+			} else {
+				st.Canceled++
+			}
 			if !j.started.IsZero() {
 				js.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
 			}
@@ -226,8 +292,10 @@ func (s *Server) Status() Stats {
 	return st
 }
 
-// Close stops admission, fails any still-queued jobs, waits for running jobs
-// and the scheduling loop to finish, and returns. The fleet is untouched.
+// Close stops admission, cancels every still-queued job (each done channel
+// is failed with an error wrapping context.Canceled — no Wait is ever left
+// hanging on a job that will not run), waits for running jobs and the
+// scheduling loop to finish, and returns. The fleet is untouched.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -237,7 +305,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	for _, j := range s.queue {
-		s.finishLocked(j, JobFailed, fmt.Errorf("serve: server closed before the job ran"))
+		s.finishLocked(j, JobCanceled, fmt.Errorf("serve: server closed before the job ran: %w", context.Canceled))
 	}
 	s.queue = nil
 	s.mu.Unlock()
@@ -245,17 +313,23 @@ func (s *Server) Close() {
 	s.loop.Wait()
 }
 
+// terminal reports whether state is a job's final state.
+func terminal(state JobState) bool {
+	return state == JobDone || state == JobFailed || state == JobCanceled
+}
+
 // finishLocked marks j terminal, releases its operand matrices (submitters
 // hold their own references; a successful job's C has been updated in
-// place), wakes its waiters, and prunes the oldest terminal records past
-// maxJobHistory. The caller holds s.mu.
+// place) and its context, wakes its waiters, and prunes the oldest terminal
+// records past maxJobHistory. The caller holds s.mu.
 func (s *Server) finishLocked(j *job, state JobState, err error) {
 	j.state, j.err, j.finished = state, err, time.Now()
 	j.a, j.b, j.c = nil, nil, nil
+	j.cancel()
 	close(j.done)
 	for len(s.order) > maxJobHistory {
 		old := s.jobs[s.order[0]]
-		if old.state != JobDone && old.state != JobFailed {
+		if !terminal(old.state) {
 			break
 		}
 		delete(s.jobs, old.id)
@@ -393,25 +467,39 @@ func (s *Server) dispatchOne() bool {
 
 // run executes one leased job and returns the lease. Worker deaths inside
 // the lease are the executor's failover problem (replay on lease survivors);
-// only a lease with no survivors fails the job.
+// only a lease with no survivors fails the job. The job's context governs
+// the execution: Cancel aborts the lease's in-flight I/O, the lease is
+// returned as failed (its sessions recycled, workers re-dialed — never
+// pooled holding half a job), and no other lease feels a thing.
 func (s *Server) run(j *job, m *mmnet.Master) {
-	err := m.RunPipelined(j.inst.T, j.sel.Plan, j.a, j.b, j.c)
+	err := m.RunPipelinedContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
 	s.fleet.Return(j.sel.Workers, m, err != nil)
 
+	canceled := errors.Is(err, context.Canceled) || j.ctx.Err() != nil
+
 	s.mu.Lock()
-	if err != nil {
-		s.finishLocked(j, JobFailed, err)
-	} else {
+	switch {
+	case err == nil:
 		s.finishLocked(j, JobDone, nil)
+	case canceled:
+		if !errors.Is(err, context.Canceled) {
+			err = fmt.Errorf("serve: job %d canceled mid-run: %w (abort surfaced as: %v)", j.id, context.Canceled, err)
+		}
+		s.finishLocked(j, JobCanceled, err)
+	default:
+		s.finishLocked(j, JobFailed, err)
 	}
 	elapsed := j.finished.Sub(j.started)
 	s.running--
 	s.mu.Unlock()
 
-	if err != nil {
-		s.cfg.logf("serve: job %d failed: %v", j.id, err)
-	} else {
+	switch {
+	case err == nil:
 		s.cfg.logf("serve: job %d done in %v", j.id, elapsed)
+	case canceled:
+		s.cfg.logf("serve: job %d canceled after %v; lease returned", j.id, elapsed)
+	default:
+		s.cfg.logf("serve: job %d failed: %v", j.id, err)
 	}
 	s.kick()
 }

@@ -1,0 +1,123 @@
+package matmul
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// JobState is a Job's lifecycle state as seen through the facade.
+type JobState uint8
+
+const (
+	// JobRunning: submitted and not yet terminal (on a Remote session this
+	// covers daemon-side queueing too — the client cannot tell a queued job
+	// from a running one without polling the daemon's stats).
+	JobRunning JobState = iota
+	// JobDone: completed; C holds the product.
+	JobDone
+	// JobFailed: ended with an error other than cancellation — execution
+	// errors, and expired deadlines too: a submit context that merely timed
+	// out reports JobFailed with an error wrapping context.DeadlineExceeded,
+	// so "we stopped it" (canceled) stays distinguishable from "it ran out
+	// of budget or broke" (failed).
+	JobFailed
+	// JobCanceled: deliberately stopped — by Cancel, a cancelled submit
+	// context, or session close. Err wraps context.Canceled.
+	JobCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// JobStatus is a Job's externally visible state.
+type JobStatus struct {
+	State JobState
+	// Err is the terminal error (nil while running and after success). A
+	// canceled job's Err wraps context.Canceled.
+	Err error
+	// RemoteID is the daemon-side job id of a Remote submission, once the
+	// daemon has accepted it (0 before that, and always 0 on the other
+	// runtimes).
+	RemoteID uint64
+}
+
+// Job is one submitted product's handle.
+type Job struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	remoteID uint64
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel asks the job to stop: a queued job is dequeued before it leases
+// anything, a running one is aborted mid-transfer. Cancel returns
+// immediately; observe completion through Wait or Done. Cancelling a
+// terminal job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job is terminal and returns its error (nil on
+// success — C has been updated in place). If ctx ends first, Wait returns
+// ctx.Err() and the job keeps running: abandoning a wait is not a cancel.
+func (j *Job) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status snapshots the job's state without blocking.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{State: j.state, Err: j.err, RemoteID: j.remoteID}
+}
+
+// setRemoteID records the daemon-side id of a Remote submission.
+func (j *Job) setRemoteID(id uint64) {
+	j.mu.Lock()
+	j.remoteID = id
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state. Cancellation wins over the
+// secondary errors an abort provokes on the way down.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errors.Is(err, context.Canceled):
+		j.state, j.err = JobCanceled, err
+	default:
+		j.state, j.err = JobFailed, err
+	}
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -1,0 +1,298 @@
+// Package matmul is the public facade of the repository: one small, stable
+// API over every execution tier of the heterogeneous master-worker matrix
+// product (Dongarra, Pineau, Robert, Shi, Vivien, PPoPP 2008).
+//
+// matmul.Open returns a Session backed by a pluggable Runtime:
+//
+//   - InProcess — goroutine workers in this process (the verification
+//     engine); supports modeled link pacing and the one-port master.
+//   - Distributed — remote mmworker daemons driven over TCP, dialed once
+//     per session and reused across jobs.
+//   - Remote — an mmserve scheduling daemon: jobs queue there, each gets a
+//     throughput-best leased subset of the daemon's persistent fleet (the
+//     paper's resource selection, per product).
+//
+// Session.Submit hands in the blocked operands of C ← C + A·B and returns a
+// *Job handle with Wait, Cancel, Done and Status. Every layer underneath is
+// context-aware: cancelling a job's context (or calling Job.Cancel) aborts
+// queued work before it leases anything and interrupts running work
+// mid-transfer — in-process paced transfers wake from their modeled sleeps,
+// distributed masters slam deadlines on in-flight socket I/O, and the
+// mmserve client protocol carries a cancel frame so a daemon-side job is
+// dequeued or its lease aborted without touching other jobs' leases.
+//
+// Whatever the runtime, a correct execution updates every C block through
+// the same ascending-k kernel sequence, so the computed C is
+// bitwise-identical across all of them.
+//
+//	sess, err := matmul.Open(ctx, matmul.WithAlgorithm("Het"))
+//	job, err := sess.Submit(ctx, a, b, c)   // C ← C + A·B, in place
+//	err = job.Wait(ctx)
+//
+// The internal packages (engine, net, serve, sched, sim) remain the
+// implementation; their entry points are kept for compatibility but new
+// callers should come in through this package.
+package matmul
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Matrix is the blocked operand type of the facade: a Rows×Cols grid of
+// q×q element blocks. It aliases the engine's internal block matrix, so a
+// Session-computed C can be compared bitwise against any internal runtime.
+type Matrix = matrix.BlockMatrix
+
+// Worker is one worker's platform description: link cost C, compute cost W,
+// memory capacity M in blocks (the paper's c_i, w_i, m_i).
+type Worker = platform.Worker
+
+// NewMatrix allocates a rows×cols blocked matrix with block edge q.
+func NewMatrix(rows, cols, q int) *Matrix { return matrix.NewBlockMatrix(rows, cols, q) }
+
+// Multiply computes the serial reference product C ← C + A·B, the oracle a
+// Session's result can be verified against (within floating-point
+// reordering tolerance; Session results are bitwise-reproducible among
+// themselves, not against the serial order).
+func Multiply(c, a, b *Matrix) error { return matrix.Multiply(c, a, b) }
+
+// schedulers maps the public algorithm names onto the paper's scheduling
+// algorithms.
+var schedulers = map[string]sched.Scheduler{
+	"hom": sched.Hom{}, "homi": sched.HomI{}, "het": sched.Het{},
+	"orroml": sched.ORROML{}, "ommoml": sched.OMMOML{}, "oddoml": sched.ODDOML{}, "bmm": sched.BMM{},
+}
+
+// Algorithms lists the accepted WithAlgorithm names.
+func Algorithms() []string {
+	return []string{"Hom", "HomI", "Het", "ORROML", "OMMOML", "ODDOML", "BMM"}
+}
+
+// config is the resolved option set of one Session.
+type config struct {
+	rt        Runtime
+	scheduler sched.Scheduler
+	algorithm string
+	pipelined bool
+	onePort   bool
+	procs     int
+	platform  *platform.Platform
+	pacing    time.Duration
+	shutdown  bool // Distributed: Close shuts worker daemons down instead of releasing them
+
+	// explicit-set markers, so runtimes can reject options that do not apply
+	// to them instead of silently ignoring them.
+	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown bool
+}
+
+// Option configures a Session at Open.
+type Option func(*config) error
+
+// WithRuntime selects the execution runtime. Default: InProcess().
+func WithRuntime(rt Runtime) Option {
+	return func(c *config) error {
+		if rt == nil {
+			return fmt.Errorf("matmul: nil runtime")
+		}
+		c.rt = rt
+		return nil
+	}
+}
+
+// WithAlgorithm picks the scheduling algorithm by name (see Algorithms).
+// Default: Het, the paper's best-of-eight heterogeneous meta-algorithm.
+func WithAlgorithm(name string) Option {
+	return func(c *config) error {
+		s, ok := schedulers[strings.ToLower(name)]
+		if !ok {
+			return fmt.Errorf("matmul: unknown algorithm %q (have %s)", name, strings.Join(Algorithms(), ", "))
+		}
+		c.scheduler, c.algorithm, c.setAlgorithm = s, name, true
+		return nil
+	}
+}
+
+// WithPipelined selects between the concurrent per-worker executor (true,
+// the default) and the strictly sequential op loop. C is bitwise-identical
+// either way.
+func WithPipelined(on bool) Option {
+	return func(c *config) error {
+		c.pipelined, c.setPipelined = on, true
+		return nil
+	}
+}
+
+// WithOnePort serializes transfer slots across workers, restoring the
+// paper's one-port master: transfers overlap compute but never each other.
+// Meaningful with WithPacing in-process, and on the send side distributed.
+func WithOnePort(on bool) Option {
+	return func(c *config) error {
+		c.onePort, c.setOnePort = on, true
+		return nil
+	}
+}
+
+// WithProcs bounds the goroutines each in-process worker spends on one
+// installment's block updates (≤1: sequential). The per-block arithmetic
+// order — and therefore the result — is unchanged.
+func WithProcs(n int) Option {
+	return func(c *config) error {
+		c.procs, c.setProcs = n, true
+		return nil
+	}
+}
+
+// WithPlatform sets the modeled star platform (c_i, w_i, m_i per worker)
+// that scheduling plans against. In-process it defaults to a small
+// heterogeneous testbed; distributed it defaults to one homogeneous slot
+// per dialed worker and, when given, must describe exactly the dialed
+// workers in order.
+func WithPlatform(workers ...Worker) Option {
+	return func(c *config) error {
+		pl, err := platform.New(workers...)
+		if err != nil {
+			return err
+		}
+		c.platform, c.setPlatform = pl, true
+		return nil
+	}
+}
+
+// WithPacing makes every in-process transfer cost modeled wall-clock time:
+// sending X blocks to worker i sleeps X·c_i·d. Zero disables (full-speed
+// verification runs).
+func WithPacing(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("matmul: negative pacing %v", d)
+		}
+		c.pacing, c.setPacing = d, true
+		return nil
+	}
+}
+
+// WithWorkerShutdown makes Close of a Distributed session shut the worker
+// daemons down instead of releasing their sessions back to their accept
+// loops. One-shot drivers (mmrun) want this; services and tests do not.
+// Only the Distributed runtime accepts it.
+func WithWorkerShutdown() Option {
+	return func(c *config) error {
+		c.shutdown, c.setShutdown = true, true
+		return nil
+	}
+}
+
+// Session is an open connection to one runtime: the single way in. A
+// Session is safe for concurrent Submits; jobs on an InProcess or Remote
+// session run concurrently, a Distributed session executes them one at a
+// time over its shared worker links.
+type Session struct {
+	cfg config
+	rts runtimeSession
+
+	ctx    context.Context // session-lifetime context, derived from Open's
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // outstanding job goroutines
+}
+
+// Open validates the options, opens the selected runtime (dialing its
+// workers or daemon), and returns the Session. ctx governs both the open
+// and the session's lifetime: cancelling it cancels every outstanding job,
+// so wiring a signal context here gives SIGINT-triggered graceful
+// cancellation end to end. Close the session when done.
+func Open(ctx context.Context, opts ...Option) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := config{
+		rt:        InProcess(),
+		scheduler: sched.Het{},
+		algorithm: "Het",
+		pipelined: true,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	rts, err := cfg.rt.open(ctx, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	return &Session{cfg: cfg, rts: rts, ctx: sctx, cancel: cancel}, nil
+}
+
+// Submit admits one product C ← C + A·B (all matrices blocked with the same
+// edge q; C is updated in place) and returns its Job handle immediately.
+// The job is canceled when ctx ends, when Job.Cancel is called, or when the
+// session closes — whichever comes first. Waiting is separate: use
+// Job.Wait or Job.Done.
+func (s *Session) Submit(ctx context.Context, a, b, c *Matrix) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if a == nil || b == nil || c == nil {
+		return nil, fmt.Errorf("matmul: submit needs A, B and C")
+	}
+	if a.Q != b.Q || a.Q != c.Q {
+		return nil, fmt.Errorf("matmul: block edges differ: A q=%d, B q=%d, C q=%d", a.Q, b.Q, c.Q)
+	}
+	if a.Rows != c.Rows || b.Cols != c.Cols || b.Rows != a.Cols {
+		return nil, fmt.Errorf("matmul: shape mismatch A %dx%d, B %dx%d, C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	inst := sched.Instance{R: c.Rows, S: c.Cols, T: a.Cols}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("matmul: session is closed")
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	jctx, jcancel := context.WithCancel(ctx)
+	unlink := context.AfterFunc(s.ctx, jcancel) // session close/cancel fans out
+	j := &Job{cancel: jcancel, done: make(chan struct{})}
+	go func() {
+		defer s.wg.Done()
+		defer unlink()
+		err := s.rts.run(jctx, j, a, b, c)
+		jcancel()
+		j.finish(err)
+	}()
+	return j, nil
+}
+
+// Close cancels every outstanding job, waits for them to unwind, and closes
+// the runtime (releasing distributed worker sessions back to their daemons,
+// unless WithWorkerShutdown ends them). Idempotent; safe after a SIGINT
+// cancellation has already torn the jobs down.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return s.rts.close()
+}

@@ -1,0 +1,245 @@
+package matmul
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	mmnet "repro/internal/net"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Runtime selects where a Session's jobs execute. The three implementations
+// are InProcess, Distributed and Remote; a Runtime is opened once per
+// Session and owns nothing until then.
+type Runtime interface {
+	// open validates cfg against this runtime and brings up the session
+	// (dialing workers or nothing at all). ctx bounds the open.
+	open(ctx context.Context, cfg *config) (runtimeSession, error)
+}
+
+// runtimeSession is one opened runtime: it executes submitted jobs and is
+// closed exactly once, after every job goroutine has unwound.
+type runtimeSession interface {
+	// run executes one product under ctx, updating c in place. It reports
+	// cancellation as an error wrapping context.Canceled.
+	run(ctx context.Context, j *Job, a, b, c *Matrix) error
+	close() error
+}
+
+// InProcess is the verification runtime: goroutine workers in this process,
+// channels as links, optionally paced at the platform's link costs
+// (WithPacing) under a one-port master (WithOnePort).
+func InProcess() Runtime { return inProcessRuntime{} }
+
+type inProcessRuntime struct{}
+
+func (inProcessRuntime) open(_ context.Context, cfg *config) (runtimeSession, error) {
+	if cfg.setShutdown {
+		return nil, fmt.Errorf("matmul: WithWorkerShutdown applies to the Distributed runtime only; there are no worker daemons in-process")
+	}
+	pl := cfg.platform
+	if pl == nil {
+		// The default testbed: small and heterogeneous, so plans exercise
+		// many chunk shapes (same default cmd/mmrun has always used).
+		pl = platform.MustNew(
+			platform.Worker{C: 1, W: 1, M: 60},
+			platform.Worker{C: 1.5, W: 1.2, M: 40},
+			platform.Worker{C: 2, W: 1.5, M: 24},
+			platform.Worker{C: 3, W: 2, M: 96},
+		)
+	}
+	return &inProcessSession{cfg: cfg, pl: pl}, nil
+}
+
+type inProcessSession struct {
+	cfg *config
+	pl  *platform.Platform
+}
+
+func (s *inProcessSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
+	plan, err := schedule(s.cfg, s.pl, a, c)
+	if err != nil {
+		return err
+	}
+	ecfg := engine.Config{
+		Workers: s.pl.P(), T: a.Cols,
+		Platform: s.pl, TimePerUnit: s.cfg.pacing,
+		Pipelined: s.cfg.pipelined, OnePort: s.cfg.onePort, Procs: s.cfg.procs,
+	}
+	return engine.RunContext(ctx, ecfg, plan, a, b, c)
+}
+
+func (s *inProcessSession) close() error { return nil }
+
+// Distributed drives remote mmworker daemons over TCP: the session dials
+// every address at Open and replays plans over those links. Jobs execute
+// one at a time (the links are the session's single fleet); submit to an
+// mmserve daemon via Remote for concurrent multi-job scheduling.
+func Distributed(addrs ...string) Runtime { return distributedRuntime{addrs: addrs} }
+
+type distributedRuntime struct{ addrs []string }
+
+func (r distributedRuntime) open(ctx context.Context, cfg *config) (runtimeSession, error) {
+	if len(r.addrs) == 0 {
+		return nil, fmt.Errorf("matmul: Distributed needs at least one worker address")
+	}
+	if cfg.setPacing {
+		return nil, fmt.Errorf("matmul: WithPacing applies to the InProcess runtime only; distributed links are real")
+	}
+	if cfg.setProcs {
+		return nil, fmt.Errorf("matmul: WithProcs applies to the InProcess runtime only; remote workers set their own parallelism via mmworker -procs")
+	}
+	pl := cfg.platform
+	if pl == nil {
+		// Remote capabilities are not probed; model them as homogeneous.
+		pl = platform.Homogeneous(len(r.addrs), 1, 1, 60)
+	} else if pl.P() != len(r.addrs) {
+		return nil, fmt.Errorf("matmul: platform describes %d workers but %d addresses were dialed", pl.P(), len(r.addrs))
+	}
+	m, err := mmnet.DialContext(ctx, r.addrs, &mmnet.MasterOptions{OnePort: cfg.onePort})
+	if err != nil {
+		return nil, err
+	}
+	return &distributedSession{cfg: cfg, pl: pl, m: m, sem: make(chan struct{}, 1)}, nil
+}
+
+type distributedSession struct {
+	cfg *config
+	pl  *platform.Platform
+	m   *mmnet.Master
+
+	// sem serializes jobs over the shared links. A semaphore rather than a
+	// mutex so a job cancelled while waiting its turn leaves immediately
+	// instead of riding out the job in flight.
+	sem chan struct{}
+
+	mu     sync.Mutex // guards broken
+	broken error      // first failed run; the links are tainted after it
+}
+
+func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return fmt.Errorf("matmul: job canceled while queued behind the session's running job: %w", ctx.Err())
+	}
+	s.mu.Lock()
+	broken := s.broken
+	s.mu.Unlock()
+	if broken != nil {
+		return fmt.Errorf("matmul: session unusable after an aborted job (%v); open a fresh one", broken)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("matmul: job canceled before dispatch: %w", err)
+	}
+	plan, err := schedule(s.cfg, s.pl, a, c)
+	if err != nil {
+		return err
+	}
+	if s.cfg.pipelined {
+		err = s.m.RunPipelinedContext(ctx, a.Cols, plan, a, b, c)
+	} else {
+		err = s.m.RunContext(ctx, a.Cols, plan, a, b, c)
+	}
+	if err != nil {
+		// The reusable-backend contract covers successful runs only: after a
+		// failure (cancellation included) workers may hold chunks, so the
+		// session must not dispatch further jobs over these links.
+		s.mu.Lock()
+		s.broken = err
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *distributedSession) close() error {
+	s.mu.Lock()
+	broken := s.broken
+	s.mu.Unlock()
+	if broken != nil {
+		// Tainted links cannot be handed back mid-protocol; drop them. The
+		// worker daemons survive (their serve loops accept the next master).
+		s.m.Close()
+		return nil
+	}
+	if s.cfg.shutdown {
+		return s.m.Shutdown()
+	}
+	return s.m.Release()
+}
+
+// Remote submits jobs to an mmserve scheduling daemon: the daemon queues
+// them, selects a throughput-best worker subset per job, and runs disjoint
+// leases concurrently. Scheduling choices live daemon-side, so the
+// scheduling options (WithAlgorithm, WithPlatform, …) are rejected here.
+func Remote(addr string) Runtime { return remoteRuntime{addr: addr} }
+
+type remoteRuntime struct{ addr string }
+
+func (r remoteRuntime) open(_ context.Context, cfg *config) (runtimeSession, error) {
+	if r.addr == "" {
+		return nil, fmt.Errorf("matmul: Remote needs the daemon address")
+	}
+	reject := func(set bool, opt string) error {
+		if set {
+			return fmt.Errorf("matmul: %s does not apply to the Remote runtime; the mmserve daemon owns scheduling (see its -alg and -specs flags)", opt)
+		}
+		return nil
+	}
+	for _, rj := range []struct {
+		set bool
+		opt string
+	}{
+		{cfg.setAlgorithm, "WithAlgorithm"},
+		{cfg.setPlatform, "WithPlatform"},
+		{cfg.setPacing, "WithPacing"},
+		{cfg.setProcs, "WithProcs"},
+		{cfg.setOnePort, "WithOnePort"},
+		{cfg.setPipelined, "WithPipelined"},
+		{cfg.setShutdown, "WithWorkerShutdown"},
+	} {
+		if err := reject(rj.set, rj.opt); err != nil {
+			return nil, err
+		}
+	}
+	return &remoteSession{addr: r.addr}, nil
+}
+
+type remoteSession struct{ addr string }
+
+func (s *remoteSession) run(ctx context.Context, j *Job, a, b, c *Matrix) error {
+	out, id, err := serve.SubmitProductContext(ctx, s.addr, a, b, c)
+	if id != 0 {
+		j.setRemoteID(id)
+	}
+	if err != nil {
+		return err
+	}
+	// The wire round-trips C; fold the result back into the caller's C so
+	// the in-place contract holds on every runtime.
+	for i := 0; i < c.Rows; i++ {
+		for k := 0; k < c.Cols; k++ {
+			c.SetBlock(i, k, out.Block(i, k))
+		}
+	}
+	return nil
+}
+
+func (s *remoteSession) close() error { return nil }
+
+// schedule plans one job's product on pl with the session's scheduler and
+// returns the replayable plan.
+func schedule(cfg *config, pl *platform.Platform, a, c *Matrix) ([]sim.PlanOp, error) {
+	inst := sched.Instance{R: c.Rows, S: c.Cols, T: a.Cols}
+	res, err := cfg.scheduler.Schedule(pl, inst)
+	if err != nil {
+		return nil, fmt.Errorf("matmul: schedule %s: %w", cfg.algorithm, err)
+	}
+	return res.Plan(), nil
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Smoke-test the runnable examples: build every example, then actually run
-# the fast ones (quickstart: scheduling only; distributed: a real TCP
-# master-worker round trip on loopback; serve: an mmserve daemon over a
-# persistent 4-worker fleet running two concurrent client submissions plus a
-# post-crash job, every C verified bitwise against the in-process engine)
-# and fail on any non-zero exit.
+# the fast ones (quickstart: scheduling only; library: the public matmul
+# facade driving all three runtimes bitwise-identically plus a mid-transfer
+# cancellation; distributed: a real TCP master-worker round trip on
+# loopback, low-level executors and the facade; serve: an mmserve daemon
+# over a persistent 4-worker fleet running two concurrent facade submissions
+# plus a post-crash job, every C verified bitwise against the in-process
+# engine) and fail on any non-zero exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +15,9 @@ go build ./examples/...
 
 echo "== go run ./examples/quickstart"
 go run ./examples/quickstart
+
+echo "== go run ./examples/library"
+go run ./examples/library
 
 echo "== go run ./examples/distributed"
 go run ./examples/distributed
