@@ -12,9 +12,12 @@ import (
 	"context"
 	"math/rand"
 	stdnet "net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/bound"
 	"repro/internal/engine"
 	"repro/internal/exp"
@@ -25,7 +28,9 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/steady"
+	"repro/internal/trace"
 	"repro/matmul"
 )
 
@@ -555,4 +560,167 @@ func ablationRun(multiPort bool) (float64, error) {
 		return 0, err
 	}
 	return multi, nil
+}
+
+// flappyBackend is an in-memory engine.Backend whose flaky worker dies
+// after a fixed number of operations every time it is (re)joined — the
+// "machine that keeps dropping off the network and coming back" of the
+// adaptive-rebalance benchmark. Thread-safe: the elastic executor drives
+// distinct workers from concurrent dispatch goroutines.
+type flappyBackend struct {
+	mu      sync.Mutex
+	nw      int
+	flaky   map[int]bool // indices that die flapOps operations after joining
+	flapOps int
+	ops     map[int]int
+	held    map[int]struct {
+		ch     matrix.Chunk
+		blocks []*matrix.Block
+	}
+}
+
+func newFlappyBackend(nw, flapOps int) *flappyBackend {
+	return &flappyBackend{
+		nw: nw, flapOps: flapOps,
+		// Worker 0 flaps: every scheduler enrolls the first worker, so the
+		// churn is guaranteed to hit the plan.
+		flaky: map[int]bool{0: true},
+		ops:   make(map[int]int),
+		held: make(map[int]struct {
+			ch     matrix.Chunk
+			blocks []*matrix.Block
+		}),
+	}
+}
+
+func (f *flappyBackend) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nw
+}
+
+// rejoin adds a fresh flaky index — the flapped machine coming back as a
+// new connection, exactly how Master.AddWorker models it.
+func (f *flappyBackend) rejoin() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nw++
+	f.flaky[f.nw-1] = true
+	return f.nw - 1
+}
+
+func (f *flappyBackend) op(w int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.flaky[w] && f.ops[w] >= f.flapOps {
+		return true
+	}
+	f.ops[w]++
+	return false
+}
+
+func (f *flappyBackend) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
+	if f.op(w) {
+		return engine.ErrWorkerDown
+	}
+	cp := make([]*matrix.Block, len(blocks))
+	for i, blk := range blocks {
+		cp[i] = blk.Clone()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.held[w] = struct {
+		ch     matrix.Chunk
+		blocks []*matrix.Block
+	}{ch, cp}
+	return nil
+}
+
+func (f *flappyBackend) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, bm []*matrix.Block) error {
+	if f.op(w) {
+		return engine.ErrWorkerDown
+	}
+	f.mu.Lock()
+	h := f.held[w]
+	f.mu.Unlock()
+	return engine.ApplyInstallment(ch, h.blocks, a, bm, k1-k0)
+}
+
+func (f *flappyBackend) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
+	if f.op(w) {
+		return nil, engine.ErrWorkerDown
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.held[w]
+	delete(f.held, w)
+	return h.blocks, nil
+}
+
+// BenchmarkAdaptiveRebalance measures steady-state job throughput of the
+// elastic executor while one worker flaps: every run, the flaky worker dies
+// mid-job (its chunks re-planned onto the survivors by live estimates) and
+// rejoins as a fresh index (triggering a join re-plan onto the grown
+// fleet). Custom metrics report the re-plans each job absorbs; ns/op is the
+// wall cost of one full product under constant membership churn.
+func BenchmarkAdaptiveRebalance(b *testing.B) {
+	// A deliberately chunky hand-built plan — one 1×s row chunk per job,
+	// four jobs per worker — so there is an un-dispatched remainder to
+	// re-plan whenever the flaky worker drops. (Scheduler plans at this
+	// scale carve one big chunk per worker: nothing left to rebalance.)
+	pl := platform.Homogeneous(3, 1, 1, 60)
+	const perWorker = 4
+	inst := sched.Instance{R: pl.P() * perWorker, S: 12, T: 4}
+	var plan []sim.PlanOp
+	for round := 0; round < perWorker; round++ {
+		for w := 0; w < pl.P(); w++ {
+			ch := matrix.Chunk{Row0: round*pl.P() + w, Col0: 0, H: 1, W: inst.S}
+			plan = append(plan, sim.PlanOp{Worker: w, Kind: trace.SendC, Chunk: ch})
+			for k := 0; k < inst.T; k++ {
+				plan = append(plan, sim.PlanOp{Worker: w, Kind: trace.SendAB, Chunk: ch, K0: k, K1: k + 1})
+			}
+			plan = append(plan, sim.PlanOp{Worker: w, Kind: trace.RecvC, Chunk: ch})
+		}
+	}
+	q := 16
+	rng := benchRNG()
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	bm := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c0 := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	c0.FillRandom(rng)
+
+	var replans int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := c0.Clone()
+		be := newFlappyBackend(pl.P(), 6)
+		tr := adapt.NewTracker(pl.Workers, time.Microsecond, 0)
+		join := make(chan int, 8)
+		el := &engine.Elastic{
+			Tracker:        tr,
+			Join:           join,
+			DriftThreshold: -1, // membership churn is the signal under test
+			OnReplan: func(reason string, _ int) {
+				atomic.AddInt64(&replans, 1)
+				if reason == "depart" {
+					// The flapped machine comes right back as a new index.
+					select {
+					case join <- be.rejoin():
+					default:
+					}
+				}
+			},
+		}
+		b.StartTimer()
+		if err := engine.ExecuteElasticContext(context.Background(), inst.T, plan, a, bm, c, be, el); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(replans)/float64(b.N), "replans_op")
+	}
 }

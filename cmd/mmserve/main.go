@@ -54,6 +54,8 @@ type options struct {
 	alg       string
 	maxPerJob int
 	keepalive time.Duration
+	adaptive  bool
+	drift     float64
 	quiet     bool
 	// client
 	submit  bool
@@ -74,6 +76,8 @@ func main() {
 	flag.StringVar(&o.alg, "alg", "Het", "daemon: per-job scheduling algorithm: Hom, HomI, Het, ORROML, OMMOML, ODDOML, BMM")
 	flag.IntVar(&o.maxPerJob, "max-workers-per-job", 0, "daemon: cap any one job's lease (0: split the idle fleet across queued jobs)")
 	flag.DurationVar(&o.keepalive, "keepalive", 15*time.Second, "daemon: idle fleet connection ping interval (negative: never)")
+	flag.BoolVar(&o.adaptive, "adaptive", true, "daemon: elastic runtime — measured-throughput selection, mid-job re-planning, post-startup worker joins attached to running jobs")
+	flag.Float64Var(&o.drift, "drift", 0, "daemon: relative estimate drift that re-plans a running lease (0: default 0.5; negative: off)")
 	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
 	flag.BoolVar(&o.submit, "submit", false, "client: submit one product and wait for C")
 	flag.BoolVar(&o.status, "status", false, "client: print the daemon's fleet and job snapshot")
@@ -144,7 +148,10 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 		return err
 	}
 	defer fleet.Close()
-	srv := serve.NewServer(fleet, serve.Config{Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob, Logf: logf})
+	srv := serve.NewServer(fleet, serve.Config{
+		Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob,
+		Adaptive: o.adaptive, DriftThreshold: o.drift, Logf: logf,
+	})
 	defer srv.Close()
 
 	// SIGINT: stop accepting clients; the deferred Close calls fail the
@@ -227,14 +234,28 @@ func runStatus(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled\n", st.Queued, st.Running, st.Done, st.Failed, st.Canceled)
+	mode := "static"
+	if st.Adaptive {
+		mode = "adaptive"
+	}
+	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled (%s scheduling)\n",
+		st.Queued, st.Running, st.Done, st.Failed, st.Canceled, mode)
 	for _, w := range st.Workers {
-		fmt.Printf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d\n", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
+		line := fmt.Sprintf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
+		if w.Samples > 0 {
+			// Live measured estimates: what the adaptive scheduler actually
+			// plans with, as opposed to the declared spec to its left.
+			line += fmt.Sprintf(" est c=%.3gms/blk w=%.3gms/upd (%d samples)", w.EstC, w.EstW, w.Samples)
+		}
+		fmt.Println(line)
 	}
 	for _, j := range st.Jobs {
 		line := fmt.Sprintf("job %d: %s C(%dx%d)·t=%d q=%d", j.ID, j.State, j.Instance.R, j.Instance.S, j.Instance.T, j.Q)
 		if j.Algorithm != "" {
 			line += fmt.Sprintf(" alg=%s workers=%v", j.Algorithm, j.Workers)
+		}
+		if j.Replans > 0 {
+			line += fmt.Sprintf(" replans=%d", j.Replans)
 		}
 		if j.ElapsedMS > 0 {
 			line += fmt.Sprintf(" elapsed=%.1fms", j.ElapsedMS)

@@ -19,6 +19,14 @@
 // or hand them to a long-lived scheduling service:
 //
 //	mmserve -listen 127.0.0.1:9700 -workers 127.0.0.1:9801,127.0.0.1:9802
+//
+// A worker can also register itself with a running mmserve daemon *after*
+// the daemon started — elastic fleet membership:
+//
+//	mmworker -listen 127.0.0.1:9803 -join 127.0.0.1:9700 -spec 1:1:60
+//
+// The daemon dials back, adds the worker to its fleet, and queued jobs (or,
+// on an adaptive daemon, jobs already running) start using it.
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 	"time"
 
 	mmnet "repro/internal/net"
+	"repro/internal/platform"
+	mmserve "repro/internal/serve"
 )
 
 func main() {
@@ -43,18 +53,21 @@ func main() {
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop a session whose socket stays silent this long (negative: never)")
 	sessions := flag.Int("sessions", 0, "exit after this many master sessions (0: serve forever)")
 	procs := flag.Int("procs", runtime.NumCPU(), "goroutines per installment's block updates (≤1: sequential); results are bitwise-identical regardless")
+	join := flag.String("join", "", "register with the mmserve daemon at this address after the listener is up (elastic fleet membership)")
+	advertise := flag.String("advertise", "", "address the daemon should dial back (default: the listen address)")
+	spec := flag.String("spec", "1:1:60", "declared c:w:m platform spec announced on -join")
 	quiet := flag.Bool("quiet", false, "suppress session logging")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *quiet); err != nil {
+	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *join, *advertise, *spec, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mmworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
+func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs int, join, advertise, spec string, quiet bool) error {
 	ln, err := stdnet.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -64,6 +77,17 @@ func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration
 	// masters mid-job see the session drop and fail the worker over.
 	unhook := context.AfterFunc(ctx, func() { ln.Close() })
 	defer unhook()
+	if join != "" {
+		// Concurrent with the serve loop: the daemon's registration dials
+		// this worker back, and that dial only completes once the loop below
+		// is accepting. A failed join leaves a perfectly good worker daemon
+		// running — log it, don't die.
+		go func() {
+			if err := joinDaemon(ctx, join, advertise, ln.Addr().String(), spec, quiet); err != nil {
+				fmt.Fprintln(os.Stderr, "mmworker:", err)
+			}
+		}()
+	}
 	err = serve(ln, name, heartbeat, idle, sessions, procs, quiet)
 	if ctx.Err() != nil && errors.Is(err, stdnet.ErrClosed) {
 		if !quiet {
@@ -72,6 +96,40 @@ func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration
 		return nil
 	}
 	return err
+}
+
+// joinDaemon announces this worker to a running mmserve daemon (elastic
+// fleet membership): the daemon dials the advertised address back and the
+// worker becomes leasable immediately.
+func joinDaemon(ctx context.Context, daemon, advertise, listenAddr, spec string, quiet bool) error {
+	addr := advertise
+	if addr == "" {
+		// The daemon dials this address back, so it must be routable *from
+		// the daemon*: a wildcard listen address ("[::]:9801", ":9801")
+		// would make the daemon dial itself. Demand an explicit -advertise
+		// rather than register a permanently-down worker.
+		host, _, err := stdnet.SplitHostPort(listenAddr)
+		if err == nil {
+			if ip := stdnet.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+				return fmt.Errorf("-join with wildcard -listen %s needs -advertise host:port (the daemon must dial this worker back)", listenAddr)
+			}
+		}
+		addr = listenAddr
+	}
+	ws, err := platform.ParseWorkers(spec)
+	if err != nil || len(ws) != 1 {
+		return fmt.Errorf("bad -spec %q (want one c:w:m triple): %v", spec, err)
+	}
+	jctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	i, err := mmserve.JoinFleet(jctx, daemon, addr, ws[0])
+	if err != nil {
+		return fmt.Errorf("join %s: %w", daemon, err)
+	}
+	if !quiet {
+		fmt.Printf("mmworker: joined fleet of %s as worker %d (advertised %s)\n", daemon, i, addr)
+	}
+	return nil
 }
 
 // serve runs the accept loop on an existing listener (tests hand in a

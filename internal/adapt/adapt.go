@@ -1,0 +1,452 @@
+// Package adapt maintains online per-worker performance estimates for the
+// elastic runtime: exponentially-weighted moving averages of each worker's
+// observed link cost (time to move one block) and compute cost (time per
+// block update), seeded from the declared platform description.
+//
+// The paper's schedulers plan against *declared* c_i and w_i; real
+// heterogeneous platforms drift (shared nodes, thermal throttling, congested
+// links), and the companion layer-based-partition work shows that
+// measured-throughput partitioning beats declared-speed partitioning on real
+// hardware. A Tracker closes that loop: the elastic executor feeds it every
+// observed transfer and compute, re-plans against its live estimates, and
+// services expose its snapshots (mmserve -status, matmul.Session.Stats).
+//
+// Estimates are absolute wall-clock costs (seconds per block, seconds per
+// update). Seeds translate the declared model units through a nominal unit
+// duration; because re-planning only ever compares workers against each
+// other, the absolute seed scale washes out as soon as observations arrive —
+// the EWMA pulls every sampled worker onto the measured scale.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// DefaultAlpha is the EWMA weight of a new observation. High enough that a
+// genuine speed change shows within a few installments, low enough that one
+// noisy sample cannot trigger a re-plan by itself.
+const DefaultAlpha = 0.4
+
+// Estimate is one worker's live cost estimate.
+type Estimate struct {
+	C float64 // seconds to move one block to or from the worker
+	W float64 // seconds per block update
+	// Transfers and Computes count the observations folded into C and W; a
+	// worker with zero samples still carries its seed (declared) estimate.
+	Transfers int
+	Computes  int
+}
+
+// Estimator is the observation-and-replan surface the elastic executor
+// drives. *Tracker implements it over absolute worker indices; *View
+// implements it over the remapped indices of one lease.
+type Estimator interface {
+	// ObserveTransfer folds one observed transfer of blocks blocks taking d.
+	ObserveTransfer(w, blocks int, d time.Duration)
+	// ObserveCompute folds one observed compute of updates block updates
+	// taking d.
+	ObserveCompute(w int, updates int64, d time.Duration)
+	// JobCost is the estimated wall-clock cost of moving blocks blocks and
+	// performing updates updates on worker w, in seconds.
+	JobCost(w, blocks int, updates int64) float64
+	// Drift is the largest relative deviation of any worker's estimate from
+	// its value at the last Rebase.
+	Drift() float64
+	// Rebase makes the current estimates the drift baseline — called by the
+	// executor whenever it (re-)plans, so drift measures movement since the
+	// estimates the current assignment was computed with.
+	Rebase()
+	// Ensure grows the tracked set so index w is valid, seeding any new
+	// workers from the mean of the existing estimates (a joining worker we
+	// know nothing about is assumed fleet-average until observed).
+	Ensure(w int)
+}
+
+// Tracker holds the per-worker estimates. Safe for concurrent use.
+type Tracker struct {
+	mu    sync.Mutex
+	alpha float64
+	est   []Estimate
+	base  []Estimate // estimates at the last Rebase (drift reference)
+}
+
+var _ Estimator = (*Tracker)(nil)
+
+// NewTracker seeds one estimate slot per declared worker: C = c_i·unit,
+// W = w_i·unit. unit is the nominal wall-clock length of one model time
+// unit — engine.Config.TimePerUnit for paced in-process runs, any nominal
+// duration (e.g. a millisecond) for real platforms where only the declared
+// *ratios* are meaningful. alpha ≤ 0 selects DefaultAlpha.
+func NewTracker(specs []platform.Worker, unit time.Duration, alpha float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	t := &Tracker{alpha: alpha}
+	for _, s := range specs {
+		t.est = append(t.est, Estimate{C: s.C * unit.Seconds(), W: s.W * unit.Seconds()})
+	}
+	t.base = append([]Estimate(nil), t.est...)
+	return t
+}
+
+// Workers is the number of tracked workers.
+func (t *Tracker) Workers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.est)
+}
+
+// Grow appends a slot for a newly joined worker, seeded from its declared
+// spec, and returns its index.
+func (t *Tracker) Grow(spec platform.Worker, unit time.Duration) int {
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Estimate{C: spec.C * unit.Seconds(), W: spec.W * unit.Seconds()}
+	t.est = append(t.est, e)
+	t.base = append(t.base, e)
+	return len(t.est) - 1
+}
+
+// Ensure implements Estimator: indices ≤ w become valid, new slots seeded
+// with the mean of the existing estimates.
+func (t *Tracker) Ensure(w int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.est) <= w {
+		e := t.meanLocked()
+		t.est = append(t.est, e)
+		t.base = append(t.base, e)
+	}
+}
+
+// meanLocked is the average estimate across tracked workers — the seed for a
+// worker that joins with no declared spec.
+func (t *Tracker) meanLocked() Estimate {
+	if len(t.est) == 0 {
+		return Estimate{C: 1e-3, W: 1e-3}
+	}
+	var e Estimate
+	for _, x := range t.est {
+		e.C += x.C
+		e.W += x.W
+	}
+	e.C /= float64(len(t.est))
+	e.W /= float64(len(t.est))
+	return e
+}
+
+// minCost floors an observation-derived per-unit cost, so a zero-duration
+// sample (sub-resolution clock, loopback transfer) cannot zero an estimate
+// and poison every later JobCost comparison.
+const minCost = 1e-12
+
+// ObserveTransfer implements Estimator.
+func (t *Tracker) ObserveTransfer(w, blocks int, d time.Duration) {
+	if blocks <= 0 || d < 0 {
+		return
+	}
+	per := d.Seconds() / float64(blocks)
+	if per < minCost {
+		per = minCost
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w < 0 || w >= len(t.est) {
+		return
+	}
+	e := &t.est[w]
+	e.C += t.alpha * (per - e.C)
+	e.Transfers++
+}
+
+// ObserveCompute implements Estimator.
+func (t *Tracker) ObserveCompute(w int, updates int64, d time.Duration) {
+	if updates <= 0 || d < 0 {
+		return
+	}
+	per := d.Seconds() / float64(updates)
+	if per < minCost {
+		per = minCost
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w < 0 || w >= len(t.est) {
+		return
+	}
+	e := &t.est[w]
+	e.W += t.alpha * (per - e.W)
+	e.Computes++
+}
+
+// JobCost implements Estimator.
+func (t *Tracker) JobCost(w, blocks int, updates int64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w < 0 || w >= len(t.est) {
+		return 0
+	}
+	e := t.est[w]
+	return e.C*float64(blocks) + e.W*float64(updates)
+}
+
+// Estimate returns worker w's current estimate.
+func (t *Tracker) Estimate(w int) Estimate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w < 0 || w >= len(t.est) {
+		return Estimate{}
+	}
+	return t.est[w]
+}
+
+// Snapshot copies every worker's current estimate.
+func (t *Tracker) Snapshot() []Estimate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Estimate(nil), t.est...)
+}
+
+// Rebase implements Estimator.
+func (t *Tracker) Rebase() { t.rebaseOf(nil) }
+
+// Drift implements Estimator. Estimates only move on observation, so an
+// unsampled worker contributes zero drift by construction.
+func (t *Tracker) Drift() float64 { return t.driftOf(nil) }
+
+// rebaseOf resets the drift baseline of the given workers (nil: all) —
+// the single writer both the fleet-wide Rebase and a lease-local
+// View.Rebase go through.
+func (t *Tracker) rebaseOf(idx []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx == nil {
+		t.base = append(t.base[:0], t.est...)
+		return
+	}
+	for _, i := range idx {
+		if i >= 0 && i < len(t.est) {
+			t.base[i] = t.est[i]
+		}
+	}
+}
+
+// driftOf computes the drift metric over the given workers (nil: all) —
+// the single implementation behind Tracker.Drift and View.Drift, so the
+// fleet-wide and lease-local numbers cannot diverge.
+func (t *Tracker) driftOf(idx []int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var max float64
+	measure := func(i int) {
+		if i < 0 || i >= len(t.est) {
+			return
+		}
+		if d := relDelta(t.est[i].C, t.base[i].C); d > max {
+			max = d
+		}
+		if d := relDelta(t.est[i].W, t.base[i].W); d > max {
+			max = d
+		}
+	}
+	if idx == nil {
+		for i := range t.est {
+			measure(i)
+		}
+	} else {
+		for _, i := range idx {
+			measure(i)
+		}
+	}
+	return max
+}
+
+func relDelta(now, base float64) float64 {
+	if base <= 0 {
+		if now <= 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (now - base) / base
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// View exposes a Tracker under remapped indices: view index j observes and
+// costs tracker worker idx[j]. A multi-job service keeps one fleet-indexed
+// Tracker and hands each lease a View over its leased subset, so every job's
+// observations land in the shared estimates without index translation in the
+// executor. Append extends the mapping when a worker joins the lease
+// mid-job. Safe for concurrent use.
+type View struct {
+	t   *Tracker
+	mu  sync.Mutex
+	idx []int
+}
+
+var _ Estimator = (*View)(nil)
+
+// View builds a remapping view over the given tracker indices.
+func (t *Tracker) View(idx []int) *View {
+	return &View{t: t, idx: append([]int(nil), idx...)}
+}
+
+// Append extends the view with tracker worker fleetIdx and returns its view
+// index.
+func (v *View) Append(fleetIdx int) int {
+	v.t.Ensure(fleetIdx)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.idx = append(v.idx, fleetIdx)
+	return len(v.idx) - 1
+}
+
+// resolve maps a view index to a tracker index (-1: unknown).
+func (v *View) resolve(w int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if w < 0 || w >= len(v.idx) {
+		return -1
+	}
+	return v.idx[w]
+}
+
+// ObserveTransfer implements Estimator.
+func (v *View) ObserveTransfer(w, blocks int, d time.Duration) {
+	if i := v.resolve(w); i >= 0 {
+		v.t.ObserveTransfer(i, blocks, d)
+	}
+}
+
+// ObserveCompute implements Estimator.
+func (v *View) ObserveCompute(w int, updates int64, d time.Duration) {
+	if i := v.resolve(w); i >= 0 {
+		v.t.ObserveCompute(i, updates, d)
+	}
+}
+
+// JobCost implements Estimator.
+func (v *View) JobCost(w, blocks int, updates int64) float64 {
+	if i := v.resolve(w); i >= 0 {
+		return v.t.JobCost(i, blocks, updates)
+	}
+	return 0
+}
+
+// Drift implements Estimator over the viewed subset only: drift elsewhere in
+// the fleet is some other lease's business.
+func (v *View) Drift() float64 {
+	v.mu.Lock()
+	idx := append([]int(nil), v.idx...)
+	v.mu.Unlock()
+	if idx == nil {
+		return 0 // an empty view sees no workers, not the whole fleet
+	}
+	return v.t.driftOf(idx)
+}
+
+// Rebase implements Estimator: only the viewed workers are rebased, so one
+// lease re-planning does not silently absorb drift another lease has yet to
+// react to.
+func (v *View) Rebase() {
+	v.mu.Lock()
+	idx := append([]int(nil), v.idx...)
+	v.mu.Unlock()
+	if idx != nil {
+		v.t.rebaseOf(idx)
+	}
+}
+
+// Ensure implements Estimator: view indices are created by Append; Ensure
+// grows the view with fleet-average workers only as a defensive fallback for
+// executors handed an index the service never Appended.
+func (v *View) Ensure(w int) {
+	v.mu.Lock()
+	missing := w - (len(v.idx) - 1)
+	v.mu.Unlock()
+	for ; missing > 0; missing-- {
+		v.t.mu.Lock()
+		n := len(v.t.est)
+		v.t.mu.Unlock()
+		v.t.Ensure(n) // append one fleet-average slot
+		v.Append(n)
+	}
+}
+
+// Item is one schedulable unit for Balance: an opaque id plus the cost
+// primitives the estimator prices it with.
+type Item struct {
+	ID      int
+	Blocks  int   // blocks moved to and from the worker over the item's life
+	Updates int64 // block updates the item performs
+}
+
+// Balance assigns items onto workers by greedy earliest-finish (the
+// heterogeneous generalization of LPT): items are taken in descending
+// fleet-average cost order, each placed on the worker whose accumulated
+// finish time (pre-existing load plus everything assigned so far) is
+// smallest. est prices an item on a worker; load carries each worker's
+// in-flight cost (seconds) at plan time. The returned map has one entry per
+// worker in workers (possibly empty). Deterministic: ties break by item
+// order, then worker order.
+func Balance(items []Item, workers []int, est Estimator, load map[int]float64) map[int][]int {
+	out := make(map[int][]int, len(workers))
+	for _, w := range workers {
+		out[w] = nil
+	}
+	if len(workers) == 0 || len(items) == 0 {
+		return out
+	}
+
+	// Order items by mean cost across the candidate workers, biggest first —
+	// the classic LPT ordering, priced with live estimates.
+	type costed struct {
+		it   Item
+		mean float64
+	}
+	cs := make([]costed, len(items))
+	for i, it := range items {
+		var sum float64
+		for _, w := range workers {
+			sum += est.JobCost(w, it.Blocks, it.Updates)
+		}
+		cs[i] = costed{it: it, mean: sum / float64(len(workers))}
+	}
+	sort.SliceStable(cs, func(a, b int) bool { return cs[a].mean > cs[b].mean })
+
+	finish := make(map[int]float64, len(workers))
+	for _, w := range workers {
+		finish[w] = load[w]
+	}
+	for _, c := range cs {
+		best, bestEnd := workers[0], 0.0
+		for j, w := range workers {
+			end := finish[w] + est.JobCost(w, c.it.Blocks, c.it.Updates)
+			if j == 0 || end < bestEnd {
+				best, bestEnd = w, end
+			}
+		}
+		finish[best] = bestEnd
+		out[best] = append(out[best], c.it.ID)
+	}
+	return out
+}
+
+// String renders an estimate compactly for logs and status lines.
+func (e Estimate) String() string {
+	return fmt.Sprintf("c=%s/blk w=%s/upd (%d+%d samples)",
+		time.Duration(e.C*float64(time.Second)), time.Duration(e.W*float64(time.Second)), e.Transfers, e.Computes)
+}

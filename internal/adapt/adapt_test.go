@@ -1,0 +1,233 @@
+package adapt
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+func testSpecs() []platform.Worker {
+	return []platform.Worker{
+		{Name: "P1", C: 1, W: 1, M: 60},
+		{Name: "P2", C: 2, W: 4, M: 60},
+	}
+}
+
+func TestTrackerSeedsFromDeclaredSpecs(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0)
+	e0, e1 := tr.Estimate(0), tr.Estimate(1)
+	if e0.C != 0.001 || e0.W != 0.001 {
+		t.Fatalf("worker 0 seed = %+v, want 1ms/1ms", e0)
+	}
+	if e1.C != 0.002 || e1.W != 0.004 {
+		t.Fatalf("worker 1 seed = %+v, want 2ms/4ms", e1)
+	}
+	if e0.Transfers != 0 || e0.Computes != 0 {
+		t.Fatalf("seeded estimate claims samples: %+v", e0)
+	}
+}
+
+func TestTrackerEWMAConvergesToObservations(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0.5)
+	// Worker 0 repeatedly measured at 10ms per block: the estimate must
+	// converge there from its 1ms seed.
+	for i := 0; i < 20; i++ {
+		tr.ObserveTransfer(0, 10, 100*time.Millisecond)
+	}
+	e := tr.Estimate(0)
+	if math.Abs(e.C-0.010) > 1e-6 {
+		t.Fatalf("C estimate %g after 20 samples of 10ms/blk, want ≈0.010", e.C)
+	}
+	if e.Transfers != 20 {
+		t.Fatalf("transfer samples = %d, want 20", e.Transfers)
+	}
+	// Worker 1's compute measured at 2ms per update.
+	for i := 0; i < 20; i++ {
+		tr.ObserveCompute(1, 50, 100*time.Millisecond)
+	}
+	if e := tr.Estimate(1); math.Abs(e.W-0.002) > 1e-6 {
+		t.Fatalf("W estimate %g, want ≈0.002", e.W)
+	}
+}
+
+func TestTrackerIgnoresDegenerateObservations(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0.5)
+	before := tr.Estimate(0)
+	tr.ObserveTransfer(0, 0, time.Second)  // no blocks
+	tr.ObserveCompute(0, -1, time.Second)  // negative updates
+	tr.ObserveTransfer(0, 1, -time.Second) // negative duration
+	tr.ObserveTransfer(99, 1, time.Second) // out of range
+	tr.ObserveCompute(-1, 10, time.Second) // out of range
+	if got := tr.Estimate(0); got != before {
+		t.Fatalf("degenerate observations moved the estimate: %+v -> %+v", before, got)
+	}
+	// A zero-duration sample must floor, not zero, the estimate.
+	for i := 0; i < 100; i++ {
+		tr.ObserveTransfer(0, 10, 0)
+	}
+	if e := tr.Estimate(0); e.C <= 0 {
+		t.Fatalf("zero-duration samples drove C to %g", e.C)
+	}
+}
+
+func TestDriftAndRebase(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 1) // alpha 1: estimate = last sample
+	if d := tr.Drift(); d != 0 {
+		t.Fatalf("fresh tracker drift = %g, want 0", d)
+	}
+	// Worker 0's compute doubles: drift must report ~1.0 (100%).
+	tr.ObserveCompute(0, 1000, 2*time.Second) // 2ms/upd vs 1ms seed
+	if d := tr.Drift(); math.Abs(d-1.0) > 1e-9 {
+		t.Fatalf("drift = %g after a 2x compute change, want 1.0", d)
+	}
+	tr.Rebase()
+	if d := tr.Drift(); d != 0 {
+		t.Fatalf("drift = %g after Rebase, want 0", d)
+	}
+}
+
+func TestJobCostCombinesEstimates(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Second, 0) // seeds: P1 c=1s w=1s, P2 c=2s w=4s
+	if got := tr.JobCost(0, 3, 5); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("JobCost(0,3,5) = %g, want 8", got)
+	}
+	if got := tr.JobCost(1, 3, 5); math.Abs(got-26) > 1e-9 {
+		t.Fatalf("JobCost(1,3,5) = %g, want 26", got)
+	}
+}
+
+func TestGrowAndEnsure(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0)
+	i := tr.Grow(platform.Worker{C: 3, W: 3, M: 60}, time.Millisecond)
+	if i != 2 || tr.Workers() != 3 {
+		t.Fatalf("Grow returned %d, workers %d", i, tr.Workers())
+	}
+	tr.Ensure(4) // grows 2 more, fleet-average seeded
+	if tr.Workers() != 5 {
+		t.Fatalf("Ensure(4) left %d workers", tr.Workers())
+	}
+	if e := tr.Estimate(4); e.C <= 0 || e.W <= 0 {
+		t.Fatalf("Ensure seeded a non-positive estimate: %+v", e)
+	}
+	// Growth must not register as drift (a join re-plans explicitly).
+	if d := tr.Drift(); d != 0 {
+		t.Fatalf("drift %g after growth, want 0", d)
+	}
+}
+
+func TestViewRemapsIndices(t *testing.T) {
+	tr := NewTracker([]platform.Worker{
+		{C: 1, W: 1, M: 60}, {C: 1, W: 1, M: 60}, {C: 1, W: 1, M: 60},
+	}, time.Millisecond, 1)
+	v := tr.View([]int{2, 0}) // lease worker 0 = fleet 2, lease 1 = fleet 0
+	v.ObserveCompute(0, 1000, time.Second)
+	if tr.Estimate(2).Computes != 1 {
+		t.Fatalf("view observation did not land on fleet worker 2: %+v", tr.Estimate(2))
+	}
+	if tr.Estimate(0).Computes != 0 {
+		t.Fatalf("view observation leaked onto fleet worker 0")
+	}
+	if got, want := v.JobCost(0, 0, 1000), tr.JobCost(2, 0, 1000); got != want {
+		t.Fatalf("view JobCost %g != tracker %g", got, want)
+	}
+	// Append joins a fleet worker mid-lease.
+	if j := v.Append(1); j != 2 {
+		t.Fatalf("Append returned view index %d, want 2", j)
+	}
+	v.ObserveTransfer(2, 10, time.Second)
+	if tr.Estimate(1).Transfers != 1 {
+		t.Fatalf("appended view index did not observe fleet worker 1")
+	}
+}
+
+func TestViewDriftAndRebaseScopedToLease(t *testing.T) {
+	tr := NewTracker([]platform.Worker{
+		{C: 1, W: 1, M: 60}, {C: 1, W: 1, M: 60},
+	}, time.Millisecond, 1)
+	v := tr.View([]int{0})
+	// Fleet worker 1 (outside the view) drifts wildly; the view must not see it.
+	tr.ObserveCompute(1, 10, time.Second)
+	if d := v.Drift(); d != 0 {
+		t.Fatalf("view drift %g reflects a worker outside the lease", d)
+	}
+	tr.ObserveCompute(0, 10, time.Second)
+	if d := v.Drift(); d == 0 {
+		t.Fatal("view blind to its own worker's drift")
+	}
+	v.Rebase()
+	if d := v.Drift(); d != 0 {
+		t.Fatalf("view drift %g after view Rebase", d)
+	}
+	// The tracker still remembers worker 1's un-rebased drift.
+	if d := tr.Drift(); d == 0 {
+		t.Fatal("view Rebase absorbed drift outside the lease")
+	}
+}
+
+func TestBalanceSpreadsBySpeed(t *testing.T) {
+	// Worker 0 is 4x faster than worker 1: of 10 equal items it should take
+	// about 8.
+	tr := NewTracker([]platform.Worker{
+		{C: 1, W: 1, M: 60}, {C: 4, W: 4, M: 60},
+	}, time.Millisecond, 0)
+	items := make([]Item, 10)
+	for i := range items {
+		items[i] = Item{ID: i, Blocks: 10, Updates: 100}
+	}
+	got := Balance(items, []int{0, 1}, tr, nil)
+	if n0, n1 := len(got[0]), len(got[1]); n0+n1 != 10 || n0 < 7 {
+		t.Fatalf("balance put %d/%d items on the 4x-faster worker", n0, n1)
+	}
+}
+
+func TestBalanceRespectsExistingLoad(t *testing.T) {
+	tr := NewTracker([]platform.Worker{
+		{C: 1, W: 1, M: 60}, {C: 1, W: 1, M: 60},
+	}, time.Second, 0)
+	items := []Item{{ID: 0, Blocks: 0, Updates: 1}}
+	// Worker 0 carries a huge in-flight job: the single item must land on 1.
+	got := Balance(items, []int{0, 1}, tr, map[int]float64{0: 1e6})
+	if len(got[1]) != 1 {
+		t.Fatalf("balance ignored existing load: %v", got)
+	}
+}
+
+func TestBalanceEmptyInputs(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0)
+	if got := Balance(nil, []int{0}, tr, nil); len(got[0]) != 0 {
+		t.Fatalf("balance of no items: %v", got)
+	}
+	if got := Balance([]Item{{ID: 1}}, nil, tr, nil); len(got) != 0 {
+		t.Fatalf("balance over no workers: %v", got)
+	}
+}
+
+func TestTrackerConcurrentUse(t *testing.T) {
+	tr := NewTracker(testSpecs(), time.Millisecond, 0)
+	v := tr.View([]int{0, 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g % 4 {
+				case 0:
+					tr.ObserveTransfer(i%2, 5, time.Millisecond)
+				case 1:
+					v.ObserveCompute(i%2, 10, time.Millisecond)
+				case 2:
+					_ = tr.Drift()
+					_ = v.JobCost(i%2, 3, 9)
+				case 3:
+					tr.Rebase()
+					_ = tr.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

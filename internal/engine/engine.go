@@ -205,6 +205,29 @@ func Run(cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 // worker goroutines, and returns an error wrapping ctx's error. A run that
 // is aborted leaves C partially updated; the input matrices are untouched.
 func RunContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
+	return runOnChanBackend(ctx, cfg, func(cb *chanBackend) error {
+		if cfg.Pipelined {
+			return ExecutePipelinedContext(ctx, cfg.T, plan, a, b, c, cb)
+		}
+		return ExecuteContext(ctx, cfg.T, plan, a, b, c, cb)
+	})
+}
+
+// RunElasticContext is RunContext through the adaptive executor: the same
+// in-process goroutine workers, but dispatch re-plans un-started chunks onto
+// the live throughput estimates (see ExecuteElasticContext). The in-process
+// fleet is fixed for the run — goroutine workers neither crash nor join — so
+// elasticity here means estimate tracking and drift-triggered rebalancing;
+// join and departure handling are exercised by the networked runtimes.
+func RunElasticContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, el *Elastic) error {
+	return runOnChanBackend(ctx, cfg, func(cb *chanBackend) error {
+		return ExecuteElasticContext(ctx, cfg.T, plan, a, b, c, cb, el)
+	})
+}
+
+// runOnChanBackend validates cfg, brings up the in-process goroutine
+// workers, runs exec against them, and drains the workers' error reports.
+func runOnChanBackend(ctx context.Context, cfg Config, exec func(*chanBackend) error) error {
 	if cfg.Workers <= 0 {
 		return fmt.Errorf("engine: need a positive worker count")
 	}
@@ -233,12 +256,7 @@ func RunContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b, c *mat
 		go worker(cb.in[w], cb.out[w], errs, cfg.Procs)
 	}
 
-	var runErr error
-	if cfg.Pipelined {
-		runErr = ExecutePipelinedContext(ctx, cfg.T, plan, a, b, c, cb)
-	} else {
-		runErr = ExecuteContext(ctx, cfg.T, plan, a, b, c, cb)
-	}
+	runErr := exec(cb)
 
 	for w := 0; w < cfg.Workers; w++ {
 		close(cb.in[w])

@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// Elastic configures the adaptive executor: live cost estimates, mid-job
+// fleet membership, and the re-plan policy. See ExecuteElasticContext.
+type Elastic struct {
+	// Tracker receives every observed transfer and compute and prices jobs
+	// for re-planning. Required; use adapt.NewTracker seeded from the
+	// declared platform (or a Tracker.View for lease-local indices).
+	Tracker adapt.Estimator
+	// Join delivers the indices of workers that become addressable mid-run
+	// (the backend must already route to them — e.g. after Master.AddWorker).
+	// Each join triggers a re-plan of the un-dispatched jobs onto the grown
+	// fleet. Indices already alive, out of the backend's range, or arriving
+	// after the run completes are ignored. Optional.
+	Join <-chan int
+	// DriftThreshold is the relative estimate movement (since the estimates
+	// the current assignment was planned with) that triggers a re-plan.
+	// 0 selects DefaultDriftThreshold; negative disables drift re-planning.
+	DriftThreshold float64
+	// OnReplan, when non-nil, observes every re-plan: reason is "join",
+	// "depart" or "drift", and pending is the number of un-dispatched jobs
+	// that were redistributed. Called with executor-internal locks held — it
+	// must be fast, must not block, and must not call back into the executor.
+	OnReplan func(reason string, pending int)
+}
+
+// DefaultDriftThreshold re-plans when some worker's estimated cost moved 50%
+// from the value the current assignment was computed with — far past EWMA
+// sample noise, well within "a co-tenant started competing for the node".
+const DefaultDriftThreshold = 0.5
+
+// ExecuteElasticContext replays plan against real matrices through be like
+// ExecutePipelinedContext — one dispatch path per worker, disjoint chunks
+// written back concurrently, bitwise-identical C — but with an *adaptive*
+// assignment. The plan's own worker assignment is only the starting point;
+// the executor then:
+//
+//   - times every transfer and every job's residual compute and feeds the
+//     Elastic.Tracker, maintaining live per-worker throughput estimates
+//     (EWMA, seeded from the declared platform);
+//   - accepts workers joining mid-run (Elastic.Join) and retires workers
+//     that fail with ErrWorkerDown, exactly like failover — a departure is
+//     just the most extreme estimate update;
+//   - on a join, a departure, or estimate drift past Elastic.DriftThreshold,
+//     re-plans every un-dispatched job onto the currently-alive workers by
+//     greedy earliest-finish over the live estimates (adapt.Balance).
+//
+// Only *which worker runs a job* ever changes: a job's chunk geometry and
+// installment sequence are fixed by the plan, all chunks are pairwise
+// disjoint, and every worker applies the same ascending-k kernel order — so
+// C is bitwise-identical to Execute's under every join, departure and
+// re-plan, which is what makes rebalancing safe to do mid-flight.
+//
+// The run fails only on a non-failover error, on ctx cancellation, or when
+// un-dispatched jobs remain and every worker is gone.
+func ExecuteElasticContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Backend, el *Elastic) error {
+	if el == nil || el.Tracker == nil {
+		return fmt.Errorf("engine: elastic execution needs an estimate tracker (use ExecutePipelinedContext for a static run)")
+	}
+	jobs, _, err := validatePlan(t, plan, a, b, c, be)
+	if err != nil {
+		return err
+	}
+	if err := checkChunksDisjoint(jobs, c.Rows, c.Cols); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return abortErr(ctx, nil)
+	}
+	// Materialize referenced input blocks up front: concurrent dispatch
+	// goroutines must never lazily allocate inside the shared grids (same
+	// reasoning as the pipelined executor).
+	for _, j := range jobs {
+		ch := j.Chunk
+		for _, p := range j.Panels {
+			for i := ch.Row0; i < ch.Row0+ch.H; i++ {
+				for k := p[0]; k < p[1]; k++ {
+					a.Block(i, k)
+				}
+			}
+			for k := p[0]; k < p[1]; k++ {
+				for jj := ch.Col0; jj < ch.Col0+ch.W; jj++ {
+					b.Block(k, jj)
+				}
+			}
+		}
+	}
+
+	// Per-job cost primitives: blocks moved over the job's whole life (chunk
+	// down, installments, chunk back) and block updates performed. These are
+	// what the estimator prices a job with at re-plan time.
+	items := make([]adapt.Item, len(jobs))
+	for ji, j := range jobs {
+		it := adapt.Item{ID: ji, Blocks: 2 * j.Chunk.Blocks()}
+		for _, p := range j.Panels {
+			it.Blocks += (p[1] - p[0]) * (j.Chunk.H + j.Chunk.W)
+			it.Updates += int64(p[1]-p[0]) * int64(j.Chunk.H) * int64(j.Chunk.W)
+		}
+		items[ji] = it
+	}
+
+	threshold := el.DriftThreshold
+	if threshold == 0 {
+		threshold = DefaultDriftThreshold
+	}
+
+	nw := be.Workers()
+	el.Tracker.Ensure(nw - 1)
+	es := &elasticState{
+		el:       el,
+		items:    items,
+		queues:   make(map[int][]int, nw),
+		alive:    make(map[int]bool, nw),
+		inflight: make(map[int]int, nw),
+		pending:  len(jobs),
+	}
+	es.cond = sync.NewCond(&es.mu)
+	for w := 0; w < nw; w++ {
+		es.alive[w] = true
+		es.queues[w] = nil
+	}
+	for ji, j := range jobs {
+		es.queues[j.Worker] = append(es.queues[j.Worker], ji)
+	}
+	// The initial assignment is the plan's own; estimates are rebased to it
+	// so drift measures movement since *this* assignment was chosen.
+	el.Tracker.Rebase()
+
+	// Cancellation trips the abort flag like a fatal error; every dispatch
+	// goroutine stops at its next job boundary.
+	stopWatch := context.AfterFunc(ctx, func() {
+		es.mu.Lock()
+		es.failLocked(ctx.Err())
+		es.mu.Unlock()
+	})
+	defer stopWatch()
+
+	var wg sync.WaitGroup
+	spawn := func(w int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			es.workerLoop(ctx, be, w, jobs, a, b, c, threshold)
+		}()
+	}
+	for w := 0; w < nw; w++ {
+		spawn(w)
+	}
+
+	// The join handler folds arriving workers in until the run settles. It
+	// owns no state: membership changes happen under es.mu like everything
+	// else, so a join racing the final job completion is either folded in
+	// (and finds no pending work) or ignored.
+	runDone := make(chan struct{})
+	var joinWG sync.WaitGroup
+	if el.Join != nil {
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			for {
+				select {
+				case w, ok := <-el.Join:
+					if !ok {
+						return
+					}
+					if w < 0 || w >= be.Workers() {
+						continue
+					}
+					el.Tracker.Ensure(w)
+					es.mu.Lock()
+					if es.alive[w] || es.retired(w) || es.finished || es.aborted {
+						es.mu.Unlock()
+						continue
+					}
+					es.alive[w] = true
+					es.queues[w] = nil
+					es.replanLocked("join", nil)
+					spawn(w)
+					es.cond.Broadcast()
+					es.mu.Unlock()
+				case <-runDone:
+					return
+				}
+			}
+		}()
+	}
+
+	// Wait for completion: all jobs done, an abort, or no workers left with
+	// jobs still pending.
+	es.mu.Lock()
+	for es.pending > 0 && !es.aborted {
+		if len(es.alive) == 0 {
+			es.failLocked(fmt.Errorf("engine: no workers left to run %d pending chunks: %w", es.pending, ErrWorkerDown))
+			break
+		}
+		es.cond.Wait()
+	}
+	es.finished = true
+	firstErr := es.firstErr
+	es.cond.Broadcast()
+	es.mu.Unlock()
+
+	close(runDone)
+	joinWG.Wait()
+	wg.Wait()
+	return abortErr(ctx, firstErr)
+}
+
+// elasticState is the executor's shared membership-and-queue state: one
+// mutex, one condition variable, per-worker job queues that a re-plan may
+// rewrite wholesale.
+type elasticState struct {
+	el    *Elastic
+	items []adapt.Item
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[int][]int // queued (un-dispatched) job indices per alive worker
+	alive    map[int]bool
+	dead     []int       // retired workers, so a stale join cannot resurrect one
+	inflight map[int]int // worker → job index currently running on it
+	pending  int         // jobs not yet completed
+	finished bool
+	aborted  bool
+	firstErr error
+	// sinceReplan counts job completions since the last re-plan; drift
+	// re-plans wait for at least one completion per alive worker, so a slow
+	// EWMA convergence cannot re-plan after every single job (no thrash).
+	sinceReplan int
+}
+
+func (es *elasticState) retired(w int) bool {
+	for _, d := range es.dead {
+		if d == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (es *elasticState) failLocked(err error) {
+	if es.firstErr == nil {
+		es.firstErr = err
+	}
+	es.aborted = true
+	es.cond.Broadcast()
+}
+
+// replanLocked redistributes every queued (not in-flight) job over the
+// currently-alive workers by greedy earliest-finish on the live estimates,
+// with extra (jobs recovered from a departing worker) folded in. In-flight
+// jobs stay where they are and count as load. The caller holds es.mu.
+func (es *elasticState) replanLocked(reason string, extra []int) {
+	pending := append([]int(nil), extra...)
+	workers := make([]int, 0, len(es.alive))
+	for w := range es.alive {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		pending = append(pending, es.queues[w]...)
+		es.queues[w] = nil
+	}
+	if len(workers) == 0 {
+		if len(pending) > 0 || len(es.inflight) > 0 {
+			es.failLocked(fmt.Errorf("engine: no workers left to replay %d chunks: %w", len(pending), ErrWorkerDown))
+		}
+		return
+	}
+	its := make([]adapt.Item, len(pending))
+	for i, ji := range pending {
+		its[i] = es.items[ji]
+	}
+	load := make(map[int]float64, len(es.inflight))
+	for w, ji := range es.inflight {
+		load[w] = es.el.Tracker.JobCost(w, es.items[ji].Blocks, es.items[ji].Updates)
+	}
+	assign := adapt.Balance(its, workers, es.el.Tracker, load)
+	for w, list := range assign {
+		es.queues[w] = list
+	}
+	es.sinceReplan = 0
+	// Rebase so drift is measured against the estimates this assignment was
+	// computed with — the re-plan consumed the drift it reacted to.
+	es.el.Tracker.Rebase()
+	if es.el.OnReplan != nil {
+		es.el.OnReplan(reason, len(pending))
+	}
+}
+
+// workerLoop dispatches worker w's queue until the run settles or w is
+// retired. One goroutine per alive worker; a worker whose queue is empty
+// parks on the condition variable — a later re-plan may hand it work.
+func (es *elasticState) workerLoop(ctx context.Context, be Backend, w int, jobs []sim.PlanJob, a, b, c *matrix.BlockMatrix, threshold float64) {
+	st := newStager(be)
+	for {
+		es.mu.Lock()
+		for len(es.queues[w]) == 0 && es.alive[w] && es.pending > 0 && !es.aborted && !es.finished {
+			es.cond.Wait()
+		}
+		if !es.alive[w] || es.pending == 0 || es.aborted || es.finished {
+			es.mu.Unlock()
+			return
+		}
+		ji := es.queues[w][0]
+		es.queues[w] = es.queues[w][1:]
+		es.inflight[w] = ji
+		es.mu.Unlock()
+
+		err := elasticRunJob(be, w, jobs[ji], a, b, c, st, es.el.Tracker, es.items[ji].Updates)
+
+		es.mu.Lock()
+		delete(es.inflight, w)
+		if err != nil {
+			if errors.Is(err, ErrWorkerDown) && ctx.Err() == nil {
+				// Departure: retire w, fold its unfinished share (current job
+				// included) back into the pending pool, and re-plan onto the
+				// survivors — failover is just the extreme end of adaptation.
+				delete(es.alive, w)
+				es.dead = append(es.dead, w)
+				recovered := append([]int{ji}, es.queues[w]...)
+				delete(es.queues, w)
+				es.replanLocked("depart", recovered)
+				es.cond.Broadcast()
+				es.mu.Unlock()
+				return
+			}
+			es.failLocked(err)
+			es.mu.Unlock()
+			return
+		}
+		es.pending--
+		es.sinceReplan++
+		if es.pending > 0 && threshold > 0 && es.sinceReplan >= len(es.alive) && es.el.Tracker.Drift() > threshold {
+			es.replanLocked("drift", nil)
+		}
+		es.cond.Broadcast()
+		es.mu.Unlock()
+	}
+}
+
+// elasticRunJob is runJob with observation: each send is timed as a transfer
+// of its block count, and the job's residual wall time (total minus observed
+// transfer time) is attributed to compute. The split is approximate — a
+// backend may absorb compute backpressure inside a send — but the *sum*
+// tracks the job's true wall cost, which is what re-planning compares
+// workers by, and the EWMA smooths the attribution noise.
+func elasticRunJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix, st *stager, tr adapt.Estimator, updates int64) error {
+	start := time.Now()
+	var transfer time.Duration
+
+	blocks := st.stageChunk(c, j.Chunk)
+	t0 := time.Now()
+	err := be.SendC(w, j.Chunk, blocks)
+	d := time.Since(t0)
+	st.releaseChunk(blocks)
+	if err != nil {
+		return err
+	}
+	transfer += d
+	tr.ObserveTransfer(w, j.Chunk.Blocks(), d)
+
+	for _, p := range j.Panels {
+		am, bm := st.stagePanels(a, b, j.Chunk, p[0], p[1])
+		t0 = time.Now()
+		if err := be.SendAB(w, j.Chunk, p[0], p[1], am, bm); err != nil {
+			return err
+		}
+		d = time.Since(t0)
+		transfer += d
+		tr.ObserveTransfer(w, (p[1]-p[0])*(j.Chunk.H+j.Chunk.W), d)
+	}
+
+	// The return transfer rides inside the RecvC wait; it is charged to the
+	// compute share below rather than invented out of thin air.
+	result, err := be.RecvC(w, j.Chunk)
+	if err != nil {
+		return err
+	}
+	if err := writeChunk(c, j.Chunk, result); err != nil {
+		return err
+	}
+	if compute := time.Since(start) - transfer; compute > 0 {
+		tr.ObserveCompute(w, updates, compute)
+	}
+	return nil
+}

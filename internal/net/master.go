@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -235,10 +236,22 @@ func (wc *WorkerConn) Close() {
 // A Master is reusable: successive Run/RunPipelined calls replay successive
 // plans over the same worker sessions (each job leaves every worker idle
 // again), and Detach recovers the still-open connections for pooling.
+//
+// A Master is also *growable*: AddWorker joins a registered connection while
+// a run is in flight, which is how the elastic executor
+// (RunElasticContext) re-plans mid-job onto workers that arrive after the
+// job started.
 type Master struct {
-	links []*link
-	opts  MasterOptions
-	gate  *engine.TransferGate // non-nil when opts.OnePort: serializes sends
+	opts MasterOptions
+	gate *engine.TransferGate // non-nil when opts.OnePort: serializes sends
+
+	// mu guards the link table (AddWorker appends while dispatch goroutines
+	// index it) and the lifecycle flags. Individual links stay single-owner:
+	// at most one dispatch goroutine drives a given link at a time.
+	mu       sync.RWMutex
+	links    []*link
+	detached bool
+	run      *runBinding // non-nil while a run is in flight
 	// runCtx is the context of the run in flight (nil between runs). It is
 	// set single-threaded before the executor spawns its dispatch goroutines
 	// and cleared after they join, so the concurrent reads in send/RecvC are
@@ -297,11 +310,56 @@ func NewMaster(conns []*WorkerConn, opts *MasterOptions) (*Master, error) {
 	return m, nil
 }
 
+// AddWorker joins an already-registered worker connection to this master:
+// the link is appended and becomes addressable as the next plan worker
+// index, which AddWorker returns. It is safe while a run is in flight — the
+// elastic executor (RunElasticContext) is told the index through
+// Elastic.Join and re-plans un-dispatched chunks onto the newcomer; a
+// cancellation arriving meanwhile reaches the new connection too. The
+// master owns the connection from here on, exactly as if it had been part
+// of NewMaster's lease. Fails once the master has been detached or spent.
+func (m *Master) AddWorker(wc *WorkerConn) (int, error) {
+	if wc == nil || wc.l.conn == nil {
+		return 0, fmt.Errorf("net: add worker: connection is closed")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.detached {
+		return 0, fmt.Errorf("net: add worker %s: master already detached", wc.l.name)
+	}
+	m.links = append(m.links, wc.l)
+	if m.run != nil {
+		m.run.add(wc.l.conn)
+	}
+	return len(m.links) - 1, nil
+}
+
+// link returns worker w's link (nil when out of range). The pointer is
+// stable; only the table itself needs the lock.
+func (m *Master) link(w int) *link {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if w < 0 || w >= len(m.links) {
+		return nil
+	}
+	return m.links[w]
+}
+
+// linkSnapshot copies the current link table for lock-free iteration.
+func (m *Master) linkSnapshot() []*link {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]*link(nil), m.links...)
+}
+
 // Detach releases the master's hold on its connections and returns them,
 // still open and registered, for reuse by a later NewMaster: position i holds
-// conns[i] of the original lease, nil where that worker died during the job.
-// The master is spent afterwards (no links remain).
+// conns[i] of the original lease — AddWorker-joined connections included, in
+// join order — nil where that worker died during the job. The master is
+// spent afterwards (no links remain, AddWorker fails).
 func (m *Master) Detach() []*WorkerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*WorkerConn, len(m.links))
 	for i, l := range m.links {
 		if l.conn != nil {
@@ -309,25 +367,31 @@ func (m *Master) Detach() []*WorkerConn {
 		}
 	}
 	m.links = nil
+	m.detached = true
 	return out
 }
 
 // WorkerNames returns the registered worker names in plan-index order.
 func (m *Master) WorkerNames() []string {
-	names := make([]string, len(m.links))
-	for i, l := range m.links {
+	links := m.linkSnapshot()
+	names := make([]string, len(links))
+	for i, l := range links {
 		names[i] = l.name
 	}
 	return names
 }
 
 // Workers implements engine.Backend.
-func (m *Master) Workers() int { return len(m.links) }
+func (m *Master) Workers() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.links)
+}
 
 // down retires a worker's link and wraps the cause as engine.ErrWorkerDown so
 // Execute re-queues its jobs.
 func (m *Master) down(w int, op string, cause error) error {
-	l := m.links[w]
+	l := m.link(w)
 	name := l.name
 	if l.conn != nil {
 		l.conn.Close()
@@ -353,7 +417,10 @@ func (m *Master) ioDeadline(base time.Duration) time.Time {
 // goroutines then ship at most one outbound transfer at a time, while their
 // workers keep computing.
 func (m *Master) send(w int, op string, msg *Msg) error {
-	l := m.links[w]
+	l := m.link(w)
+	if l == nil {
+		return fmt.Errorf("net: %s to unknown worker %d: %w", op, w, engine.ErrWorkerDown)
+	}
 	if l.conn == nil {
 		return fmt.Errorf("net: %s to worker %d (%s): link retired: %w", op, w, l.name, engine.ErrWorkerDown)
 	}
@@ -379,7 +446,10 @@ func (m *Master) SendC(w int, ch matrix.Chunk, blocks []*matrix.Block) error {
 // is fully staged on the wire before send returns, and each link is driven
 // by at most one dispatch goroutine at a time.
 func (m *Master) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
-	l := m.links[w]
+	l := m.link(w)
+	if l == nil {
+		return fmt.Errorf("net: send install to unknown worker %d: %w", w, engine.ErrWorkerDown)
+	}
 	l.abBuf = append(append(l.abBuf[:0], a...), b...)
 	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: l.abBuf})
 }
@@ -390,7 +460,7 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 	if err := m.send(w, "flush", &Msg{Kind: MsgFlush, Chunk: ch}); err != nil {
 		return nil, err
 	}
-	l := m.links[w]
+	l := m.link(w)
 	wait := m.opts.IOTimeout
 	if hb := 3 * l.heartbeat; hb > wait {
 		wait = hb
@@ -456,30 +526,75 @@ func (m *Master) RunPipelinedContext(ctx context.Context, t int, plan []sim.Plan
 	return engine.ExecutePipelinedContext(ctx, t, plan, a, b, c, m)
 }
 
+// RunElasticContext executes plan with the adaptive executor (see
+// engine.ExecuteElasticContext): transfers and computes feed el.Tracker's
+// live estimates, dead workers' chunks are re-planned onto the survivors,
+// drift past el.DriftThreshold rebalances the un-dispatched remainder, and
+// workers joined mid-run with AddWorker (their indices delivered on
+// el.Join) are folded into the running job. C is bitwise-identical to Run's
+// under every membership change. Cancellation semantics match RunContext —
+// connections joined mid-run are interrupted too.
+func (m *Master) RunElasticContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, el *engine.Elastic) error {
+	defer m.runContext(ctx)()
+	return engine.ExecuteElasticContext(ctx, t, plan, a, b, c, m, el)
+}
+
+// runBinding is one in-flight run's cancellation fan-out set: the
+// connections to slam with an expired deadline when the run's context dies.
+// AddWorker extends it mid-run; a connection added after the context already
+// fired is slammed immediately, so a late joiner cannot outlive the abort.
+type runBinding struct {
+	mu    sync.Mutex
+	conns []net.Conn
+	fired bool
+}
+
+func (b *runBinding) add(c net.Conn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fired {
+		c.SetDeadline(time.Now())
+		return
+	}
+	b.conns = append(b.conns, c)
+}
+
+func (b *runBinding) fire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fired = true
+	for _, c := range b.conns {
+		c.SetDeadline(time.Now())
+	}
+}
+
 // runContext binds one run to ctx and returns the unbind function. While
 // bound, ioDeadline clips blocking I/O to ctx's deadline, and a cancellation
-// slams an already-expired deadline onto every connection that was live at
-// bind time — a dispatch goroutine parked in a 30s RecvC wait wakes within
+// slams an already-expired deadline onto every connection live at bind time
+// — a dispatch goroutine parked in a 30s RecvC wait wakes within
 // milliseconds instead of timing out. The conn set is snapshotted before the
-// executor spawns goroutines, so the interrupt never races the links' conn
-// fields (a conn retired by down in the meantime just absorbs a harmless
-// SetDeadline on a closed socket).
+// executor spawns goroutines and extended under the binding's lock by
+// AddWorker, so the interrupt never races the links' conn fields (a conn
+// retired by down in the meantime just absorbs a harmless SetDeadline on a
+// closed socket).
 func (m *Master) runContext(ctx context.Context) (unbind func()) {
+	b := &runBinding{}
+	m.mu.Lock()
 	m.runCtx = ctx
-	conns := make([]net.Conn, 0, len(m.links))
+	m.run = b
 	for _, l := range m.links {
 		if l.conn != nil {
-			conns = append(conns, l.conn)
+			b.conns = append(b.conns, l.conn)
 		}
 	}
-	stop := context.AfterFunc(ctx, func() {
-		for _, c := range conns {
-			c.SetDeadline(time.Now())
-		}
-	})
+	m.mu.Unlock()
+	stop := context.AfterFunc(ctx, b.fire)
 	return func() {
 		stop()
+		m.mu.Lock()
 		m.runCtx = nil
+		m.run = nil
+		m.mu.Unlock()
 	}
 }
 
@@ -488,7 +603,7 @@ func (m *Master) runContext(ctx context.Context) (unbind func()) {
 // or Detach) finds no links and returns nil.
 func (m *Master) Shutdown() error {
 	var first error
-	for w, l := range m.links {
+	for w, l := range m.linkSnapshot() {
 		if l.conn == nil {
 			continue
 		}
@@ -509,7 +624,7 @@ func (m *Master) Shutdown() error {
 // re-registers with the next master that dials. Idempotent, like Shutdown.
 func (m *Master) Release() error {
 	var first error
-	for w, l := range m.links {
+	for w, l := range m.linkSnapshot() {
 		if l.conn == nil {
 			continue
 		}
@@ -528,7 +643,7 @@ func (m *Master) Release() error {
 // Close drops all connections without the shutdown handshake. The links stay
 // with the master (marked retired), so Close after Detach touches nothing.
 func (m *Master) Close() {
-	for _, l := range m.links {
+	for _, l := range m.linkSnapshot() {
 		if l.conn != nil {
 			l.conn.Close()
 			l.conn = nil

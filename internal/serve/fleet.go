@@ -95,13 +95,21 @@ type Fleet struct {
 	done     chan struct{}
 }
 
-// WorkerMetric is one worker's row in the fleet metrics.
+// WorkerMetric is one worker's row in the fleet metrics. The Est fields are
+// filled by an adaptive Server (the fleet itself only knows connectivity):
+// live measured costs in milliseconds, zero until the worker's first
+// observed job.
 type WorkerMetric struct {
 	Addr  string          `json:"addr"`
 	Name  string          `json:"name,omitempty"`
 	Spec  platform.Worker `json:"spec"`
 	State string          `json:"state"`
 	Jobs  int             `json:"jobs"`
+	// EstC/EstW are the measured per-block link cost and per-update compute
+	// cost (ms), EWMA over observed jobs; Samples counts the observations.
+	EstC    float64 `json:"est_c_ms,omitempty"`
+	EstW    float64 `json:"est_w_ms,omitempty"`
+	Samples int     `json:"samples,omitempty"`
 }
 
 // NewFleet dials every worker address and keeps the sessions open. specs[i]
@@ -168,11 +176,132 @@ func (f *Fleet) redialLocked(i int) bool {
 }
 
 // Size returns the fleet's worker count (reachable or not).
-func (f *Fleet) Size() int { return len(f.addrs) }
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.addrs)
+}
 
 // Specs returns a copy of the per-worker platform descriptions.
 func (f *Fleet) Specs() []platform.Worker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return append([]platform.Worker(nil), f.specs...)
+}
+
+// Add registers a worker *after* startup — the elastic half of fleet
+// membership: the address is dialed immediately and, when reachable, the new
+// worker is idle and leasable the moment Add returns; when not, it starts
+// down and the usual re-dial machinery keeps trying, so a daemon that
+// announces itself before its listener is routable still joins eventually.
+// Returns the new worker's fleet index.
+func (f *Fleet) Add(addr string, spec platform.Worker) (int, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("serve: add worker: empty address")
+	}
+	if spec.Name == "" {
+		spec.Name = addr
+	}
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	// Reject duplicates before dialing: the existing session holds the
+	// worker's (sequential) serve loop, so a second dial would hang until
+	// the dial timeout for nothing. Re-checked under the lock below in case
+	// two Adds race.
+	f.mu.Lock()
+	for _, a := range f.addrs {
+		if a == addr {
+			f.mu.Unlock()
+			return 0, fmt.Errorf("serve: worker %s already registered", addr)
+		}
+	}
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("serve: fleet is closed")
+	}
+	// Dial outside the lock: a slow or unroutable address must not block
+	// Lease/Return/Idle while we wait on the connect.
+	wc, err := mmnet.DialWorker(addr, &f.opts.Master)
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		if wc != nil {
+			wc.Release()
+		}
+		return 0, fmt.Errorf("serve: fleet is closed")
+	}
+	for _, a := range f.addrs {
+		if a == addr {
+			f.mu.Unlock()
+			if wc != nil {
+				wc.Release()
+			}
+			return 0, fmt.Errorf("serve: worker %s already registered", addr)
+		}
+	}
+	i := len(f.addrs)
+	f.addrs = append(f.addrs, addr)
+	f.specs = append(f.specs, spec)
+	f.conns = append(f.conns, nil)
+	f.state = append(f.state, StateDown)
+	f.names = append(f.names, "")
+	f.jobs = append(f.jobs, 0)
+	f.dialing = append(f.dialing, false)
+	f.pinging = append(f.pinging, false)
+	f.lastDial = append(f.lastDial, time.Now())
+	if wc != nil {
+		f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+	}
+	f.mu.Unlock()
+	if err != nil {
+		f.opts.logf("fleet: worker %d (%s) joined but is down: %v", i, addr, err)
+	} else {
+		f.opts.logf("fleet: worker %d (%s) joined the fleet", i, addr)
+	}
+	return i, nil
+}
+
+// LeaseExtra moves one *idle* worker into an existing lease mid-job: its
+// pooled connection is joined to the lease's master (Master.AddWorker) and
+// the worker is leased until Return. Returns the plan worker index the
+// master assigned — the index to deliver on the job's Elastic.Join channel.
+// The caller must include i in the index slice it eventually passes to
+// Return (join order matches Detach's connection order).
+func (f *Fleet) LeaseExtra(i int, m *mmnet.Master) (int, error) {
+	f.mu.Lock()
+	switch {
+	case f.closed:
+		f.mu.Unlock()
+		return 0, fmt.Errorf("serve: fleet is closed")
+	case i < 0 || i >= len(f.addrs):
+		f.mu.Unlock()
+		return 0, fmt.Errorf("serve: lease-extra index %d out of range", i)
+	case f.state[i] != StateIdle:
+		f.mu.Unlock()
+		return 0, fmt.Errorf("serve: worker %d (%s) is %s, not idle", i, f.addrs[i], f.state[i])
+	}
+	wc := f.conns[i]
+	f.conns[i], f.state[i] = nil, StateLeased
+	f.mu.Unlock()
+
+	w, err := m.AddWorker(wc)
+	if err != nil {
+		// The master would not take it (detached, spent); hand the session
+		// back to the pool untouched.
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			wc.Release()
+		} else {
+			f.conns[i], f.state[i] = wc, StateIdle
+			f.mu.Unlock()
+		}
+		return 0, err
+	}
+	return w, nil
 }
 
 // redialBackoff rate-limits re-dial attempts per down worker, so a

@@ -8,11 +8,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"time"
 
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
+	"repro/internal/platform"
 )
 
 // The client protocol is a small length-prefixed binary framing, separate
@@ -37,6 +39,7 @@ const (
 	cStatus                       // client → server: snapshot request
 	cStats                        // server → client: Stats as JSON
 	cCancel                       // client → server: job id — cancel the submitted job
+	cJoin                         // client → server: worker addr + spec — register with the fleet
 )
 
 func (k clientKind) String() string {
@@ -55,6 +58,8 @@ func (k clientKind) String() string {
 		return "stats"
 	case cCancel:
 		return "cancel"
+	case cJoin:
+		return "join"
 	default:
 		return fmt.Sprintf("clientkind(%d)", uint8(k))
 	}
@@ -75,7 +80,14 @@ type clientMsg struct {
 	Blocks     []*matrix.Block // Submit: A then B then C; Result: C
 	Err        string          // Error
 	Stats      []byte          // Stats: JSON
+	Addr       string          // Join: the worker's dialable address
+	SpecC      float64         // Join: declared link cost c_i
+	SpecW      float64         // Join: declared compute cost w_i
+	SpecM      int             // Join: declared memory capacity m_i (blocks)
 }
+
+// maxAddrLen bounds a join frame's address field.
+const maxAddrLen = 1 << 10
 
 func clientPayloadLen(m *clientMsg) (int, error) {
 	blocksLen := func() int {
@@ -101,6 +113,11 @@ func clientPayloadLen(m *clientMsg) (int, error) {
 		return 0, nil
 	case cStats:
 		return 4 + len(m.Stats), nil
+	case cJoin:
+		if len(m.Addr) > maxAddrLen {
+			return 0, fmt.Errorf("serve: join address %d bytes long", len(m.Addr))
+		}
+		return 4 + len(m.Addr) + 8 + 8 + 4, nil
 	default:
 		return 0, fmt.Errorf("serve: cannot encode client frame kind %d", m.Kind)
 	}
@@ -167,6 +184,21 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 			return err
 		}
 		_, err := w.Write(m.Stats)
+		return err
+	case cJoin:
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(m.Addr)))
+		if _, err := w.Write(cnt[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, m.Addr); err != nil {
+			return err
+		}
+		var spec [20]byte
+		binary.LittleEndian.PutUint64(spec[0:8], math.Float64bits(m.SpecC))
+		binary.LittleEndian.PutUint64(spec[8:16], math.Float64bits(m.SpecW))
+		binary.LittleEndian.PutUint32(spec[16:20], uint32(m.SpecM))
+		_, err := w.Write(spec[:])
 		return err
 	}
 	return nil
@@ -245,6 +277,27 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 		}
 		m.Stats = make([]byte, statsLen)
 		_, err = io.ReadFull(buf, m.Stats)
+	case cJoin:
+		var cnt [4]byte
+		if _, err = io.ReadFull(buf, cnt[:]); err != nil {
+			break
+		}
+		addrLen := int(binary.LittleEndian.Uint32(cnt[:]))
+		if addrLen > maxAddrLen {
+			return nil, fmt.Errorf("serve: join address %d bytes long", addrLen)
+		}
+		addr := make([]byte, addrLen)
+		if _, err = io.ReadFull(buf, addr); err != nil {
+			break
+		}
+		m.Addr = string(addr)
+		var spec [20]byte
+		if _, err = io.ReadFull(buf, spec[:]); err != nil {
+			break
+		}
+		m.SpecC = math.Float64frombits(binary.LittleEndian.Uint64(spec[0:8]))
+		m.SpecW = math.Float64frombits(binary.LittleEndian.Uint64(spec[8:16]))
+		m.SpecM = int(int32(binary.LittleEndian.Uint32(spec[16:20])))
 	default:
 		return nil, fmt.Errorf("serve: unknown client frame kind %d", kind)
 	}
@@ -334,6 +387,18 @@ func (s *Server) handleClient(conn net.Conn) {
 			return
 		}
 		reply(&clientMsg{Kind: cStats, Stats: body})
+
+	case cJoin:
+		// A worker daemon (mmworker -join) announcing itself to the fleet
+		// after startup: register, and answer with its fleet index. Queued
+		// jobs can lease it immediately; an adaptive server may also attach
+		// it to a lease already running.
+		i, err := s.AddWorker(msg.Addr, platform.Worker{Name: msg.Addr, C: msg.SpecC, W: msg.SpecW, M: msg.SpecM})
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		reply(&clientMsg{Kind: cAccept, ID: uint64(i)})
 
 	case cSubmit:
 		nA, nB, nC := msg.R*msg.T, msg.T*msg.S, msg.R*msg.S
@@ -578,4 +643,36 @@ func FetchStatsContext(ctx context.Context, addr string) (*Stats, error) {
 		return nil, fmt.Errorf("serve: decode stats: %w", err)
 	}
 	return &st, nil
+}
+
+// JoinFleet announces a worker daemon to the scheduling daemon at addr:
+// workerAddr is registered with the fleet under the given declared spec and
+// becomes leasable immediately (on an adaptive daemon, possibly attached to
+// a job already running). Returns the worker's fleet index. This is the
+// client side of mmworker -join — worker-initiated registration, the elastic
+// complement of the fleet the daemon dialed at startup.
+func JoinFleet(ctx context.Context, addr, workerAddr string, spec platform.Worker) (int, error) {
+	conn, err := dialClient(ctx, addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	join := &clientMsg{Kind: cJoin, Addr: workerAddr, SpecC: spec.C, SpecW: spec.W, SpecM: spec.M}
+	if err := writeClientMsg(conn, join, nil); err != nil {
+		return 0, clientErr(ctx, err)
+	}
+	msg, err := readClientMsg(bufio.NewReaderSize(conn, 1<<16), nil)
+	if err != nil {
+		return 0, clientErr(ctx, err)
+	}
+	switch msg.Kind {
+	case cAccept:
+		return int(msg.ID), nil
+	case cError:
+		return 0, fmt.Errorf("serve: join rejected: %s", msg.Err)
+	default:
+		return 0, fmt.Errorf("serve: got %s frame, want accept", msg.Kind)
+	}
 }

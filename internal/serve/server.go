@@ -5,10 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
+	"repro/internal/platform"
 	"repro/internal/sched"
 )
 
@@ -52,6 +56,19 @@ type Config struct {
 	// queue, so two concurrent submissions to a 4-worker fleet get disjoint
 	// 2-worker leases rather than running one after the other.
 	MaxWorkersPerJob int
+	// Adaptive turns on the elastic runtime: the server keeps online
+	// per-worker throughput estimates (EWMA over observed transfers and
+	// computes, seeded from the declared specs), resource selection
+	// shortlists by *measured* speed instead of declared speed, each lease
+	// runs through the adaptive executor (mid-job re-planning on departures
+	// and estimate drift), and idle workers — including ones registered
+	// after startup via Fleet.Add — are attached to running jobs whenever no
+	// queued job is waiting for them.
+	Adaptive bool
+	// DriftThreshold is the relative estimate movement that re-plans a
+	// running lease (see engine.Elastic). 0: engine default; negative:
+	// drift re-planning off. Only meaningful with Adaptive.
+	DriftThreshold float64
 	// Logf, when non-nil, receives job lifecycle events.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +100,20 @@ type job struct {
 	// I/O without touching any other lease.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Elastic-lease state (Adaptive servers only). lease is the fleet
+	// indices currently held — sel.Workers plus any worker attached mid-job
+	// — guarded by the server mutex; leaseMu serializes a mid-job attach
+	// against the lease's end-of-run detach, so a worker is never joined to
+	// a master whose connections were already handed back. replans counts
+	// the lease's executor re-plans.
+	m             *mmnet.Master
+	lease         []int
+	join          chan int
+	view          *adapt.View
+	leaseMu       sync.Mutex
+	leaseDetached bool
+	replans       atomic.Int32
 }
 
 // JobStatus is one job's externally visible state.
@@ -92,7 +123,8 @@ type JobStatus struct {
 	Instance  sched.Instance `json:"instance"`
 	Q         int            `json:"q"`
 	Algorithm string         `json:"algorithm,omitempty"`
-	Workers   []int          `json:"workers,omitempty"` // fleet indices of the lease
+	Workers   []int          `json:"workers,omitempty"` // fleet indices of the lease, mid-job joins included
+	Replans   int            `json:"replans,omitempty"` // elastic re-plans (join/depart/drift) of the lease
 	Error     string         `json:"error,omitempty"`
 	ElapsedMS float64        `json:"elapsed_ms"` // run time (so far) once started
 }
@@ -100,6 +132,7 @@ type JobStatus struct {
 // Stats is the service snapshot reported to clients.
 type Stats struct {
 	Workers  []WorkerMetric `json:"workers"`
+	Adaptive bool           `json:"adaptive,omitempty"` // measured-speed selection + elastic leases on
 	Queued   int            `json:"queued"`
 	Running  int            `json:"running"`
 	Done     int            `json:"done"`
@@ -123,6 +156,13 @@ const maxJobHistory = 4096
 type Server struct {
 	fleet *Fleet
 	cfg   Config
+	// tracker holds the fleet-indexed live throughput estimates of an
+	// Adaptive server (nil otherwise). Each lease observes through a
+	// remapping view, so every job's measurements land here.
+	tracker *adapt.Tracker
+	// addMu serializes fleet growth so fleet indices and tracker indices
+	// cannot interleave differently.
+	addMu sync.Mutex
 
 	mu      sync.Mutex
 	queue   []*job
@@ -135,6 +175,13 @@ type Server struct {
 	loop    sync.WaitGroup
 }
 
+// trackerUnit is the nominal wall-clock length of one declared model time
+// unit when seeding the estimate tracker: declared c_i/w_i become
+// milliseconds. Only the declared *ratios* matter — the first observed jobs
+// pull every used worker onto the measured scale — and the same unit
+// converts estimates back into the model-unit platform the schedulers see.
+const trackerUnit = time.Millisecond
+
 // NewServer starts the scheduling loop over an existing fleet. The fleet
 // stays caller-owned: Close the server first, then the fleet.
 func NewServer(fleet *Fleet, cfg Config) *Server {
@@ -144,9 +191,61 @@ func NewServer(fleet *Fleet, cfg Config) *Server {
 		jobs:  make(map[uint64]*job),
 		wake:  make(chan struct{}, 1),
 	}
+	if cfg.Adaptive {
+		s.tracker = adapt.NewTracker(fleet.Specs(), trackerUnit, 0)
+	}
 	s.loop.Add(1)
 	go s.schedule()
 	return s
+}
+
+// AddWorker registers a worker with the fleet after startup (see Fleet.Add)
+// and, on an adaptive server, starts tracking its throughput. The scheduler
+// is kicked so a queued job can lease the newcomer immediately; if the queue
+// is empty and a lease is running, the next scheduling pass attaches it to a
+// running job instead. Returns the fleet index.
+func (s *Server) AddWorker(addr string, spec platform.Worker) (int, error) {
+	s.addMu.Lock()
+	defer s.addMu.Unlock()
+	i, err := s.fleet.Add(addr, spec)
+	if err != nil {
+		return 0, err
+	}
+	if s.tracker != nil {
+		if spec.Name == "" {
+			spec.Name = addr
+		}
+		if g := s.tracker.Grow(spec, trackerUnit); g != i {
+			// Cannot happen while addMu serializes growth; fail loudly if it
+			// ever does rather than corrupt every later estimate lookup.
+			s.cfg.logf("serve: tracker index %d diverged from fleet index %d", g, i)
+		}
+	}
+	s.cfg.logf("serve: worker %s joined the fleet as index %d", addr, i)
+	s.kick()
+	return i, nil
+}
+
+// selectionSpecs returns the per-worker specs resource selection should plan
+// with: declared specs on a static server, measured estimates (converted
+// back to model units) wherever observations exist on an adaptive one.
+func (s *Server) selectionSpecs() []platform.Worker {
+	specs := s.fleet.Specs()
+	if s.tracker == nil {
+		return specs
+	}
+	for i, e := range s.tracker.Snapshot() {
+		if i >= len(specs) {
+			break
+		}
+		if e.Transfers > 0 && e.C > 0 {
+			specs[i].C = e.C / trackerUnit.Seconds()
+		}
+		if e.Computes > 0 && e.W > 0 {
+			specs[i].W = e.W / trackerUnit.Seconds()
+		}
+	}
+	return specs
 }
 
 // Submit admits C += A·B (all matrices blocked with edge q) and returns the
@@ -251,19 +350,37 @@ func (s *Server) Cancel(id uint64) error {
 	return nil
 }
 
-// Status snapshots the fleet and every job.
+// Status snapshots the fleet and every job. On an adaptive server the
+// worker rows carry the live measured estimates (ms per block moved, ms per
+// update) next to the declared specs.
 func (s *Server) Status() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Workers: s.fleet.Metrics()}
+	st := Stats{Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
+	if s.tracker != nil {
+		for i, e := range s.tracker.Snapshot() {
+			if i >= len(st.Workers) {
+				break
+			}
+			if e.Transfers+e.Computes > 0 {
+				st.Workers[i].EstC = e.C * 1e3
+				st.Workers[i].EstW = e.W * 1e3
+				st.Workers[i].Samples = e.Transfers + e.Computes
+			}
+		}
+	}
 	for _, id := range s.order {
 		j := s.jobs[id]
 		js := JobStatus{
 			ID: j.id, State: j.state.String(), Instance: j.inst, Q: j.q,
+			Replans: int(j.replans.Load()),
 		}
 		if j.sel != nil {
 			js.Algorithm = j.sel.Algorithm
 			js.Workers = append([]int(nil), j.sel.Workers...)
+		}
+		if len(j.lease) > 0 {
+			js.Workers = append([]int(nil), j.lease...)
 		}
 		if j.err != nil {
 			js.Error = j.err.Error()
@@ -361,6 +478,9 @@ func (s *Server) schedule() {
 	for {
 		for s.dispatchOne() {
 		}
+		// With the queue drained, any still-idle worker (a post-startup join,
+		// a re-registered crash survivor) is offered to a running lease.
+		s.offerIdleToRunning()
 		s.mu.Lock()
 		finished := s.closed && s.running == 0
 		waiting := len(s.queue) > 0
@@ -411,13 +531,17 @@ func (s *Server) dispatchOne() bool {
 		share = s.cfg.MaxWorkersPerJob
 	}
 
-	sel, err := SelectResources(s.fleet.Specs(), avail, share, j.inst, s.cfg.Scheduler)
+	// On an adaptive server the specs below carry *measured* costs wherever a
+	// worker has been observed — selection shortlists by live throughput, not
+	// by what the operator declared at startup.
+	specs := s.selectionSpecs()
+	sel, err := SelectResources(specs, avail, share, j.inst, s.cfg.Scheduler)
 	permanent := false
 	if err != nil {
 		// The share-capped shortlist could not host the job: try everything
 		// currently available before deciding anything — bending the
 		// sharing cap beats stalling the queue.
-		full, fullErr := SelectResources(s.fleet.Specs(), avail, 0, j.inst, s.cfg.Scheduler)
+		full, fullErr := SelectResources(specs, avail, 0, j.inst, s.cfg.Scheduler)
 		switch {
 		case fullErr == nil:
 			s.cfg.logf("serve: job %d: selection failed at share %d, using all %d available workers: %v",
@@ -458,11 +582,108 @@ func (s *Server) dispatchOne() bool {
 	}
 	s.queue = s.queue[1:]
 	j.state, j.sel, j.started = JobRunning, sel, time.Now()
+	j.m = m
+	j.lease = append([]int(nil), sel.Workers...)
+	if s.tracker != nil {
+		j.view = s.tracker.View(sel.Workers)
+		j.join = make(chan int, 8)
+	}
 	s.running++
 	s.cfg.logf("serve: job %d running on workers %v (%s, simulated makespan %.1f)",
 		j.id, sel.Workers, sel.Algorithm, sel.Makespan)
 	go s.run(j, m)
 	return true
+}
+
+// offerIdleToRunning attaches idle workers to running adaptive leases when
+// no queued job is waiting for them: a worker that registered after startup
+// (or came back from a crash) starts contributing to a job already in
+// flight instead of idling until the next submission. Each idle worker goes
+// to the running job with the smallest current lease, respecting
+// MaxWorkersPerJob.
+func (s *Server) offerIdleToRunning() {
+	if s.tracker == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed || len(s.queue) > 0 || s.running == 0 {
+		s.mu.Unlock()
+		return
+	}
+	var running []*job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == JobRunning && j.join != nil {
+			running = append(running, j)
+		}
+	}
+	s.mu.Unlock()
+	if len(running) == 0 {
+		return
+	}
+	for _, i := range s.fleet.Idle() {
+		s.mu.Lock()
+		var best *job
+		bestSize := 0
+		for _, j := range running {
+			if j.state != JobRunning {
+				continue
+			}
+			size := len(j.lease)
+			if s.cfg.MaxWorkersPerJob > 0 && size >= s.cfg.MaxWorkersPerJob {
+				continue
+			}
+			held := false
+			for _, w := range j.lease {
+				if w == i {
+					held = true
+					break
+				}
+			}
+			if held {
+				continue
+			}
+			if best == nil || size < bestSize {
+				best, bestSize = j, size
+			}
+		}
+		s.mu.Unlock()
+		if best == nil {
+			return
+		}
+		s.attach(best, i)
+	}
+}
+
+// attach joins idle fleet worker i to running job j's lease mid-job: the
+// pooled connection moves into the lease's master, the job's estimator view
+// grows, and the executor is told the new plan index so its next re-plan
+// spreads un-dispatched chunks onto the newcomer.
+func (s *Server) attach(j *job, i int) {
+	j.leaseMu.Lock()
+	defer j.leaseMu.Unlock()
+	if j.leaseDetached {
+		return // the run just completed; the worker stays idle for the queue
+	}
+	w, err := s.fleet.LeaseExtra(i, j.m)
+	if err != nil {
+		s.cfg.logf("serve: job %d: attach worker %d: %v", j.id, i, err)
+		return
+	}
+	s.mu.Lock()
+	j.lease = append(j.lease, i)
+	s.mu.Unlock()
+	if vi := j.view.Append(i); vi != w {
+		// Cannot happen while leaseMu pairs the two appends; fail loudly
+		// rather than let estimates land on the wrong worker.
+		s.cfg.logf("serve: job %d: view index %d diverged from plan index %d for worker %d", j.id, vi, w, i)
+	}
+	select {
+	case j.join <- w:
+		s.cfg.logf("serve: job %d: worker %d joined the lease as plan worker %d", j.id, i, w)
+	default:
+		// The executor stopped listening (run completing); the connection
+		// rides back to the pool through Return like any lease member.
+	}
 }
 
 // run executes one leased job and returns the lease. Worker deaths inside
@@ -472,8 +693,32 @@ func (s *Server) dispatchOne() bool {
 // returned as failed (its sessions recycled, workers re-dialed — never
 // pooled holding half a job), and no other lease feels a thing.
 func (s *Server) run(j *job, m *mmnet.Master) {
-	err := m.RunPipelinedContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
-	s.fleet.Return(j.sel.Workers, m, err != nil)
+	var err error
+	if j.view != nil {
+		el := &engine.Elastic{
+			Tracker:        j.view,
+			Join:           j.join,
+			DriftThreshold: s.cfg.DriftThreshold,
+			OnReplan: func(reason string, pending int) {
+				j.replans.Add(1)
+				s.cfg.logf("serve: job %d re-planned (%s): %d chunks redistributed", j.id, reason, pending)
+			},
+		}
+		err = m.RunElasticContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c, el)
+	} else {
+		err = m.RunPipelinedContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
+	}
+
+	// End the lease: flag it detached first (under leaseMu) so no concurrent
+	// attach can join a worker to a master whose connections are about to be
+	// handed back, then return every held worker — mid-job joins included.
+	j.leaseMu.Lock()
+	j.leaseDetached = true
+	j.leaseMu.Unlock()
+	s.mu.Lock()
+	lease := append([]int(nil), j.lease...)
+	s.mu.Unlock()
+	s.fleet.Return(lease, m, err != nil)
 
 	canceled := errors.Is(err, context.Canceled) || j.ctx.Err() != nil
 

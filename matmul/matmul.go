@@ -87,10 +87,12 @@ type config struct {
 	platform  *platform.Platform
 	pacing    time.Duration
 	shutdown  bool // Distributed: Close shuts worker daemons down instead of releasing them
+	adaptive  bool
+	drift     float64
 
 	// explicit-set markers, so runtimes can reject options that do not apply
 	// to them instead of silently ignoring them.
-	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown bool
+	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown, setAdaptive bool
 }
 
 // Option configures a Session at Open.
@@ -190,6 +192,27 @@ func WithWorkerShutdown() Option {
 	}
 }
 
+// WithAdaptive turns on the adaptive (elastic) runtime for InProcess and
+// Distributed sessions: the session maintains live per-worker throughput
+// estimates (EWMA over every observed transfer and compute, seeded from the
+// declared platform), jobs run through the elastic executor — un-dispatched
+// chunks are re-planned onto the live estimates whenever a worker departs,
+// a worker joins (Session.AddWorker, Distributed only), or an estimate
+// drifts past the threshold — and Session.Stats exposes the estimates. The
+// computed C stays bitwise-identical under every re-plan. drift sets the
+// re-plan threshold as a relative estimate change; 0 selects the engine
+// default (0.5), negative disables drift re-planning while keeping
+// estimates, joins and departures.
+//
+// A Remote session rejects this option: elasticity lives daemon-side there
+// (mmserve -adaptive, mmworker -join).
+func WithAdaptive(drift float64) Option {
+	return func(c *config) error {
+		c.adaptive, c.drift, c.setAdaptive = true, drift, true
+		return nil
+	}
+}
+
 // Session is an open connection to one runtime: the single way in. A
 // Session is safe for concurrent Submits; jobs on an InProcess or Remote
 // session run concurrently, a Distributed session executes them one at a
@@ -225,6 +248,12 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.adaptive && cfg.setPipelined && !cfg.pipelined {
+		// The elastic executor is inherently concurrent; honoring a request
+		// for the strictly sequential op loop would silently drop one of the
+		// two options.
+		return nil, fmt.Errorf("matmul: WithAdaptive requires the concurrent executor; drop WithPipelined(false)")
 	}
 	rts, err := cfg.rt.open(ctx, &cfg)
 	if err != nil {
@@ -277,6 +306,90 @@ func (s *Session) Submit(ctx context.Context, a, b, c *Matrix) (*Job, error) {
 		j.finish(err)
 	}()
 	return j, nil
+}
+
+// WorkerStats is one worker's row in a session's live statistics: the
+// declared platform spec next to the measured estimates.
+type WorkerStats struct {
+	Name string
+	Spec Worker // declared c_i, w_i, m_i
+	// CPerBlock and WPerUpdate are the measured link and compute costs (EWMA
+	// over the session's observed transfers and computes); zero until the
+	// worker's first observation.
+	CPerBlock  time.Duration
+	WPerUpdate time.Duration
+	Samples    int // observations folded into the estimates
+}
+
+// SessionStats is a session's live view of its fleet.
+type SessionStats struct {
+	Adaptive bool // estimates maintained and used for re-planning
+	// Replans counts elastic re-plans (join/depart/drift) across the
+	// session's jobs. A Remote session reports the *daemon's* totals — its
+	// estimates and re-plans span every client's jobs, which is exactly
+	// what makes them useful.
+	Replans int
+	Workers []WorkerStats
+}
+
+// statser is implemented by runtime sessions that can report SessionStats.
+type statser interface {
+	stats(ctx context.Context) (SessionStats, error)
+}
+
+// workerAdder is implemented by runtime sessions that accept workers joining
+// after Open.
+type workerAdder interface {
+	addWorker(ctx context.Context, addr string, spec Worker) (int, error)
+}
+
+// Stats reports the session's per-worker statistics: the declared platform
+// and — on an adaptive session (WithAdaptive), or a Remote session whose
+// daemon runs adaptive — the live measured throughput estimates. On Remote
+// the snapshot is fetched from the daemon.
+func (s *Session) Stats() (SessionStats, error) {
+	st, ok := s.rts.(statser)
+	if !ok {
+		return SessionStats{}, fmt.Errorf("matmul: this runtime reports no statistics")
+	}
+	ctx, cancel := context.WithTimeout(s.ctx, 30*time.Second)
+	defer cancel()
+	return st.stats(ctx)
+}
+
+// AddWorker joins one more mmworker daemon to a Distributed session after
+// Open — the elastic half of fleet membership. The worker becomes part of
+// the session's platform for every subsequent job, and on an adaptive
+// session (WithAdaptive) it is also folded into the job currently running:
+// the elastic executor re-plans un-dispatched chunks onto it. spec is the
+// worker's declared platform description (at most one; default c=1, w=1,
+// m=60). Returns the new worker's index.
+//
+// InProcess sessions reject AddWorker (goroutine workers are fixed at
+// Open); Remote sessions reject it too — register with the daemon instead
+// (mmworker -join).
+func (s *Session) AddWorker(ctx context.Context, addr string, spec ...Worker) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(spec) > 1 {
+		return 0, fmt.Errorf("matmul: AddWorker takes at most one spec")
+	}
+	w := Worker{C: 1, W: 1, M: 60}
+	if len(spec) == 1 {
+		w = spec[0]
+	}
+	ad, ok := s.rts.(workerAdder)
+	if !ok {
+		return 0, fmt.Errorf("matmul: this runtime cannot add workers after Open (Distributed sessions can; an mmserve fleet grows via mmworker -join)")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("matmul: session is closed")
+	}
+	s.mu.Unlock()
+	return ad.addWorker(ctx, addr, w)
 }
 
 // Close cancels every outstanding job, waits for them to unwind, and closes

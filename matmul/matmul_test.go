@@ -387,6 +387,17 @@ func TestDistributedQueuedJobCancelPrompt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Wait until the first job's goroutine holds the session semaphore
+	// before the second submission exists: Submit order does not promise
+	// dispatch order (each job races for the semaphore), and this test's
+	// roles depend on job one running and job two queueing.
+	ds := sess.rts.(*distributedSession)
+	for deadline := time.Now().Add(5 * time.Second); len(ds.sem) == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never took the session semaphore")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	a2, b2, c2 := seeded(t, 6, 9, 4, 8, 22)
 	queued, err := sess.Submit(context.Background(), a2, b2, c2) // parks on the session semaphore
 	if err != nil {

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/engine"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
@@ -12,6 +15,35 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
+
+// trackerUnit seeds a session's estimate tracker from the declared platform
+// when no pacing gives the model units a real duration: declared costs
+// become microseconds, and the first observed job pulls every used worker
+// onto the measured scale (only the declared ratios matter).
+const trackerUnit = time.Microsecond
+
+// statsFromTracker renders the shared stats shape from a platform and an
+// optional tracker.
+func statsFromTracker(pl *platform.Platform, tr *adapt.Tracker, replans int) SessionStats {
+	st := SessionStats{Adaptive: tr != nil, Replans: replans}
+	var est []adapt.Estimate
+	if tr != nil {
+		est = tr.Snapshot()
+	}
+	for i, w := range pl.Workers {
+		ws := WorkerStats{Name: w.Name, Spec: w}
+		if i < len(est) {
+			e := est[i]
+			if e.Transfers+e.Computes > 0 {
+				ws.CPerBlock = time.Duration(e.C * float64(time.Second))
+				ws.WPerUpdate = time.Duration(e.W * float64(time.Second))
+				ws.Samples = e.Transfers + e.Computes
+			}
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}
 
 // Runtime selects where a Session's jobs execute. The three implementations
 // are InProcess, Distributed and Remote; a Runtime is opened once per
@@ -53,12 +85,22 @@ func (inProcessRuntime) open(_ context.Context, cfg *config) (runtimeSession, er
 			platform.Worker{C: 3, W: 2, M: 96},
 		)
 	}
-	return &inProcessSession{cfg: cfg, pl: pl}, nil
+	sess := &inProcessSession{cfg: cfg, pl: pl}
+	if cfg.adaptive {
+		unit := cfg.pacing
+		if unit <= 0 {
+			unit = trackerUnit
+		}
+		sess.tracker = adapt.NewTracker(pl.Workers, unit, 0)
+	}
+	return sess, nil
 }
 
 type inProcessSession struct {
-	cfg *config
-	pl  *platform.Platform
+	cfg     *config
+	pl      *platform.Platform
+	tracker *adapt.Tracker // non-nil iff WithAdaptive
+	replans atomic.Int32
 }
 
 func (s *inProcessSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
@@ -71,7 +113,22 @@ func (s *inProcessSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) err
 		Platform: s.pl, TimePerUnit: s.cfg.pacing,
 		Pipelined: s.cfg.pipelined, OnePort: s.cfg.onePort, Procs: s.cfg.procs,
 	}
+	if s.tracker != nil {
+		// The in-process fleet is fixed (goroutine workers neither crash nor
+		// join), so elasticity here means estimate tracking plus
+		// drift-triggered rebalancing of the un-dispatched chunks.
+		el := &engine.Elastic{
+			Tracker:        s.tracker,
+			DriftThreshold: s.cfg.drift,
+			OnReplan:       func(string, int) { s.replans.Add(1) },
+		}
+		return engine.RunElasticContext(ctx, ecfg, plan, a, b, c, el)
+	}
 	return engine.RunContext(ctx, ecfg, plan, a, b, c)
+}
+
+func (s *inProcessSession) stats(context.Context) (SessionStats, error) {
+	return statsFromTracker(s.pl, s.tracker, int(s.replans.Load())), nil
 }
 
 func (s *inProcessSession) close() error { return nil }
@@ -105,12 +162,16 @@ func (r distributedRuntime) open(ctx context.Context, cfg *config) (runtimeSessi
 	if err != nil {
 		return nil, err
 	}
-	return &distributedSession{cfg: cfg, pl: pl, m: m, sem: make(chan struct{}, 1)}, nil
+	sess := &distributedSession{cfg: cfg, pl: pl, m: m, sem: make(chan struct{}, 1)}
+	if cfg.adaptive {
+		sess.tracker = adapt.NewTracker(pl.Workers, trackerUnit, 0)
+		sess.join = make(chan int, 16)
+	}
+	return sess, nil
 }
 
 type distributedSession struct {
 	cfg *config
-	pl  *platform.Platform
 	m   *mmnet.Master
 
 	// sem serializes jobs over the shared links. A semaphore rather than a
@@ -118,8 +179,16 @@ type distributedSession struct {
 	// instead of riding out the job in flight.
 	sem chan struct{}
 
-	mu     sync.Mutex // guards broken
-	broken error      // first failed run; the links are tainted after it
+	tracker *adapt.Tracker // non-nil iff WithAdaptive
+	join    chan int       // elastic join feed into the running job
+	replans atomic.Int32
+	// addMu pairs a master AddWorker with the platform/tracker growth, so
+	// the three index spaces cannot interleave differently.
+	addMu sync.Mutex
+
+	mu     sync.Mutex         // guards broken and pl
+	pl     *platform.Platform // grows with AddWorker
+	broken error              // first failed run; the links are tainted after it
 }
 
 func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
@@ -130,7 +199,7 @@ func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) e
 		return fmt.Errorf("matmul: job canceled while queued behind the session's running job: %w", ctx.Err())
 	}
 	s.mu.Lock()
-	broken := s.broken
+	broken, pl := s.broken, s.pl
 	s.mu.Unlock()
 	if broken != nil {
 		return fmt.Errorf("matmul: session unusable after an aborted job (%v); open a fresh one", broken)
@@ -138,13 +207,22 @@ func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) e
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("matmul: job canceled before dispatch: %w", err)
 	}
-	plan, err := schedule(s.cfg, s.pl, a, c)
+	plan, err := schedule(s.cfg, pl, a, c)
 	if err != nil {
 		return err
 	}
-	if s.cfg.pipelined {
+	switch {
+	case s.tracker != nil:
+		el := &engine.Elastic{
+			Tracker:        s.tracker,
+			Join:           s.join,
+			DriftThreshold: s.cfg.drift,
+			OnReplan:       func(string, int) { s.replans.Add(1) },
+		}
+		err = s.m.RunElasticContext(ctx, a.Cols, plan, a, b, c, el)
+	case s.cfg.pipelined:
 		err = s.m.RunPipelinedContext(ctx, a.Cols, plan, a, b, c)
-	} else {
+	default:
 		err = s.m.RunContext(ctx, a.Cols, plan, a, b, c)
 	}
 	if err != nil {
@@ -156,6 +234,57 @@ func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) e
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// addWorker implements Session.AddWorker: dial, join the master (mid-run
+// included), grow the scheduling platform for subsequent jobs, and — when
+// adaptive — track the newcomer and feed its index to the running job's
+// elastic executor.
+func (s *distributedSession) addWorker(ctx context.Context, addr string, spec Worker) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	s.addMu.Lock()
+	defer s.addMu.Unlock()
+	wc, err := mmnet.DialWorkerContext(ctx, addr, &mmnet.MasterOptions{OnePort: s.cfg.onePort})
+	if err != nil {
+		return 0, err
+	}
+	w, err := s.m.AddWorker(wc)
+	if err != nil {
+		wc.Release()
+		return 0, err
+	}
+	if spec.Name == "" {
+		spec.Name = addr
+	}
+	s.mu.Lock()
+	ws := append(append([]platform.Worker(nil), s.pl.Workers...), spec)
+	grown, perr := platform.New(ws...)
+	if perr == nil {
+		s.pl = grown
+	}
+	s.mu.Unlock()
+	if perr != nil {
+		return 0, perr
+	}
+	if s.tracker != nil {
+		s.tracker.Grow(spec, trackerUnit)
+		select {
+		case s.join <- w:
+		default:
+			// No run is draining the channel and the buffer is full; the
+			// worker still serves every subsequent job via the grown platform.
+		}
+	}
+	return w, nil
+}
+
+func (s *distributedSession) stats(context.Context) (SessionStats, error) {
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	return statsFromTracker(pl, s.tracker, int(s.replans.Load())), nil
 }
 
 func (s *distributedSession) close() error {
@@ -203,6 +332,7 @@ func (r remoteRuntime) open(_ context.Context, cfg *config) (runtimeSession, err
 		{cfg.setOnePort, "WithOnePort"},
 		{cfg.setPipelined, "WithPipelined"},
 		{cfg.setShutdown, "WithWorkerShutdown"},
+		{cfg.setAdaptive, "WithAdaptive"},
 	} {
 		if err := reject(rj.set, rj.opt); err != nil {
 			return nil, err
@@ -229,6 +359,31 @@ func (s *remoteSession) run(ctx context.Context, j *Job, a, b, c *Matrix) error 
 		}
 	}
 	return nil
+}
+
+// stats fetches the daemon's snapshot and renders it in the session shape:
+// on an adaptive daemon the estimates are the fleet-wide measured costs.
+func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
+	ds, err := serve.FetchStatsContext(ctx, s.addr)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	st := SessionStats{Adaptive: ds.Adaptive}
+	for _, w := range ds.Workers {
+		ws := WorkerStats{Name: w.Name, Spec: w.Spec, Samples: w.Samples}
+		if ws.Name == "" {
+			ws.Name = w.Addr
+		}
+		if w.Samples > 0 {
+			ws.CPerBlock = time.Duration(w.EstC * float64(time.Millisecond))
+			ws.WPerUpdate = time.Duration(w.EstW * float64(time.Millisecond))
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	for _, js := range ds.Jobs {
+		st.Replans += js.Replans
+	}
+	return st, nil
 }
 
 func (s *remoteSession) close() error { return nil }

@@ -6,19 +6,24 @@
 # and every custom b.ReportMetric value. Checked-in snapshots (BENCH_2.json,
 # BENCH_3.json, …) track the perf trajectory PR over PR.
 #
-# Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
+# Usage: scripts/bench.sh [OUT.json] [BENCHTIME] [FILTER]
 #   OUT.json   output path (default: BENCH_local.json — deliberately NOT a
 #              checked-in BENCH_N.json name, so a casual no-arg run cannot
 #              clobber a committed snapshot; pass BENCH_<PR>.json explicitly
 #              when cutting the snapshot for a PR)
-#   BENCHTIME  go test -benchtime value (default 1s; CI smoke passes 1x)
+#   BENCHTIME  go test -benchtime value (default 1s; CI smoke passes 3x)
+#   FILTER     go test -bench regexp (default '.': the whole suite; the CI
+#              regression gate re-measures only the gated zero-alloc
+#              benchmarks at a warm iteration count, because a 3x run's
+#              pool-warmup allocations would drown the allocs/op signal)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_local.json}"
 benchtime="${2:-1s}"
+filter="${3:-.}"
 
-raw=$(go test -run='^$' -bench=. -benchmem -benchtime="$benchtime" -count=1 .)
+raw=$(go test -run='^$' -bench="$filter" -benchmem -benchtime="$benchtime" -count=1 .)
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v host="$(go env GOOS)/$(go env GOARCH)" '

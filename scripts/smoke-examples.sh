@@ -5,24 +5,40 @@
 # cancellation; distributed: a real TCP master-worker round trip on
 # loopback, low-level executors and the facade; serve: an mmserve daemon
 # over a persistent 4-worker fleet running two concurrent facade submissions
-# plus a post-crash job, every C verified bitwise against the in-process
-# engine) and fail on any non-zero exit.
+# plus a post-crash job; elastic: a worker crashing mid-job and another
+# joining mid-job under the adaptive executor — every C verified bitwise
+# against the in-process engine) and fail on any non-zero exit.
+#
+# Every example runs under timeout(1): a deadlocked example fails the job in
+# minutes with exit 124 instead of wedging CI until the 6-hour job timeout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Per-example wall budget, seconds. The examples finish in seconds; the
+# budget only caps a hang, so it is generous enough for a slow CI runner.
+BUDGET="${SMOKE_TIMEOUT:-180}"
+
+run_example() {
+	local name="$1" status=0
+	echo "== go run ./examples/$name (budget ${BUDGET}s)"
+	# -k gives a wedged process 10s to die on TERM before the KILL.
+	timeout -k 10 "$BUDGET" go run "./examples/$name" || status=$?
+	if [ "$status" -eq 124 ]; then
+		echo "FAIL: examples/$name hung past ${BUDGET}s (likely deadlock)" >&2
+		exit "$status"
+	elif [ "$status" -ne 0 ]; then
+		echo "FAIL: examples/$name exited with status $status" >&2
+		exit "$status"
+	fi
+}
 
 echo "== go build ./examples/..."
 go build ./examples/...
 
-echo "== go run ./examples/quickstart"
-go run ./examples/quickstart
-
-echo "== go run ./examples/library"
-go run ./examples/library
-
-echo "== go run ./examples/distributed"
-go run ./examples/distributed
-
-echo "== go run ./examples/serve"
-go run ./examples/serve
+run_example quickstart
+run_example library
+run_example distributed
+run_example serve
+run_example elastic
 
 echo "examples smoke OK"
