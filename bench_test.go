@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/bound"
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/lp"
@@ -401,6 +402,120 @@ func BenchmarkServeThroughput(b *testing.B) {
 		jobs += len(batch)
 	}
 	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs_s")
+}
+
+// BenchmarkAffinityThroughput measures what operand-affinity scheduling buys
+// on a repeated-operand workload: one shared A multiplied against 16 distinct
+// Bs over a persistent 4-worker caching fleet, submitted with precomputed
+// panel digests the way an installed matmul.Operand submits them. The
+// "cache=on" variant routes jobs toward workers already holding A's panels
+// and skips the resident transfers (a_saved_frac is the fraction of A-panel
+// bytes residency kept off the wire — the PR gates on ≥0.5); "cache=off" is
+// the load-only baseline. Every job's C is checked bitwise against the
+// in-process engine: affinity changes what moves, never what is computed.
+func BenchmarkAffinityThroughput(b *testing.B) {
+	const (
+		fleetSize = 4
+		nB        = 16
+		q         = 16
+	)
+	inst := sched.Instance{R: 6, S: 6, T: 4}
+
+	for _, mode := range []struct {
+		name    string
+		noCache bool
+	}{
+		{"cache=on", false},
+		{"cache=off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			rng := benchRNG()
+			a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+			a.FillRandom(rng)
+			bs := make([]*matrix.BlockMatrix, nB)
+			c0s := make([]*matrix.BlockMatrix, nB)
+			wants := make([]*matrix.BlockMatrix, nB)
+			for j := range bs {
+				bs[j] = matrix.NewBlockMatrix(inst.T, inst.S, q)
+				c0s[j] = matrix.NewBlockMatrix(inst.R, inst.S, q)
+				bs[j].FillRandom(rng)
+				c0s[j].FillRandom(rng)
+				wants[j] = c0s[j].Clone()
+				if err := matrix.Multiply(wants[j], a, bs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The digests an installed Operand would carry: A hashed once for
+			// the whole workload, each B hashed once across all its reuses.
+			panels := make([]*cache.JobPanels, nB)
+			for j := range panels {
+				panels[j] = cache.PanelsForJob(a, bs[j])
+			}
+
+			var addrs []string
+			for i := 0; i < fleetSize; i++ {
+				ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				addrs = append(addrs, ln.Addr().String())
+				opts := mmnet.WorkerOptions{Heartbeat: 200 * time.Millisecond}
+				if !mode.noCache {
+					opts.Cache = cache.NewPanelCache(0)
+				}
+				go mmnet.Serve(ln, addrs[i], opts)
+			}
+			fleet, err := serve.NewFleet(addrs, platform.Homogeneous(fleetSize, 1, 1, 60).Workers, serve.FleetOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fleet.Close()
+			srv := serve.NewServer(fleet, serve.Config{MaxWorkersPerJob: 2, NoCache: mode.noCache})
+			defer srv.Close()
+
+			jobs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cs := make([]*matrix.BlockMatrix, nB)
+				for j := range cs {
+					cs[j] = c0s[j].Clone()
+				}
+				b.StartTimer()
+				// Sequential submissions: each job's lease returns (and its
+				// residency is absorbed) before the next job is placed, so the
+				// affinity bias steers every job after the first.
+				for j := 0; j < nB; j++ {
+					id, err := srv.SubmitPanels(a, bs[j], cs[j], panels[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := srv.Wait(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for j := range cs {
+					if d := cs[j].MaxAbsDiff(wants[j]); d != 0 {
+						b.Fatalf("job %d: C differs from the engine product by %g (want bitwise equal)", j, d)
+					}
+				}
+				b.StartTimer()
+				jobs += nB
+			}
+			b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs_s")
+			if ct := srv.Status().Cache; ct != nil {
+				// ASaved counts bytes residency kept off the wire, so the
+				// load-only A traffic for the same schedule is ASent+ASaved.
+				b.ReportMetric(float64(ct.ASentBytes)/float64(jobs), "a_sent_bytes")
+				b.ReportMetric(float64(ct.ASavedBytes)/float64(jobs), "a_saved_bytes")
+				if tot := ct.ASentBytes + ct.ASavedBytes; tot > 0 {
+					b.ReportMetric(float64(ct.ASavedBytes)/float64(tot), "a_saved_frac")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSessionOverhead prices the matmul facade: the same unpaced

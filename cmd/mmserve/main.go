@@ -56,6 +56,7 @@ type options struct {
 	keepalive time.Duration
 	adaptive  bool
 	drift     float64
+	cache     bool
 	quiet     bool
 	// client
 	submit  bool
@@ -78,6 +79,7 @@ func main() {
 	flag.DurationVar(&o.keepalive, "keepalive", 15*time.Second, "daemon: idle fleet connection ping interval (negative: never)")
 	flag.BoolVar(&o.adaptive, "adaptive", true, "daemon: elastic runtime — measured-throughput selection, mid-job re-planning, post-startup worker joins attached to running jobs")
 	flag.Float64Var(&o.drift, "drift", 0, "daemon: relative estimate drift that re-plans a running lease (0: default 0.5; negative: off)")
+	flag.BoolVar(&o.cache, "cache", true, "daemon: operand-affinity scheduling over the workers' panel caches — route jobs toward workers already holding the operand bits")
 	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
 	flag.BoolVar(&o.submit, "submit", false, "client: submit one product and wait for C")
 	flag.BoolVar(&o.status, "status", false, "client: print the daemon's fleet and job snapshot")
@@ -150,7 +152,8 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	defer fleet.Close()
 	srv := serve.NewServer(fleet, serve.Config{
 		Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob,
-		Adaptive: o.adaptive, DriftThreshold: o.drift, Logf: logf,
+		Adaptive: o.adaptive, DriftThreshold: o.drift,
+		NoCache: !o.cache, Logf: logf,
 	})
 	defer srv.Close()
 
@@ -247,7 +250,19 @@ func runStatus(ctx context.Context, o options) error {
 			// plans with, as opposed to the declared spec to its left.
 			line += fmt.Sprintf(" est c=%.3gms/blk w=%.3gms/upd (%d samples)", w.EstC, w.EstW, w.Samples)
 		}
+		if w.CacheHits+w.CacheMisses > 0 || w.ResidentPanels > 0 {
+			// Panel-cache effectiveness: what operand affinity bought on this
+			// worker, and what the daemon believes is resident right now.
+			line += fmt.Sprintf(" cache hit=%d miss=%d saved=%s resident=%d/%s",
+				w.CacheHits, w.CacheMisses, fmtBytes(w.SavedBytes), w.ResidentPanels, fmtBytes(w.ResidentBytes))
+		}
 		fmt.Println(line)
+	}
+	if ct := st.Cache; ct != nil {
+		fmt.Printf("panel cache: hits=%d misses=%d A saved=%s sent=%s, B saved=%s sent=%s, resident=%s\n",
+			ct.PanelHits, ct.PanelMisses,
+			fmtBytes(ct.ASavedBytes), fmtBytes(ct.ASentBytes),
+			fmtBytes(ct.BSavedBytes), fmtBytes(ct.BSentBytes), fmtBytes(ct.ResidentBytes))
 	}
 	for _, j := range st.Jobs {
 		line := fmt.Sprintf("job %d: %s C(%dx%d)·t=%d q=%d", j.ID, j.State, j.Instance.R, j.Instance.S, j.Instance.T, j.Q)
@@ -266,6 +281,20 @@ func runStatus(ctx context.Context, o options) error {
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for status lines.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func splitList(s string) []string {

@@ -38,6 +38,7 @@ func TestDaemonSubmitStatus(t *testing.T) {
 		specs:     "1:1:60,1.5:1.2:40",
 		alg:       "Het",
 		keepalive: 200 * time.Millisecond,
+		cache:     true, // cacheless workers: the daemon's have/need handshake must fall back cleanly
 		quiet:     true,
 	}
 	go daemon(context.Background(), ln, o)

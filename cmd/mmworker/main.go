@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	mmserve "repro/internal/serve"
@@ -53,6 +54,7 @@ func main() {
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "drop a session whose socket stays silent this long (negative: never)")
 	sessions := flag.Int("sessions", 0, "exit after this many master sessions (0: serve forever)")
 	procs := flag.Int("procs", runtime.NumCPU(), "goroutines per installment's block updates (≤1: sequential); results are bitwise-identical regardless")
+	cacheMB := flag.Int("cache-mb", 256, "panel cache budget in MiB, shared across master sessions so installed panels survive job churn (0: disable caching)")
 	join := flag.String("join", "", "register with the mmserve daemon at this address after the listener is up (elastic fleet membership)")
 	advertise := flag.String("advertise", "", "address the daemon should dial back (default: the listen address)")
 	spec := flag.String("spec", "1:1:60", "declared c:w:m platform spec announced on -join")
@@ -61,13 +63,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *join, *advertise, *spec, *quiet); err != nil {
+	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *cacheMB, *join, *advertise, *spec, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "mmworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs int, join, advertise, spec string, quiet bool) error {
+func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, join, advertise, spec string, quiet bool) error {
 	ln, err := stdnet.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -88,7 +90,7 @@ func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration
 			}
 		}()
 	}
-	err = serve(ln, name, heartbeat, idle, sessions, procs, quiet)
+	err = serve(ln, name, heartbeat, idle, sessions, procs, cacheMB, quiet)
 	if ctx.Err() != nil && errors.Is(err, stdnet.ErrClosed) {
 		if !quiet {
 			fmt.Println("mmworker: signal received; exiting")
@@ -134,11 +136,17 @@ func joinDaemon(ctx context.Context, daemon, advertise, listenAddr, spec string,
 
 // serve runs the accept loop on an existing listener (tests hand in a
 // listener bound to an ephemeral port).
-func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions, procs int, quiet bool) error {
+func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, quiet bool) error {
 	if name == "" {
 		name = ln.Addr().String()
 	}
 	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle, Procs: procs}
+	if cacheMB > 0 {
+		// One cache for the daemon's lifetime, not one per session: panels a
+		// master installed stay resident after it disconnects, so the next
+		// master (or the next job on an mmserve fleet) skips those transfers.
+		opts.Cache = cache.NewPanelCache(int64(cacheMB) << 20)
+	}
 	if !quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)

@@ -1,0 +1,96 @@
+package cache
+
+import "sync"
+
+// Registry is the master-side per-worker resident-set tracker: which panel
+// digests each fleet worker was last known to hold, and how many bytes they
+// amount to. Resource selection scores candidates with Fraction, biasing a
+// job toward the subset already holding its operands.
+//
+// The registry is advisory by construction. Transfer skipping is decided by
+// the per-job have/need handshake against the worker itself, so the registry
+// being stale — a worker quietly evicted a panel, or crashed and came back
+// with an empty cache — can misprice affinity for one scheduling pass but
+// can never corrupt a result. Invalidate keeps it honest on the one
+// transition the fleet actually observes: a worker going down (its re-dialed
+// successor is a fresh session whose cache contents must be re-discovered by
+// the next job's handshake).
+type Registry struct {
+	mu  sync.Mutex
+	res map[int]map[Digest]int64 // fleet worker → digest → payload bytes
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{res: make(map[int]map[Digest]int64)}
+}
+
+// Absorb folds one finished job's exact knowledge about worker w into the
+// registry: every digest in have (digest → payload bytes) is now resident
+// there, and every digest in queried but not in have is known absent (the
+// handshake asked and the worker said no, or the master never promoted it) —
+// those are removed so an evicted panel stops attracting jobs.
+func (r *Registry) Absorb(w int, have map[Digest]int64, queried []Digest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.res[w]
+	if set == nil {
+		set = make(map[Digest]int64, len(have))
+		r.res[w] = set
+	}
+	for _, d := range queried {
+		if b, ok := have[d]; ok {
+			set[d] = b
+		} else {
+			delete(set, d)
+		}
+	}
+}
+
+// Invalidate forgets everything about worker w. Call it when the worker
+// leaves the fleet's live set: a crashed worker's re-dialed session is a new
+// process with an empty cache, and even a survivor recycled after a failed
+// job is cheaper to re-discover than to trust.
+func (r *Registry) Invalidate(w int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.res, w)
+}
+
+// Fraction scores worker w's affinity for a job: the fraction of the job's
+// distinct panel bytes already resident on w, in [0, 1]. Zero when nothing
+// is known (or jp is nil), one when every panel is already there.
+func (r *Registry) Fraction(w int, jp *JobPanels) float64 {
+	if jp == nil {
+		return 0
+	}
+	ds := jp.Digests()
+	if len(ds) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.res[w]
+	if len(set) == 0 {
+		return 0
+	}
+	have := 0
+	for _, d := range ds {
+		if _, ok := set[d]; ok {
+			have++
+		}
+	}
+	return float64(have) / float64(len(ds))
+}
+
+// Resident reports how many panels (and payload bytes) worker w is believed
+// to hold.
+func (r *Registry) Resident(w int) (panels int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.res[w] {
+		panels++
+		bytes += b
+	}
+	return panels, bytes
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/sim"
@@ -59,6 +60,16 @@ type link struct {
 	heartbeat time.Duration
 	enc, dec  matrix.BlockCodec
 	abBuf     []*matrix.Block // SendAB concatenation scratch, reused per send
+
+	// Panel-cache epoch state (see mastercache.go). Reset by every BeginJob,
+	// so nothing here ever outlives the handshake that established it: have
+	// holds the digests known resident on the worker — handshake answers plus
+	// promotions from this job's own completed chunks — and cacheable records
+	// whether the worker answered the handshake with a live cache at all.
+	// Owned by whoever owns the link: the pre-run handshake, then the one
+	// dispatch goroutine driving the link, then post-run snapshotting.
+	have      map[cache.Digest]bool
+	cacheable bool
 }
 
 // WorkerConn is one registered, open worker connection, detached from any
@@ -250,6 +261,8 @@ type Master struct {
 	// at most one dispatch goroutine drives a given link at a time.
 	mu       sync.RWMutex
 	links    []*link
+	stats    []*linkStats // parallel to links: per-lease cache counters
+	jp       *cache.JobPanels
 	detached bool
 	run      *runBinding // non-nil while a run is in flight
 	// runCtx is the context of the run in flight (nil between runs). It is
@@ -305,7 +318,9 @@ func NewMaster(conns []*WorkerConn, opts *MasterOptions) (*Master, error) {
 		if wc == nil || wc.l.conn == nil {
 			return nil, fmt.Errorf("net: worker conn %d is closed", i)
 		}
+		wc.l.have, wc.l.cacheable = nil, false
 		m.links = append(m.links, wc.l)
+		m.stats = append(m.stats, &linkStats{})
 	}
 	return m, nil
 }
@@ -322,12 +337,24 @@ func (m *Master) AddWorker(wc *WorkerConn) (int, error) {
 	if wc == nil || wc.l.conn == nil {
 		return 0, fmt.Errorf("net: add worker: connection is closed")
 	}
+	// If a panel-cache epoch is open, handshake the newcomer before it enters
+	// the table: until the append below, this call owns the link exclusively,
+	// so the raw codec I/O cannot race a dispatch goroutine. A failed
+	// handshake just leaves the worker cacheless for this job.
+	st := &linkStats{}
+	wc.l.have, wc.l.cacheable = nil, false
+	if jp := m.jobPanels(); jp != nil {
+		if err := handshakeLink(wc.l, m.opts, st, jp); err != nil {
+			return 0, fmt.Errorf("net: add worker %s: cache handshake: %w", wc.l.name, err)
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.detached {
 		return 0, fmt.Errorf("net: add worker %s: master already detached", wc.l.name)
 	}
 	m.links = append(m.links, wc.l)
+	m.stats = append(m.stats, st)
 	if m.run != nil {
 		m.run.add(wc.l.conn)
 	}
@@ -450,6 +477,19 @@ func (m *Master) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block
 	if l == nil {
 		return fmt.Errorf("net: send install to unknown worker %d: %w", w, engine.ErrWorkerDown)
 	}
+	if jp := m.jobPanels(); jp != nil && l.cacheable {
+		return m.sendInstallD(w, l, jp, ch, k0, k1, a, b)
+	}
+	st := m.stat(w)
+	q := 0
+	if len(a) > 0 {
+		q = a[0].Q
+	} else if len(b) > 0 {
+		q = b[0].Q
+	}
+	ws := int64(k1-k0) * int64(matrix.BlockWireSize(q))
+	st.aSent.Add(int64(ch.H) * ws)
+	st.bSent.Add(int64(ch.W) * ws)
 	l.abBuf = append(append(l.abBuf[:0], a...), b...)
 	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: l.abBuf})
 }
@@ -478,6 +518,7 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 			if msg.Chunk != ch {
 				return nil, fmt.Errorf("net: worker %d (%s) returned chunk %v, expected %v", w, l.name, msg.Chunk, ch)
 			}
+			m.promote(w, l, ch)
 			return msg.Blocks, nil
 		default:
 			return nil, fmt.Errorf("net: worker %d (%s) sent %s while a result was due", w, l.name, msg.Kind)

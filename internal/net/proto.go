@@ -23,6 +23,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/matrix"
 )
 
@@ -38,6 +39,9 @@ const (
 	MsgHeartbeat                    // bidirectional: liveness beacon / fleet keepalive
 	MsgShutdown                     // master → worker: exit
 	MsgRelease                      // master → worker: end the session, keep serving
+	MsgHave                         // master → worker: job panel digests — which are resident?
+	MsgHaveAck                      // worker → master: per-digest presence answer
+	MsgInstallD                     // master → worker: digest-addressed A/B panels, resident ones omitted
 )
 
 func (k MsgKind) String() string {
@@ -58,9 +62,24 @@ func (k MsgKind) String() string {
 		return "shutdown"
 	case MsgRelease:
 		return "release"
+	case MsgHave:
+		return "have"
+	case MsgHaveAck:
+		return "have-ack"
+	case MsgInstallD:
+		return "install-digest"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
+}
+
+// PanelRef names one panel of an InstallD frame: the digest of the full A
+// row-panel (or B column-panel) the installment's blocks belong to, and
+// whether the worker must serve those blocks from its cache (Resident) or
+// from the frame's payload.
+type PanelRef struct {
+	D        cache.Digest
+	Resident bool
 }
 
 // Msg is the single protocol envelope; fields irrelevant to a Kind stay at
@@ -69,9 +88,15 @@ type Msg struct {
 	Kind      MsgKind
 	Name      string        // Hello: worker name
 	Heartbeat time.Duration // Hello: interval at which the worker will beat
-	Chunk     matrix.Chunk  // Chunk / Install / Flush / Result
-	K0, K1    int           // Install: inner panel range [K0, K1)
+	Chunk     matrix.Chunk  // Chunk / Install / InstallD / Flush / Result
+	K0, K1    int           // Install / InstallD: inner panel range [K0, K1)
+	T         int           // InstallD: full inner dimension (panel depth)
 	Blocks    []*matrix.Block
+	Digests   []cache.Digest // Have: the job's distinct panel digests
+	HaveBits  []bool         // HaveAck: per-queried-digest presence
+	CacheOn   bool           // HaveAck: worker runs a panel cache at all
+	ARefs     []PanelRef     // InstallD: one per chunk row, in row order
+	BRefs     []PanelRef     // InstallD: one per chunk column, in column order
 }
 
 const (
@@ -140,9 +165,74 @@ func payloadLen(m *Msg) (int, error) {
 		return 16, nil
 	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		return 0, nil
+	case MsgHave:
+		if len(m.Digests) > maxPanelRefs {
+			return 0, fmt.Errorf("net: have frame with %d digests", len(m.Digests))
+		}
+		return 4 + cache.DigestLen*len(m.Digests), nil
+	case MsgHaveAck:
+		if len(m.HaveBits) > maxPanelRefs {
+			return 0, fmt.Errorf("net: have-ack frame with %d answers", len(m.HaveBits))
+		}
+		return 1 + 4 + len(m.HaveBits), nil
+	case MsgInstallD:
+		if len(m.ARefs)+len(m.BRefs) > maxPanelRefs {
+			return 0, fmt.Errorf("net: install-digest frame with %d refs", len(m.ARefs)+len(m.BRefs))
+		}
+		return 16 + 8 + 4 + 4 + panelRefLen*len(m.ARefs) + 4 + panelRefLen*len(m.BRefs) + blocksLen(), nil
 	default:
 		return 0, fmt.Errorf("net: cannot encode message kind %d", m.Kind)
 	}
+}
+
+// panelRefLen is the wire size of one PanelRef: digest + resident flag.
+const panelRefLen = cache.DigestLen + 1
+
+// maxPanelRefs bounds digest lists and panel-ref lists, far above any real
+// job (a ref per block matrix row/column).
+const maxPanelRefs = 1 << 22
+
+// putPanelRefs writes a count-prefixed PanelRef list.
+func putPanelRefs(w io.Writer, refs []PanelRef) error {
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(refs)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return fmt.Errorf("net: write panel refs: %w", err)
+	}
+	var buf [panelRefLen]byte
+	for _, r := range refs {
+		copy(buf[:cache.DigestLen], r.D[:])
+		buf[cache.DigestLen] = 0
+		if r.Resident {
+			buf[cache.DigestLen] = 1
+		}
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("net: write panel refs: %w", err)
+		}
+	}
+	return nil
+}
+
+// getPanelRefs reads a count-prefixed PanelRef list.
+func getPanelRefs(r io.Reader) ([]PanelRef, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	if n > maxPanelRefs {
+		return nil, fmt.Errorf("net: panel ref list of %d entries", n)
+	}
+	refs := make([]PanelRef, n)
+	var buf [panelRefLen]byte
+	for i := range refs {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		copy(refs[i].D[:], buf[:cache.DigestLen])
+		refs[i].Resident = buf[cache.DigestLen] != 0
+	}
+	return refs, nil
 }
 
 // WriteMsg writes one length-prefixed frame to w with a one-shot codec.
@@ -204,6 +294,51 @@ func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
 		}
 	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		// empty payload
+	case MsgHave:
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(m.Digests)))
+		if _, err := w.Write(cnt[:]); err != nil {
+			return fmt.Errorf("net: write have: %w", err)
+		}
+		for _, d := range m.Digests {
+			if _, err := w.Write(d[:]); err != nil {
+				return fmt.Errorf("net: write have: %w", err)
+			}
+		}
+	case MsgHaveAck:
+		ack := make([]byte, 1+4+len(m.HaveBits))
+		if m.CacheOn {
+			ack[0] = 1
+		}
+		binary.LittleEndian.PutUint32(ack[1:5], uint32(len(m.HaveBits)))
+		for i, h := range m.HaveBits {
+			if h {
+				ack[5+i] = 1
+			}
+		}
+		if _, err := w.Write(ack); err != nil {
+			return fmt.Errorf("net: write have-ack: %w", err)
+		}
+	case MsgInstallD:
+		if err := putChunk(w, m.Chunk); err != nil {
+			return err
+		}
+		var kr [12]byte
+		binary.LittleEndian.PutUint32(kr[0:4], uint32(m.K0))
+		binary.LittleEndian.PutUint32(kr[4:8], uint32(m.K1))
+		binary.LittleEndian.PutUint32(kr[8:12], uint32(m.T))
+		if _, err := w.Write(kr[:]); err != nil {
+			return fmt.Errorf("net: write panel range: %w", err)
+		}
+		if err := putPanelRefs(w, m.ARefs); err != nil {
+			return err
+		}
+		if err := putPanelRefs(w, m.BRefs); err != nil {
+			return err
+		}
+		if err := bc.WriteBlocks(w, m.Blocks); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -274,6 +409,57 @@ func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
 		m.Chunk, err = getChunk(buf)
 	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		// empty payload
+	case MsgHave:
+		var cnt [4]byte
+		if _, err = io.ReadFull(buf, cnt[:]); err != nil {
+			break
+		}
+		nd := int(binary.LittleEndian.Uint32(cnt[:]))
+		if nd > maxPanelRefs {
+			return nil, fmt.Errorf("net: have frame with %d digests", nd)
+		}
+		m.Digests = make([]cache.Digest, nd)
+		for i := range m.Digests {
+			if _, err = io.ReadFull(buf, m.Digests[i][:]); err != nil {
+				break
+			}
+		}
+	case MsgHaveAck:
+		var ah [5]byte
+		if _, err = io.ReadFull(buf, ah[:]); err != nil {
+			break
+		}
+		m.CacheOn = ah[0] != 0
+		nb := int(binary.LittleEndian.Uint32(ah[1:5]))
+		if nb > maxPanelRefs {
+			return nil, fmt.Errorf("net: have-ack frame with %d answers", nb)
+		}
+		bits := make([]byte, nb)
+		if _, err = io.ReadFull(buf, bits); err != nil {
+			break
+		}
+		m.HaveBits = make([]bool, nb)
+		for i, b := range bits {
+			m.HaveBits[i] = b != 0
+		}
+	case MsgInstallD:
+		if m.Chunk, err = getChunk(buf); err != nil {
+			break
+		}
+		var kr [12]byte
+		if _, err = io.ReadFull(buf, kr[:]); err != nil {
+			break
+		}
+		m.K0 = int(int32(binary.LittleEndian.Uint32(kr[0:4])))
+		m.K1 = int(int32(binary.LittleEndian.Uint32(kr[4:8])))
+		m.T = int(int32(binary.LittleEndian.Uint32(kr[8:12])))
+		if m.ARefs, err = getPanelRefs(buf); err != nil {
+			break
+		}
+		if m.BRefs, err = getPanelRefs(buf); err != nil {
+			break
+		}
+		m.Blocks, err = bc.ReadBlocks(buf)
 	default:
 		return nil, fmt.Errorf("net: unknown message kind %d", kind)
 	}

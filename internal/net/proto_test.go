@@ -6,8 +6,27 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/matrix"
 )
+
+func digest(seed int64) cache.Digest {
+	var d cache.Digest
+	rand.New(rand.NewSource(seed)).Read(d[:])
+	return d
+}
+
+func slicesEqual[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 func randBlocks(t *testing.T, n, q int, seed int64) []*matrix.Block {
 	t.Helper()
@@ -49,12 +68,25 @@ func TestProtoRoundTripEveryKind(t *testing.T) {
 		{Kind: MsgHeartbeat},
 		{Kind: MsgShutdown},
 		{Kind: MsgRelease},
+		{Kind: MsgHave, Digests: []cache.Digest{digest(1), digest(2), digest(3)}},
+		{Kind: MsgHaveAck, CacheOn: true, HaveBits: []bool{true, false, true}},
+		{Kind: MsgHaveAck, HaveBits: []bool{false, false}},
+		{Kind: MsgInstallD, Chunk: ch, K0: 2, K1: 5, T: 9,
+			ARefs: []PanelRef{{D: digest(4)}, {D: digest(5), Resident: true}},
+			BRefs: []PanelRef{{D: digest(6), Resident: true}, {D: digest(7)}, {D: digest(6), Resident: true}, {D: digest(8)}},
+			// 1 non-resident A row and 2 non-resident B columns at depth 3.
+			Blocks: randBlocks(t, 3+2*3, 5, 7)},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
 		if got.Kind != m.Kind || got.Name != m.Name || got.Heartbeat != m.Heartbeat ||
-			got.Chunk != m.Chunk || got.K0 != m.K0 || got.K1 != m.K1 {
+			got.Chunk != m.Chunk || got.K0 != m.K0 || got.K1 != m.K1 || got.T != m.T ||
+			got.CacheOn != m.CacheOn {
 			t.Errorf("%s: fields mangled: sent %+v got %+v", m.Kind, m, got)
+		}
+		if !slicesEqual(got.Digests, m.Digests) || !slicesEqual(got.HaveBits, m.HaveBits) ||
+			!slicesEqual(got.ARefs, m.ARefs) || !slicesEqual(got.BRefs, m.BRefs) {
+			t.Errorf("%s: lists mangled: sent %+v got %+v", m.Kind, m, got)
 		}
 		if len(got.Blocks) != len(m.Blocks) {
 			t.Fatalf("%s: %d blocks back, sent %d", m.Kind, len(got.Blocks), len(m.Blocks))

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/matrix"
 )
@@ -39,6 +40,14 @@ type WorkerOptions struct {
 	// order — and therefore the result — is unchanged). ≤1 computes
 	// sequentially; a dedicated worker machine wants runtime.NumCPU().
 	Procs int
+	// Cache, when non-nil, keeps installed A/B panels across sessions: the
+	// worker answers masters' have/need handshakes from it and serves
+	// digest-addressed installments' resident panels locally instead of off
+	// the wire. Share one cache across every session the daemon serves —
+	// surviving lease boundaries is the point. Nil disables caching (the
+	// worker answers every handshake "cache off" and masters fall back to
+	// full transfers).
+	Cache *cache.PanelCache
 	// Logf, when non-nil, receives serve-loop events (registrations,
 	// session ends).
 	Logf func(format string, args ...any)
@@ -226,8 +235,30 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 		}
 	}()
 
+	// A pin epoch opened by a master's have/need handshake must not outlive
+	// the session that promised it.
+	if opts.Cache != nil {
+		defer opts.Cache.UnpinAll()
+	}
+
 	var cur matrix.Chunk
 	var blocks []*matrix.Block // nil ⇔ no chunk held
+	// pending accumulates the current chunk's freshly-streamed panels, keyed
+	// by digest: each digest-addressed installment contributes its k-range,
+	// and the chunk's flush promotes every fully-covered panel into the
+	// cache. Pending blocks change owner — absorbed off the wire, they are
+	// never returned to the pool (the cache, or the GC on discard, reclaims
+	// them).
+	pending := make(map[cache.Digest]*pendingPanel)
+	// discardPending recycles what it can of an abandoned pending set (a new
+	// handshake arriving mid-accumulation; a session error path does not
+	// bother).
+	discardPending := func() {
+		for dg, ent := range pending {
+			pool.PutAll(ent.compact())
+			delete(pending, dg)
+		}
+	}
 	installs := 0
 	for {
 		f := <-frames
@@ -287,6 +318,22 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 			if msg.Chunk != cur {
 				return fmt.Errorf("net: worker %s: flush for %v while holding %v", name, msg.Chunk, cur)
 			}
+			// Promote the chunk's fully-streamed panels before the result
+			// frame leaves: the master marks them resident the moment the
+			// result arrives, and its view must never run ahead of ours.
+			for dg, ent := range pending {
+				delete(pending, dg)
+				if ent.covered != len(ent.blocks) || opts.Cache == nil {
+					// A partially-covered panel at flush means the master
+					// skipped installments for it mid-chunk — it never does —
+					// but recycle rather than cache a hole.
+					pool.PutAll(ent.compact())
+					continue
+				}
+				if !opts.Cache.Install(dg, ent.blocks) {
+					pool.PutAll(ent.blocks) // already resident; ours are spares
+				}
+			}
 			if err := write(&Msg{Kind: MsgResult, Chunk: cur, Blocks: blocks}); err != nil {
 				return fmt.Errorf("net: worker %s: send result: %w", name, err)
 			}
@@ -299,6 +346,52 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 				// The reader may be mid-read with no deadline armed;
 				// SetReadDeadline applies to blocked reads too.
 				conn.SetReadDeadline(time.Now().Add(idle))
+			}
+		case MsgHave:
+			// A master opens a panel-cache epoch: answer which of the job's
+			// panels are resident, pinning them for the job's duration. A
+			// cacheless worker answers all-absent with CacheOn=false so the
+			// master stays on the full-transfer protocol.
+			discardPending()
+			ack := &Msg{Kind: MsgHaveAck}
+			if opts.Cache != nil {
+				ack.CacheOn = true
+				ack.HaveBits = opts.Cache.BeginJob(msg.Digests)
+			} else {
+				ack.HaveBits = make([]bool, len(msg.Digests))
+			}
+			if err := write(ack); err != nil {
+				return fmt.Errorf("net: worker %s: send have-ack: %w", name, err)
+			}
+		case MsgInstallD:
+			if blocks == nil {
+				return fmt.Errorf("net: worker %s: received inputs with no chunk", name)
+			}
+			if msg.Chunk != cur {
+				return fmt.Errorf("net: worker %s: inputs for %v while holding %v", name, msg.Chunk, cur)
+			}
+			am, bm, extras, err := assembleInstallD(msg, cur, opts.Cache, pending)
+			if err != nil {
+				return fmt.Errorf("net: worker %s: %w", name, err)
+			}
+			if err := engine.ApplyInstallmentParallel(cur, blocks, am, bm, msg.K1-msg.K0, opts.Procs); err != nil {
+				return fmt.Errorf("net: worker %s: %w", name, err)
+			}
+			// Only the wire blocks pending did not absorb are recyclable:
+			// absorbed ones are promised to the cache, resident ones belong
+			// to it already.
+			pool.PutAll(extras)
+			installs++
+			if opts.CrashAfterInstalls > 0 && installs >= opts.CrashAfterInstalls {
+				conn.Close() // simulate a killed process: vanish mid-protocol
+				return ErrCrashInjected
+			}
+			if opts.StallAfterInstalls > 0 && installs == opts.StallAfterInstalls {
+				stall := opts.StallFor
+				if stall <= 0 {
+					stall = 30 * time.Second
+				}
+				time.Sleep(stall)
 			}
 		case MsgHeartbeat:
 			// Master keepalive for a pooled idle session (a fleet pinging

@@ -93,6 +93,31 @@ type Fleet struct {
 	closed   bool
 	stop     chan struct{}
 	done     chan struct{}
+	// onDown, when set, observes every transition of a worker into StateDown
+	// (session died mid-job, failed-job recycle, keepalive loss). The server
+	// hooks it to invalidate the worker's panel-residency record: the re-dialed
+	// successor may be a freshly restarted process with an empty cache, and
+	// stale residency must not keep attracting jobs it can no longer serve
+	// cheaply. Called with the fleet lock held; the hook must not call back
+	// into the fleet.
+	onDown func(i int)
+}
+
+// SetOnDown installs the down-transition observer. Call once, before jobs
+// run (the server does, right after constructing the fleet's server).
+func (f *Fleet) SetOnDown(fn func(i int)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.onDown = fn
+}
+
+// downLocked marks worker i down and notifies the observer. The fleet lock
+// must be held.
+func (f *Fleet) downLocked(i int) {
+	f.conns[i], f.state[i] = nil, StateDown
+	if f.onDown != nil {
+		f.onDown(i)
+	}
 }
 
 // WorkerMetric is one worker's row in the fleet metrics. The Est fields are
@@ -110,6 +135,16 @@ type WorkerMetric struct {
 	EstC    float64 `json:"est_c_ms,omitempty"`
 	EstW    float64 `json:"est_w_ms,omitempty"`
 	Samples int     `json:"samples,omitempty"`
+	// Panel-cache effectiveness, filled by a caching Server: handshake
+	// hit/miss counts and operand bytes sent/saved, cumulative over the
+	// worker's completed leases; the Resident figures are the server's
+	// current belief about the worker's cache content.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	SentBytes      int64 `json:"cache_sent_bytes,omitempty"`
+	SavedBytes     int64 `json:"cache_saved_bytes,omitempty"`
+	ResidentPanels int   `json:"resident_panels,omitempty"`
+	ResidentBytes  int64 `json:"resident_bytes,omitempty"`
 }
 
 // NewFleet dials every worker address and keeps the sessions open. specs[i]
@@ -167,7 +202,7 @@ func (f *Fleet) redialLocked(i int) bool {
 	f.lastDial[i] = time.Now()
 	wc, err := mmnet.DialWorker(f.addrs[i], &f.opts.Master)
 	if err != nil {
-		f.state[i] = StateDown
+		f.downLocked(i)
 		f.opts.logf("fleet: worker %d (%s) down: %v", i, f.addrs[i], err)
 		return false
 	}
@@ -414,9 +449,9 @@ func (f *Fleet) Return(idx []int, m *mmnet.Master, failed bool) {
 				f.opts.logf("fleet: worker %d (%s) survived a failed job; recycling its session", i, f.addrs[i])
 			}
 			release = append(release, conns[j])
-			f.conns[i], f.state[i] = nil, StateDown
+			f.downLocked(i)
 		default:
-			f.conns[i], f.state[i] = nil, StateDown
+			f.downLocked(i)
 			f.opts.logf("fleet: worker %d (%s) died during a job; will re-dial", i, f.addrs[i])
 		}
 	}
@@ -522,7 +557,7 @@ func (f *Fleet) keepaliveLoop() {
 				f.pinging[b.i] = false
 				switch {
 				case closed || err != nil:
-					f.conns[b.i], f.state[b.i] = nil, StateDown
+					f.downLocked(b.i)
 				default:
 					f.conns[b.i], f.state[b.i] = b.wc, StateIdle
 				}

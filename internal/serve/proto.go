@@ -12,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
@@ -32,14 +33,15 @@ import (
 type clientKind uint8
 
 const (
-	cSubmit clientKind = iota + 1 // client → server: R,S,T,Q + A,B,C blocks
-	cAccept                       // server → client: job id (admitted to the queue)
-	cResult                       // server → client: job id + updated C blocks
-	cError                        // server → client: job id (0 = rejected) + message
-	cStatus                       // client → server: snapshot request
-	cStats                        // server → client: Stats as JSON
-	cCancel                       // client → server: job id — cancel the submitted job
-	cJoin                         // client → server: worker addr + spec — register with the fleet
+	cSubmit  clientKind = iota + 1 // client → server: R,S,T,Q + A,B,C blocks
+	cAccept                        // server → client: job id (admitted to the queue)
+	cResult                        // server → client: job id + updated C blocks
+	cError                         // server → client: job id (0 = rejected) + message
+	cStatus                        // client → server: snapshot request
+	cStats                         // server → client: Stats as JSON
+	cCancel                        // client → server: job id — cancel the submitted job
+	cJoin                          // client → server: worker addr + spec — register with the fleet
+	cSubmitD                       // client → server: cSubmit + the operands' panel digests
 )
 
 func (k clientKind) String() string {
@@ -60,6 +62,8 @@ func (k clientKind) String() string {
 		return "cancel"
 	case cJoin:
 		return "join"
+	case cSubmitD:
+		return "submit-digest"
 	default:
 		return fmt.Sprintf("clientkind(%d)", uint8(k))
 	}
@@ -84,7 +88,11 @@ type clientMsg struct {
 	SpecC      float64         // Join: declared link cost c_i
 	SpecW      float64         // Join: declared compute cost w_i
 	SpecM      int             // Join: declared memory capacity m_i (blocks)
+	Rows, Cols []cache.Digest  // SubmitD: A row-panel / B column-panel digests
 }
+
+// maxDigestList bounds one digest list of a submit-digest frame.
+const maxDigestList = 1 << 22
 
 // maxAddrLen bounds a join frame's address field.
 const maxAddrLen = 1 << 10
@@ -100,6 +108,11 @@ func clientPayloadLen(m *clientMsg) (int, error) {
 	switch m.Kind {
 	case cSubmit:
 		return 16 + blocksLen(), nil
+	case cSubmitD:
+		if len(m.Rows) > maxDigestList || len(m.Cols) > maxDigestList {
+			return 0, fmt.Errorf("serve: submit-digest frame lists %d+%d digests", len(m.Rows), len(m.Cols))
+		}
+		return 16 + 4 + cache.DigestLen*len(m.Rows) + 4 + cache.DigestLen*len(m.Cols) + blocksLen(), nil
 	case cAccept, cCancel:
 		return 8, nil
 	case cResult:
@@ -144,7 +157,7 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 		return fmt.Errorf("serve: write frame header: %w", err)
 	}
 	switch m.Kind {
-	case cSubmit:
+	case cSubmit, cSubmitD:
 		var dims [16]byte
 		binary.LittleEndian.PutUint32(dims[0:4], uint32(m.R))
 		binary.LittleEndian.PutUint32(dims[4:8], uint32(m.S))
@@ -152,6 +165,20 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 		binary.LittleEndian.PutUint32(dims[12:16], uint32(m.Q))
 		if _, err := w.Write(dims[:]); err != nil {
 			return fmt.Errorf("serve: write submit dims: %w", err)
+		}
+		if m.Kind == cSubmitD {
+			for _, ds := range [][]cache.Digest{m.Rows, m.Cols} {
+				var cnt [4]byte
+				binary.LittleEndian.PutUint32(cnt[:], uint32(len(ds)))
+				if _, err := w.Write(cnt[:]); err != nil {
+					return err
+				}
+				for _, d := range ds {
+					if _, err := w.Write(d[:]); err != nil {
+						return err
+					}
+				}
+			}
 		}
 		return bc.WriteBlocks(w, m.Blocks)
 	case cAccept, cCancel:
@@ -226,7 +253,7 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 
 	m := &clientMsg{Kind: kind}
 	switch kind {
-	case cSubmit:
+	case cSubmit, cSubmitD:
 		var dims [16]byte
 		if _, err = io.ReadFull(buf, dims[:]); err != nil {
 			break
@@ -235,6 +262,32 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 		m.S = int(int32(binary.LittleEndian.Uint32(dims[4:8])))
 		m.T = int(int32(binary.LittleEndian.Uint32(dims[8:12])))
 		m.Q = int(int32(binary.LittleEndian.Uint32(dims[12:16])))
+		if kind == cSubmitD {
+			lists := [2]*[]cache.Digest{&m.Rows, &m.Cols}
+			for _, dst := range lists {
+				var cnt [4]byte
+				if _, err = io.ReadFull(buf, cnt[:]); err != nil {
+					break
+				}
+				n := int(binary.LittleEndian.Uint32(cnt[:]))
+				if n > maxDigestList {
+					return nil, fmt.Errorf("serve: submit-digest frame lists %d digests", n)
+				}
+				ds := make([]cache.Digest, n)
+				for i := range ds {
+					if _, err = io.ReadFull(buf, ds[i][:]); err != nil {
+						break
+					}
+				}
+				if err != nil {
+					break
+				}
+				*dst = ds
+			}
+			if err != nil {
+				break
+			}
+		}
 		m.Blocks, err = bc.ReadBlocks(buf)
 	case cAccept, cCancel:
 		var id [8]byte
@@ -400,7 +453,7 @@ func (s *Server) handleClient(conn net.Conn) {
 		}
 		reply(&clientMsg{Kind: cAccept, ID: uint64(i)})
 
-	case cSubmit:
+	case cSubmit, cSubmitD:
 		nA, nB, nC := msg.R*msg.T, msg.T*msg.S, msg.R*msg.S
 		if msg.R <= 0 || msg.S <= 0 || msg.T <= 0 || msg.Q <= 0 || len(msg.Blocks) != nA+nB+nC {
 			fail(0, fmt.Errorf("serve: submit carries %d blocks for r=%d s=%d t=%d", len(msg.Blocks), msg.R, msg.S, msg.T))
@@ -421,7 +474,15 @@ func (s *Server) handleClient(conn net.Conn) {
 			fail(0, err)
 			return
 		}
-		id, err := s.Submit(a, b, c)
+		var id uint64
+		if msg.Kind == cSubmitD {
+			// The client computed the operands' panel digests already (an
+			// installed operand resubmitted): skip re-hashing server-side.
+			jp := &cache.JobPanels{T: msg.T, Q: msg.Q, ARows: msg.Rows, BCols: msg.Cols}
+			id, err = s.SubmitPanels(a, b, c, jp)
+		} else {
+			id, err = s.Submit(a, b, c)
+		}
 		if err != nil {
 			fail(0, err)
 			return
@@ -487,6 +548,20 @@ const cancelGrace = 10 * time.Second
 // daemon dequeues or aborts the job (other jobs keep their leases), and the
 // returned error wraps ctx's error.
 func SubmitProductContext(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix) (*matrix.BlockMatrix, uint64, error) {
+	return submitProduct(ctx, addr, a, b, c, nil)
+}
+
+// SubmitProductPanels is SubmitProductContext carrying the operands' panel
+// digests alongside the blocks, so a caching daemon can route the job by
+// operand affinity and skip worker transfers without re-hashing A and B. jp
+// must describe exactly these operands (see cache.PanelsForJob; the matmul
+// facade's Operand handles memoize it); nil degrades to a plain submission.
+// A non-caching daemon ignores the digests.
+func SubmitProductPanels(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (*matrix.BlockMatrix, uint64, error) {
+	return submitProduct(ctx, addr, a, b, c, jp)
+}
+
+func submitProduct(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (*matrix.BlockMatrix, uint64, error) {
 	if a == nil || b == nil || c == nil {
 		return nil, 0, fmt.Errorf("serve: submit needs A, B and C")
 	}
@@ -509,6 +584,9 @@ func SubmitProductContext(ctx context.Context, addr string, a, b, c *matrix.Bloc
 	blocks = append(blocks, flattenMatrix(b)...)
 	blocks = append(blocks, flattenMatrix(c)...)
 	sub := &clientMsg{Kind: cSubmit, R: c.Rows, S: c.Cols, T: a.Cols, Q: a.Q, Blocks: blocks}
+	if jp != nil {
+		sub.Kind, sub.Rows, sub.Cols = cSubmitD, jp.ARows, jp.BCols
+	}
 	err = writeClientMsg(wr, sub, &codec)
 	if err == nil {
 		err = wr.Flush()

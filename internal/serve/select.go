@@ -31,7 +31,16 @@ type Selection struct {
 // one A and one B block and perform the update — the per-unit cost the
 // paper's steady-state analysis charges a worker — with index order breaking
 // ties so homogeneous fleets shortlist deterministically.
-func SelectResources(specs []platform.Worker, avail []int, share int, inst sched.Instance, s sched.Scheduler) (*Selection, error) {
+//
+// aff, when non-nil, is indexed by fleet worker and holds each candidate's
+// operand affinity in [0, 1]: the fraction of the job's panel bytes already
+// resident in the worker's cache. Affinity discounts only the communication
+// term of the proxy — w_i + 2·c_i·(1−aff_i) — because residency saves
+// exactly transfers, never compute. The discount biases the shortlist toward
+// workers that already hold the operands but cannot override measured load: a
+// worker with aff 1 still pays its full w_i, so a fast empty-cache worker
+// outranks a slow warm one whenever compute dominates.
+func SelectResources(specs []platform.Worker, avail []int, share int, inst sched.Instance, s sched.Scheduler, aff []float64) (*Selection, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,10 +50,22 @@ func SelectResources(specs []platform.Worker, avail []int, share int, inst sched
 	if s == nil {
 		s = sched.Het{}
 	}
+	affOf := func(i int) float64 {
+		if aff == nil || i >= len(aff) {
+			return 0
+		}
+		if a := aff[i]; a > 0 {
+			if a > 1 {
+				return 1
+			}
+			return a
+		}
+		return 0
+	}
 	cand := append([]int(nil), avail...)
 	sort.SliceStable(cand, func(a, b int) bool {
 		sa, sb := specs[cand[a]], specs[cand[b]]
-		return sa.W+2*sa.C < sb.W+2*sb.C
+		return sa.W+2*sa.C*(1-affOf(cand[a])) < sb.W+2*sb.C*(1-affOf(cand[b]))
 	})
 	if share > 0 && share < len(cand) {
 		cand = cand[:share]

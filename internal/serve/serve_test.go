@@ -77,7 +77,7 @@ func homSpecs(n int) []platform.Worker {
 func TestSelectResources(t *testing.T) {
 	specs := homSpecs(4)
 	inst := sched.Instance{R: 6, S: 9, T: 4}
-	sel, err := SelectResources(specs, []int{0, 1, 2, 3}, 2, inst, nil)
+	sel, err := SelectResources(specs, []int{0, 1, 2, 3}, 2, inst, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestSelectResources(t *testing.T) {
 		{Name: "fast", C: 1, W: 1, M: 40},
 		{Name: "mid", C: 1.5, W: 1.5, M: 40},
 	}
-	sel, err = SelectResources(specs, []int{0, 1, 2}, 1, inst, nil)
+	sel, err = SelectResources(specs, []int{0, 1, 2}, 1, inst, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestFleetLeaseReturnReuse(t *testing.T) {
 		if len(idle) != 3 {
 			t.Fatalf("round %d: idle %v, want all 3", round, idle)
 		}
-		sel, err := SelectResources(f.Specs(), idle, 2, inst, nil)
+		sel, err := SelectResources(f.Specs(), idle, 2, inst, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestReturnFailedRecyclesSessions(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	inst := sched.Instance{R: 3, S: 4, T: 2}
-	sel, err := SelectResources(f.Specs(), []int{0, 1}, 0, inst, nil)
+	sel, err := SelectResources(f.Specs(), []int{0, 1}, 0, inst, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

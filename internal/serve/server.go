@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
@@ -69,6 +70,12 @@ type Config struct {
 	// running lease (see engine.Elastic). 0: engine default; negative:
 	// drift re-planning off. Only meaningful with Adaptive.
 	DriftThreshold float64
+	// NoCache disables operand-panel caching: jobs are submitted without
+	// panel digests, leases skip the have/need handshake, and resource
+	// selection ignores operand affinity. The zero value keeps caching on —
+	// a worker daemon without a cache degrades per-link via the handshake,
+	// so a caching server is always safe.
+	NoCache bool
 	// Logf, when non-nil, receives job lifecycle events.
 	Logf func(format string, args ...any)
 }
@@ -86,6 +93,10 @@ type job struct {
 	inst    sched.Instance
 	q       int
 	a, b, c *matrix.BlockMatrix
+	// panels carries the job's operand-panel digests on a caching server
+	// (nil when caching is off): the input to affinity-aware selection and
+	// to each lease's install-by-digest epoch.
+	panels *cache.JobPanels
 
 	state     JobState
 	sel       *Selection
@@ -133,12 +144,33 @@ type JobStatus struct {
 type Stats struct {
 	Workers  []WorkerMetric `json:"workers"`
 	Adaptive bool           `json:"adaptive,omitempty"` // measured-speed selection + elastic leases on
+	Cache    *CacheTotals   `json:"cache,omitempty"`    // panel-cache effectiveness; nil when caching is off
 	Queued   int            `json:"queued"`
 	Running  int            `json:"running"`
 	Done     int            `json:"done"`
 	Failed   int            `json:"failed"`
 	Canceled int            `json:"canceled"`
 	Jobs     []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
+}
+
+// CacheTotals aggregates panel-cache effectiveness across all completed
+// leases of a caching server: how many handshake probes hit, and how many
+// operand bytes residency kept off the wire versus how many still moved.
+type CacheTotals struct {
+	PanelHits     int64 `json:"panel_hits"`
+	PanelMisses   int64 `json:"panel_misses"`
+	ASentBytes    int64 `json:"a_sent_bytes"`
+	ASavedBytes   int64 `json:"a_saved_bytes"`
+	BSentBytes    int64 `json:"b_sent_bytes"`
+	BSavedBytes   int64 `json:"b_saved_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"` // panel bytes believed resident fleet-wide right now
+}
+
+// cacheCum is one worker's cumulative cache counters across its leases,
+// accumulated at job end from each lease's per-link stats.
+type cacheCum struct {
+	hits, misses                 int64
+	aSent, aSaved, bSent, bSaved int64
 }
 
 // maxJobHistory bounds the completed-job records the daemon retains for
@@ -163,6 +195,16 @@ type Server struct {
 	// addMu serializes fleet growth so fleet indices and tracker indices
 	// cannot interleave differently.
 	addMu sync.Mutex
+
+	// registry tracks which operand panels each fleet worker is believed to
+	// hold (nil when caching is off). It is advisory — correctness comes
+	// from each lease's own handshake — feeding only affinity-aware
+	// selection, and is invalidated whenever a worker goes down. cacheCum
+	// accumulates per-worker cache counters as leases complete; both are
+	// guarded by cacheMu (the registry locks itself, the map does not).
+	registry *cache.Registry
+	cacheMu  sync.Mutex
+	cacheCum map[int]*cacheCum
 
 	mu      sync.Mutex
 	queue   []*job
@@ -193,6 +235,14 @@ func NewServer(fleet *Fleet, cfg Config) *Server {
 	}
 	if cfg.Adaptive {
 		s.tracker = adapt.NewTracker(fleet.Specs(), trackerUnit, 0)
+	}
+	if !cfg.NoCache {
+		s.registry = cache.NewRegistry()
+		s.cacheCum = make(map[int]*cacheCum)
+		// A worker that goes down for any reason — crash, keepalive loss,
+		// failed recycle — re-dials into a fresh session whose cache content
+		// is unknown; drop its residency so affinity never chases ghosts.
+		fleet.SetOnDown(func(i int) { s.registry.Invalidate(i) })
 	}
 	s.loop.Add(1)
 	go s.schedule()
@@ -251,8 +301,27 @@ func (s *Server) selectionSpecs() []platform.Worker {
 // Submit admits C += A·B (all matrices blocked with edge q) and returns the
 // job id. The matrices are owned by the server until the job completes; C is
 // updated in place. Submit never blocks on fleet capacity — admission is a
-// queue, execution happens as leases free up.
+// queue, execution happens as leases free up. On a caching server the
+// operand panels are digested here, once per submission.
 func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
+	return s.submit(a, b, c, nil)
+}
+
+// SubmitPanels is Submit with caller-computed operand-panel digests, for
+// clients that already hold them (an operand installed once and resubmitted
+// many times): the server trusts jp instead of re-hashing A and B. jp must
+// describe exactly these operands — digests are content addresses, and a
+// stale set makes workers reuse the wrong panels. On a non-caching server jp
+// is ignored; a nil jp degrades to Submit.
+func (s *Server) SubmitPanels(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint64, error) {
+	if jp != nil && (a == nil || b == nil ||
+		jp.T != a.Cols || jp.Q != a.Q || len(jp.ARows) != a.Rows || len(jp.BCols) != b.Cols) {
+		return 0, fmt.Errorf("serve: panel digests do not match the submitted operands")
+	}
+	return s.submit(a, b, c, jp)
+}
+
+func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint64, error) {
 	if a == nil || b == nil || c == nil {
 		return 0, fmt.Errorf("serve: submit needs A, B and C")
 	}
@@ -267,6 +336,11 @@ func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
 	if err := inst.Validate(); err != nil {
 		return 0, err
 	}
+	if s.registry != nil && jp == nil {
+		jp = cache.PanelsForJob(a, b)
+	} else if s.registry == nil {
+		jp = nil
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -276,7 +350,7 @@ func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
 	s.nextID++
 	jctx, jcancel := context.WithCancel(context.Background())
 	j := &job{
-		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c,
+		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c, panels: jp,
 		state: JobQueued, submitted: time.Now(), done: make(chan struct{}),
 		ctx: jctx, cancel: jcancel,
 	}
@@ -357,6 +431,30 @@ func (s *Server) Status() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
+	if s.registry != nil {
+		tot := &CacheTotals{}
+		s.cacheMu.Lock()
+		for i := range st.Workers {
+			if cum := s.cacheCum[i]; cum != nil {
+				w := &st.Workers[i]
+				w.CacheHits, w.CacheMisses = cum.hits, cum.misses
+				w.SentBytes = cum.aSent + cum.bSent
+				w.SavedBytes = cum.aSaved + cum.bSaved
+				tot.PanelHits += cum.hits
+				tot.PanelMisses += cum.misses
+				tot.ASentBytes += cum.aSent
+				tot.ASavedBytes += cum.aSaved
+				tot.BSentBytes += cum.bSent
+				tot.BSavedBytes += cum.bSaved
+			}
+			panels, bytes := s.registry.Resident(i)
+			st.Workers[i].ResidentPanels = panels
+			st.Workers[i].ResidentBytes = bytes
+			tot.ResidentBytes += bytes
+		}
+		s.cacheMu.Unlock()
+		st.Cache = tot
+	}
 	if s.tracker != nil {
 		for i, e := range s.tracker.Snapshot() {
 			if i >= len(st.Workers) {
@@ -535,13 +633,25 @@ func (s *Server) dispatchOne() bool {
 	// worker has been observed — selection shortlists by live throughput, not
 	// by what the operator declared at startup.
 	specs := s.selectionSpecs()
-	sel, err := SelectResources(specs, avail, share, j.inst, s.cfg.Scheduler)
+	// On a caching server, workers already holding the job's operand panels
+	// get their communication term discounted in the shortlist — affinity
+	// biases selection toward warm caches without overriding measured load.
+	var aff []float64
+	if s.registry != nil && j.panels != nil {
+		aff = make([]float64, len(specs))
+		for _, i := range avail {
+			if i < len(aff) {
+				aff[i] = s.registry.Fraction(i, j.panels)
+			}
+		}
+	}
+	sel, err := SelectResources(specs, avail, share, j.inst, s.cfg.Scheduler, aff)
 	permanent := false
 	if err != nil {
 		// The share-capped shortlist could not host the job: try everything
 		// currently available before deciding anything — bending the
 		// sharing cap beats stalling the queue.
-		full, fullErr := SelectResources(specs, avail, 0, j.inst, s.cfg.Scheduler)
+		full, fullErr := SelectResources(specs, avail, 0, j.inst, s.cfg.Scheduler, aff)
 		switch {
 		case fullErr == nil:
 			s.cfg.logf("serve: job %d: selection failed at share %d, using all %d available workers: %v",
@@ -694,6 +804,13 @@ func (s *Server) attach(j *job, i int) {
 // pooled holding half a job), and no other lease feels a thing.
 func (s *Server) run(j *job, m *mmnet.Master) {
 	var err error
+	if j.panels != nil {
+		// Open the lease's cache epoch: handshake every link for the job's
+		// panel digests so transfers for resident panels are skipped. A
+		// handshake failure downs the link exactly like any other I/O error —
+		// the executor's failover handles it.
+		m.BeginJob(j.panels)
+	}
 	if j.view != nil {
 		el := &engine.Elastic{
 			Tracker:        j.view,
@@ -718,6 +835,13 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 	s.mu.Lock()
 	lease := append([]int(nil), j.lease...)
 	s.mu.Unlock()
+	if j.panels != nil {
+		// Harvest the lease's cache outcome *before* the workers go back to
+		// the fleet: Return downs dead workers, and the OnDown invalidation
+		// must win over anything absorbed here for a worker that did not
+		// survive the job.
+		s.absorbCache(j, m, lease)
+	}
 	s.fleet.Return(lease, m, err != nil)
 
 	canceled := errors.Is(err, context.Canceled) || j.ctx.Err() != nil
@@ -747,4 +871,41 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 		s.cfg.logf("serve: job %d failed: %v", j.id, err)
 	}
 	s.kick()
+}
+
+// absorbCache folds one completed lease's cache outcome into the server:
+// each surviving worker's resident panels land in the affinity registry
+// (positive and negative knowledge — the handshake queried every job panel),
+// and the per-link transfer counters accumulate into the per-worker
+// lifetime totals. lease maps the master's plan indices to fleet indices,
+// mid-job joins included. Closes the lease's cache epoch.
+func (s *Server) absorbCache(j *job, m *mmnet.Master, lease []int) {
+	stats := m.CacheStats()
+	snap := m.ResidentSnapshot()
+	queried := j.panels.Digests()
+	m.EndJob()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	for k, w := range lease {
+		if k >= len(snap) || k >= len(stats) {
+			break
+		}
+		if snap[k] != nil {
+			// nil means the link died mid-job — leave the registry to the
+			// fleet's OnDown invalidation rather than guess.
+			s.registry.Absorb(w, snap[k], queried)
+		}
+		st := stats[k]
+		cum := s.cacheCum[w]
+		if cum == nil {
+			cum = &cacheCum{}
+			s.cacheCum[w] = cum
+		}
+		cum.hits += st.PanelHits
+		cum.misses += st.PanelMisses
+		cum.aSent += st.ASentBytes
+		cum.aSaved += st.ASavedBytes
+		cum.bSent += st.BSentBytes
+		cum.bSaved += st.BSavedBytes
+	}
 }

@@ -57,3 +57,54 @@ func ExampleSession() {
 	// C[3][5] = 8
 	// max |C - reference| = 0
 }
+
+// ExampleSession_operands installs an operand once and reuses its handle
+// across several products. The handle is content-addressed: on the
+// Distributed and Remote runtimes, worker daemons cache the operand's
+// panels after the first job, later jobs skip those transfers entirely, and
+// the scheduling daemon routes work toward workers already holding the
+// bits. The computed C is bitwise-identical to plain-matrix submissions
+// either way — handles change what moves, never what is computed.
+func ExampleSession_operands() {
+	ctx := context.Background()
+	sess, err := matmul.Open(ctx) // same pattern with Distributed/Remote runtimes
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	const q = 4
+	a := matmul.NewMatrix(2, 2, q) // the operand shared by every job
+	for i := 0; i < 2*q; i++ {
+		a.Set(i, i, 2)
+	}
+	shared, err := sess.Install(ctx, a) // hashed once, reused per submit
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shared.Release()
+
+	// Many products against the one installed A; B and C vary per job. An
+	// *Operand and a *Matrix are interchangeable in the A and B positions.
+	for i := 0; i < 3; i++ {
+		b := matmul.NewMatrix(2, 3, q)
+		c := matmul.NewMatrix(2, 3, q)
+		for r := 0; r < 2*q; r++ {
+			for col := 0; col < 3*q; col++ {
+				b.Set(r, col, float64(i+1))
+			}
+		}
+		job, err := sess.Submit(ctx, shared, b, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := job.Wait(ctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d: C[0][0] = %.0f\n", i, c.At(0, 0))
+	}
+	// Output:
+	// job 0: C[0][0] = 2
+	// job 1: C[0][0] = 4
+	// job 2: C[0][0] = 6
+}

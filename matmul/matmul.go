@@ -78,21 +78,22 @@ func Algorithms() []string {
 
 // config is the resolved option set of one Session.
 type config struct {
-	rt        Runtime
-	scheduler sched.Scheduler
-	algorithm string
-	pipelined bool
-	onePort   bool
-	procs     int
-	platform  *platform.Platform
-	pacing    time.Duration
-	shutdown  bool // Distributed: Close shuts worker daemons down instead of releasing them
-	adaptive  bool
-	drift     float64
+	rt         Runtime
+	scheduler  sched.Scheduler
+	algorithm  string
+	pipelined  bool
+	onePort    bool
+	procs      int
+	platform   *platform.Platform
+	pacing     time.Duration
+	shutdown   bool // Distributed: Close shuts worker daemons down instead of releasing them
+	adaptive   bool
+	drift      float64
+	panelCache bool
 
 	// explicit-set markers, so runtimes can reject options that do not apply
 	// to them instead of silently ignoring them.
-	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown, setAdaptive bool
+	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown, setAdaptive, setPanelCache bool
 }
 
 // Option configures a Session at Open.
@@ -213,6 +214,22 @@ func WithAdaptive(drift float64) Option {
 	}
 }
 
+// WithPanelCache toggles operand-panel caching on runtimes with a wire
+// (default on). A Distributed session then opens a cache epoch per job —
+// workers that kept a submitted operand's panels from an earlier job skip
+// those transfers — and a Remote session ships the operands' digests with
+// each submission so the daemon can do the same and route jobs by operand
+// affinity. Workers without a cache (mmworker -cache-mb 0) degrade per link
+// via the handshake; the computed C is bitwise-identical either way. The
+// InProcess runtime rejects the option: its workers share the process
+// memory, so there is nothing to cache.
+func WithPanelCache(on bool) Option {
+	return func(c *config) error {
+		c.panelCache, c.setPanelCache = on, true
+		return nil
+	}
+}
+
 // Session is an open connection to one runtime: the single way in. A
 // Session is safe for concurrent Submits; jobs on an InProcess or Remote
 // session run concurrently, a Distributed session executes them one at a
@@ -239,10 +256,11 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 		ctx = context.Background()
 	}
 	cfg := config{
-		rt:        InProcess(),
-		scheduler: sched.Het{},
-		algorithm: "Het",
-		pipelined: true,
+		rt:         InProcess(),
+		scheduler:  sched.Het{},
+		algorithm:  "Het",
+		pipelined:  true,
+		panelCache: true,
 	}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
@@ -265,31 +283,50 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 
 // Submit admits one product C ← C + A·B (all matrices blocked with the same
 // edge q; C is updated in place) and returns its Job handle immediately.
-// The job is canceled when ctx ends, when Job.Cancel is called, or when the
-// session closes — whichever comes first. Waiting is separate: use
-// Job.Wait or Job.Done.
-func (s *Session) Submit(ctx context.Context, a, b, c *Matrix) (*Job, error) {
+// The A and B positions each take a *Matrix or an installed *Operand,
+// interchangeably: a plain matrix is wrapped in a transient handle, an
+// installed one reuses its memoized panel digests — the cheap way to submit
+// the same operand many times (see Session.Install). The job is canceled
+// when ctx ends, when Job.Cancel is called, or when the session closes —
+// whichever comes first. Waiting is separate: use Job.Wait or Job.Done.
+func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if a == nil || b == nil || c == nil {
+	ao, aDone, err := s.operandOf(a, "A")
+	if err != nil {
+		return nil, err
+	}
+	bo, bDone, err := s.operandOf(b, "B")
+	if err != nil {
+		aDone()
+		return nil, err
+	}
+	release := func() { aDone(); bDone() }
+	am, bm := ao.mat, bo.mat
+	if c == nil {
+		release()
 		return nil, fmt.Errorf("matmul: submit needs A, B and C")
 	}
-	if a.Q != b.Q || a.Q != c.Q {
-		return nil, fmt.Errorf("matmul: block edges differ: A q=%d, B q=%d, C q=%d", a.Q, b.Q, c.Q)
+	if am.Q != bm.Q || am.Q != c.Q {
+		release()
+		return nil, fmt.Errorf("matmul: block edges differ: A q=%d, B q=%d, C q=%d", am.Q, bm.Q, c.Q)
 	}
-	if a.Rows != c.Rows || b.Cols != c.Cols || b.Rows != a.Cols {
+	if am.Rows != c.Rows || bm.Cols != c.Cols || bm.Rows != am.Cols {
+		release()
 		return nil, fmt.Errorf("matmul: shape mismatch A %dx%d, B %dx%d, C %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+			am.Rows, am.Cols, bm.Rows, bm.Cols, c.Rows, c.Cols)
 	}
-	inst := sched.Instance{R: c.Rows, S: c.Cols, T: a.Cols}
+	inst := sched.Instance{R: c.Rows, S: c.Cols, T: am.Cols}
 	if err := inst.Validate(); err != nil {
+		release()
 		return nil, err
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		release()
 		return nil, fmt.Errorf("matmul: session is closed")
 	}
 	s.wg.Add(1)
@@ -301,7 +338,8 @@ func (s *Session) Submit(ctx context.Context, a, b, c *Matrix) (*Job, error) {
 	go func() {
 		defer s.wg.Done()
 		defer unlink()
-		err := s.rts.run(jctx, j, a, b, c)
+		defer release()
+		err := s.rts.run(jctx, j, ao, bo, c)
 		jcancel()
 		j.finish(err)
 	}()
@@ -319,6 +357,25 @@ type WorkerStats struct {
 	CPerBlock  time.Duration
 	WPerUpdate time.Duration
 	Samples    int // observations folded into the estimates
+	// Panel-cache effectiveness on caching runtimes: handshake hit/miss
+	// counts and operand bytes shipped versus skipped over this worker's
+	// link, plus the panel bytes believed resident in its cache.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheSentBytes  int64
+	CacheSavedBytes int64
+	ResidentPanels  int
+	ResidentBytes   int64
+}
+
+// PanelCacheStats aggregates operand-panel cache effectiveness across a
+// session's workers: how many handshake probes hit, and how many operand
+// bytes residency kept off the wire versus how many still moved.
+type PanelCacheStats struct {
+	PanelHits, PanelMisses  int64
+	ASentBytes, ASavedBytes int64
+	BSentBytes, BSavedBytes int64
+	ResidentBytes           int64 // panel bytes believed resident fleet-wide
 }
 
 // SessionStats is a session's live view of its fleet.
@@ -329,7 +386,11 @@ type SessionStats struct {
 	// estimates and re-plans span every client's jobs, which is exactly
 	// what makes them useful.
 	Replans int
-	Workers []WorkerStats
+	// PanelCache totals operand-panel caching (nil when the runtime does
+	// not cache: InProcess, WithPanelCache(false), or a non-caching
+	// daemon). Remote reports the daemon's fleet-wide totals.
+	PanelCache *PanelCacheStats
+	Workers    []WorkerStats
 }
 
 // statser is implemented by runtime sessions that can report SessionStats.

@@ -1,0 +1,156 @@
+package matmul
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+)
+
+// Operand is an installed operand handle: a blocked matrix registered with a
+// Session under content addresses (one digest per A row-panel and B
+// column-panel, computed lazily and memoized). Submitting the same Operand
+// to many jobs lets caching runtimes recognize the operand on the wire —
+// worker daemons keep recently installed panels, so a resident panel is
+// never re-transferred, and the mmserve daemon routes jobs toward workers
+// already holding the bits.
+//
+// The handle borrows the matrix: the caller must not mutate it between
+// Install and the last job using the handle, because the digests are content
+// addresses — stale ones would make workers reuse the wrong panels. Handles
+// are ref-counted: Install returns one reference, every running job holds
+// another, and Release drops the caller's; a released handle rejects further
+// Submits while in-flight jobs finish safely.
+type Operand struct {
+	sess *Session
+	mat  *Matrix
+
+	rowOnce, colOnce sync.Once
+	rows, cols       []cache.Digest
+
+	mu       sync.Mutex
+	refs     int
+	released bool // the caller's reference is gone; refs may still be >0 mid-job
+}
+
+// Install registers m with the session and returns its operand handle. The
+// digests are computed on first use, so installing is cheap; the cost of
+// hashing each role (A rows, B columns) is paid once per handle instead of
+// once per Submit. Works on every runtime — a runtime without a panel cache
+// simply never asks for the digests.
+func (s *Session) Install(ctx context.Context, m *Matrix) (*Operand, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("matmul: install needs a matrix")
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("matmul: session is closed")
+	}
+	return &Operand{sess: s, mat: m, refs: 1}, nil
+}
+
+// Matrix returns the operand's underlying blocked matrix.
+func (o *Operand) Matrix() *Matrix { return o.mat }
+
+// Release drops the caller's reference. Jobs already submitted with the
+// handle keep their own references and finish unaffected; new Submits with
+// the handle fail. Releasing twice is an error.
+func (o *Operand) Release() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.released {
+		return fmt.Errorf("matmul: operand released twice")
+	}
+	o.released = true
+	o.refs--
+	return nil
+}
+
+// retain takes a job's reference for the duration of one run.
+func (o *Operand) retain() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.released {
+		return fmt.Errorf("matmul: operand was released")
+	}
+	o.refs++
+	return nil
+}
+
+// unref drops a job's reference.
+func (o *Operand) unref() {
+	o.mu.Lock()
+	o.refs--
+	o.mu.Unlock()
+}
+
+// rowPanels returns the digest of each row-panel (the operand in A
+// position), hashing on first use.
+func (o *Operand) rowPanels() []cache.Digest {
+	o.rowOnce.Do(func() {
+		o.rows = make([]cache.Digest, o.mat.Rows)
+		for i := range o.rows {
+			o.rows[i] = cache.RowPanelDigest(o.mat, i)
+		}
+	})
+	return o.rows
+}
+
+// colPanels returns the digest of each column-panel (the operand in B
+// position), hashing on first use.
+func (o *Operand) colPanels() []cache.Digest {
+	o.colOnce.Do(func() {
+		o.cols = make([]cache.Digest, o.mat.Cols)
+		for j := range o.cols {
+			o.cols[j] = cache.ColPanelDigest(o.mat, j)
+		}
+	})
+	return o.cols
+}
+
+// jobPanels assembles one job's panel-digest set from its operand handles.
+func jobPanels(a, b *Operand) *cache.JobPanels {
+	return &cache.JobPanels{
+		T: a.mat.Cols, Q: a.mat.Q,
+		ARows: a.rowPanels(), BCols: b.colPanels(),
+	}
+}
+
+// operandOf resolves one Submit argument: an installed handle is used as-is
+// (verified against this session and retained for the job); a plain matrix
+// is wrapped transparently in a transient handle, so callers that never
+// Install still ride the same code path — and still benefit from worker-side
+// caching, since equal content hashes to equal digests either way.
+func (s *Session) operandOf(v any, role string) (*Operand, func(), error) {
+	switch x := v.(type) {
+	case *Operand:
+		if x == nil {
+			return nil, nil, fmt.Errorf("matmul: submit needs %s", role)
+		}
+		if x.sess != s {
+			return nil, nil, fmt.Errorf("matmul: operand %s was installed on a different session", role)
+		}
+		if err := x.retain(); err != nil {
+			return nil, nil, fmt.Errorf("matmul: operand %s: %w", role, err)
+		}
+		return x, x.unref, nil
+	case *Matrix:
+		if x == nil {
+			return nil, nil, fmt.Errorf("matmul: submit needs %s", role)
+		}
+		return &Operand{sess: s, mat: x, refs: 1}, func() {}, nil
+	case nil:
+		return nil, nil, fmt.Errorf("matmul: submit needs %s", role)
+	default:
+		return nil, nil, fmt.Errorf("matmul: %s must be a *matmul.Matrix or an installed *matmul.Operand, not %T", role, v)
+	}
+}

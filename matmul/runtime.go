@@ -57,9 +57,11 @@ type Runtime interface {
 // runtimeSession is one opened runtime: it executes submitted jobs and is
 // closed exactly once, after every job goroutine has unwound.
 type runtimeSession interface {
-	// run executes one product under ctx, updating c in place. It reports
+	// run executes one product under ctx, updating c in place. a and b are
+	// operand handles (installed or transient; see Session.operandOf) so a
+	// caching runtime can reach their memoized panel digests. It reports
 	// cancellation as an error wrapping context.Canceled.
-	run(ctx context.Context, j *Job, a, b, c *Matrix) error
+	run(ctx context.Context, j *Job, a, b *Operand, c *Matrix) error
 	close() error
 }
 
@@ -73,6 +75,9 @@ type inProcessRuntime struct{}
 func (inProcessRuntime) open(_ context.Context, cfg *config) (runtimeSession, error) {
 	if cfg.setShutdown {
 		return nil, fmt.Errorf("matmul: WithWorkerShutdown applies to the Distributed runtime only; there are no worker daemons in-process")
+	}
+	if cfg.setPanelCache {
+		return nil, fmt.Errorf("matmul: WithPanelCache applies to runtimes with a wire (Distributed, Remote); in-process workers share the operands already")
 	}
 	pl := cfg.platform
 	if pl == nil {
@@ -103,7 +108,8 @@ type inProcessSession struct {
 	replans atomic.Int32
 }
 
-func (s *inProcessSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
+func (s *inProcessSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c *Matrix) error {
+	a, b := ah.mat, bh.mat
 	plan, err := schedule(s.cfg, s.pl, a, c)
 	if err != nil {
 		return err
@@ -191,7 +197,8 @@ type distributedSession struct {
 	broken error              // first failed run; the links are tainted after it
 }
 
-func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) error {
+func (s *distributedSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c *Matrix) error {
+	a, b := ah.mat, bh.mat
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -210,6 +217,13 @@ func (s *distributedSession) run(ctx context.Context, _ *Job, a, b, c *Matrix) e
 	plan, err := schedule(s.cfg, pl, a, c)
 	if err != nil {
 		return err
+	}
+	if s.cfg.panelCache {
+		// Open the job's cache epoch over the shared links (the sem makes
+		// jobs sequential, so epochs cannot interleave): worker daemons that
+		// kept these operands' panels from an earlier job skip the transfers.
+		s.m.BeginJob(jobPanels(ah, bh))
+		defer s.m.EndJob()
 	}
 	switch {
 	case s.tracker != nil:
@@ -284,7 +298,31 @@ func (s *distributedSession) stats(context.Context) (SessionStats, error) {
 	s.mu.Lock()
 	pl := s.pl
 	s.mu.Unlock()
-	return statsFromTracker(pl, s.tracker, int(s.replans.Load())), nil
+	st := statsFromTracker(pl, s.tracker, int(s.replans.Load()))
+	if s.cfg.panelCache {
+		// The session drives one master for its whole life, so the per-link
+		// counters are already session totals.
+		tot := &PanelCacheStats{}
+		for i, ws := range s.m.CacheStats() {
+			if i < len(st.Workers) {
+				w := &st.Workers[i]
+				w.CacheHits, w.CacheMisses = ws.PanelHits, ws.PanelMisses
+				w.CacheSentBytes = ws.ASentBytes + ws.BSentBytes
+				w.CacheSavedBytes = ws.ASavedBytes + ws.BSavedBytes
+				w.ResidentPanels = int(ws.ResidentPanels)
+				w.ResidentBytes = ws.ResidentBytes
+			}
+			tot.PanelHits += ws.PanelHits
+			tot.PanelMisses += ws.PanelMisses
+			tot.ASentBytes += ws.ASentBytes
+			tot.ASavedBytes += ws.ASavedBytes
+			tot.BSentBytes += ws.BSentBytes
+			tot.BSavedBytes += ws.BSavedBytes
+			tot.ResidentBytes += ws.ResidentBytes
+		}
+		st.PanelCache = tot
+	}
+	return st, nil
 }
 
 func (s *distributedSession) close() error {
@@ -338,13 +376,28 @@ func (r remoteRuntime) open(_ context.Context, cfg *config) (runtimeSession, err
 			return nil, err
 		}
 	}
-	return &remoteSession{addr: r.addr}, nil
+	return &remoteSession{addr: r.addr, cacheOn: cfg.panelCache}, nil
 }
 
-type remoteSession struct{ addr string }
+type remoteSession struct {
+	addr    string
+	cacheOn bool
+}
 
-func (s *remoteSession) run(ctx context.Context, j *Job, a, b, c *Matrix) error {
-	out, id, err := serve.SubmitProductContext(ctx, s.addr, a, b, c)
+func (s *remoteSession) run(ctx context.Context, j *Job, ah, bh *Operand, c *Matrix) error {
+	a, b := ah.mat, bh.mat
+	var out *Matrix
+	var id uint64
+	var err error
+	if s.cacheOn {
+		// Ship the operands' digests with the blocks so the daemon can route
+		// by affinity and its workers can skip resident panels — without
+		// re-hashing A and B server-side. Installed handles make this nearly
+		// free on every submission after the first.
+		out, id, err = serve.SubmitProductPanels(ctx, s.addr, a, b, c, jobPanels(ah, bh))
+	} else {
+		out, id, err = serve.SubmitProductContext(ctx, s.addr, a, b, c)
+	}
 	if id != 0 {
 		j.setRemoteID(id)
 	}
@@ -369,6 +422,14 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 		return SessionStats{}, err
 	}
 	st := SessionStats{Adaptive: ds.Adaptive}
+	if dc := ds.Cache; dc != nil {
+		st.PanelCache = &PanelCacheStats{
+			PanelHits: dc.PanelHits, PanelMisses: dc.PanelMisses,
+			ASentBytes: dc.ASentBytes, ASavedBytes: dc.ASavedBytes,
+			BSentBytes: dc.BSentBytes, BSavedBytes: dc.BSavedBytes,
+			ResidentBytes: dc.ResidentBytes,
+		}
+	}
 	for _, w := range ds.Workers {
 		ws := WorkerStats{Name: w.Name, Spec: w.Spec, Samples: w.Samples}
 		if ws.Name == "" {
@@ -378,6 +439,9 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 			ws.CPerBlock = time.Duration(w.EstC * float64(time.Millisecond))
 			ws.WPerUpdate = time.Duration(w.EstW * float64(time.Millisecond))
 		}
+		ws.CacheHits, ws.CacheMisses = w.CacheHits, w.CacheMisses
+		ws.CacheSentBytes, ws.CacheSavedBytes = w.SentBytes, w.SavedBytes
+		ws.ResidentPanels, ws.ResidentBytes = w.ResidentPanels, w.ResidentBytes
 		st.Workers = append(st.Workers, ws)
 	}
 	for _, js := range ds.Jobs {

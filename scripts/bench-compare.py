@@ -13,9 +13,16 @@ Every other shared benchmark is reported informationally; macro benchmarks
 (figure reproductions, service throughput) are too machine- and
 benchtime-sensitive to gate on a snapshot produced elsewhere.
 
+A third check, --require SUBSTR:METRIC:MIN, gates a custom b.ReportMetric
+value from the FRESH run alone (no baseline involved): machine-independent
+ratios like the affinity benchmark's a_saved_frac — the fraction of A-panel
+bytes the operand cache kept off the wire — are stable enough to hold to an
+absolute floor even though the surrounding ns/op is not.
+
 Usage:
     scripts/bench-compare.py FRESH.json [BASELINE.json]
         [--threshold 0.25] [--gate BlockMulAdd,CodecReadBlock]
+        [--require 'AffinityThroughput/cache=on:a_saved_frac:0.5']
 
 With no BASELINE, the highest-numbered BENCH_<N>.json in the repo root is
 used. Exit status: 0 clean, 1 regression, 2 usage/data error.
@@ -68,6 +75,9 @@ def main():
                     help="relative ns/op regression that fails a gated benchmark (default 0.25)")
     ap.add_argument("--gate", default="BlockMulAdd,CodecReadBlock",
                     help="comma-separated substrings of benchmark names to gate (default: the zero-alloc pair)")
+    ap.add_argument("--require", action="append", default=[], metavar="SUBSTR:METRIC:MIN",
+                    help="fail unless a fresh benchmark whose name contains SUBSTR reports "
+                         "METRIC, and every such value is >= MIN (fresh-run-only check)")
     args = ap.parse_args()
 
     root = pathlib.Path(__file__).resolve().parent.parent
@@ -77,7 +87,7 @@ def main():
     gates = [g.strip() for g in args.gate.split(",") if g.strip()]
 
     shared = sorted(set(fresh) & set(base))
-    if not shared:
+    if not shared and not args.require:
         sys.exit("bench-compare: no shared benchmarks between fresh run and baseline")
 
     failures = []
@@ -104,6 +114,21 @@ def main():
                                 "(zero-alloc benchmark; any growth is a regression)")
 
         print(line + (": " + ", ".join(checks) if checks else ""))
+
+    for req in args.require:
+        try:
+            sub, metric, minv = req.rsplit(":", 2)
+            minv = float(minv)
+        except ValueError:
+            sys.exit(f"bench-compare: bad --require {req!r} (want SUBSTR:METRIC:MIN)")
+        hits = {n: v[metric] for n, v in fresh.items() if sub in n and metric in v}
+        if not hits:
+            failures.append(f"--require {req}: no fresh benchmark matching {sub!r} reports {metric}")
+        for name, val in sorted(hits.items()):
+            ok = val >= minv
+            print(f"  REQ  {name}: {metric} = {val:g} (min {minv:g}) {'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(f"{name}: {metric} = {val:g} below required minimum {minv:g}")
 
     missing = [n for n in base if n not in fresh and any(g in n for g in gates)]
     for name in missing:
