@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/matmul"
@@ -135,7 +136,7 @@ func run(ctx context.Context, o options) error {
 	if o.pipelined {
 		executor = "pipelined"
 	}
-	fmt.Printf("running %s via matmul.Session (%s, %s executor)\n", o.alg, runtime, executor)
+	fmt.Printf("running %s via matmul.Session (%s, %s executor, kernel %s)\n", o.alg, runtime, executor, kernel.Name())
 	start := time.Now()
 	job, err := sess.Submit(ctx, a, b, c)
 	if err != nil {

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -162,7 +163,7 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	unhook := context.AfterFunc(ctx, func() { ln.Close() })
 	defer unhook()
 
-	logf("mmserve: daemon on %s, fleet of %d workers, algorithm %s", ln.Addr(), len(addrs), scheduler.Name())
+	logf("mmserve: daemon on %s, fleet of %d workers, algorithm %s, kernel %s", ln.Addr(), len(addrs), scheduler.Name(), kernel.Name())
 	err = srv.ListenAndServe(ln)
 	if ctx.Err() != nil {
 		logf("mmserve: signal received; draining jobs and releasing the fleet")
@@ -243,8 +244,14 @@ func runStatus(ctx context.Context, o options) error {
 	}
 	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled (%s scheduling)\n",
 		st.Queued, st.Running, st.Done, st.Failed, st.Canceled, mode)
+	if st.Kernel != "" {
+		fmt.Printf("daemon kernel: %s\n", st.Kernel)
+	}
 	for _, w := range st.Workers {
 		line := fmt.Sprintf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
+		if w.Kernel != "" {
+			line += " kernel=" + w.Kernel
+		}
 		if w.Samples > 0 {
 			// Live measured estimates: what the adaptive scheduler actually
 			// plans with, as opposed to the declared spec to its left.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/kernel"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	mmserve "repro/internal/serve"
@@ -153,7 +154,7 @@ func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessi
 		}
 	}
 	if !quiet {
-		fmt.Printf("worker %s serving on %s\n", name, ln.Addr())
+		fmt.Printf("worker %s serving on %s (kernel %s)\n", name, ln.Addr(), kernel.Name())
 	}
 	if sessions <= 0 {
 		return mmnet.Serve(ln, name, opts)

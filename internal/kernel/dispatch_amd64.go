@@ -1,0 +1,83 @@
+package kernel
+
+// The avx2 kernel is the 8×4 register tile the pure-Go kernels cannot afford
+// (32 float64 locals spill; see tiled.go): one YMM register holds four C
+// columns of a row, eight accumulator registers hold the tile, each k step
+// loads one b vector and broadcasts eight a scalars. Multiplies and adds are
+// deliberately UNFUSED (vmulpd then vaddpd, never vfmadd) so each C element
+// sees the same intermediate rounding as the scalar kernels and the
+// cross-kernel bitwise contract holds.
+//
+// The assembly covers the complete 8-row × 4-column tiles; the ragged right
+// and bottom edges (q not a multiple of the tile) run through the same scalar
+// tail as the tiled kernel. The default q=80 has no edges at all.
+
+// mulAddAVX2 updates the full-tile region of c: rows [0,qi) × cols [0,qj),
+// qi a positive multiple of 8 and qj a positive multiple of 4, with the
+// complete ascending-k contribution. Implemented in muladd_amd64.s.
+//
+//go:noescape
+func mulAddAVX2(c, a, b *float64, q, qi, qj int)
+
+// mulSubAVX2 is mulAddAVX2 with subtraction.
+//
+//go:noescape
+func mulSubAVX2(c, a, b *float64, q, qi, qj int)
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0, the OS-enabled extended-state mask. Only valid when
+// CPUID reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+var avx2Kernel = &Kernel{Name: "avx2", MulAdd: avx2MulAdd, MulSub: avx2MulSub}
+
+func avx2MulAdd(c, a, b []float64, q int) {
+	qi, qj := q&^7, q&^3
+	if qi > 0 && qj > 0 {
+		mulAddAVX2(&c[0], &a[0], &b[0], q, qi, qj)
+	}
+	tailMulAdd(c, a, b, q, qi, q, 0, q)
+	tailMulAdd(c, a, b, q, 0, qi, qj, q)
+}
+
+func avx2MulSub(c, a, b []float64, q int) {
+	qi, qj := q&^7, q&^3
+	if qi > 0 && qj > 0 {
+		mulSubAVX2(&c[0], &a[0], &b[0], q, qi, qj)
+	}
+	tailMulSub(c, a, b, q, qi, q, 0, q)
+	tailMulSub(c, a, b, q, 0, qi, qj, q)
+}
+
+// archKernels contributes the assembly kernels this CPU can run, best first.
+func archKernels() []*Kernel {
+	if hasAVX2() {
+		return []*Kernel{avx2Kernel}
+	}
+	return nil
+}
+
+// hasAVX2 is the hand-rolled CPUID probe (the module is dependency-free, so
+// no golang.org/x/sys/cpu): AVX2 instructions present, and — the part naive
+// probes skip — the OS actually saving YMM state across context switches.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE state) and 2 (AVX upper-halves state) must both be
+	// OS-enabled, or executing a VEX-256 instruction faults.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // EBX bit 5: AVX2
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernel
+
+// archKernels contributes assembly kernels on architectures that have them;
+// everywhere else the pure-Go kernels carry the load.
+func archKernels() []*Kernel { return nil }

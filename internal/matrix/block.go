@@ -4,10 +4,13 @@
 // partitioned into stripes of such blocks, and the multiply-add kernel
 // C ← C + A·B that stands in for dgemm.
 //
-// Everything is pure Go. The kernel is written so that real-execution paths
-// (internal/engine, internal/cluster) perform genuine floating-point work with
-// the same q³ operation count per block update that the paper's model charges
-// as one w_i time unit.
+// The block-update kernels MulAdd and MulSub delegate to internal/kernel,
+// which selects the fastest implementation for the host CPU at startup
+// (register-blocked pure Go everywhere, AVX2 assembly on capable amd64) while
+// guaranteeing bitwise-identical results across implementations. Real
+// execution paths (internal/engine, internal/cluster) therefore perform
+// genuine floating-point work with the same q³ operation count per block
+// update that the paper's model charges as one w_i time unit.
 package matrix
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/kernel"
 )
 
 // DefaultQ is the default block edge. The paper uses q = 80 or 100 "on most
@@ -50,9 +55,7 @@ func (b *Block) Clone() *Block {
 
 // Zero clears the block in place.
 func (b *Block) Zero() {
-	for i := range b.Data {
-		b.Data[i] = 0
-	}
+	clear(b.Data)
 }
 
 // FillRandom fills the block with uniform values in [-1, 1) from rng.
@@ -67,8 +70,12 @@ func (b *Block) Equal(o *Block, tol float64) bool {
 	if o == nil || b.Q != o.Q {
 		return false
 	}
-	for i := range b.Data {
-		if d := b.Data[i] - o.Data[i]; d > tol || d < -tol {
+	// Re-slicing od to len(x) eliminates the second bounds check so the loop
+	// vectorizes down to compare-and-branch per lane pair.
+	x := b.Data
+	od := o.Data[:len(x)]
+	for i := range x {
+		if d := x[i] - od[i]; d > tol || d < -tol {
 			return false
 		}
 	}
@@ -81,9 +88,15 @@ func (b *Block) MaxAbsDiff(o *Block) float64 {
 	if b.Q != o.Q {
 		panic(fmt.Sprintf("matrix: MaxAbsDiff shape mismatch %d vs %d", b.Q, o.Q))
 	}
+	// Compare-and-assign instead of math.Max: Max is a call with ±0/NaN
+	// semantics this reduction does not need, and Abs is an intrinsic.
+	x := b.Data
+	od := o.Data[:len(x)]
 	m := 0.0
-	for i := range b.Data {
-		m = math.Max(m, math.Abs(b.Data[i]-o.Data[i]))
+	for i := range x {
+		if d := math.Abs(x[i] - od[i]); d > m {
+			m = d
+		}
 	}
 	return m
 }
@@ -91,66 +104,29 @@ func (b *Block) MaxAbsDiff(o *Block) float64 {
 // MulAdd performs the block update c ← c + a·b. This is the q³ kernel the
 // model charges as one block update (w_i time units on worker i).
 //
-// The loop nest is ikj so the inner loop streams rows of b and c with unit
-// stride; a[i,k] is hoisted into a register. The inner loop is unrolled
-// 4-wide, which keeps four independent multiply-add chains in flight;
-// per-element accumulation order is unchanged (each c element still receives
-// its k-contributions in ascending k), so results stay bitwise-identical to
-// the rolled loop. An earlier version skipped k when a[i,k] == 0; on the
-// dense random blocks of the engine's steady state the branch is never taken
-// and only costs. Measured on a 2.10 GHz Xeon, q=80, zero-free data:
-// 426µs/op rolled with the branch, 394µs/op rolled without it, ~255µs/op
-// unrolled with the bounds checks eliminated (~40% faster end to end);
-// 0 allocs/op throughout. (The previous benchmark data contained 14% exact
-// zeros, which flattered the branch.)
+// The work is delegated to the kernel implementation internal/kernel selected
+// for the host CPU at startup (overridable with MATMUL_KERNEL). All kernels
+// apply the identical per-element operation sequence — contributions in
+// ascending k, one unfused multiply then one add — so the result is bitwise
+// independent of which kernel, and therefore which worker machine, applied
+// the update.
 func MulAdd(c, a, b *Block) {
 	if c.Q != a.Q || c.Q != b.Q {
 		panic(fmt.Sprintf("matrix: MulAdd shape mismatch c=%d a=%d b=%d", c.Q, a.Q, b.Q))
 	}
-	q := c.Q
-	for i := 0; i < q; i++ {
-		ci := c.Data[i*q : (i+1)*q]
-		ai := a.Data[i*q : (i+1)*q]
-		for k := 0; k < q; k++ {
-			aik := ai[k]
-			// Re-slicing to len(ci) tells the compiler both rows share one
-			// length, eliminating the ci bounds checks in the unrolled body.
-			bk := b.Data[k*q : (k+1)*q][:len(ci)]
-			j := 0
-			for ; j+4 <= len(bk); j += 4 {
-				ci[j] += aik * bk[j]
-				ci[j+1] += aik * bk[j+1]
-				ci[j+2] += aik * bk[j+2]
-				ci[j+3] += aik * bk[j+3]
-			}
-			for ; j < len(bk); j++ {
-				ci[j] += aik * bk[j]
-			}
-		}
-	}
+	kernel.MulAdd(c.Data, a.Data, b.Data, c.Q)
 }
 
 // MulSub performs the block update c ← c − a·b, the trailing-update kernel of
-// blocked LU factorization. Same loop nest as MulAdd.
+// blocked LU factorization. Same kernel dispatch as MulAdd. (An earlier
+// version open-coded a rolled ikj loop that skipped k when a[i,k] == 0; on
+// the dense random blocks of the engine's steady state the branch is never
+// taken and only costs, so the kernels drop it.)
 func MulSub(c, a, b *Block) {
 	if c.Q != a.Q || c.Q != b.Q {
 		panic(fmt.Sprintf("matrix: MulSub shape mismatch c=%d a=%d b=%d", c.Q, a.Q, b.Q))
 	}
-	q := c.Q
-	for i := 0; i < q; i++ {
-		ci := c.Data[i*q : (i+1)*q]
-		ai := a.Data[i*q : (i+1)*q]
-		for k := 0; k < q; k++ {
-			aik := ai[k]
-			if aik == 0 {
-				continue
-			}
-			bk := b.Data[k*q : (k+1)*q]
-			for j := range ci {
-				ci[j] -= aik * bk[j]
-			}
-		}
-	}
+	kernel.MulSub(c.Data, a.Data, b.Data, c.Q)
 }
 
 // MulAddRef is a deliberately naive ijk triple loop used as an independent

@@ -1,0 +1,102 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzBlock builds a q×q block whose elements are the raw float64 bit
+// patterns carried in data (cycled and padded when short). Negative zeros,
+// denormals and infinities all stay: IEEE-754 multiply and add treat them
+// deterministically, so they are part of the bitwise contract — including
+// NaNs the arithmetic itself produces (0·∞, ∞−∞ yield the one indefinite
+// QNaN). Only NaN *inputs* are bent finite (clearing an exponent bit): which
+// operand's payload an add propagates follows instruction operand order,
+// which the contract deliberately does not pin.
+func fuzzBlock(q int, data []byte, off int) *Block {
+	b := NewBlock(q)
+	for i := range b.Data {
+		var word [8]byte
+		for j := range word {
+			if len(data) > 0 {
+				word[j] = data[(off+8*i+j)%len(data)]
+			}
+		}
+		bits := binary.LittleEndian.Uint64(word[:])
+		if v := math.Float64frombits(bits); v != v {
+			bits &^= 1 << 62
+		}
+		b.Data[i] = math.Float64frombits(bits)
+	}
+	return b
+}
+
+// FuzzMulAdd feeds arbitrary operand bit patterns through the dispatched
+// MulAdd/MulSub and cross-checks both against the naive oracle bitwise —
+// the fuzzing counterpart of internal/kernel's fixed-edge suites.
+func FuzzMulAdd(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(4), []byte{0x3f, 0xf0, 0, 0, 0, 0, 0, 0, 0x80, 0x01})
+	f.Add(uint8(7), []byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0}) // +Inf seed
+	f.Add(uint8(12), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, qSeed uint8, data []byte) {
+		q := 1 + int(qSeed)%13
+		a := fuzzBlock(q, data, 0)
+		b := fuzzBlock(q, data, 3)
+		c0 := fuzzBlock(q, data, 5)
+
+		got, want := c0.Clone(), c0.Clone()
+		MulAdd(got, a, b)
+		MulAddRef(want, a, b)
+		for i := range want.Data {
+			if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+				t.Fatalf("q=%d: MulAdd element %d: ref %x, kernel %x",
+					q, i, math.Float64bits(want.Data[i]), math.Float64bits(got.Data[i]))
+			}
+		}
+
+		got, want = c0.Clone(), c0.Clone()
+		MulSub(got, a, b)
+		mulSubRef(want, a, b)
+		for i := range want.Data {
+			if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+				t.Fatalf("q=%d: MulSub element %d: ref %x, kernel %x",
+					q, i, math.Float64bits(want.Data[i]), math.Float64bits(got.Data[i]))
+			}
+		}
+	})
+}
+
+// mulSubRef is the naive ijk oracle for MulSub, mirroring MulAddRef.
+func mulSubRef(c, a, b *Block) {
+	q := c.Q
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			s := c.Data[i*q+j]
+			for k := 0; k < q; k++ {
+				s -= a.Data[i*q+k] * b.Data[k*q+j]
+			}
+			c.Data[i*q+j] = s
+		}
+	}
+}
+
+// TestMulSubMatchesNaive pins the dispatched MulSub to the oracle bitwise on
+// the edges MulAdd's sibling test sweeps (the dense-path rewrite dropped the
+// old aik==0 skip branch; results must not move at all).
+func TestMulSubMatchesNaive(t *testing.T) {
+	for _, q := range []int{1, 2, 3, 8, 17, 32, 80} {
+		a := fuzzBlock(q, []byte{0x13, 0x57, 0x9b, 0xdf, 0x24, 0x68, 0xac}, 0)
+		b := fuzzBlock(q, []byte{0x31, 0x41, 0x59, 0x26, 0x53, 0x58, 0x97, 0x93}, 1)
+		c1 := fuzzBlock(q, []byte{0x27, 0x18, 0x28, 0x18, 0x28, 0x45}, 2)
+		c2 := c1.Clone()
+		MulSub(c1, a, b)
+		mulSubRef(c2, a, b)
+		for i := range c1.Data {
+			if math.Float64bits(c1.Data[i]) != math.Float64bits(c2.Data[i]) {
+				t.Fatalf("q=%d: MulSub deviates from oracle at element %d", q, i)
+			}
+		}
+	}
+}

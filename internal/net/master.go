@@ -57,6 +57,7 @@ type link struct {
 	rd        *bufio.Reader
 	wr        *bufio.Writer
 	name      string
+	kernel    string // block-update kernel the worker announced at registration
 	heartbeat time.Duration
 	enc, dec  matrix.BlockCodec
 	abBuf     []*matrix.Block // SendAB concatenation scratch, reused per send
@@ -117,7 +118,7 @@ func DialWorkerContext(ctx context.Context, addr string, opts *MasterOptions) (*
 	// Clear both directions: a cancellation that raced a successful
 	// registration may have left an expired write deadline behind.
 	conn.SetDeadline(time.Time{})
-	l.name, l.heartbeat = hello.Name, hello.Heartbeat
+	l.name, l.kernel, l.heartbeat = hello.Name, hello.Kernel, hello.Heartbeat
 	return &WorkerConn{l: l, opts: o}, nil
 }
 
@@ -133,6 +134,10 @@ func deadlineWithin(ctx context.Context, d time.Duration) time.Time {
 
 // Name returns the name the worker announced at registration.
 func (wc *WorkerConn) Name() string { return wc.l.name }
+
+// Kernel returns the block-update kernel the worker announced at
+// registration; empty for workers predating the kernel field.
+func (wc *WorkerConn) Kernel() string { return wc.l.kernel }
 
 // Alive reports whether the connection has not been closed or retired.
 func (wc *WorkerConn) Alive() bool { return wc.l.conn != nil }
@@ -406,6 +411,17 @@ func (m *Master) WorkerNames() []string {
 		names[i] = l.name
 	}
 	return names
+}
+
+// WorkerKernels returns the block-update kernel each registered worker
+// announced, in plan-index order ("" for workers predating the field).
+func (m *Master) WorkerKernels() []string {
+	links := m.linkSnapshot()
+	kernels := make([]string, len(links))
+	for i, l := range links {
+		kernels[i] = l.kernel
+	}
+	return kernels
 }
 
 // Workers implements engine.Backend.

@@ -87,6 +87,7 @@ type PanelRef struct {
 type Msg struct {
 	Kind      MsgKind
 	Name      string        // Hello: worker name
+	Kernel    string        // Hello: worker's selected block-update kernel
 	Heartbeat time.Duration // Hello: interval at which the worker will beat
 	Chunk     matrix.Chunk  // Chunk / Install / InstallD / Flush / Result
 	K0, K1    int           // Install / InstallD: inner panel range [K0, K1)
@@ -156,7 +157,10 @@ func payloadLen(m *Msg) (int, error) {
 		if len(m.Name) > maxNameLen {
 			return 0, fmt.Errorf("net: worker name %d bytes long", len(m.Name))
 		}
-		return 6 + len(m.Name), nil
+		if len(m.Kernel) > maxNameLen {
+			return 0, fmt.Errorf("net: kernel name %d bytes long", len(m.Kernel))
+		}
+		return 6 + len(m.Name) + 2 + len(m.Kernel), nil
 	case MsgChunk, MsgResult:
 		return 16 + blocksLen(), nil
 	case MsgInstall:
@@ -267,6 +271,14 @@ func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
 		}
 		if _, err := io.WriteString(w, m.Name); err != nil {
 			return fmt.Errorf("net: write hello name: %w", err)
+		}
+		var kl [2]byte
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(m.Kernel)))
+		if _, err := w.Write(kl[:]); err != nil {
+			return fmt.Errorf("net: write hello kernel: %w", err)
+		}
+		if _, err := io.WriteString(w, m.Kernel); err != nil {
+			return fmt.Errorf("net: write hello kernel: %w", err)
 		}
 	case MsgChunk, MsgResult:
 		if err := putChunk(w, m.Chunk); err != nil {
@@ -389,6 +401,23 @@ func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
 			break
 		}
 		m.Name = string(name)
+		// The kernel field is a later addition: a hello that ends here came
+		// from a pre-kernel worker, so leave Kernel empty rather than erroring.
+		if buf.N > 0 {
+			var kl [2]byte
+			if _, err = io.ReadFull(buf, kl[:]); err != nil {
+				break
+			}
+			kernelLen := int(binary.LittleEndian.Uint16(kl[:]))
+			if kernelLen > maxNameLen {
+				return nil, fmt.Errorf("net: hello kernel name %d bytes long", kernelLen)
+			}
+			kn := make([]byte, kernelLen)
+			if _, err = io.ReadFull(buf, kn); err != nil {
+				break
+			}
+			m.Kernel = string(kn)
+		}
 	case MsgChunk, MsgResult:
 		if m.Chunk, err = getChunk(buf); err != nil {
 			break

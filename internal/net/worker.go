@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 )
 
@@ -151,7 +152,7 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 	}
 
 	hb := opts.heartbeat()
-	if err := write(&Msg{Kind: MsgHello, Name: name, Heartbeat: hb}); err != nil {
+	if err := write(&Msg{Kind: MsgHello, Name: name, Kernel: kernel.Name(), Heartbeat: hb}); err != nil {
 		return fmt.Errorf("net: worker %s: register: %w", name, err)
 	}
 	stop := make(chan struct{})

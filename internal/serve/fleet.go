@@ -85,6 +85,7 @@ type Fleet struct {
 	conns    []*mmnet.WorkerConn // non-nil iff state == StateIdle
 	state    []WorkerState
 	names    []string // last registered name per worker ("" before first contact)
+	kernels  []string // last registered block-update kernel per worker
 	jobs     []int    // completed leases per worker, for metrics
 	dialing  []bool   // a re-dial is in flight outside the lock
 	pinging  []bool   // borrowed by the keepalive loop, not by a job
@@ -125,11 +126,14 @@ func (f *Fleet) downLocked(i int) {
 // live measured costs in milliseconds, zero until the worker's first
 // observed job.
 type WorkerMetric struct {
-	Addr  string          `json:"addr"`
-	Name  string          `json:"name,omitempty"`
-	Spec  platform.Worker `json:"spec"`
-	State string          `json:"state"`
-	Jobs  int             `json:"jobs"`
+	Addr string `json:"addr"`
+	Name string `json:"name,omitempty"`
+	// Kernel is the block-update kernel the worker announced at registration
+	// (generic, tiled, avx2, ...), empty before first contact.
+	Kernel string          `json:"kernel,omitempty"`
+	Spec   platform.Worker `json:"spec"`
+	State  string          `json:"state"`
+	Jobs   int             `json:"jobs"`
 	// EstC/EstW are the measured per-block link cost and per-update compute
 	// cost (ms), EWMA over observed jobs; Samples counts the observations.
 	EstC    float64 `json:"est_c_ms,omitempty"`
@@ -176,6 +180,7 @@ func NewFleet(addrs []string, specs []platform.Worker, opts FleetOptions) (*Flee
 		conns:    make([]*mmnet.WorkerConn, len(addrs)),
 		state:    make([]WorkerState, len(addrs)),
 		names:    make([]string, len(addrs)),
+		kernels:  make([]string, len(addrs)),
 		jobs:     make([]int, len(addrs)),
 		dialing:  make([]bool, len(addrs)),
 		pinging:  make([]bool, len(addrs)),
@@ -206,7 +211,8 @@ func (f *Fleet) redialLocked(i int) bool {
 		f.opts.logf("fleet: worker %d (%s) down: %v", i, f.addrs[i], err)
 		return false
 	}
-	f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+	f.conns[i], f.state[i] = wc, StateIdle
+	f.names[i], f.kernels[i] = wc.Name(), wc.Kernel()
 	return true
 }
 
@@ -283,12 +289,14 @@ func (f *Fleet) Add(addr string, spec platform.Worker) (int, error) {
 	f.conns = append(f.conns, nil)
 	f.state = append(f.state, StateDown)
 	f.names = append(f.names, "")
+	f.kernels = append(f.kernels, "")
 	f.jobs = append(f.jobs, 0)
 	f.dialing = append(f.dialing, false)
 	f.pinging = append(f.pinging, false)
 	f.lastDial = append(f.lastDial, time.Now())
 	if wc != nil {
-		f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+		f.conns[i], f.state[i] = wc, StateIdle
+		f.names[i], f.kernels[i] = wc.Name(), wc.Kernel()
 	}
 	f.mu.Unlock()
 	if err != nil {
@@ -386,7 +394,8 @@ func (f *Fleet) redial(i int) {
 	case closed || f.state[i] != StateDown:
 		// The fleet closed (or the slot changed hands) while we dialed.
 	default:
-		f.conns[i], f.state[i], f.names[i] = wc, StateIdle, wc.Name()
+		f.conns[i], f.state[i] = wc, StateIdle
+		f.names[i], f.kernels[i] = wc.Name(), wc.Kernel()
 		f.opts.logf("fleet: worker %d (%s) re-registered", i, f.addrs[i])
 		wc = nil // pooled; do not release below
 	}
@@ -474,8 +483,8 @@ func (f *Fleet) Metrics() []WorkerMetric {
 			state = StateIdle
 		}
 		out[i] = WorkerMetric{
-			Addr: f.addrs[i], Name: f.names[i], Spec: f.specs[i],
-			State: state.String(), Jobs: f.jobs[i],
+			Addr: f.addrs[i], Name: f.names[i], Kernel: f.kernels[i],
+			Spec: f.specs[i], State: state.String(), Jobs: f.jobs[i],
 		}
 	}
 	return out

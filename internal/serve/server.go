@@ -11,6 +11,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
@@ -142,6 +143,10 @@ type JobStatus struct {
 
 // Stats is the service snapshot reported to clients.
 type Stats struct {
+	// Kernel is the block-update kernel the daemon process itself selected
+	// (workers report their own in their WorkerMetric rows — a heterogeneous
+	// fleet legitimately mixes kernels, results stay bitwise-identical).
+	Kernel   string         `json:"kernel,omitempty"`
 	Workers  []WorkerMetric `json:"workers"`
 	Adaptive bool           `json:"adaptive,omitempty"` // measured-speed selection + elastic leases on
 	Cache    *CacheTotals   `json:"cache,omitempty"`    // panel-cache effectiveness; nil when caching is off
@@ -430,7 +435,7 @@ func (s *Server) Cancel(id uint64) error {
 func (s *Server) Status() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
+	st := Stats{Kernel: kernel.Name(), Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
 	if s.registry != nil {
 		tot := &CacheTotals{}
 		s.cacheMu.Lock()

@@ -350,7 +350,12 @@ func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix) (*Job, error)
 // declared platform spec next to the measured estimates.
 type WorkerStats struct {
 	Name string
-	Spec Worker // declared c_i, w_i, m_i
+	// Kernel is the block-update kernel the worker computes with (all
+	// kernels produce bitwise-identical C): in-process workers share the
+	// session's kernel; distributed/remote workers report their own,
+	// empty if the daemon predates kernel reporting.
+	Kernel string
+	Spec   Worker // declared c_i, w_i, m_i
 	// CPerBlock and WPerUpdate are the measured link and compute costs (EWMA
 	// over the session's observed transfers and computes); zero until the
 	// worker's first observation.
@@ -380,6 +385,10 @@ type PanelCacheStats struct {
 
 // SessionStats is a session's live view of its fleet.
 type SessionStats struct {
+	// Kernel names the block-update kernel of the process applying updates
+	// locally — this process for InProcess and Distributed masters, the
+	// daemon for Remote. Per-worker kernels sit in the Workers rows.
+	Kernel   string
 	Adaptive bool // estimates maintained and used for re-planning
 	// Replans counts elastic re-plans (join/depart/drift) across the
 	// session's jobs. A Remote session reports the *daemon's* totals — its

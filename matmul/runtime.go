@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/engine"
+	"repro/internal/kernel"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -24,14 +25,19 @@ const trackerUnit = time.Microsecond
 
 // statsFromTracker renders the shared stats shape from a platform and an
 // optional tracker.
-func statsFromTracker(pl *platform.Platform, tr *adapt.Tracker, replans int) SessionStats {
-	st := SessionStats{Adaptive: tr != nil, Replans: replans}
+// workerKernel resolves worker i's kernel name; nil means every worker runs
+// in this process and shares the session's kernel.
+func statsFromTracker(pl *platform.Platform, tr *adapt.Tracker, replans int, workerKernel func(i int) string) SessionStats {
+	st := SessionStats{Kernel: kernel.Name(), Adaptive: tr != nil, Replans: replans}
 	var est []adapt.Estimate
 	if tr != nil {
 		est = tr.Snapshot()
 	}
 	for i, w := range pl.Workers {
 		ws := WorkerStats{Name: w.Name, Spec: w}
+		if kern := workerKernel(i); kern != "" {
+			ws.Kernel = kern
+		}
 		if i < len(est) {
 			e := est[i]
 			if e.Transfers+e.Computes > 0 {
@@ -134,7 +140,7 @@ func (s *inProcessSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c *
 }
 
 func (s *inProcessSession) stats(context.Context) (SessionStats, error) {
-	return statsFromTracker(s.pl, s.tracker, int(s.replans.Load())), nil
+	return statsFromTracker(s.pl, s.tracker, int(s.replans.Load()), func(int) string { return kernel.Name() }), nil
 }
 
 func (s *inProcessSession) close() error { return nil }
@@ -298,7 +304,13 @@ func (s *distributedSession) stats(context.Context) (SessionStats, error) {
 	s.mu.Lock()
 	pl := s.pl
 	s.mu.Unlock()
-	st := statsFromTracker(pl, s.tracker, int(s.replans.Load()))
+	kernels := s.m.WorkerKernels()
+	st := statsFromTracker(pl, s.tracker, int(s.replans.Load()), func(i int) string {
+		if i < len(kernels) {
+			return kernels[i]
+		}
+		return ""
+	})
 	if s.cfg.panelCache {
 		// The session drives one master for its whole life, so the per-link
 		// counters are already session totals.
@@ -421,7 +433,7 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 	if err != nil {
 		return SessionStats{}, err
 	}
-	st := SessionStats{Adaptive: ds.Adaptive}
+	st := SessionStats{Kernel: ds.Kernel, Adaptive: ds.Adaptive}
 	if dc := ds.Cache; dc != nil {
 		st.PanelCache = &PanelCacheStats{
 			PanelHits: dc.PanelHits, PanelMisses: dc.PanelMisses,
@@ -431,7 +443,7 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 		}
 	}
 	for _, w := range ds.Workers {
-		ws := WorkerStats{Name: w.Name, Spec: w.Spec, Samples: w.Samples}
+		ws := WorkerStats{Name: w.Name, Kernel: w.Kernel, Spec: w.Spec, Samples: w.Samples}
 		if ws.Name == "" {
 			ws.Name = w.Addr
 		}
