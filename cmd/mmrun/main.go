@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/matmul"
 )
@@ -68,7 +70,21 @@ func main() {
 	flag.BoolVar(&o.pipelined, "pipelined", true, "use the concurrent per-worker executor (false: strictly sequential op loop)")
 	flag.BoolVar(&o.onePort, "oneport", false, "serialize transfer slots across workers (one-port master); meaningful with -pace or -distributed under -pipelined")
 	flag.IntVar(&o.procs, "procs", 0, "goroutines per in-process worker's block updates (≤1: sequential); remote workers set their own via mmworker -procs")
+	version := flag.Bool("version", false, "print build version and exit")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mmrun", obs.Version())
+		return
+	}
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmrun:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(log)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -136,7 +152,8 @@ func run(ctx context.Context, o options) error {
 	if o.pipelined {
 		executor = "pipelined"
 	}
-	fmt.Printf("running %s via matmul.Session (%s, %s executor, kernel %s)\n", o.alg, runtime, executor, kernel.Name())
+	fmt.Printf("mmrun %s: running %s via matmul.Session (%s, %s executor, kernel %s)\n",
+		obs.Version(), o.alg, runtime, executor, kernel.Name())
 	start := time.Now()
 	job, err := sess.Submit(ctx, a, b, c)
 	if err != nil {
@@ -157,7 +174,7 @@ func run(ctx context.Context, o options) error {
 	// shutdown leaves daemons running and deserves a diagnostic (the
 	// deferred second Close is an idempotent no-op).
 	if err := sess.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "mmrun: shutdown:", err)
+		slog.Warn("worker shutdown failed", "err", err)
 	}
 	return nil
 }

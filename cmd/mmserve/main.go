@@ -31,16 +31,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	stdnet "net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -59,6 +62,10 @@ type options struct {
 	drift     float64
 	cache     bool
 	quiet     bool
+	traceDir  string
+	debugAddr string
+	logLevel  string
+	logFormat string
 	// client
 	submit  bool
 	status  bool
@@ -82,6 +89,11 @@ func main() {
 	flag.Float64Var(&o.drift, "drift", 0, "daemon: relative estimate drift that re-plans a running lease (0: default 0.5; negative: off)")
 	flag.BoolVar(&o.cache, "cache", true, "daemon: operand-affinity scheduling over the workers' panel caches — route jobs toward workers already holding the operand bits")
 	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
+	flag.StringVar(&o.traceDir, "trace-dir", "", "daemon: write one Chrome trace-event JSON file per completed job into this directory (Perfetto-loadable; empty: off)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "daemon: opt-in HTTP debug address serving /metrics, /healthz and /debug/pprof (empty: off)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log verbosity: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log format: text or json")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.BoolVar(&o.submit, "submit", false, "client: submit one product and wait for C")
 	flag.BoolVar(&o.status, "status", false, "client: print the daemon's fleet and job snapshot")
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:9700", "client: daemon address")
@@ -93,6 +105,11 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "client: bound on the whole submission exchange")
 	flag.BoolVar(&o.verify, "verify", true, "client: check the returned C against a local reference product")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mmserve", obs.Version())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -140,13 +157,21 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	if err != nil {
 		return err
 	}
-	logf := func(format string, args ...any) {
-		if !o.quiet {
-			fmt.Printf(format+"\n", args...)
+	log, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
+	if o.quiet {
+		log = obs.NopLogger()
+	}
+	slog.SetDefault(log)
+	if o.traceDir != "" {
+		if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
+			return fmt.Errorf("-trace-dir: %w", err)
 		}
 	}
 
-	fleet, err := serve.NewFleet(addrs, specs, serve.FleetOptions{Keepalive: o.keepalive, Logf: logf})
+	fleet, err := serve.NewFleet(addrs, specs, serve.FleetOptions{Keepalive: o.keepalive, Logger: log})
 	if err != nil {
 		return err
 	}
@@ -154,19 +179,44 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	srv := serve.NewServer(fleet, serve.Config{
 		Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob,
 		Adaptive: o.adaptive, DriftThreshold: o.drift,
-		NoCache: !o.cache, Logf: logf,
+		NoCache: !o.cache, Logger: log, TraceDir: o.traceDir,
 	})
 	defer srv.Close()
+
+	if o.debugAddr != "" {
+		bound, stopDebug, err := obs.ServeDebug(o.debugAddr, func() obs.Health {
+			// Healthy while at least one fleet worker is reachable: a daemon
+			// with every worker down accepts jobs it cannot run.
+			st := srv.Status()
+			up := 0
+			for _, w := range st.Workers {
+				if w.State != "down" {
+					up++
+				}
+			}
+			return obs.Health{OK: up > 0, Payload: map[string]any{
+				"component": "mmserve", "version": obs.Version(), "kernel": st.Kernel,
+				"workers": len(st.Workers), "workers_up": up,
+				"queued": st.Queued, "running": st.Running,
+			}}
+		})
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer stopDebug()
+		log.Info("debug server up", "addr", bound)
+	}
 
 	// SIGINT: stop accepting clients; the deferred Close calls fail the
 	// queued jobs, ride out the running leases, and release the fleet.
 	unhook := context.AfterFunc(ctx, func() { ln.Close() })
 	defer unhook()
 
-	logf("mmserve: daemon on %s, fleet of %d workers, algorithm %s, kernel %s", ln.Addr(), len(addrs), scheduler.Name(), kernel.Name())
+	log.Info("daemon up", "addr", ln.Addr().String(), "workers", len(addrs),
+		"algorithm", scheduler.Name(), "kernel", kernel.Name(), "version", obs.Version())
 	err = srv.ListenAndServe(ln)
 	if ctx.Err() != nil {
-		logf("mmserve: signal received; draining jobs and releasing the fleet")
+		log.Info("signal received; draining jobs and releasing the fleet")
 		return nil
 	}
 	return err
@@ -247,8 +297,11 @@ func runStatus(ctx context.Context, o options) error {
 	if st.Kernel != "" {
 		fmt.Printf("daemon kernel: %s\n", st.Kernel)
 	}
+	// Sort by fleet ID so repeated -status invocations diff cleanly whatever
+	// order the daemon serialized the rows in.
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
 	for _, w := range st.Workers {
-		line := fmt.Sprintf("worker %-24s %-8s spec c=%g w=%g m=%d jobs=%d", w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
+		line := fmt.Sprintf("worker %d %-24s %-8s spec c=%g w=%g m=%d jobs=%d", w.ID, w.Addr+" ("+w.Name+")", w.State, w.Spec.C, w.Spec.W, w.Spec.M, w.Jobs)
 		if w.Kernel != "" {
 			line += " kernel=" + w.Kernel
 		}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	stdnet "net"
 	"os"
 	"os/signal"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/kernel"
 	mmnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	mmserve "repro/internal/serve"
 )
@@ -60,22 +62,56 @@ func main() {
 	advertise := flag.String("advertise", "", "address the daemon should dial back (default: the listen address)")
 	spec := flag.String("spec", "1:1:60", "declared c:w:m platform spec announced on -join")
 	quiet := flag.Bool("quiet", false, "suppress session logging")
+	debugAddr := flag.String("debug-addr", "", "opt-in HTTP debug address serving /metrics, /healthz and /debug/pprof (empty: off)")
+	version := flag.Bool("version", false, "print build version and exit")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("mmworker", obs.Version())
+		return
+	}
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmworker:", err)
+		os.Exit(2)
+	}
+	if *quiet {
+		log = obs.NopLogger()
+	}
+	slog.SetDefault(log)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *cacheMB, *join, *advertise, *spec, *quiet); err != nil {
+	if err := run(ctx, *listen, *name, *heartbeat, *idle, *sessions, *procs, *cacheMB, *join, *advertise, *spec, *debugAddr, log); err != nil {
 		fmt.Fprintln(os.Stderr, "mmworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, join, advertise, spec string, quiet bool) error {
+func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, join, advertise, spec, debugAddr string, log *slog.Logger) error {
 	ln, err := stdnet.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
+	if name == "" {
+		name = ln.Addr().String()
+	}
+	if debugAddr != "" {
+		bound, stopDebug, err := obs.ServeDebug(debugAddr, func() obs.Health {
+			return obs.Health{OK: true, Payload: map[string]any{
+				"component": "mmworker", "name": name,
+				"kernel": kernel.Name(), "version": obs.Version(),
+			}}
+		})
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer stopDebug()
+		log.Info("debug server up", "addr", bound)
+	}
 	// SIGINT/SIGTERM: close the listener so the accept loop winds down —
 	// masters mid-job see the session drop and fail the worker over.
 	unhook := context.AfterFunc(ctx, func() { ln.Close() })
@@ -86,16 +122,14 @@ func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration
 		// is accepting. A failed join leaves a perfectly good worker daemon
 		// running — log it, don't die.
 		go func() {
-			if err := joinDaemon(ctx, join, advertise, ln.Addr().String(), spec, quiet); err != nil {
-				fmt.Fprintln(os.Stderr, "mmworker:", err)
+			if err := joinDaemon(ctx, join, advertise, ln.Addr().String(), spec, log); err != nil {
+				log.Error("fleet join failed", "err", err)
 			}
 		}()
 	}
-	err = serve(ln, name, heartbeat, idle, sessions, procs, cacheMB, quiet)
+	err = serve(ln, name, heartbeat, idle, sessions, procs, cacheMB, log)
 	if ctx.Err() != nil && errors.Is(err, stdnet.ErrClosed) {
-		if !quiet {
-			fmt.Println("mmworker: signal received; exiting")
-		}
+		log.Info("signal received; exiting")
 		return nil
 	}
 	return err
@@ -104,7 +138,7 @@ func run(ctx context.Context, listen, name string, heartbeat, idle time.Duration
 // joinDaemon announces this worker to a running mmserve daemon (elastic
 // fleet membership): the daemon dials the advertised address back and the
 // worker becomes leasable immediately.
-func joinDaemon(ctx context.Context, daemon, advertise, listenAddr, spec string, quiet bool) error {
+func joinDaemon(ctx context.Context, daemon, advertise, listenAddr, spec string, log *slog.Logger) error {
 	addr := advertise
 	if addr == "" {
 		// The daemon dials this address back, so it must be routable *from
@@ -129,33 +163,28 @@ func joinDaemon(ctx context.Context, daemon, advertise, listenAddr, spec string,
 	if err != nil {
 		return fmt.Errorf("join %s: %w", daemon, err)
 	}
-	if !quiet {
-		fmt.Printf("mmworker: joined fleet of %s as worker %d (advertised %s)\n", daemon, i, addr)
-	}
+	log.Info("joined fleet", "daemon", daemon, "worker", i, "advertised", addr)
 	return nil
 }
 
 // serve runs the accept loop on an existing listener (tests hand in a
-// listener bound to an ephemeral port).
-func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, quiet bool) error {
+// listener bound to an ephemeral port). A nil log serves silently.
+func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessions, procs, cacheMB int, log *slog.Logger) error {
 	if name == "" {
 		name = ln.Addr().String()
 	}
-	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle, Procs: procs}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	opts := mmnet.WorkerOptions{Heartbeat: heartbeat, IdleTimeout: idle, Procs: procs, Logger: log}
 	if cacheMB > 0 {
 		// One cache for the daemon's lifetime, not one per session: panels a
 		// master installed stay resident after it disconnects, so the next
 		// master (or the next job on an mmserve fleet) skips those transfers.
 		opts.Cache = cache.NewPanelCache(int64(cacheMB) << 20)
 	}
-	if !quiet {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		}
-	}
-	if !quiet {
-		fmt.Printf("worker %s serving on %s (kernel %s)\n", name, ln.Addr(), kernel.Name())
-	}
+	log.Info("worker serving", "name", name, "addr", ln.Addr().String(),
+		"kernel", kernel.Name(), "version", obs.Version())
 	if sessions <= 0 {
 		return mmnet.Serve(ln, name, opts)
 	}
@@ -167,9 +196,7 @@ func serve(ln stdnet.Listener, name string, heartbeat, idle time.Duration, sessi
 			if errors.Is(err, stdnet.ErrClosed) {
 				return err
 			}
-			if !quiet {
-				fmt.Printf("worker %s: session %d: %v\n", name, i+1, err)
-			}
+			log.Warn("session failed", "worker", name, "session", i+1, "err", err)
 		}
 	}
 	return nil

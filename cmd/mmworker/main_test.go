@@ -22,7 +22,7 @@ func TestServeOneSession(t *testing.T) {
 	}
 	defer ln.Close()
 	served := make(chan error, 1)
-	go func() { served <- serve(ln, "test-worker", 50*time.Millisecond, 0, 1, 2, 16, true) }()
+	go func() { served <- serve(ln, "test-worker", 50*time.Millisecond, 0, 1, 2, 16, nil) }()
 
 	pl := platform.Homogeneous(1, 1, 1, 40)
 	inst := sched.Instance{R: 3, S: 4, T: 2}

@@ -22,15 +22,19 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	stdnet "net"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -184,6 +188,61 @@ func main() {
 		log.Fatalf("post-crash job %d: C differs by %g", job.Status().RemoteID, d)
 	}
 	fmt.Printf("job %d ran on the healed fleet, no worker process restarted ✓\n", job.Status().RemoteID)
+
+	// Observability: the same daemon exposes /metrics, /healthz and pprof
+	// behind an opt-in debug port (cmd/mmserve -debug-addr). Scrape it and
+	// check the counters the jobs above just moved are really exported.
+	scrapeDebugEndpoints(srv)
+}
+
+// scrapeDebugEndpoints brings up the obs debug mux, self-scrapes /healthz
+// and /metrics, and fails loudly on a non-200 status or a missing metric
+// family — the same check scripts/smoke-examples.sh keys on.
+func scrapeDebugEndpoints(srv *serve.Server) {
+	debugAddr, stopDebug, err := obs.ServeDebug("127.0.0.1:0", func() obs.Health {
+		st := srv.Status()
+		return obs.Health{OK: true, Payload: map[string]any{
+			"component": "examples/serve", "version": obs.Version(),
+			"queued": st.Queued, "running": st.Running,
+		}}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopDebug()
+
+	resp, err := http.Get("http://" + debugAddr + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("/healthz returned %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		log.Fatalf("/metrics returned %d, want 200", resp.StatusCode)
+	}
+	for _, family := range []string{
+		"mm_serve_jobs_submitted_total", // the three facade submissions
+		"mm_serve_jobs_finished_total",  // ... all finished
+		"mm_engine_chunks_total",        // chunks the daemon's leases dispatched
+		"mm_net_sent_bytes_total",       // operand bytes that crossed the loopback wire
+	} {
+		if !strings.Contains(string(body), family) {
+			log.Fatalf("/metrics is missing the %s family", family)
+		}
+	}
+	fmt.Println("observability scrape OK: /healthz 200, /metrics families present ✓")
 }
 
 // seededProduct builds the A, B, C operands for one job.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/sim"
@@ -66,10 +67,12 @@ var stagePool matrix.BlockPool
 // stager owns one dispatch path's staging state: scratch slices for panel
 // gathering and chunk cloning, reused across operations when (and only when)
 // the backend copies payloads before returning. One stager per goroutine —
-// it is deliberately not synchronized.
+// it is deliberately not synchronized. rec, when non-nil, receives one trace
+// event per backend operation (the Recorder itself is concurrency-safe).
 type stager struct {
 	copies       bool
 	cBuf, am, bm []*matrix.Block
+	rec          *trace.Recorder
 }
 
 func newStager(be Backend) *stager {
@@ -143,6 +146,7 @@ func ExecuteContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matr
 	}
 	nw := be.Workers()
 	st := newStager(be)
+	st.rec = trace.FromContext(ctx)
 
 	alive := make([]bool, nw)
 	for i := range alive {
@@ -155,11 +159,15 @@ func ExecuteContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matr
 			return
 		}
 		alive[w] = false
+		mFailovers.Inc()
+		replayed := int64(0)
 		for ji, j := range jobs {
 			if j.Worker == w && !done[ji] {
 				orphans = append(orphans, ji)
+				replayed++
 			}
 		}
+		mReplays.Add(replayed)
 	}
 
 	for i, op := range plan {
@@ -173,16 +181,27 @@ func ExecuteContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matr
 		var opErr error
 		switch op.Kind {
 		case trace.SendC:
+			mChunks.Inc()
 			blocks := st.stageChunk(c, op.Chunk)
+			t0 := time.Now()
 			opErr = be.SendC(w, op.Chunk, blocks)
+			if opErr == nil {
+				st.observe(w, trace.SendC, op.Chunk.Blocks(), t0, time.Now())
+			}
 			st.releaseChunk(blocks)
 		case trace.SendAB:
 			am, bm := st.stagePanels(a, b, op.Chunk, op.K0, op.K1)
+			t0 := time.Now()
 			opErr = be.SendAB(w, op.Chunk, op.K0, op.K1, am, bm)
+			if opErr == nil {
+				st.observe(w, trace.SendAB, len(am)+len(bm), t0, time.Now())
+			}
 		case trace.RecvC:
 			var blocks []*matrix.Block
+			t0 := time.Now()
 			blocks, opErr = be.RecvC(w, op.Chunk)
 			if opErr == nil {
+				st.observe(w, trace.RecvC, op.Chunk.Blocks(), t0, time.Now())
 				if opErr = writeChunk(c, op.Chunk, blocks); opErr == nil {
 					done[opJob[i]] = true
 				}
@@ -258,22 +277,31 @@ func validatePlan(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, be Back
 // the replay unit of both executors' failover and the per-job dispatch unit
 // of the pipelined executor.
 func runJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix, st *stager) error {
+	mChunks.Inc()
 	blocks := st.stageChunk(c, j.Chunk)
+	t0 := time.Now()
 	err := be.SendC(w, j.Chunk, blocks)
+	if err == nil {
+		st.observe(w, trace.SendC, j.Chunk.Blocks(), t0, time.Now())
+	}
 	st.releaseChunk(blocks)
 	if err != nil {
 		return err
 	}
 	for _, p := range j.Panels {
 		am, bm := st.stagePanels(a, b, j.Chunk, p[0], p[1])
+		t0 = time.Now()
 		if err := be.SendAB(w, j.Chunk, p[0], p[1], am, bm); err != nil {
 			return err
 		}
+		st.observe(w, trace.SendAB, len(am)+len(bm), t0, time.Now())
 	}
+	t0 = time.Now()
 	result, err := be.RecvC(w, j.Chunk)
 	if err != nil {
 		return err
 	}
+	st.observe(w, trace.RecvC, j.Chunk.Blocks(), t0, time.Now())
 	return writeChunk(c, j.Chunk, result)
 }
 

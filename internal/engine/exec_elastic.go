@@ -11,6 +11,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/matrix"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Elastic configures the adaptive executor: live cost estimates, mid-job
@@ -293,6 +294,7 @@ func (es *elasticState) replanLocked(reason string, extra []int) {
 		es.queues[w] = list
 	}
 	es.sinceReplan = 0
+	mReplans.Inc()
 	// Rebase so drift is measured against the estimates this assignment was
 	// computed with — the re-plan consumed the drift it reacted to.
 	es.el.Tracker.Rebase()
@@ -306,6 +308,7 @@ func (es *elasticState) replanLocked(reason string, extra []int) {
 // parks on the condition variable — a later re-plan may hand it work.
 func (es *elasticState) workerLoop(ctx context.Context, be Backend, w int, jobs []sim.PlanJob, a, b, c *matrix.BlockMatrix, threshold float64) {
 	st := newStager(be)
+	st.rec = trace.FromContext(ctx)
 	for {
 		es.mu.Lock()
 		for len(es.queues[w]) == 0 && es.alive[w] && es.pending > 0 && !es.aborted && !es.finished {
@@ -332,6 +335,8 @@ func (es *elasticState) workerLoop(ctx context.Context, be Backend, w int, jobs 
 				delete(es.alive, w)
 				es.dead = append(es.dead, w)
 				recovered := append([]int{ji}, es.queues[w]...)
+				mFailovers.Inc()
+				mReplays.Add(int64(len(recovered)))
 				delete(es.queues, w)
 				es.replanLocked("depart", recovered)
 				es.cond.Broadcast()
@@ -359,6 +364,7 @@ func (es *elasticState) workerLoop(ctx context.Context, be Backend, w int, jobs 
 // tracks the job's true wall cost, which is what re-planning compares
 // workers by, and the EWMA smooths the attribution noise.
 func elasticRunJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix, st *stager, tr adapt.Estimator, updates int64) error {
+	mChunks.Inc()
 	start := time.Now()
 	var transfer time.Duration
 
@@ -372,6 +378,7 @@ func elasticRunJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix
 	}
 	transfer += d
 	tr.ObserveTransfer(w, j.Chunk.Blocks(), d)
+	st.observe(w, trace.SendC, j.Chunk.Blocks(), t0, t0.Add(d))
 
 	for _, p := range j.Panels {
 		am, bm := st.stagePanels(a, b, j.Chunk, p[0], p[1])
@@ -382,14 +389,17 @@ func elasticRunJob(be Backend, w int, j sim.PlanJob, a, b, c *matrix.BlockMatrix
 		d = time.Since(t0)
 		transfer += d
 		tr.ObserveTransfer(w, (p[1]-p[0])*(j.Chunk.H+j.Chunk.W), d)
+		st.observe(w, trace.SendAB, len(am)+len(bm), t0, t0.Add(d))
 	}
 
 	// The return transfer rides inside the RecvC wait; it is charged to the
 	// compute share below rather than invented out of thin air.
+	t0 = time.Now()
 	result, err := be.RecvC(w, j.Chunk)
 	if err != nil {
 		return err
 	}
+	st.observe(w, trace.RecvC, j.Chunk.Blocks(), t0, time.Now())
 	if err := writeChunk(c, j.Chunk, result); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ExecutePipelined replays plan against real matrices through be with one
@@ -110,6 +111,10 @@ func ExecutePipelinedContext(ctx context.Context, t int, plan []sim.PlanOp, a, b
 	stopWatch := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
 	defer stopWatch()
 
+	// One recorder lookup for the whole run; each wave goroutine carries it
+	// in its stager (the Recorder is concurrency-safe).
+	rec := trace.FromContext(ctx)
+
 	// runWave dispatches each worker's assigned jobs from a dedicated
 	// goroutine. A worker that dies is retired and its unfinished share
 	// (current job included) queued for the next wave; any other error
@@ -124,12 +129,15 @@ func ExecutePipelinedContext(ctx context.Context, t int, plan []sim.PlanOp, a, b
 			go func(w int, list []int) {
 				defer wg.Done()
 				st := newStager(be)
+				st.rec = rec
 				for idx, ji := range list {
 					if aborted.Load() {
 						return
 					}
 					if err := runJob(be, w, jobs[ji], a, b, c, st); err != nil {
 						if errors.Is(err, ErrWorkerDown) && ctx.Err() == nil {
+							mFailovers.Inc()
+							mReplays.Add(int64(len(list[idx:])))
 							mu.Lock()
 							alive[w] = false
 							orphans = append(orphans, list[idx:]...)

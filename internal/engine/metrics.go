@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Process-wide executor metrics. Every executor (sequential, pipelined,
+// elastic) funnels through runJob/elasticRunJob or the sequential op loop,
+// so these four counters plus the three per-op latency histograms cover all
+// real executions — in-process, distributed, and every serve lease.
+var (
+	mChunks = obs.NewCounter("mm_engine_chunks_total",
+		"Chunk jobs dispatched to workers, replays included.")
+	mReplays = obs.NewCounter("mm_engine_chunk_replays_total",
+		"Chunk jobs re-queued onto survivors after a worker failure or departure.")
+	mFailovers = obs.NewCounter("mm_engine_worker_failures_total",
+		"Workers retired mid-run (connection loss, heartbeat timeout, elastic departure).")
+	mReplans = obs.NewCounter("mm_engine_replans_total",
+		"Elastic executor re-plans (worker join, departure, or estimate drift).")
+
+	hSendC = obs.NewHistogram("mm_engine_sendc_seconds",
+		"Latency of delivering a C chunk to a worker.")
+	hSendAB = obs.NewHistogram("mm_engine_sendab_seconds",
+		"Latency of delivering one A/B installment to a worker.")
+	hRecvC = obs.NewHistogram("mm_engine_recvc_seconds",
+		"Latency of retrieving a finished chunk (includes the worker's residual compute).")
+)
+
+// observe feeds one completed backend operation into the latency histograms
+// and, when the run is recorded, the per-job trace. Two time.Now() calls
+// and a few atomic adds per operation — negligible next to the network or
+// channel transfer it measures, and allocation-free unless recording.
+func (st *stager) observe(w int, kind trace.Kind, blocks int, start, end time.Time) {
+	switch kind {
+	case trace.SendC:
+		hSendC.Observe(end.Sub(start))
+	case trace.SendAB:
+		hSendAB.Observe(end.Sub(start))
+	case trace.RecvC:
+		hRecvC.Observe(end.Sub(start))
+	}
+	if st.rec != nil {
+		st.rec.Transfer(w, kind, blocks, start, end)
+	}
+}

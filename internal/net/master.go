@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -102,6 +103,7 @@ func DialWorkerContext(ctx context.Context, addr string, opts *MasterOptions) (*
 	if err != nil {
 		return nil, fmt.Errorf("net: dial worker %s: %w", addr, err)
 	}
+	conn = obs.CountConn(conn, mSentTo.With(addr), mRecvFrom.With(addr))
 	l := &link{conn: conn, rd: bufio.NewReaderSize(conn, 1<<16), wr: bufio.NewWriterSize(conn, 1<<16)}
 	conn.SetReadDeadline(deadlineWithin(ctx, o.DialTimeout))
 	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })

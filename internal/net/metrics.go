@@ -1,0 +1,20 @@
+package net
+
+import "repro/internal/obs"
+
+// Wire-level byte accounting. The master labels per worker address (it
+// talks to a known, bounded fleet); the worker daemon keeps unlabeled
+// totals (one process is one worker — labeling by ephemeral master ports
+// would only explode cardinality). Counting happens in a net.Conn wrapper
+// beneath the bufio layers, so every framed byte — payloads, heartbeats,
+// handshakes — is seen exactly once.
+var (
+	mSentTo = obs.NewCounterVec("mm_net_sent_bytes_total",
+		"Bytes the master sent to each worker over its link.", "worker")
+	mRecvFrom = obs.NewCounterVec("mm_net_recv_bytes_total",
+		"Bytes the master received from each worker over its link.", "worker")
+	wSent = obs.NewCounter("mm_worker_sent_bytes_total",
+		"Bytes this worker daemon sent to masters.")
+	wRecv = obs.NewCounter("mm_worker_recv_bytes_total",
+		"Bytes this worker daemon received from masters.")
+)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // WorkerOptions tunes a worker endpoint.
@@ -50,8 +52,13 @@ type WorkerOptions struct {
 	// full transfers).
 	Cache *cache.PanelCache
 	// Logf, when non-nil, receives serve-loop events (registrations,
-	// session ends).
+	// session ends) rendered as plain text. Superseded by Logger when both
+	// are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives serve-loop events as structured
+	// records (worker name, remote address, error attrs). Takes precedence
+	// over Logf.
+	Logger *slog.Logger
 }
 
 func (o WorkerOptions) heartbeat() time.Duration {
@@ -68,10 +75,16 @@ func (o WorkerOptions) idleTimeout() time.Duration {
 	return 2 * time.Minute
 }
 
-func (o WorkerOptions) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// logger resolves the session logger: explicit Logger first, then the
+// legacy printf callback bridged through obs.LogfLogger, then discard.
+func (o WorkerOptions) logger(name string) *slog.Logger {
+	switch {
+	case o.Logger != nil:
+		return o.Logger.With("worker", name)
+	case o.Logf != nil:
+		return obs.LogfLogger(o.Logf).With("worker", name)
 	}
+	return obs.NopLogger()
 }
 
 // ErrCrashInjected reports a session ended by the CrashAfterInstalls hook.
@@ -94,32 +107,34 @@ func ListenAndServe(addr, name string, opts WorkerOptions) error {
 // errors back off briefly (an fd-exhausted process must not spin); closing
 // the listener ends the loop.
 func Serve(ln net.Listener, name string, opts WorkerOptions) error {
+	log := opts.logger(name)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return fmt.Errorf("net: worker accept: %w", err)
 			}
-			opts.logf("worker %s: accept: %v", name, err)
+			log.Warn("accept failed", "err", err)
 			time.Sleep(100 * time.Millisecond)
 			continue
 		}
-		opts.logf("worker %s: master connected from %s", name, conn.RemoteAddr())
+		log.Info("master connected", "remote", conn.RemoteAddr().String())
 		if err := ServeConn(conn, name, opts); err != nil {
-			opts.logf("worker %s: session: %v", name, err)
+			log.Warn("session ended", "err", err)
 		}
 	}
 }
 
 // ServeOne accepts and serves exactly one master session.
 func ServeOne(ln net.Listener, name string, opts WorkerOptions) error {
+	log := opts.logger(name)
 	conn, err := ln.Accept()
 	if err != nil {
 		return fmt.Errorf("net: worker accept: %w", err)
 	}
-	opts.logf("worker %s: master connected from %s", name, conn.RemoteAddr())
+	log.Info("master connected", "remote", conn.RemoteAddr().String())
 	err = ServeConn(conn, name, opts)
-	opts.logf("worker %s: session ended: %v", name, err)
+	log.Info("session ended", "err", err)
 	return err
 }
 
@@ -134,6 +149,7 @@ func ServeOne(ln net.Listener, name string, opts WorkerOptions) error {
 // computes — the master's sends never block behind this worker's compute,
 // exactly the buffered-installment overlap of the paper's memory layout.
 func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
+	conn = obs.CountConn(conn, wSent, wRecv)
 	defer conn.Close()
 
 	// Results and heartbeats share the connection, so writes go through one
@@ -403,7 +419,7 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 		case MsgRelease:
 			// End of a leased session: back to the accept loop, where the
 			// next master's dial gets a fresh registration.
-			opts.logf("worker %s: released by master", name)
+			opts.logger(name).Info("released by master")
 			return nil
 		default:
 			return fmt.Errorf("net: worker %s: unexpected %s message", name, msg.Kind)

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version reports the build's best available version string: the main
+// module version when the toolchain stamped one (a tag, or the VCS-derived
+// pseudo-version which already encodes revision and dirtiness), otherwise
+// the VCS revision (short) with a "-dirty" suffix for modified trees,
+// otherwise "devel". All three binaries print it for -version and embed it
+// in their startup banner and /healthz payload.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		if dirty && !strings.Contains(v, "dirty") {
+			v += "-dirty"
+		}
+		return v
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

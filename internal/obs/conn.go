@@ -1,0 +1,33 @@
+package obs
+
+import "net"
+
+// countedConn wraps a net.Conn and feeds byte counts into two counters.
+// Embedding keeps the full net.Conn surface (deadlines, addrs, Close)
+// passing through untouched.
+type countedConn struct {
+	net.Conn
+	sent, recv *Counter
+}
+
+// CountConn returns c with every Read/Write byte count added to recv/sent.
+// Either counter may be nil to skip that direction.
+func CountConn(c net.Conn, sent, recv *Counter) net.Conn {
+	return &countedConn{Conn: c, sent: sent, recv: recv}
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if c.recv != nil && n > 0 {
+		c.recv.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if c.sent != nil && n > 0 {
+		c.sent.Add(int64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health is what /healthz reports: OK drives the status code (200 vs 503),
+// Payload is rendered as the JSON body alongside the ok flag.
+type Health struct {
+	OK      bool
+	Payload map[string]any
+}
+
+// NewMux builds the opt-in debug mux the binaries expose behind
+// -debug-addr: /metrics (Prometheus text exposition of the Default
+// registry), /healthz (JSON liveness from the callback; nil callback means
+// always healthy), and the net/http/pprof handlers under /debug/pprof/.
+func NewMux(healthz func() Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{OK: true}
+		if healthz != nil {
+			h = healthz()
+		}
+		body := map[string]any{"ok": h.OK}
+		for k, v := range h.Payload {
+			body[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug listens on addr and serves NewMux(healthz) until the returned
+// stop function is called. It returns the bound address (useful with
+// ":0"-style addrs).
+func ServeDebug(addr string, healthz func() Health) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewMux(healthz)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

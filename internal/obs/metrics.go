@@ -1,0 +1,284 @@
+// Package obs is the runtime's observability layer: process-wide metrics
+// (atomic counters, gauges, and log-bucketed latency histograms) with a
+// hand-rolled Prometheus text exposition, structured logging helpers around
+// log/slog, build-info reporting, and the opt-in debug HTTP mux serving
+// /metrics, /healthz and net/http/pprof.
+//
+// The package is dependency-free by design (stdlib only) and every hot-path
+// primitive — Counter.Add, Gauge.Set, Histogram.Observe — is a handful of
+// atomic operations with zero allocations, so the engine's per-transfer
+// instrumentation stays invisible next to real network and BLAS3 work.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable,
+// but counters obtained from a Registry are what the exposition shows.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the exposition to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, running jobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram buckets: bucket i counts observations in
+// (1µs·2^(i-1), 1µs·2^i]; the first bucket starts at zero and the last is
+// the +Inf overflow. 1µs·2^24 ≈ 16.8s comfortably covers every latency the
+// runtime measures (a block send is ~µs–ms, a whole job ~ms–s).
+const histBuckets = 26
+
+// Histogram is a log-bucketed duration histogram. Observe is wait-free and
+// allocation-free: one bits.Len64 plus three atomic adds.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64 // per-bucket (non-cumulative) counts
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[histBucket(n)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(n)
+}
+
+// histBucket maps nanoseconds to the smallest bucket whose upper bound
+// (1µs << i) is ≥ n; out-of-range observations land in the +Inf bucket.
+func histBucket(n int64) int {
+	if n <= 1000 {
+		return 0
+	}
+	i := bits.Len64(uint64((n - 1) / 1000)) // smallest i with 1000<<i ≥ n
+	if i >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// CounterVec is a counter family partitioned by one label. With returns the
+// per-value child; callers on hot paths should cache the child so steady
+// state is a single atomic add with no map lookup.
+type CounterVec struct {
+	label string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// With returns (creating on first use) the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// snapshot returns the children sorted by label value.
+func (v *CounterVec) snapshot() ([]string, []*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cs := make([]*Counter, len(keys))
+	for i, k := range keys {
+		cs[i] = v.m[k]
+	}
+	return keys, cs
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+)
+
+// family is one registered metric name with its exposition metadata.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	vec *CounterVec
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking twice for the same
+// name and kind returns the same metric (mismatched kinds panic — that is a
+// programming error, not a runtime condition).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every package-level constructor and
+// the /metrics endpoint use.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, kind metricKind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		f.c = &Counter{}
+	case kindGauge:
+		f.g = &Gauge{}
+	case kindHistogram:
+		f.h = &Histogram{}
+	case kindCounterVec:
+		f.vec = &CounterVec{m: make(map[string]*Counter)}
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram registers (or returns) a log-bucketed duration histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).h
+}
+
+// CounterVec registers (or returns) a one-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.register(name, help, kindCounterVec)
+	f.vec.label = label
+	return f.vec
+}
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string) *Histogram { return Default.Histogram(name, help) }
+
+// NewCounterVec registers a one-label counter family on the Default registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return Default.CounterVec(name, help, label)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families sort
+// by name, vec children by label value, so two scrapes of an idle process
+// are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", f.name, f.name, f.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", f.name, f.name, f.g.Value())
+		case kindCounterVec:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", f.name)
+			keys, cs := f.vec.snapshot()
+			for i, k := range keys {
+				// Go %q produces exactly the exposition-format label value
+				// escapes (backslash, quote, \n).
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", f.name, f.vec.label, k, cs[i].Value())
+			}
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)
+			var cum int64
+			for i := 0; i < histBuckets-1; i++ {
+				cum += f.h.buckets[i].Load()
+				ub := float64(int64(1000)<<i) / 1e9
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+			}
+			cum += f.h.buckets[histBuckets-1].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", f.name, strconv.FormatFloat(float64(f.h.sumNs.Load())/1e9, 'g', -1, 64))
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, f.h.count.Load())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// families sorted by name, vec children by label value, label escaping via
+// %q, histogram buckets cumulative with 'g'-formatted le bounds.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_chunks_total", "Chunks dispatched.").Add(3)
+	r.Gauge("test_jobs_queued", "Jobs waiting.").Set(2)
+	v := r.CounterVec("test_bytes_total", "Bytes per worker.", "worker")
+	v.With("10.0.0.2:9801").Add(4096)
+	v.With(`quo"te`).Inc()
+	h := r.Histogram("test_latency_seconds", "Observed latency.")
+	h.Observe(500 * time.Nanosecond)  // bucket 0 (le=1e-06)
+	h.Observe(1500 * time.Nanosecond) // bucket 1 (le=2e-06)
+	h.Observe(3 * time.Microsecond)   // bucket 2 (le=4e-06)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_bytes_total Bytes per worker.
+# TYPE test_bytes_total counter
+test_bytes_total{worker="10.0.0.2:9801"} 4096
+test_bytes_total{worker="quo\"te"} 1
+# HELP test_chunks_total Chunks dispatched.
+# TYPE test_chunks_total counter
+test_chunks_total 3
+# HELP test_jobs_queued Jobs waiting.
+# TYPE test_jobs_queued gauge
+test_jobs_queued 2
+# HELP test_latency_seconds Observed latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1e-06"} 1
+test_latency_seconds_bucket{le="2e-06"} 2
+test_latency_seconds_bucket{le="4e-06"} 3
+test_latency_seconds_bucket{le="8e-06"} 3
+test_latency_seconds_bucket{le="1.6e-05"} 3
+test_latency_seconds_bucket{le="3.2e-05"} 3
+test_latency_seconds_bucket{le="6.4e-05"} 3
+test_latency_seconds_bucket{le="0.000128"} 3
+test_latency_seconds_bucket{le="0.000256"} 3
+test_latency_seconds_bucket{le="0.000512"} 3
+test_latency_seconds_bucket{le="0.001024"} 3
+test_latency_seconds_bucket{le="0.002048"} 3
+test_latency_seconds_bucket{le="0.004096"} 3
+test_latency_seconds_bucket{le="0.008192"} 3
+test_latency_seconds_bucket{le="0.016384"} 3
+test_latency_seconds_bucket{le="0.032768"} 3
+test_latency_seconds_bucket{le="0.065536"} 3
+test_latency_seconds_bucket{le="0.131072"} 3
+test_latency_seconds_bucket{le="0.262144"} 3
+test_latency_seconds_bucket{le="0.524288"} 3
+test_latency_seconds_bucket{le="1.048576"} 3
+test_latency_seconds_bucket{le="2.097152"} 3
+test_latency_seconds_bucket{le="4.194304"} 3
+test_latency_seconds_bucket{le="8.388608"} 3
+test_latency_seconds_bucket{le="16.777216"} 3
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 5e-06
+test_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistBucket checks the bucket boundaries: bucket i's upper bound is
+// 1µs·2^i inclusive, and out-of-range observations land in +Inf.
+func TestHistBucket(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1000, 0},
+		{1001, 1}, {2000, 1},
+		{2001, 2}, {4000, 2},
+		{1000 << 24, 24},
+		{1000<<24 + 1, 25},
+		{1 << 62, 25},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.ns); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	h := &Histogram{}
+	h.Observe(-time.Second) // negative clamps to zero, never panics
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative observation: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// TestRegistryIdempotent checks registration semantics: same name+kind
+// returns the same metric, mismatched kind panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second")
+	if a != b {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "boom")
+}
+
+// TestConcurrentUpdates hammers every primitive from several goroutines
+// while scraping concurrently; run under -race this is the data-race proof,
+// and the final totals prove no update was lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "")
+	v := r.CounterVec("conc_vec_total", "", "w")
+	g := r.Gauge("conc_gauge", "")
+
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				v.With("w" + strconv.Itoa(i%3)).Inc()
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = goroutines * iters
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %d, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	var sum, cum int64
+	_, children := v.snapshot()
+	for _, ch := range children {
+		sum += ch.Value()
+	}
+	if sum != total {
+		t.Errorf("vec children sum = %d, want %d", sum, total)
+	}
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+	}
+	if cum != total {
+		t.Errorf("bucket sum = %d, want %d", cum, total)
+	}
+}

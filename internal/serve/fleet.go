@@ -13,10 +13,12 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	mmnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -55,8 +57,12 @@ type FleetOptions struct {
 	// heartbeat backlog drained (so the socket buffer never fills while a
 	// session waits). Default 15s; negative disables.
 	Keepalive time.Duration
-	// Logf, when non-nil, receives fleet events (redials, downed workers).
+	// Logf, when non-nil, receives fleet events (redials, downed workers)
+	// rendered as plain text. Superseded by Logger when both are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives fleet events as structured records
+	// carrying worker index and address attrs. Takes precedence over Logf.
+	Logger *slog.Logger
 }
 
 func (o FleetOptions) keepalive() time.Duration {
@@ -66,10 +72,16 @@ func (o FleetOptions) keepalive() time.Duration {
 	return 15 * time.Second
 }
 
-func (o FleetOptions) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// logger resolves the fleet's logger: explicit Logger first, then the
+// legacy printf callback bridged through obs.LogfLogger, then discard.
+func (o FleetOptions) logger() *slog.Logger {
+	switch {
+	case o.Logger != nil:
+		return o.Logger
+	case o.Logf != nil:
+		return obs.LogfLogger(o.Logf)
 	}
+	return obs.NopLogger()
 }
 
 // Fleet holds one persistent, registered connection per worker daemon and
@@ -78,6 +90,7 @@ func (o FleetOptions) logf(format string, args ...any) {
 // worker *process* is never restarted, only its session.
 type Fleet struct {
 	opts  FleetOptions
+	log   *slog.Logger
 	addrs []string
 	specs []platform.Worker
 
@@ -126,6 +139,9 @@ func (f *Fleet) downLocked(i int) {
 // live measured costs in milliseconds, zero until the worker's first
 // observed job.
 type WorkerMetric struct {
+	// ID is the worker's fleet index — the identifier leases, plans, and the
+	// cache registry all key on, and the stable sort key for status output.
+	ID   int    `json:"id"`
 	Addr string `json:"addr"`
 	Name string `json:"name,omitempty"`
 	// Kernel is the block-update kernel the worker announced at registration
@@ -175,6 +191,7 @@ func NewFleet(addrs []string, specs []platform.Worker, opts FleetOptions) (*Flee
 	}
 	f := &Fleet{
 		opts:     opts,
+		log:      opts.logger(),
 		addrs:    append([]string(nil), addrs...),
 		specs:    specs,
 		conns:    make([]*mmnet.WorkerConn, len(addrs)),
@@ -208,7 +225,7 @@ func (f *Fleet) redialLocked(i int) bool {
 	wc, err := mmnet.DialWorker(f.addrs[i], &f.opts.Master)
 	if err != nil {
 		f.downLocked(i)
-		f.opts.logf("fleet: worker %d (%s) down: %v", i, f.addrs[i], err)
+		f.log.Warn("worker down", "worker", i, "addr", f.addrs[i], "err", err)
 		return false
 	}
 	f.conns[i], f.state[i] = wc, StateIdle
@@ -300,9 +317,9 @@ func (f *Fleet) Add(addr string, spec platform.Worker) (int, error) {
 	}
 	f.mu.Unlock()
 	if err != nil {
-		f.opts.logf("fleet: worker %d (%s) joined but is down: %v", i, addr, err)
+		f.log.Warn("worker joined but is down", "worker", i, "addr", addr, "err", err)
 	} else {
-		f.opts.logf("fleet: worker %d (%s) joined the fleet", i, addr)
+		f.log.Info("worker joined the fleet", "worker", i, "addr", addr)
 	}
 	return i, nil
 }
@@ -390,13 +407,13 @@ func (f *Fleet) redial(i int) {
 	closed := f.closed
 	switch {
 	case err != nil:
-		f.opts.logf("fleet: worker %d (%s) still down: %v", i, f.addrs[i], err)
+		f.log.Warn("worker still down", "worker", i, "addr", f.addrs[i], "err", err)
 	case closed || f.state[i] != StateDown:
 		// The fleet closed (or the slot changed hands) while we dialed.
 	default:
 		f.conns[i], f.state[i] = wc, StateIdle
 		f.names[i], f.kernels[i] = wc.Name(), wc.Kernel()
-		f.opts.logf("fleet: worker %d (%s) re-registered", i, f.addrs[i])
+		f.log.Info("worker re-registered", "worker", i, "addr", f.addrs[i])
 		wc = nil // pooled; do not release below
 	}
 	f.mu.Unlock()
@@ -455,13 +472,13 @@ func (f *Fleet) Return(idx []int, m *mmnet.Master, failed bool) {
 			f.conns[i], f.state[i] = conns[j], StateIdle
 		case alive:
 			if failed {
-				f.opts.logf("fleet: worker %d (%s) survived a failed job; recycling its session", i, f.addrs[i])
+				f.log.Info("worker survived a failed job; recycling its session", "worker", i, "addr", f.addrs[i])
 			}
 			release = append(release, conns[j])
 			f.downLocked(i)
 		default:
 			f.downLocked(i)
-			f.opts.logf("fleet: worker %d (%s) died during a job; will re-dial", i, f.addrs[i])
+			f.log.Warn("worker died during a job; will re-dial", "worker", i, "addr", f.addrs[i])
 		}
 	}
 	f.mu.Unlock()
@@ -483,7 +500,7 @@ func (f *Fleet) Metrics() []WorkerMetric {
 			state = StateIdle
 		}
 		out[i] = WorkerMetric{
-			Addr: f.addrs[i], Name: f.names[i], Kernel: f.kernels[i],
+			ID: i, Addr: f.addrs[i], Name: f.names[i], Kernel: f.kernels[i],
 			Spec: f.specs[i], State: state.String(), Jobs: f.jobs[i],
 		}
 	}
@@ -517,7 +534,7 @@ func (f *Fleet) Close() {
 	f.mu.Unlock()
 	for _, wc := range release {
 		if err := wc.Release(); err != nil {
-			f.opts.logf("fleet: release on close: %v", err)
+			f.log.Warn("release on close failed", "err", err)
 		}
 	}
 }
@@ -574,7 +591,7 @@ func (f *Fleet) keepaliveLoop() {
 				if closed {
 					b.wc.Release()
 				} else if err != nil {
-					f.opts.logf("fleet: keepalive lost worker %d (%s): %v", b.i, f.addrs[b.i], err)
+					f.log.Warn("keepalive lost worker", "worker", b.i, "addr", f.addrs[b.i], "err", err)
 					b.wc.Close()
 				}
 			}

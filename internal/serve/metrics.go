@@ -1,0 +1,35 @@
+package serve
+
+import "repro/internal/obs"
+
+// Job-queue service metrics. The lifecycle counters and gauges move at
+// exactly the transitions Status() counts, and the cache counters mirror
+// the cacheCum accumulation in absorbCache — a /metrics scrape and a
+// Status()/Session.Stats() snapshot taken around the same jobs agree.
+var (
+	mJobsSubmitted = obs.NewCounter("mm_serve_jobs_submitted_total",
+		"Products admitted into the job queue.")
+	mJobsFinished = obs.NewCounterVec("mm_serve_jobs_finished_total",
+		"Jobs reaching a terminal state, by state (done, failed, canceled).", "state")
+	gJobsQueued = obs.NewGauge("mm_serve_jobs_queued",
+		"Jobs currently waiting in the queue.")
+	gJobsRunning = obs.NewGauge("mm_serve_jobs_running",
+		"Jobs currently running on a lease.")
+	hJobSeconds = obs.NewHistogram("mm_serve_job_seconds",
+		"Wall time of jobs that ran, lease start to terminal state.")
+	mReplans = obs.NewCounter("mm_serve_replans_total",
+		"Elastic lease re-plans across all jobs (join, depart, drift).")
+
+	mCacheHits = obs.NewCounter("mm_serve_cache_panel_hits_total",
+		"Operand-panel handshake probes answered from worker caches.")
+	mCacheMisses = obs.NewCounter("mm_serve_cache_panel_misses_total",
+		"Operand-panel handshake probes that required a transfer.")
+	mCacheSentA = obs.NewCounter("mm_serve_cache_a_sent_bytes_total",
+		"A-panel bytes that moved over the wire.")
+	mCacheSavedA = obs.NewCounter("mm_serve_cache_a_saved_bytes_total",
+		"A-panel bytes kept off the wire by worker residency.")
+	mCacheSentB = obs.NewCounter("mm_serve_cache_b_sent_bytes_total",
+		"B-panel bytes that moved over the wire.")
+	mCacheSavedB = obs.NewCounter("mm_serve_cache_b_saved_bytes_total",
+		"B-panel bytes kept off the wire by worker residency.")
+)

@@ -402,7 +402,7 @@ func (s *Server) ListenAndServe(ln net.Listener) error {
 			if errors.Is(err, net.ErrClosed) {
 				return err
 			}
-			s.cfg.logf("serve: accept: %v", err)
+			s.log.Warn("client accept failed", "err", err)
 			time.Sleep(100 * time.Millisecond)
 			continue
 		}
@@ -429,7 +429,7 @@ func (s *Server) handleClient(conn net.Conn) {
 
 	msg, err := readClientMsg(rd, &codec)
 	if err != nil {
-		s.cfg.logf("serve: client %s: %v", conn.RemoteAddr(), err)
+		s.log.Warn("client request failed", "client", conn.RemoteAddr().String(), "err", err)
 		return
 	}
 	switch msg.Kind {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,8 +17,10 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // JobState is a submitted product's lifecycle state.
@@ -77,14 +82,31 @@ type Config struct {
 	// a worker daemon without a cache degrades per-link via the handshake,
 	// so a caching server is always safe.
 	NoCache bool
-	// Logf, when non-nil, receives job lifecycle events.
+	// Logf, when non-nil, receives job lifecycle events rendered as plain
+	// text ("msg key=value ..."). Superseded by Logger when both are set.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives job lifecycle events as structured
+	// records carrying job, worker, and lease attrs. Takes precedence over
+	// Logf.
+	Logger *slog.Logger
+	// TraceDir, when non-empty, records every lease's transfers and writes
+	// one Chrome trace-event JSON file per completed job
+	// (job-<id>.trace.json) into the directory — loadable in Perfetto
+	// (ui.perfetto.dev) or chrome://tracing. Write failures are logged,
+	// never fail the job.
+	TraceDir string
 }
 
-func (c Config) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.Logf(format, args...)
+// logger resolves the server's logger: explicit Logger first, then the
+// legacy printf callback bridged through obs.LogfLogger, then discard.
+func (c Config) logger() *slog.Logger {
+	switch {
+	case c.Logger != nil:
+		return c.Logger
+	case c.Logf != nil:
+		return obs.LogfLogger(c.Logf)
 	}
+	return obs.NopLogger()
 }
 
 // job is one admitted product. The a/b/c matrices are owned by the server
@@ -193,6 +215,7 @@ const maxJobHistory = 4096
 type Server struct {
 	fleet *Fleet
 	cfg   Config
+	log   *slog.Logger
 	// tracker holds the fleet-indexed live throughput estimates of an
 	// Adaptive server (nil otherwise). Each lease observes through a
 	// remapping view, so every job's measurements land here.
@@ -235,6 +258,7 @@ func NewServer(fleet *Fleet, cfg Config) *Server {
 	s := &Server{
 		fleet: fleet,
 		cfg:   cfg,
+		log:   cfg.logger(),
 		jobs:  make(map[uint64]*job),
 		wake:  make(chan struct{}, 1),
 	}
@@ -273,10 +297,10 @@ func (s *Server) AddWorker(addr string, spec platform.Worker) (int, error) {
 		if g := s.tracker.Grow(spec, trackerUnit); g != i {
 			// Cannot happen while addMu serializes growth; fail loudly if it
 			// ever does rather than corrupt every later estimate lookup.
-			s.cfg.logf("serve: tracker index %d diverged from fleet index %d", g, i)
+			s.log.Error("tracker index diverged from fleet index", "tracker", g, "worker", i)
 		}
 	}
-	s.cfg.logf("serve: worker %s joined the fleet as index %d", addr, i)
+	s.log.Info("worker joined the fleet", "addr", addr, "worker", i)
 	s.kick()
 	return i, nil
 }
@@ -364,8 +388,10 @@ func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint6
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 
-	s.cfg.logf("serve: job %d queued: C(%dx%d) += A(%dx%d)·B(%dx%d), q=%d",
-		j.id, inst.R, inst.S, inst.R, inst.T, inst.T, inst.S, a.Q)
+	mJobsSubmitted.Inc()
+	gJobsQueued.Add(1)
+	s.log.Info("job queued",
+		"job", j.id, "r", inst.R, "s", inst.S, "t", inst.T, "q", a.Q)
 	s.kick()
 	return j.id, nil
 }
@@ -416,12 +442,12 @@ func (s *Server) Cancel(id uint64) error {
 		}
 		s.finishLocked(j, JobCanceled, fmt.Errorf("serve: job %d canceled while queued: %w", id, context.Canceled))
 		s.mu.Unlock()
-		s.cfg.logf("serve: job %d canceled while queued", id)
+		s.log.Info("job canceled while queued", "job", id)
 		s.kick()
 	case JobRunning:
 		cancel := j.cancel
 		s.mu.Unlock()
-		s.cfg.logf("serve: job %d cancel requested; aborting its lease", id)
+		s.log.Info("job cancel requested; aborting its lease", "job", id)
 		cancel() // the run goroutine observes the abort and finishes the job
 	default:
 		s.mu.Unlock() // already terminal
@@ -543,7 +569,17 @@ func terminal(state JobState) bool {
 // place) and its context, wakes its waiters, and prunes the oldest terminal
 // records past maxJobHistory. The caller holds s.mu.
 func (s *Server) finishLocked(j *job, state JobState, err error) {
+	switch j.state {
+	case JobQueued:
+		gJobsQueued.Add(-1)
+	case JobRunning:
+		gJobsRunning.Add(-1)
+	}
+	mJobsFinished.With(state.String()).Inc()
 	j.state, j.err, j.finished = state, err, time.Now()
+	if !j.started.IsZero() {
+		hJobSeconds.Observe(j.finished.Sub(j.started))
+	}
 	j.a, j.b, j.c = nil, nil, nil
 	j.cancel()
 	close(j.done)
@@ -659,15 +695,15 @@ func (s *Server) dispatchOne() bool {
 		full, fullErr := SelectResources(specs, avail, 0, j.inst, s.cfg.Scheduler, aff)
 		switch {
 		case fullErr == nil:
-			s.cfg.logf("serve: job %d: selection failed at share %d, using all %d available workers: %v",
-				j.id, share, len(avail), err)
+			s.log.Warn("selection failed at share cap; using all available workers",
+				"job", j.id, "share", share, "available", len(avail), "err", err)
 			sel, err = full, nil
 		case len(avail) < s.fleet.Size():
 			// Even the available workers cannot host the job, but the
 			// leased or down remainder might; retried by the scheduling
 			// loop's timer.
-			s.cfg.logf("serve: job %d waiting: selection on partial fleet (%d of %d workers): %v",
-				j.id, len(avail), s.fleet.Size(), err)
+			s.log.Info("job waiting: selection on partial fleet",
+				"job", j.id, "available", len(avail), "fleet", s.fleet.Size(), "err", err)
 			return false
 		default:
 			// The whole fleet cannot host the job; the uncapped attempt's
@@ -684,19 +720,21 @@ func (s *Server) dispatchOne() bool {
 	if permanent {
 		s.queue = s.queue[1:]
 		s.finishLocked(j, JobFailed, err)
-		s.cfg.logf("serve: job %d failed selection: %v", j.id, err)
+		s.log.Warn("job failed selection", "job", j.id, "err", err)
 		return true
 	}
 	m, lerr := s.fleet.Lease(sel.Workers)
 	if lerr != nil {
 		// Transient (a keepalive just downed a worker between Idle and
 		// Lease); retry on the next kick.
-		s.cfg.logf("serve: job %d lease %v: %v", j.id, sel.Workers, lerr)
+		s.log.Warn("lease failed", "job", j.id, "workers", fmt.Sprint(sel.Workers), "err", lerr)
 		s.kick()
 		return false
 	}
 	s.queue = s.queue[1:]
 	j.state, j.sel, j.started = JobRunning, sel, time.Now()
+	gJobsQueued.Add(-1)
+	gJobsRunning.Add(1)
 	j.m = m
 	j.lease = append([]int(nil), sel.Workers...)
 	if s.tracker != nil {
@@ -704,8 +742,9 @@ func (s *Server) dispatchOne() bool {
 		j.join = make(chan int, 8)
 	}
 	s.running++
-	s.cfg.logf("serve: job %d running on workers %v (%s, simulated makespan %.1f)",
-		j.id, sel.Workers, sel.Algorithm, sel.Makespan)
+	s.log.Info("job running",
+		"job", j.id, "lease", fmt.Sprint(sel.Workers),
+		"algorithm", sel.Algorithm, "makespan", sel.Makespan)
 	go s.run(j, m)
 	return true
 }
@@ -781,7 +820,7 @@ func (s *Server) attach(j *job, i int) {
 	}
 	w, err := s.fleet.LeaseExtra(i, j.m)
 	if err != nil {
-		s.cfg.logf("serve: job %d: attach worker %d: %v", j.id, i, err)
+		s.log.Warn("attach failed", "job", j.id, "worker", i, "err", err)
 		return
 	}
 	s.mu.Lock()
@@ -790,11 +829,11 @@ func (s *Server) attach(j *job, i int) {
 	if vi := j.view.Append(i); vi != w {
 		// Cannot happen while leaseMu pairs the two appends; fail loudly
 		// rather than let estimates land on the wrong worker.
-		s.cfg.logf("serve: job %d: view index %d diverged from plan index %d for worker %d", j.id, vi, w, i)
+		s.log.Error("view index diverged from plan index", "job", j.id, "view", vi, "plan", w, "worker", i)
 	}
 	select {
 	case j.join <- w:
-		s.cfg.logf("serve: job %d: worker %d joined the lease as plan worker %d", j.id, i, w)
+		s.log.Info("worker joined the lease", "job", j.id, "worker", i, "plan", w)
 	default:
 		// The executor stopped listening (run completing); the connection
 		// rides back to the pool through Return like any lease member.
@@ -816,6 +855,16 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 		// the executor's failover handles it.
 		m.BeginJob(j.panels)
 	}
+	// With a trace directory configured, the job runs under a recorder: the
+	// executors emit one event per transfer at the hooks they already time
+	// for the estimate tracker, and the timeline is exported below the
+	// moment the lease ends.
+	ctx := j.ctx
+	var rec *trace.Recorder
+	if s.cfg.TraceDir != "" {
+		rec = trace.NewRecorder(j.sel.Algorithm)
+		ctx = trace.NewContext(ctx, rec)
+	}
 	if j.view != nil {
 		el := &engine.Elastic{
 			Tracker:        j.view,
@@ -823,12 +872,18 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 			DriftThreshold: s.cfg.DriftThreshold,
 			OnReplan: func(reason string, pending int) {
 				j.replans.Add(1)
-				s.cfg.logf("serve: job %d re-planned (%s): %d chunks redistributed", j.id, reason, pending)
+				mReplans.Inc()
+				s.log.Info("job re-planned", "job", j.id, "reason", reason, "redistributed", pending)
 			},
 		}
-		err = m.RunElasticContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c, el)
+		err = m.RunElasticContext(ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c, el)
 	} else {
-		err = m.RunPipelinedContext(j.ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
+		err = m.RunPipelinedContext(ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
+	}
+	if rec != nil {
+		// Export before the terminal transition below closes j.done, so a
+		// submitter returning from Wait always finds the file on disk.
+		s.writeTrace(j.id, rec)
 	}
 
 	// End the lease: flag it detached first (under leaseMu) so no concurrent
@@ -869,13 +924,34 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 
 	switch {
 	case err == nil:
-		s.cfg.logf("serve: job %d done in %v", j.id, elapsed)
+		s.log.Info("job done", "job", j.id, "elapsed", elapsed)
 	case canceled:
-		s.cfg.logf("serve: job %d canceled after %v; lease returned", j.id, elapsed)
+		s.log.Info("job canceled; lease returned", "job", j.id, "elapsed", elapsed)
 	default:
-		s.cfg.logf("serve: job %d failed: %v", j.id, err)
+		s.log.Warn("job failed", "job", j.id, "err", err)
 	}
 	s.kick()
+}
+
+// writeTrace exports one completed job's recorded timeline as Chrome
+// trace-event JSON under cfg.TraceDir. Best-effort: failures are logged and
+// the job's outcome is untouched.
+func (s *Server) writeTrace(id uint64, rec *trace.Recorder) {
+	path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job-%d.trace.json", id))
+	f, err := os.Create(path)
+	if err != nil {
+		s.log.Warn("trace export failed", "job", id, "err", err)
+		return
+	}
+	err = rec.Trace().WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.log.Warn("trace export failed", "job", id, "path", path, "err", err)
+		return
+	}
+	s.log.Info("trace exported", "job", id, "path", path)
 }
 
 // absorbCache folds one completed lease's cache outcome into the server:
@@ -912,5 +988,13 @@ func (s *Server) absorbCache(j *job, m *mmnet.Master, lease []int) {
 		cum.aSaved += st.ASavedBytes
 		cum.bSent += st.BSentBytes
 		cum.bSaved += st.BSavedBytes
+		// Mirror into the process metrics with the same values, so /metrics
+		// deltas always equal Status()/Session.Stats() deltas.
+		mCacheHits.Add(st.PanelHits)
+		mCacheMisses.Add(st.PanelMisses)
+		mCacheSentA.Add(st.ASentBytes)
+		mCacheSavedA.Add(st.ASavedBytes)
+		mCacheSentB.Add(st.BSentBytes)
+		mCacheSavedB.Add(st.BSavedBytes)
 	}
 }

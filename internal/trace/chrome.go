@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto). "X" complete events carry ts+dur; "M"
+// metadata events name processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each worker becomes a
+// thread (tid = worker index + 1); transfers and computes become complete
+// ("X") events with microsecond timestamps on the trace's float timeline,
+// so one-port serialization on the master is visible as non-overlapping
+// transfer slices across the worker rows.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, 1+t.Workers+len(t.Transfers)+len(t.Computes))
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "matmul " + t.Algorithm},
+	})
+	for i := 0; i < t.Workers; i++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("P%d", i+1)},
+		})
+	}
+	for _, tr := range t.Transfers {
+		evs = append(evs, chromeEvent{
+			Name: tr.Kind.String(), Ph: "X", Pid: 1, Tid: tr.Worker + 1,
+			Ts: tr.Start * 1e6, Dur: (tr.End - tr.Start) * 1e6,
+			Args: map[string]any{"blocks": tr.Blocks},
+		})
+	}
+	for _, c := range t.Computes {
+		evs = append(evs, chromeEvent{
+			Name: "compute", Ph: "X", Pid: 1, Tid: c.Worker + 1,
+			Ts: c.Start * 1e6, Dur: (c.End - c.Start) * 1e6,
+			Args: map[string]any{"updates": c.Updates},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{evs, "ms"})
+}

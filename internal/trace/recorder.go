@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates a Trace from a real execution. The executors emit
+// one event per protocol step — SendC, each SendAB installment, RecvC — at
+// the same points where they already time transfers for adapt.Tracker, so a
+// recorded job carries exactly 2 + len(Panels) transfers per chunk.
+// Timestamps are wall-clock, stored as seconds since the recorder was
+// created (the same float timeline simulated traces use, so Stats, Gantt,
+// Analyze and the Chrome export all work on recorded runs unchanged).
+//
+// All methods are safe for concurrent use; executors running one goroutine
+// per worker share a single Recorder.
+type Recorder struct {
+	mu    sync.Mutex
+	start time.Time
+	t     Trace
+}
+
+// NewRecorder starts an empty recording; algorithm labels the trace.
+func NewRecorder(algorithm string) *Recorder {
+	return &Recorder{start: time.Now(), t: Trace{Algorithm: algorithm}}
+}
+
+// Transfer records one master↔worker transfer of the given kind spanning
+// [start, end].
+func (r *Recorder) Transfer(w int, kind Kind, blocks int, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.t.Transfers = append(r.t.Transfers, Transfer{
+		Worker: w, Kind: kind, Blocks: blocks,
+		Start: start.Sub(r.start).Seconds(), End: end.Sub(r.start).Seconds(),
+	})
+	if w+1 > r.t.Workers {
+		r.t.Workers = w + 1
+	}
+}
+
+// Compute records a block-update span on worker w.
+func (r *Recorder) Compute(w int, updates int64, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.t.Computes = append(r.t.Computes, Compute{
+		Worker: w, Updates: updates,
+		Start: start.Sub(r.start).Seconds(), End: end.Sub(r.start).Seconds(),
+	})
+	if w+1 > r.t.Workers {
+		r.t.Workers = w + 1
+	}
+}
+
+// Trace returns a snapshot of everything recorded so far.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := Trace{
+		Algorithm: r.t.Algorithm,
+		Workers:   r.t.Workers,
+		Transfers: append([]Transfer(nil), r.t.Transfers...),
+		Computes:  append([]Compute(nil), r.t.Computes...),
+	}
+	return &t
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the recorder; the executors pick it up
+// with FromContext, so recording needs no API change anywhere between the
+// facade and the transfer loop.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the recorder carried by ctx, or nil when the run is
+// not being recorded (the executors' hot paths check the nil once per
+// worker goroutine, not per transfer).
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorder records spans from several goroutines and checks the
+// snapshot: relative-seconds timeline, worker count, and isolation of the
+// returned copy from later recording.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder("Het")
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.Transfer(w, SendC, 4, base, base.Add(time.Millisecond))
+			r.Transfer(w, RecvC, 4, base.Add(2*time.Millisecond), base.Add(3*time.Millisecond))
+			r.Compute(w, 8, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+		}(w)
+	}
+	wg.Wait()
+
+	tr := r.Trace()
+	if tr.Algorithm != "Het" || tr.Workers != 3 {
+		t.Errorf("algorithm=%q workers=%d", tr.Algorithm, tr.Workers)
+	}
+	if len(tr.Transfers) != 6 || len(tr.Computes) != 3 {
+		t.Fatalf("recorded %d transfers, %d computes", len(tr.Transfers), len(tr.Computes))
+	}
+	for _, x := range tr.Transfers {
+		if x.End < x.Start || x.Start < 0 {
+			t.Errorf("transfer span [%g, %g] not ordered on the relative timeline", x.Start, x.End)
+		}
+	}
+	// The snapshot is a copy: recording more must not grow it.
+	r.Transfer(0, SendAB, 1, base, base)
+	if len(tr.Transfers) != 6 {
+		t.Error("snapshot aliases the recorder's live slice")
+	}
+}
+
+func TestRecorderContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext on a bare context should be nil")
+	}
+	r := NewRecorder("BMM")
+	if got := FromContext(NewContext(context.Background(), r)); got != r {
+		t.Error("recorder did not round-trip through the context")
+	}
+}
+
+// TestWriteChromeTrace checks the export is valid trace-event JSON with one
+// metadata event per process and worker and one complete ("X") event per
+// recorded span, timestamps scaled to microseconds.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := &Trace{
+		Algorithm: "Het",
+		Workers:   2,
+		Transfers: []Transfer{
+			{Worker: 0, Kind: SendC, Blocks: 4, Start: 0, End: 0.001},
+			{Worker: 1, Kind: SendAB, Blocks: 2, Start: 0.001, End: 0.003},
+			{Worker: 0, Kind: RecvC, Blocks: 4, Start: 0.004, End: 0.005},
+		},
+		Computes: []Compute{{Worker: 1, Updates: 16, Start: 0.003, End: 0.004}},
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph+":"+e.Name]++
+	}
+	want := map[string]int{
+		"M:process_name": 1, "M:thread_name": 2,
+		"X:sendC": 1, "X:sendAB": 1, "X:recvC": 1, "X:compute": 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s events = %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Pid != 1 || e.Tid < 1 || e.Tid > 2 {
+			t.Errorf("event %s pid=%d tid=%d", e.Name, e.Pid, e.Tid)
+		}
+		if e.Name == "sendAB" && (e.Ts != 1000 || e.Dur != 2000) {
+			t.Errorf("sendAB ts=%g dur=%g, want µs-scaled 1000/2000", e.Ts, e.Dur)
+		}
+	}
+}

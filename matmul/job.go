@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // JobState is a Job's lifecycle state as seen through the facade.
@@ -59,6 +61,7 @@ type JobStatus struct {
 type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
+	rec    *trace.Recorder // non-nil when the runtime records in-process
 
 	mu       sync.Mutex
 	state    JobState
@@ -90,6 +93,20 @@ func (j *Job) Wait(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Trace returns the job's recorded execution timeline: one span per
+// transfer and compute, keyed by worker, on a clock starting at the job's
+// submission. It is nil on runtimes that do not record in this process
+// (Remote — the daemon executes the job; use mmserve -trace-dir there).
+// Calling it before the job is terminal returns the spans recorded so far;
+// the full timeline is available after Wait. Render the result with
+// Trace.WriteChromeTrace for Perfetto, or inspect the spans directly.
+func (j *Job) Trace() *Trace {
+	if j.rec == nil {
+		return nil
+	}
+	return j.rec.Trace()
 }
 
 // Status snapshots the job's state without blocking.

@@ -44,6 +44,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Matrix is the blocked operand type of the facade: a Rows×Cols grid of
@@ -57,6 +58,13 @@ type Worker = platform.Worker
 
 // NewMatrix allocates a rows×cols blocked matrix with block edge q.
 func NewMatrix(rows, cols, q int) *Matrix { return matrix.NewBlockMatrix(rows, cols, q) }
+
+// Trace is a recorded execution timeline of one job: per-worker transfer and
+// compute spans on a common clock, in the shape the repository's simulator
+// and Gantt tooling already speak. Job.Trace returns one for jobs that ran
+// in this process, and Trace.WriteChromeTrace renders it as Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev) or about:tracing.
+type Trace = trace.Trace
 
 // Multiply computes the serial reference product C ← C + A·B, the oracle a
 // Session's result can be verified against (within floating-point
@@ -335,6 +343,13 @@ func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix) (*Job, error)
 	jctx, jcancel := context.WithCancel(ctx)
 	unlink := context.AfterFunc(s.ctx, jcancel) // session close/cancel fans out
 	j := &Job{cancel: jcancel, done: make(chan struct{})}
+	if _, ok := s.rts.(localTracer); ok {
+		// Runs that execute in this process record their timeline as they go;
+		// Job.Trace exposes it once the job is terminal. Remote jobs execute
+		// daemon-side — recording lives there (mmserve -trace-dir).
+		j.rec = trace.NewRecorder(s.cfg.algorithm)
+		jctx = trace.NewContext(jctx, j.rec)
+	}
 	go func() {
 		defer s.wg.Done()
 		defer unlink()

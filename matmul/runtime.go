@@ -71,6 +71,12 @@ type runtimeSession interface {
 	close() error
 }
 
+// localTracer marks runtime sessions whose executor runs in this process,
+// so Submit can thread a trace recorder through the job's context and
+// Job.Trace can return the recorded timeline. Remote sessions are not one:
+// the daemon executes the job, and recording lives there.
+type localTracer interface{ tracesLocally() }
+
 // InProcess is the verification runtime: goroutine workers in this process,
 // channels as links, optionally paced at the platform's link costs
 // (WithPacing) under a one-port master (WithOnePort).
@@ -144,6 +150,8 @@ func (s *inProcessSession) stats(context.Context) (SessionStats, error) {
 }
 
 func (s *inProcessSession) close() error { return nil }
+
+func (s *inProcessSession) tracesLocally() {}
 
 // Distributed drives remote mmworker daemons over TCP: the session dials
 // every address at Open and replays plans over those links. Jobs execute
@@ -336,6 +344,8 @@ func (s *distributedSession) stats(context.Context) (SessionStats, error) {
 	}
 	return st, nil
 }
+
+func (s *distributedSession) tracesLocally() {}
 
 func (s *distributedSession) close() error {
 	s.mu.Lock()

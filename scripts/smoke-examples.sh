@@ -19,10 +19,12 @@ cd "$(dirname "$0")/.."
 BUDGET="${SMOKE_TIMEOUT:-180}"
 
 run_example() {
-	local name="$1" status=0
+	local name="$1" status=0 out
+	shift
 	echo "== go run ./examples/$name (budget ${BUDGET}s)"
+	out="$(mktemp)"
 	# -k gives a wedged process 10s to die on TERM before the KILL.
-	timeout -k 10 "$BUDGET" go run "./examples/$name" || status=$?
+	timeout -k 10 "$BUDGET" go run "./examples/$name" 2>&1 | tee "$out" || status=$?
 	if [ "$status" -eq 124 ]; then
 		echo "FAIL: examples/$name hung past ${BUDGET}s (likely deadlock)" >&2
 		exit "$status"
@@ -30,6 +32,18 @@ run_example() {
 		echo "FAIL: examples/$name exited with status $status" >&2
 		exit "$status"
 	fi
+	# Any extra args are lines the example's output must contain (the serve
+	# example self-scrapes its /metrics and /healthz debug endpoints and
+	# prints this marker only when both answered 200 with every family).
+	local marker
+	for marker in "$@"; do
+		if ! grep -qF "$marker" "$out"; then
+			echo "FAIL: examples/$name output is missing: $marker" >&2
+			rm -f "$out"
+			exit 1
+		fi
+	done
+	rm -f "$out"
 }
 
 echo "== go build ./examples/..."
@@ -38,7 +52,7 @@ go build ./examples/...
 run_example quickstart
 run_example library
 run_example distributed
-run_example serve
+run_example serve "observability scrape OK: /healthz 200, /metrics families present ✓"
 run_example elastic
 
 echo "examples smoke OK"
