@@ -12,6 +12,7 @@ import (
 	"context"
 	"math/rand"
 	stdnet "net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -838,4 +839,100 @@ func BenchmarkAdaptiveRebalance(b *testing.B) {
 	if b.N > 0 {
 		b.ReportMetric(float64(replans)/float64(b.N), "replans_op")
 	}
+}
+
+// BenchmarkStragglerTail measures the k-of-n gate's tail-latency win: a
+// 3-worker loopback fleet where one worker goes glacial on its first
+// installment of every session (1.5s ≫ the ~300ms cancel grace), running the
+// same product with full replication through the redundancy gate (timed
+// iterations) and with redundancy off (baseline runs). Reported metrics are
+// the redundant path's p50/p99 per-run latency in ms, the baseline's, and
+// p99_speedup = off p99 / on p99 — the CI gate requires the gate to beat the
+// stall by a wide margin rather than serve it out.
+func BenchmarkStragglerTail(b *testing.B) {
+	const stallFor = 1500 * time.Millisecond
+	pl := platform.Homogeneous(3, 1, 1, 60)
+	inst := sched.Instance{R: 6, S: 12, T: 4}
+	res, err := sched.Het{}.Schedule(pl, inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := res.Plan()
+	jobs, _, err := sim.JobsFromPlan(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := 16
+	rng := benchRNG()
+	a := matrix.NewBlockMatrix(inst.R, inst.T, q)
+	bm := matrix.NewBlockMatrix(inst.T, inst.S, q)
+	c0 := matrix.NewBlockMatrix(inst.R, inst.S, q)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	c0.FillRandom(rng)
+
+	var addrs []string
+	for i := 0; i < pl.P(); i++ {
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		addrs = append(addrs, ln.Addr().String())
+		o := mmnet.WorkerOptions{Heartbeat: 50 * time.Millisecond}
+		if i == 0 {
+			o.StallAfterInstalls = 1
+			o.StallFor = stallFor
+		}
+		go mmnet.Serve(ln, addrs[i], o)
+	}
+
+	// Each run dials fresh so the per-session stall hook re-arms, and the
+	// redundant path's retirement of the stalled link never leaks into the
+	// next sample.
+	runOnce := func(redundant bool) time.Duration {
+		m, err := mmnet.Dial(addrs, &mmnet.MasterOptions{IOTimeout: 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		c := c0.Clone()
+		start := time.Now()
+		if redundant {
+			red := &engine.Redundancy{Mode: "replicated"}
+			for ji, j := range jobs {
+				red.Units = append(red.Units, engine.RedundantUnit{Worker: (j.Worker + 1) % pl.P(), Job: ji})
+			}
+			err = m.RunRedundantContext(context.Background(), inst.T, plan, a, bm, c, red)
+		} else {
+			err = m.RunPipelined(inst.T, plan, a, bm, c)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	pctMS := func(lat []time.Duration, p float64) float64 {
+		s := append([]time.Duration(nil), lat...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		i := int(p * float64(len(s)-1))
+		return float64(s[i]) / float64(time.Millisecond)
+	}
+
+	b.ResetTimer()
+	on := make([]time.Duration, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		on = append(on, runOnce(true))
+	}
+	b.StopTimer()
+	const baselineRuns = 3
+	off := make([]time.Duration, 0, baselineRuns)
+	for i := 0; i < baselineRuns; i++ {
+		off = append(off, runOnce(false))
+	}
+	b.ReportMetric(pctMS(on, 0.50), "p50_ms")
+	b.ReportMetric(pctMS(on, 0.99), "p99_ms")
+	b.ReportMetric(pctMS(off, 0.50), "off_p50_ms")
+	b.ReportMetric(pctMS(off, 0.99), "off_p99_ms")
+	b.ReportMetric(pctMS(off, 0.99)/pctMS(on, 0.99), "p99_speedup")
 }

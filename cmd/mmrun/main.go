@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/coded"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -55,6 +56,8 @@ type options struct {
 	pipelined   bool
 	onePort     bool
 	procs       int
+	redundancy  string
+	debugAddr   string
 }
 
 func main() {
@@ -70,6 +73,8 @@ func main() {
 	flag.BoolVar(&o.pipelined, "pipelined", true, "use the concurrent per-worker executor (false: strictly sequential op loop)")
 	flag.BoolVar(&o.onePort, "oneport", false, "serialize transfer slots across workers (one-port master); meaningful with -pace or -distributed under -pipelined")
 	flag.IntVar(&o.procs, "procs", 0, "goroutines per in-process worker's block updates (≤1: sequential); remote workers set their own via mmworker -procs")
+	flag.StringVar(&o.redundancy, "redundancy", "", "proactive straggler mitigation: off, replicated[:r] or coded[:r] — r redundant units per wave raced through the k-of-n gate")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "opt-in HTTP debug address serving /metrics, /healthz and /debug/pprof (empty: off)")
 	version := flag.Bool("version", false, "print build version and exit")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -95,10 +100,31 @@ func main() {
 }
 
 func run(ctx context.Context, o options) error {
+	if o.debugAddr != "" {
+		bound, stopDebug, err := obs.ServeDebug(o.debugAddr, func() obs.Health {
+			return obs.Health{OK: true, Payload: map[string]any{
+				"component": "mmrun", "version": obs.Version(), "kernel": kernel.Name(),
+			}}
+		})
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer stopDebug()
+		slog.Info("debug server up", "addr", bound)
+	}
 	opts := []matmul.Option{
 		matmul.WithAlgorithm(o.alg),
 		matmul.WithPipelined(o.pipelined),
 		matmul.WithOnePort(o.onePort),
+	}
+	if o.redundancy != "" {
+		mode, r, err := coded.ParseSpec(o.redundancy)
+		if err != nil {
+			return err
+		}
+		if mode != coded.ModeOff {
+			opts = append(opts, matmul.WithRedundancy(string(mode), r))
+		}
 	}
 	runtime := "in-process"
 	if o.distributed != "" {

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/coded"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
 	"repro/internal/obs"
@@ -52,20 +53,21 @@ import (
 
 type options struct {
 	// daemon
-	listen    string
-	workers   string
-	specs     string
-	alg       string
-	maxPerJob int
-	keepalive time.Duration
-	adaptive  bool
-	drift     float64
-	cache     bool
-	quiet     bool
-	traceDir  string
-	debugAddr string
-	logLevel  string
-	logFormat string
+	listen     string
+	workers    string
+	specs      string
+	alg        string
+	maxPerJob  int
+	keepalive  time.Duration
+	adaptive   bool
+	drift      float64
+	cache      bool
+	redundancy string
+	quiet      bool
+	traceDir   string
+	debugAddr  string
+	logLevel   string
+	logFormat  string
 	// client
 	submit  bool
 	status  bool
@@ -88,6 +90,7 @@ func main() {
 	flag.BoolVar(&o.adaptive, "adaptive", true, "daemon: elastic runtime — measured-throughput selection, mid-job re-planning, post-startup worker joins attached to running jobs")
 	flag.Float64Var(&o.drift, "drift", 0, "daemon: relative estimate drift that re-plans a running lease (0: default 0.5; negative: off)")
 	flag.BoolVar(&o.cache, "cache", true, "daemon: operand-affinity scheduling over the workers' panel caches — route jobs toward workers already holding the operand bits")
+	flag.StringVar(&o.redundancy, "redundancy", "", "daemon: proactive straggler mitigation on every lease: off, replicated[:r] or coded[:r] (:0 lets the measured estimates suggest r)")
 	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
 	flag.StringVar(&o.traceDir, "trace-dir", "", "daemon: write one Chrome trace-event JSON file per completed job into this directory (Perfetto-loadable; empty: off)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "daemon: opt-in HTTP debug address serving /metrics, /healthz and /debug/pprof (empty: off)")
@@ -157,6 +160,10 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	if err != nil {
 		return err
 	}
+	redMode, redR, err := coded.ParseSpec(o.redundancy)
+	if err != nil {
+		return err
+	}
 	log, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
 	if err != nil {
 		return err
@@ -180,6 +187,7 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 		Scheduler: scheduler, MaxWorkersPerJob: o.maxPerJob,
 		Adaptive: o.adaptive, DriftThreshold: o.drift,
 		NoCache: !o.cache, Logger: log, TraceDir: o.traceDir,
+		Redundancy: string(redMode), RedundancyFactor: redR,
 	})
 	defer srv.Close()
 
@@ -292,6 +300,9 @@ func runStatus(ctx context.Context, o options) error {
 	if st.Adaptive {
 		mode = "adaptive"
 	}
+	if st.Redundancy != "" {
+		mode += ", " + st.Redundancy + " redundancy"
+	}
 	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled (%s scheduling)\n",
 		st.Queued, st.Running, st.Done, st.Failed, st.Canceled, mode)
 	if st.Kernel != "" {
@@ -331,6 +342,21 @@ func runStatus(ctx context.Context, o options) error {
 		}
 		if j.Replans > 0 {
 			line += fmt.Sprintf(" replans=%d", j.Replans)
+		}
+		if r := j.Redundancy; r != nil {
+			// The k-of-n gate's outcome for this lease: what the redundant
+			// units bought (duplicate wins, decodes, absorbed stragglers) and
+			// what they cost (wasted duplicate bytes).
+			line += fmt.Sprintf(" red=%s units=%d", r.Mode, r.Units)
+			if r.DuplicateWins > 0 {
+				line += fmt.Sprintf(" dupwins=%d wasted=%s", r.DuplicateWins, fmtBytes(r.WastedBytes))
+			}
+			if r.Decodes > 0 {
+				line += fmt.Sprintf(" decodes=%d", r.Decodes)
+			}
+			if r.Absorbed > 0 {
+				line += fmt.Sprintf(" absorbed=%d", r.Absorbed)
+			}
 		}
 		if j.ElapsedMS > 0 {
 			line += fmt.Sprintf(" elapsed=%.1fms", j.ElapsedMS)

@@ -445,6 +445,58 @@ func Balance(items []Item, workers []int, est Estimator, load map[int]float64) m
 	return out
 }
 
+// RankByCost orders workers by the estimated cost of one job of the given
+// cost primitives, cheapest first. est == nil means no measurements: the
+// input order is kept (the caller's worker numbering is the only signal).
+// Deterministic: cost ties break by worker index.
+func RankByCost(workers []int, blocks int, updates int64, est Estimator) []int {
+	out := append([]int(nil), workers...)
+	if est == nil {
+		return out
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := est.JobCost(out[a], blocks, updates), est.JobCost(out[b], blocks, updates)
+		if ca != cb {
+			return ca < cb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// SuggestRedundancy picks a redundancy factor r from the estimate spread: one
+// redundant unit per worker whose estimated cost for a representative job
+// exceeds 1.5× the fleet median — the workers the estimates say will
+// straggle — capped at half the fleet (beyond that, replication costs more
+// than the tail it trims). Returns at least 1 when any worker qualifies and
+// 0 when the fleet looks uniform or est is nil (no evidence of stragglers,
+// but callers may still force r ≥ 1 for crash cover).
+func SuggestRedundancy(workers []int, blocks int, updates int64, est Estimator) int {
+	if est == nil || len(workers) < 2 {
+		return 0
+	}
+	costs := make([]float64, len(workers))
+	for i, w := range workers {
+		costs[i] = est.JobCost(w, blocks, updates)
+	}
+	sorted := append([]float64(nil), costs...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return 0
+	}
+	r := 0
+	for _, c := range costs {
+		if c > 1.5*median {
+			r++
+		}
+	}
+	if max := len(workers) / 2; r > max {
+		r = max
+	}
+	return r
+}
+
 // String renders an estimate compactly for logs and status lines.
 func (e Estimate) String() string {
 	return fmt.Sprintf("c=%s/blk w=%s/upd (%d+%d samples)",

@@ -231,3 +231,68 @@ func TestTrackerConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// costTable is a fixed-cost Estimator for placement tests.
+type costTable map[int]float64
+
+func (ct costTable) ObserveTransfer(int, int, time.Duration)  {}
+func (ct costTable) ObserveCompute(int, int64, time.Duration) {}
+func (ct costTable) JobCost(w, _ int, _ int64) float64        { return ct[w] }
+func (ct costTable) Drift() float64                           { return 0 }
+func (ct costTable) Rebase()                                  {}
+func (ct costTable) Ensure(int)                               {}
+
+func TestRankByCostOrdersAndTiebreaks(t *testing.T) {
+	est := costTable{0: 3.0, 1: 1.0, 2: 2.0, 3: 1.0}
+	got := RankByCost([]int{0, 1, 2, 3}, 4, 100, est)
+	want := []int{1, 3, 2, 0} // cheapest first; equal costs keep index order
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+	// The input slice must not be mutated.
+	in := []int{2, 0, 1}
+	_ = RankByCost(in, 4, 100, est)
+	if in[0] != 2 || in[1] != 0 || in[2] != 1 {
+		t.Errorf("RankByCost mutated its input: %v", in)
+	}
+	// Nil estimator: order preserved verbatim.
+	got = RankByCost([]int{2, 0, 1}, 4, 100, nil)
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("nil-estimator rank = %v, want input order", got)
+	}
+}
+
+func TestSuggestRedundancyFlagsStragglers(t *testing.T) {
+	// One worker at 4× the median: one redundant unit suggested.
+	if r := SuggestRedundancy([]int{0, 1, 2}, 4, 100, costTable{0: 1, 1: 1, 2: 4}); r != 1 {
+		t.Errorf("one straggler: r = %d, want 1", r)
+	}
+	// Uniform fleet: no evidence, no redundancy.
+	if r := SuggestRedundancy([]int{0, 1, 2}, 4, 100, costTable{0: 1, 1: 1, 2: 1}); r != 0 {
+		t.Errorf("uniform fleet: r = %d, want 0", r)
+	}
+	// Nil estimator or a lone worker: nothing to compare against.
+	if r := SuggestRedundancy([]int{0, 1, 2}, 4, 100, nil); r != 0 {
+		t.Errorf("nil estimator: r = %d, want 0", r)
+	}
+	if r := SuggestRedundancy([]int{0}, 4, 100, costTable{0: 9}); r != 0 {
+		t.Errorf("single worker: r = %d, want 0", r)
+	}
+	// Two stragglers of five: one unit each, which is also the len/2 cap.
+	ct := costTable{0: 1, 1: 1, 2: 1, 3: 10, 4: 10}
+	if r := SuggestRedundancy([]int{0, 1, 2, 3, 4}, 4, 100, ct); r != 2 {
+		t.Errorf("two stragglers of five: r = %d, want 2", r)
+	}
+	// A slow majority drags the median up with it: no worker stands out
+	// against the median, so no redundancy is suggested.
+	ct = costTable{0: 1, 1: 1, 2: 10, 3: 10, 4: 10}
+	if r := SuggestRedundancy([]int{0, 1, 2, 3, 4}, 4, 100, ct); r != 0 {
+		t.Errorf("slow majority: r = %d, want 0", r)
+	}
+	// Dead estimates (zero median) must not divide by zero or suggest waste.
+	if r := SuggestRedundancy([]int{0, 1}, 4, 100, costTable{0: 0, 1: 0}); r != 0 {
+		t.Errorf("zero costs: r = %d, want 0", r)
+	}
+}

@@ -225,6 +225,17 @@ func RunElasticContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b,
 	})
 }
 
+// RunRedundantContext is RunContext under the k-of-n completion gate: the
+// plan's jobs plus red's replicas/parity units race, first result per job
+// wins. In-process goroutine workers never straggle, so this mainly exists to
+// keep the redundant path testable against the oracle backend; red == nil
+// degenerates to the pipelined executor.
+func RunRedundantContext(ctx context.Context, cfg Config, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, red *Redundancy) error {
+	return runOnChanBackend(ctx, cfg, func(cb *chanBackend) error {
+		return ExecuteRedundantContext(ctx, cfg.T, plan, a, b, c, cb, red)
+	})
+}
+
 // runOnChanBackend validates cfg, brings up the in-process goroutine
 // workers, runs exec against them, and drains the workers' error reports.
 func runOnChanBackend(ctx context.Context, cfg Config, exec func(*chanBackend) error) error {

@@ -21,12 +21,23 @@ var (
 	mReplans = obs.NewCounter("mm_engine_replans_total",
 		"Elastic executor re-plans (worker join, departure, or estimate drift).")
 
+	mRedundantUnits = obs.NewCounter("mm_engine_redundant_units_total",
+		"Redundant work units dispatched by the k-of-n gate (replicas, parities, speculative copies).")
+	mDuplicateWins = obs.NewCounter("mm_engine_duplicate_wins_total",
+		"Results discarded because another copy of the job had already committed.")
+	mWastedBytes = obs.NewCounter("mm_engine_wasted_bytes_total",
+		"Wire-size bytes of discarded duplicate results.")
+	mDecodes = obs.NewCounter("mm_engine_decodes_total",
+		"Chunk results reconstructed from MDS parity instead of a systematic unit.")
+
 	hSendC = obs.NewHistogram("mm_engine_sendc_seconds",
 		"Latency of delivering a C chunk to a worker.")
 	hSendAB = obs.NewHistogram("mm_engine_sendab_seconds",
 		"Latency of delivering one A/B installment to a worker.")
 	hRecvC = obs.NewHistogram("mm_engine_recvc_seconds",
 		"Latency of retrieving a finished chunk (includes the worker's residual compute).")
+	hStragglerAbsorbed = obs.NewHistogram("mm_engine_straggler_absorbed_seconds",
+		"In-flight time of units abandoned because their job completed elsewhere first.")
 )
 
 // observe feeds one completed backend operation into the latency histograms

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -62,6 +63,13 @@ type link struct {
 	heartbeat time.Duration
 	enc, dec  matrix.BlockCodec
 	abBuf     []*matrix.Block // SendAB concatenation scratch, reused per send
+
+	// cancel asks the dispatch goroutine that owns this link to abandon its
+	// in-flight unit (set by CancelUnit from the k-of-n gate's goroutine, the
+	// one cross-goroutine signal a link carries). The owner notices it in the
+	// receive loop — workers heartbeat, so a live link wakes within one
+	// interval — performs the cancel handshake itself, and clears the flag.
+	cancel atomic.Bool
 
 	// Panel-cache epoch state (see mastercache.go). Reset by every BeginJob,
 	// so nothing here ever outlives the handshake that established it: have
@@ -326,6 +334,7 @@ func NewMaster(conns []*WorkerConn, opts *MasterOptions) (*Master, error) {
 			return nil, fmt.Errorf("net: worker conn %d is closed", i)
 		}
 		wc.l.have, wc.l.cacheable = nil, false
+		wc.l.cancel.Store(false)
 		m.links = append(m.links, wc.l)
 		m.stats = append(m.stats, &linkStats{})
 	}
@@ -350,6 +359,7 @@ func (m *Master) AddWorker(wc *WorkerConn) (int, error) {
 	// handshake just leaves the worker cacheless for this job.
 	st := &linkStats{}
 	wc.l.have, wc.l.cacheable = nil, false
+	wc.l.cancel.Store(false)
 	if jp := m.jobPanels(); jp != nil {
 		if err := handshakeLink(wc.l, m.opts, st, jp); err != nil {
 			return 0, fmt.Errorf("net: add worker %s: cache handshake: %w", wc.l.name, err)
@@ -434,15 +444,55 @@ func (m *Master) Workers() int {
 }
 
 // down retires a worker's link and wraps the cause as engine.ErrWorkerDown so
-// Execute re-queues its jobs.
+// Execute re-queues its jobs. The conn field is nilled under the table lock
+// so CancelUnit's concurrent snapshot never races the retirement.
 func (m *Master) down(w int, op string, cause error) error {
 	l := m.link(w)
 	name := l.name
+	m.mu.Lock()
 	if l.conn != nil {
 		l.conn.Close()
 		l.conn = nil
 	}
+	m.mu.Unlock()
 	return fmt.Errorf("net: %s to worker %d (%s): %v: %w", op, w, name, cause, engine.ErrWorkerDown)
+}
+
+// cancelWait bounds how long a cancel handshake waits for the worker's ack
+// (or its already-in-flight result): long enough for a live worker's next
+// heartbeat to prove the consumer is reading, short enough that a stalled one
+// costs far less than a heartbeat timeout.
+func cancelWait(l *link) time.Duration {
+	wait := 3 * l.heartbeat
+	if wait < 300*time.Millisecond {
+		wait = 300 * time.Millisecond
+	}
+	if wait > 3*time.Second {
+		wait = 3 * time.Second
+	}
+	return wait
+}
+
+// CancelUnit implements engine.UnitCanceler: ask worker w's dispatch
+// goroutine to abandon the unit it has in flight. Only the flag is set here —
+// the owning goroutine performs the wire handshake itself, so this never
+// writes on a link another goroutine may be mid-frame on. The read deadline
+// is shortened so an owner parked in a long result wait on a heartbeat-dead
+// link wakes promptly instead of serving out IOTimeout.
+func (m *Master) CancelUnit(w int, ch matrix.Chunk) {
+	m.mu.RLock()
+	var l *link
+	var conn net.Conn
+	if w >= 0 && w < len(m.links) {
+		l = m.links[w]
+		conn = l.conn
+	}
+	m.mu.RUnlock()
+	if l == nil || conn == nil {
+		return
+	}
+	l.cancel.Store(true)
+	conn.SetReadDeadline(time.Now().Add(cancelWait(l)))
 }
 
 // ioDeadline is now+base clipped to the running context's deadline, so a
@@ -512,9 +562,44 @@ func (m *Master) SendAB(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block
 	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: l.abBuf})
 }
 
+// SendABRaw implements engine.RawSender: ship the installment as a plain
+// streamed frame even when a panel-cache epoch is open. Parity units carry
+// pre-encoded payloads under borrowed chunk coordinates; addressing them by
+// the job's panel digests would install encoded bytes under the real panels'
+// identities on both sides of the link.
+func (m *Master) SendABRaw(w int, ch matrix.Chunk, k0, k1 int, a, b []*matrix.Block) error {
+	l := m.link(w)
+	if l == nil {
+		return fmt.Errorf("net: send install to unknown worker %d: %w", w, engine.ErrWorkerDown)
+	}
+	st := m.stat(w)
+	q := 0
+	if len(a) > 0 {
+		q = a[0].Q
+	} else if len(b) > 0 {
+		q = b[0].Q
+	}
+	ws := int64(k1-k0) * int64(matrix.BlockWireSize(q))
+	st.aSent.Add(int64(ch.H) * ws)
+	st.bSent.Add(int64(ch.W) * ws)
+	l.abBuf = append(append(l.abBuf[:0], a...), b...)
+	return m.send(w, "send install", &Msg{Kind: MsgInstall, Chunk: ch, K0: k0, K1: k1, Blocks: l.abBuf})
+}
+
 // RecvC implements engine.Backend: flush the worker and wait for its result,
 // treating heartbeats as liveness that extends the wait.
 func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
+	return m.recvC(w, ch, true)
+}
+
+// RecvCRaw implements engine.RawSender: RecvC without the panel-cache
+// promotion — a parity unit's chunk coordinates are borrowed, so marking its
+// panels resident would poison the master's residency view.
+func (m *Master) RecvCRaw(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
+	return m.recvC(w, ch, false)
+}
+
+func (m *Master) recvC(w int, ch matrix.Chunk, promote bool) ([]*matrix.Block, error) {
 	if err := m.send(w, "flush", &Msg{Kind: MsgFlush, Chunk: ch}); err != nil {
 		return nil, err
 	}
@@ -523,10 +608,42 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 	if hb := 3 * l.heartbeat; hb > wait {
 		wait = hb
 	}
+	// Once CancelUnit flags this unit, the owner (us) writes the cancel frame
+	// — no other goroutine may touch the link's write side — then waits a
+	// short grace for the worker's answer. A responsive worker either acks
+	// (it dropped the chunk; the link stays at a frame boundary and survives)
+	// or its result was already in flight (returned as a duplicate); a
+	// stalled one answers nothing and the link is retired, which is how a
+	// straggler is absorbed without serving out its heartbeat timeout.
+	sentCancel := false
+	var cancelBy time.Time
 	for {
-		l.conn.SetReadDeadline(m.ioDeadline(wait))
+		if l.cancel.Load() && !sentCancel {
+			if err := m.send(w, "cancel unit", &Msg{Kind: MsgCancel, Chunk: ch}); err != nil {
+				l.cancel.Store(false)
+				return nil, fmt.Errorf("%w; %w", engine.ErrUnitCanceled, err)
+			}
+			sentCancel = true
+			// The grace is absolute: heartbeats come from the worker's beat
+			// goroutine and prove the process lives, not that its consumer is
+			// reading — they must not extend the handshake, or a stalled
+			// worker's heartbeats would make the gate serve out the stall.
+			cancelBy = time.Now().Add(cancelWait(l))
+		}
+		if sentCancel {
+			l.conn.SetReadDeadline(cancelBy)
+		} else {
+			l.conn.SetReadDeadline(m.ioDeadline(wait))
+		}
 		msg, err := ReadMsgCodec(l.rd, &l.dec)
 		if err != nil {
+			if sentCancel || l.cancel.Load() {
+				// The worker never answered the cancel (or the shortened
+				// deadline fired mid-frame): the stream cannot be trusted at a
+				// boundary, so retire the link and surface the cancel.
+				l.cancel.Store(false)
+				return nil, fmt.Errorf("%w; %w", engine.ErrUnitCanceled, m.down(w, "cancel unit", err))
+			}
 			return nil, m.down(w, "receive result", err)
 		}
 		switch msg.Kind {
@@ -536,8 +653,20 @@ func (m *Master) RecvC(w int, ch matrix.Chunk) ([]*matrix.Block, error) {
 			if msg.Chunk != ch {
 				return nil, fmt.Errorf("net: worker %d (%s) returned chunk %v, expected %v", w, l.name, msg.Chunk, ch)
 			}
-			m.promote(w, l, ch)
+			// A result that raced the cancel frame is still a valid result;
+			// the worker will ignore the stale cancel and the gate counts the
+			// blocks as a duplicate win.
+			l.cancel.Store(false)
+			if promote {
+				m.promote(w, l, ch)
+			}
 			return msg.Blocks, nil
+		case MsgCancel:
+			if !sentCancel {
+				return nil, fmt.Errorf("net: worker %d (%s) sent unsolicited cancel ack", w, l.name)
+			}
+			l.cancel.Store(false)
+			return nil, fmt.Errorf("net: unit %v on worker %d (%s) canceled: %w", ch, w, l.name, engine.ErrUnitCanceled)
 		default:
 			return nil, fmt.Errorf("net: worker %d (%s) sent %s while a result was due", w, l.name, msg.Kind)
 		}
@@ -583,6 +712,18 @@ func (m *Master) RunPipelined(t int, plan []sim.PlanOp, a, b, c *matrix.BlockMat
 func (m *Master) RunPipelinedContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix) error {
 	defer m.runContext(ctx)()
 	return engine.ExecutePipelinedContext(ctx, t, plan, a, b, c, m)
+}
+
+// RunRedundantContext executes plan with the k-of-n redundancy gate (see
+// engine.ExecuteRedundantContext): each chunk may be dispatched to several
+// workers, the first result wins, laggard units are wire-cancelled through
+// CancelUnit's handshake, and parity units (red's coded mode) let decode
+// stand in for a straggler's missing results. C is bitwise-identical to
+// Run's whenever the systematic results complete. Cancellation semantics
+// match RunContext.
+func (m *Master) RunRedundantContext(ctx context.Context, t int, plan []sim.PlanOp, a, b, c *matrix.BlockMatrix, red *engine.Redundancy) error {
+	defer m.runContext(ctx)()
+	return engine.ExecuteRedundantContext(ctx, t, plan, a, b, c, m, red)
 }
 
 // RunElasticContext executes plan with the adaptive executor (see

@@ -42,6 +42,7 @@ const (
 	MsgHave                         // master → worker: job panel digests — which are resident?
 	MsgHaveAck                      // worker → master: per-digest presence answer
 	MsgInstallD                     // master → worker: digest-addressed A/B panels, resident ones omitted
+	MsgCancel                       // master → worker: abandon the held chunk; worker → master: dropped-it ack
 )
 
 func (k MsgKind) String() string {
@@ -68,6 +69,8 @@ func (k MsgKind) String() string {
 		return "have-ack"
 	case MsgInstallD:
 		return "install-digest"
+	case MsgCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -165,7 +168,7 @@ func payloadLen(m *Msg) (int, error) {
 		return 16 + blocksLen(), nil
 	case MsgInstall:
 		return 16 + 8 + blocksLen(), nil
-	case MsgFlush:
+	case MsgFlush, MsgCancel:
 		return 16, nil
 	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		return 0, nil
@@ -300,7 +303,7 @@ func WriteMsgCodec(w io.Writer, m *Msg, bc *matrix.BlockCodec) error {
 		if err := bc.WriteBlocks(w, m.Blocks); err != nil {
 			return err
 		}
-	case MsgFlush:
+	case MsgFlush, MsgCancel:
 		if err := putChunk(w, m.Chunk); err != nil {
 			return err
 		}
@@ -434,7 +437,7 @@ func ReadMsgCodec(r io.Reader, bc *matrix.BlockCodec) (*Msg, error) {
 		m.K0 = int(int32(binary.LittleEndian.Uint32(kr[0:4])))
 		m.K1 = int(int32(binary.LittleEndian.Uint32(kr[4:8])))
 		m.Blocks, err = bc.ReadBlocks(buf)
-	case MsgFlush:
+	case MsgFlush, MsgCancel:
 		m.Chunk, err = getChunk(buf)
 	case MsgHeartbeat, MsgShutdown, MsgRelease:
 		// empty payload

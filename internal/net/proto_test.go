@@ -64,6 +64,7 @@ func TestProtoRoundTripEveryKind(t *testing.T) {
 		{Kind: MsgChunk, Chunk: ch, Blocks: randBlocks(t, ch.Blocks(), 5, 1)},
 		{Kind: MsgInstall, Chunk: ch, K0: 2, K1: 5, Blocks: randBlocks(t, 3*(ch.H+ch.W), 5, 2)},
 		{Kind: MsgFlush, Chunk: ch},
+		{Kind: MsgCancel, Chunk: ch},
 		{Kind: MsgResult, Chunk: ch, Blocks: randBlocks(t, ch.Blocks(), 5, 3)},
 		{Kind: MsgHeartbeat},
 		{Kind: MsgShutdown},

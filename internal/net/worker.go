@@ -364,6 +364,26 @@ func ServeConn(conn net.Conn, name string, opts WorkerOptions) error {
 				// SetReadDeadline applies to blocked reads too.
 				conn.SetReadDeadline(time.Now().Add(idle))
 			}
+		case MsgCancel:
+			// The master abandoned the chunk (a k-of-n gate already got this
+			// result elsewhere). If we still hold it, drop it and ack with the
+			// same frame so the master knows the session is at a clean
+			// boundary and can reuse it. A cancel for a chunk we no longer
+			// hold is stale — the result frame is already on the wire and the
+			// master will take it as a duplicate — so it is ignored, ackless
+			// (an ack after the result would desync the master's next unit).
+			if blocks != nil && msg.Chunk == cur {
+				discardPending()
+				pool.PutAll(blocks)
+				blocks = nil
+				busy.Store(false)
+				if err := write(&Msg{Kind: MsgCancel, Chunk: msg.Chunk}); err != nil {
+					return fmt.Errorf("net: worker %s: send cancel ack: %w", name, err)
+				}
+				if idle > 0 {
+					conn.SetReadDeadline(time.Now().Add(idle))
+				}
+			}
 		case MsgHave:
 			// A master opens a panel-cache epoch: answer which of the job's
 			// panels are resident, pinning them for the job's duration. A

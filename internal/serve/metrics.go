@@ -20,6 +20,17 @@ var (
 	mReplans = obs.NewCounter("mm_serve_replans_total",
 		"Elastic lease re-plans across all jobs (join, depart, drift).")
 
+	mRedUnits = obs.NewCounter("mm_serve_redundant_units_total",
+		"Redundant work units dispatched by redundant leases (replicas, parities, speculation).")
+	mRedDuplicateWins = obs.NewCounter("mm_serve_redundant_duplicate_wins_total",
+		"Late duplicate results discarded by the k-of-n gate across all leases.")
+	mRedWastedBytes = obs.NewCounter("mm_serve_redundant_wasted_bytes_total",
+		"Wire bytes of discarded duplicate results across all leases.")
+	mRedDecodes = obs.NewCounter("mm_serve_redundant_decodes_total",
+		"Chunk results reconstructed from parity across all leases.")
+	mRedAbsorbed = obs.NewCounter("mm_serve_redundant_absorbed_total",
+		"In-flight units wire-cancelled after their job completed elsewhere.")
+
 	mCacheHits = obs.NewCounter("mm_serve_cache_panel_hits_total",
 		"Operand-panel handshake probes answered from worker caches.")
 	mCacheMisses = obs.NewCounter("mm_serve_cache_panel_misses_total",

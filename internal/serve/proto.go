@@ -16,6 +16,7 @@ import (
 	"repro/internal/matrix"
 	mmnet "repro/internal/net"
 	"repro/internal/platform"
+	"repro/internal/trace"
 )
 
 // The client protocol is a small length-prefixed binary framing, separate
@@ -33,15 +34,17 @@ import (
 type clientKind uint8
 
 const (
-	cSubmit  clientKind = iota + 1 // client → server: R,S,T,Q + A,B,C blocks
-	cAccept                        // server → client: job id (admitted to the queue)
-	cResult                        // server → client: job id + updated C blocks
-	cError                         // server → client: job id (0 = rejected) + message
-	cStatus                        // client → server: snapshot request
-	cStats                         // server → client: Stats as JSON
-	cCancel                        // client → server: job id — cancel the submitted job
-	cJoin                          // client → server: worker addr + spec — register with the fleet
-	cSubmitD                       // client → server: cSubmit + the operands' panel digests
+	cSubmit    clientKind = iota + 1 // client → server: R,S,T,Q + A,B,C blocks
+	cAccept                          // server → client: job id (admitted to the queue)
+	cResult                          // server → client: job id + updated C blocks
+	cError                           // server → client: job id (0 = rejected) + message
+	cStatus                          // client → server: snapshot request
+	cStats                           // server → client: Stats as JSON
+	cCancel                          // client → server: job id — cancel the submitted job
+	cJoin                            // client → server: worker addr + spec — register with the fleet
+	cSubmitD                         // client → server: cSubmit + the operands' panel digests
+	cTrace                           // client → server: job id — fetch the job's recorded timeline
+	cTraceData                       // server → client: job id + the timeline as JSON
 )
 
 func (k clientKind) String() string {
@@ -64,6 +67,10 @@ func (k clientKind) String() string {
 		return "join"
 	case cSubmitD:
 		return "submit-digest"
+	case cTrace:
+		return "trace"
+	case cTraceData:
+		return "trace-data"
 	default:
 		return fmt.Sprintf("clientkind(%d)", uint8(k))
 	}
@@ -113,8 +120,10 @@ func clientPayloadLen(m *clientMsg) (int, error) {
 			return 0, fmt.Errorf("serve: submit-digest frame lists %d+%d digests", len(m.Rows), len(m.Cols))
 		}
 		return 16 + 4 + cache.DigestLen*len(m.Rows) + 4 + cache.DigestLen*len(m.Cols) + blocksLen(), nil
-	case cAccept, cCancel:
+	case cAccept, cCancel, cTrace:
 		return 8, nil
+	case cTraceData:
+		return 8 + 4 + len(m.Stats), nil
 	case cResult:
 		return 8 + blocksLen(), nil
 	case cError:
@@ -181,10 +190,19 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 			}
 		}
 		return bc.WriteBlocks(w, m.Blocks)
-	case cAccept, cCancel:
+	case cAccept, cCancel, cTrace:
 		var id [8]byte
 		binary.LittleEndian.PutUint64(id[:], m.ID)
 		_, err := w.Write(id[:])
+		return err
+	case cTraceData:
+		var pre [12]byte
+		binary.LittleEndian.PutUint64(pre[0:8], m.ID)
+		binary.LittleEndian.PutUint32(pre[8:12], uint32(len(m.Stats)))
+		if _, err := w.Write(pre[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(m.Stats)
 		return err
 	case cResult:
 		var id [8]byte
@@ -289,12 +307,24 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 			}
 		}
 		m.Blocks, err = bc.ReadBlocks(buf)
-	case cAccept, cCancel:
+	case cAccept, cCancel, cTrace:
 		var id [8]byte
 		if _, err = io.ReadFull(buf, id[:]); err != nil {
 			break
 		}
 		m.ID = binary.LittleEndian.Uint64(id[:])
+	case cTraceData:
+		var pre [12]byte
+		if _, err = io.ReadFull(buf, pre[:]); err != nil {
+			break
+		}
+		m.ID = binary.LittleEndian.Uint64(pre[0:8])
+		traceLen := int(binary.LittleEndian.Uint32(pre[8:12]))
+		if traceLen > maxStatsLen {
+			return nil, fmt.Errorf("serve: trace payload %d bytes long", traceLen)
+		}
+		m.Stats = make([]byte, traceLen)
+		_, err = io.ReadFull(buf, m.Stats)
 	case cResult:
 		var id [8]byte
 		if _, err = io.ReadFull(buf, id[:]); err != nil {
@@ -440,6 +470,19 @@ func (s *Server) handleClient(conn net.Conn) {
 			return
 		}
 		reply(&clientMsg{Kind: cStats, Stats: body})
+
+	case cTrace:
+		tr, err := s.JobTrace(msg.ID)
+		if err != nil {
+			fail(msg.ID, err)
+			return
+		}
+		body, err := json.Marshal(tr)
+		if err != nil {
+			fail(msg.ID, err)
+			return
+		}
+		reply(&clientMsg{Kind: cTraceData, ID: msg.ID, Stats: body})
 
 	case cJoin:
 		// A worker daemon (mmworker -join) announcing itself to the fleet
@@ -721,6 +764,39 @@ func FetchStatsContext(ctx context.Context, addr string) (*Stats, error) {
 		return nil, fmt.Errorf("serve: decode stats: %w", err)
 	}
 	return &st, nil
+}
+
+// FetchTraceContext asks the daemon at addr for job id's recorded timeline —
+// available once the job's lease has ended (the daemon records every lease;
+// its -trace-dir flag only controls on-disk export). The matmul facade's
+// Remote jobs resolve Trace() through this.
+func FetchTraceContext(ctx context.Context, addr string, id uint64) (*trace.Trace, error) {
+	conn, err := dialClient(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	if err := writeClientMsg(conn, &clientMsg{Kind: cTrace, ID: id}, nil); err != nil {
+		return nil, clientErr(ctx, err)
+	}
+	msg, err := readClientMsg(bufio.NewReaderSize(conn, 1<<16), nil)
+	if err != nil {
+		return nil, clientErr(ctx, err)
+	}
+	switch msg.Kind {
+	case cTraceData:
+		var tr trace.Trace
+		if err := json.Unmarshal(msg.Stats, &tr); err != nil {
+			return nil, fmt.Errorf("serve: decode trace: %w", err)
+		}
+		return &tr, nil
+	case cError:
+		return nil, fmt.Errorf("serve: trace fetch rejected: %s", msg.Err)
+	default:
+		return nil, fmt.Errorf("serve: got %s frame, want trace-data", msg.Kind)
+	}
 }
 
 // JoinFleet announces a worker daemon to the scheduling daemon at addr:

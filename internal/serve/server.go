@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/cache"
+	"repro/internal/coded"
 	"repro/internal/engine"
 	"repro/internal/kernel"
 	"repro/internal/matrix"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -76,6 +78,19 @@ type Config struct {
 	// running lease (see engine.Elastic). 0: engine default; negative:
 	// drift re-planning off. Only meaningful with Adaptive.
 	DriftThreshold float64
+	// Redundancy turns on proactive straggler mitigation: every lease runs
+	// under the engine's k-of-n completion gate with the named coded mode
+	// ("replicated" or "coded"; empty or "off" keeps it off). Redundant
+	// leases use the gate executor instead of the elastic one — the gate's
+	// speculation subsumes failover, and adapt estimates still price the
+	// redundancy placement — so mid-run estimate re-planning is traded for
+	// tail-latency cover.
+	Redundancy string
+	// RedundancyFactor is the redundancy factor r handed to the planner
+	// (replicas fleet-wide, parities per group). ≤ 0 asks the adapt estimates
+	// to suggest one (at least 1, so crashes stay covered). Only meaningful
+	// with Redundancy set.
+	RedundancyFactor int
 	// NoCache disables operand-panel caching: jobs are submitted without
 	// panel digests, leases skip the have/need handshake, and resource
 	// selection ignores operand affinity. The zero value keeps caching on —
@@ -148,6 +163,23 @@ type job struct {
 	leaseMu       sync.Mutex
 	leaseDetached bool
 	replans       atomic.Int32
+
+	// redStats is the k-of-n gate's outcome, harvested when a redundant
+	// lease ends (nil otherwise). trace is the lease's recorded timeline,
+	// retained at job end so clients can fetch it after completion.
+	redStats *RedundancyStats
+	trace    *trace.Trace
+}
+
+// RedundancyStats is one redundant job's k-of-n gate outcome.
+type RedundancyStats struct {
+	Mode          string `json:"mode"`
+	Units         int64  `json:"units"`                    // redundant units dispatched
+	DuplicateWins int64  `json:"duplicate_wins,omitempty"` // late copies discarded
+	WastedBytes   int64  `json:"wasted_bytes,omitempty"`   // wire bytes of those copies
+	Decodes       int64  `json:"decodes,omitempty"`        // results reconstructed from parity
+	Absorbed      int64  `json:"absorbed,omitempty"`       // in-flight units wire-cancelled
+	Speculative   int64  `json:"speculative,omitempty"`    // of Units, idle-worker speculation
 }
 
 // JobStatus is one job's externally visible state.
@@ -159,8 +191,11 @@ type JobStatus struct {
 	Algorithm string         `json:"algorithm,omitempty"`
 	Workers   []int          `json:"workers,omitempty"` // fleet indices of the lease, mid-job joins included
 	Replans   int            `json:"replans,omitempty"` // elastic re-plans (join/depart/drift) of the lease
-	Error     string         `json:"error,omitempty"`
-	ElapsedMS float64        `json:"elapsed_ms"` // run time (so far) once started
+	// Redundancy is the k-of-n gate outcome of a redundant lease (nil when
+	// the server runs without redundancy or the job has not finished).
+	Redundancy *RedundancyStats `json:"redundancy,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	ElapsedMS  float64          `json:"elapsed_ms"` // run time (so far) once started
 }
 
 // Stats is the service snapshot reported to clients.
@@ -168,16 +203,17 @@ type Stats struct {
 	// Kernel is the block-update kernel the daemon process itself selected
 	// (workers report their own in their WorkerMetric rows — a heterogeneous
 	// fleet legitimately mixes kernels, results stay bitwise-identical).
-	Kernel   string         `json:"kernel,omitempty"`
-	Workers  []WorkerMetric `json:"workers"`
-	Adaptive bool           `json:"adaptive,omitempty"` // measured-speed selection + elastic leases on
-	Cache    *CacheTotals   `json:"cache,omitempty"`    // panel-cache effectiveness; nil when caching is off
-	Queued   int            `json:"queued"`
-	Running  int            `json:"running"`
-	Done     int            `json:"done"`
-	Failed   int            `json:"failed"`
-	Canceled int            `json:"canceled"`
-	Jobs     []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
+	Kernel     string         `json:"kernel,omitempty"`
+	Workers    []WorkerMetric `json:"workers"`
+	Adaptive   bool           `json:"adaptive,omitempty"`   // measured-speed selection + elastic leases on
+	Redundancy string         `json:"redundancy,omitempty"` // k-of-n gate mode when proactive mitigation is on
+	Cache      *CacheTotals   `json:"cache,omitempty"`      // panel-cache effectiveness; nil when caching is off
+	Queued     int            `json:"queued"`
+	Running    int            `json:"running"`
+	Done       int            `json:"done"`
+	Failed     int            `json:"failed"`
+	Canceled   int            `json:"canceled"`
+	Jobs       []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
 }
 
 // CacheTotals aggregates panel-cache effectiveness across all completed
@@ -264,6 +300,10 @@ func NewServer(fleet *Fleet, cfg Config) *Server {
 	}
 	if cfg.Adaptive {
 		s.tracker = adapt.NewTracker(fleet.Specs(), trackerUnit, 0)
+	}
+	if _, err := coded.ParseMode(cfg.Redundancy); err != nil {
+		s.log.Warn("invalid redundancy mode; proactive mitigation stays off",
+			"mode", cfg.Redundancy, "err", err)
 	}
 	if !cfg.NoCache {
 		s.registry = cache.NewRegistry()
@@ -462,6 +502,9 @@ func (s *Server) Status() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{Kernel: kernel.Name(), Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
+	if mode, err := coded.ParseMode(s.cfg.Redundancy); err == nil && mode != coded.ModeOff {
+		st.Redundancy = string(mode)
+	}
 	if s.registry != nil {
 		tot := &CacheTotals{}
 		s.cacheMu.Lock()
@@ -502,7 +545,7 @@ func (s *Server) Status() Stats {
 		j := s.jobs[id]
 		js := JobStatus{
 			ID: j.id, State: j.state.String(), Instance: j.inst, Q: j.q,
-			Replans: int(j.replans.Load()),
+			Replans: int(j.replans.Load()), Redundancy: j.redStats,
 		}
 		if j.sel != nil {
 			js.Algorithm = j.sel.Algorithm
@@ -859,13 +902,37 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 	// executors emit one event per transfer at the hooks they already time
 	// for the estimate tracker, and the timeline is exported below the
 	// moment the lease ends.
+	// Every lease records its timeline — the recorder is cheap and clients
+	// can fetch a completed job's trace over the wire; TraceDir only decides
+	// whether the Chrome-trace file is also exported below.
 	ctx := j.ctx
-	var rec *trace.Recorder
-	if s.cfg.TraceDir != "" {
-		rec = trace.NewRecorder(j.sel.Algorithm)
-		ctx = trace.NewContext(ctx, rec)
-	}
-	if j.view != nil {
+	rec := trace.NewRecorder(j.sel.Algorithm)
+	ctx = trace.NewContext(ctx, rec)
+	mode, _ := coded.ParseMode(s.cfg.Redundancy)
+	switch {
+	case mode != coded.ModeOff:
+		// Redundant lease: the k-of-n gate arbitrates completion. Placement is
+		// priced by the live estimates when the server is adaptive; the gate's
+		// speculation and wire-cancel replace elastic re-planning.
+		var red *engine.Redundancy
+		red, err = s.planRedundancy(j, m, mode)
+		if err == nil {
+			err = m.RunRedundantContext(ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c, red)
+		}
+		if red != nil {
+			st := red.Stats()
+			j.redStats = &RedundancyStats{
+				Mode: string(mode), Units: st.Units, DuplicateWins: st.DuplicateWins,
+				WastedBytes: st.WastedBytes, Decodes: st.Decodes,
+				Absorbed: st.Absorbed, Speculative: st.Speculative,
+			}
+			mRedUnits.Add(st.Units)
+			mRedDuplicateWins.Add(st.DuplicateWins)
+			mRedWastedBytes.Add(st.WastedBytes)
+			mRedDecodes.Add(st.Decodes)
+			mRedAbsorbed.Add(st.Absorbed)
+		}
+	case j.view != nil:
 		el := &engine.Elastic{
 			Tracker:        j.view,
 			Join:           j.join,
@@ -877,10 +944,11 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 			},
 		}
 		err = m.RunElasticContext(ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c, el)
-	} else {
+	default:
 		err = m.RunPipelinedContext(ctx, j.inst.T, j.sel.Plan, j.a, j.b, j.c)
 	}
-	if rec != nil {
+	j.trace = rec.Trace()
+	if s.cfg.TraceDir != "" {
 		// Export before the terminal transition below closes j.done, so a
 		// submitter returning from Wait always finds the file on disk.
 		s.writeTrace(j.id, rec)
@@ -931,6 +999,53 @@ func (s *Server) run(j *job, m *mmnet.Master) {
 		s.log.Warn("job failed", "job", j.id, "err", err)
 	}
 	s.kick()
+}
+
+// planRedundancy builds the k-of-n gate input for one lease: mode and factor
+// from the server config, placement priced by the job's estimator view when
+// the server is adaptive. A factor ≤ 0 asks the estimates to suggest one —
+// one unit per predicted straggler, floored at 1 so crashes stay covered.
+func (s *Server) planRedundancy(j *job, m *mmnet.Master, mode coded.Mode) (*engine.Redundancy, error) {
+	opts := coded.Options{Mode: mode, R: s.cfg.RedundancyFactor}
+	if j.view != nil {
+		opts.Estimator = j.view
+	}
+	if opts.R <= 0 {
+		opts.R = 1
+		if jobs, _, err := sim.JobsFromPlan(j.sel.Plan); err == nil && len(jobs) > 0 {
+			ch := jobs[0].Chunk
+			blocks := 2 * ch.Blocks()
+			var updates int64
+			for _, p := range jobs[0].Panels {
+				blocks += (p[1] - p[0]) * (ch.H + ch.W)
+				updates += int64(p[1]-p[0]) * int64(ch.H) * int64(ch.W)
+			}
+			workers := make([]int, m.Workers())
+			for i := range workers {
+				workers[i] = i
+			}
+			if r := adapt.SuggestRedundancy(workers, blocks, updates, opts.Estimator); r > opts.R {
+				opts.R = r
+			}
+		}
+	}
+	return coded.Plan(j.inst.T, j.sel.Plan, j.a, j.c, m.Workers(), opts)
+}
+
+// JobTrace returns job id's recorded timeline, available once its lease has
+// ended (every lease records; TraceDir only controls the on-disk export). An
+// unknown id or a job that has not finished running errors.
+func (s *Server) JobTrace(id uint64) (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %d", id)
+	}
+	if j.trace == nil {
+		return nil, fmt.Errorf("serve: job %d has no trace (state %s)", id, j.state)
+	}
+	return j.trace, nil
 }
 
 // writeTrace exports one completed job's recorded timeline as Chrome

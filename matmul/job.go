@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -63,10 +64,12 @@ type Job struct {
 	done   chan struct{}
 	rec    *trace.Recorder // non-nil when the runtime records in-process
 
-	mu       sync.Mutex
-	state    JobState
-	err      error
-	remoteID uint64
+	mu         sync.Mutex
+	state      JobState
+	err        error
+	remoteID   uint64
+	traceFetch func(ctx context.Context) (*trace.Trace, error) // Remote: daemon-side timeline
+	traced     *trace.Trace                                    // memoized successful fetch
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -97,16 +100,37 @@ func (j *Job) Wait(ctx context.Context) error {
 
 // Trace returns the job's recorded execution timeline: one span per
 // transfer and compute, keyed by worker, on a clock starting at the job's
-// submission. It is nil on runtimes that do not record in this process
-// (Remote — the daemon executes the job; use mmserve -trace-dir there).
-// Calling it before the job is terminal returns the spans recorded so far;
-// the full timeline is available after Wait. Render the result with
-// Trace.WriteChromeTrace for Perfetto, or inspect the spans directly.
+// submission. In-process and Distributed jobs record as they run: calling
+// Trace before the job is terminal returns the spans recorded so far, and
+// the full timeline is available after Wait. A Remote job executes — and
+// records — daemon-side; Trace fetches the daemon's recording over the
+// client protocol, so it is nil until the job is terminal there (and on
+// daemons predating trace fetch), and the fetched timeline is memoized.
+// Render the result with Trace.WriteChromeTrace for Perfetto, or inspect
+// the spans directly.
 func (j *Job) Trace() *Trace {
-	if j.rec == nil {
+	if j.rec != nil {
+		return j.rec.Trace()
+	}
+	j.mu.Lock()
+	fetch, cached := j.traceFetch, j.traced
+	j.mu.Unlock()
+	if cached != nil {
+		return cached
+	}
+	if fetch == nil {
 		return nil
 	}
-	return j.rec.Trace()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tr, err := fetch(ctx)
+	if err != nil || tr == nil {
+		return nil
+	}
+	j.mu.Lock()
+	j.traced = tr
+	j.mu.Unlock()
+	return tr
 }
 
 // Status snapshots the job's state without blocking.
@@ -120,6 +144,14 @@ func (j *Job) Status() JobStatus {
 func (j *Job) setRemoteID(id uint64) {
 	j.mu.Lock()
 	j.remoteID = id
+	j.mu.Unlock()
+}
+
+// setTraceFetch installs the daemon-side timeline fetcher of a Remote
+// submission, once its job id is known.
+func (j *Job) setTraceFetch(fetch func(ctx context.Context) (*trace.Trace, error)) {
+	j.mu.Lock()
+	j.traceFetch = fetch
 	j.mu.Unlock()
 }
 

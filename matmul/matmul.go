@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coded"
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -86,22 +87,29 @@ func Algorithms() []string {
 
 // config is the resolved option set of one Session.
 type config struct {
-	rt         Runtime
-	scheduler  sched.Scheduler
-	algorithm  string
-	pipelined  bool
-	onePort    bool
-	procs      int
-	platform   *platform.Platform
-	pacing     time.Duration
-	shutdown   bool // Distributed: Close shuts worker daemons down instead of releasing them
-	adaptive   bool
-	drift      float64
-	panelCache bool
+	rt          Runtime
+	scheduler   sched.Scheduler
+	algorithm   string
+	pipelined   bool
+	onePort     bool
+	procs       int
+	platform    *platform.Platform
+	pacing      time.Duration
+	shutdown    bool // Distributed: Close shuts worker daemons down instead of releasing them
+	adaptive    bool
+	drift       float64
+	panelCache  bool
+	redundancy  coded.Mode
+	redundancyR int
 
 	// explicit-set markers, so runtimes can reject options that do not apply
 	// to them instead of silently ignoring them.
-	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown, setAdaptive, setPanelCache bool
+	setAlgorithm, setPipelined, setOnePort, setProcs, setPlatform, setPacing, setShutdown, setAdaptive, setPanelCache, setRedundancy bool
+}
+
+// redundant reports whether this session's jobs run through the k-of-n gate.
+func (c *config) redundant() bool {
+	return c.redundancy != "" && c.redundancy != coded.ModeOff
 }
 
 // Option configures a Session at Open.
@@ -238,6 +246,41 @@ func WithPanelCache(on bool) Option {
 	}
 }
 
+// WithRedundancy turns on proactive straggler mitigation for InProcess and
+// Distributed sessions: each job's plan gains r redundant work units per
+// wave and runs through the engine's k-of-n completion gate, so a stalled
+// worker is absorbed the moment enough of the dispatched units finish — no
+// heartbeat timeout on the completion path. mode selects the strategy:
+//
+//   - "replicated" duplicates the hottest chunk jobs onto other workers;
+//     first result wins, laggards are wire-cancelled, and every committed
+//     result is a verbatim systematic one, so C stays bitwise-identical to
+//     the unredundant run.
+//   - "coded" adds systematic MDS parity units over groups of compatible
+//     jobs; straggler-free runs still commit systematic results verbatim
+//     (bitwise-identical C), and a decode reconstructs only the members
+//     that never returned.
+//   - "off" disables (the default).
+//
+// r ≤ 0 defaults to 1. On an adaptive session (WithAdaptive) the measured
+// estimates price redundant placement; the gate executor subsumes the
+// elastic one for redundant jobs, so drift re-planning is idle while they
+// run. A Remote session rejects this option: redundancy lives daemon-side
+// there (mmserve -redundancy).
+func WithRedundancy(mode string, r int) Option {
+	return func(c *config) error {
+		m, err := coded.ParseMode(mode)
+		if err != nil {
+			return fmt.Errorf("matmul: %w", err)
+		}
+		if r <= 0 {
+			r = 1
+		}
+		c.redundancy, c.redundancyR, c.setRedundancy = m, r, true
+		return nil
+	}
+}
+
 // Session is an open connection to one runtime: the single way in. A
 // Session is safe for concurrent Submits; jobs on an InProcess or Remote
 // session run concurrently, a Distributed session executes them one at a
@@ -280,6 +323,11 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 		// for the strictly sequential op loop would silently drop one of the
 		// two options.
 		return nil, fmt.Errorf("matmul: WithAdaptive requires the concurrent executor; drop WithPipelined(false)")
+	}
+	if cfg.redundant() && cfg.setPipelined && !cfg.pipelined {
+		// The k-of-n gate races concurrent units; the sequential op loop has
+		// nothing to race.
+		return nil, fmt.Errorf("matmul: WithRedundancy requires the concurrent executor; drop WithPipelined(false)")
 	}
 	rts, err := cfg.rt.open(ctx, &cfg)
 	if err != nil {
@@ -414,6 +462,10 @@ type SessionStats struct {
 	// not cache: InProcess, WithPanelCache(false), or a non-caching
 	// daemon). Remote reports the daemon's fleet-wide totals.
 	PanelCache *PanelCacheStats
+	// Redundancy names the k-of-n gate mode when proactive straggler
+	// mitigation is on ("replicated" or "coded"; empty when off). Remote
+	// reports the daemon's configured mode.
+	Redundancy string
 	Workers    []WorkerStats
 }
 

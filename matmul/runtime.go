@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/coded"
 	"repro/internal/engine"
 	"repro/internal/kernel"
 	mmnet "repro/internal/net"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // trackerUnit seeds a session's estimate tracker from the declared platform
@@ -131,6 +133,16 @@ func (s *inProcessSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c *
 		Platform: s.pl, TimePerUnit: s.cfg.pacing,
 		Pipelined: s.cfg.pipelined, OnePort: s.cfg.onePort, Procs: s.cfg.procs,
 	}
+	if s.cfg.redundant() {
+		// Redundant jobs run through the k-of-n gate, which subsumes the
+		// elastic executor's failover; an adaptive session's estimates still
+		// price the redundant placement.
+		red, err := planRedundancy(s.cfg, a.Cols, plan, a, c, s.pl.P(), s.tracker)
+		if err != nil {
+			return err
+		}
+		return engine.RunRedundantContext(ctx, ecfg, plan, a, b, c, red)
+	}
 	if s.tracker != nil {
 		// The in-process fleet is fixed (goroutine workers neither crash nor
 		// join), so elasticity here means estimate tracking plus
@@ -146,7 +158,11 @@ func (s *inProcessSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c *
 }
 
 func (s *inProcessSession) stats(context.Context) (SessionStats, error) {
-	return statsFromTracker(s.pl, s.tracker, int(s.replans.Load()), func(int) string { return kernel.Name() }), nil
+	st := statsFromTracker(s.pl, s.tracker, int(s.replans.Load()), func(int) string { return kernel.Name() })
+	if s.cfg.redundant() {
+		st.Redundancy = string(s.cfg.redundancy)
+	}
+	return st, nil
 }
 
 func (s *inProcessSession) close() error { return nil }
@@ -240,6 +256,16 @@ func (s *distributedSession) run(ctx context.Context, _ *Job, ah, bh *Operand, c
 		defer s.m.EndJob()
 	}
 	switch {
+	case s.cfg.redundant():
+		// The gate subsumes elastic failover for this job; see the
+		// in-process run path. A plan error aborts before any dispatch, so
+		// the links stay clean for the next job.
+		var red *engine.Redundancy
+		red, err = planRedundancy(s.cfg, a.Cols, plan, a, c, pl.P(), s.tracker)
+		if err != nil {
+			return err
+		}
+		err = s.m.RunRedundantContext(ctx, a.Cols, plan, a, b, c, red)
 	case s.tracker != nil:
 		el := &engine.Elastic{
 			Tracker:        s.tracker,
@@ -342,6 +368,9 @@ func (s *distributedSession) stats(context.Context) (SessionStats, error) {
 		}
 		st.PanelCache = tot
 	}
+	if s.cfg.redundant() {
+		st.Redundancy = string(s.cfg.redundancy)
+	}
 	return st, nil
 }
 
@@ -374,6 +403,9 @@ type remoteRuntime struct{ addr string }
 func (r remoteRuntime) open(_ context.Context, cfg *config) (runtimeSession, error) {
 	if r.addr == "" {
 		return nil, fmt.Errorf("matmul: Remote needs the daemon address")
+	}
+	if cfg.setRedundancy {
+		return nil, fmt.Errorf("matmul: WithRedundancy does not apply to the Remote runtime; the mmserve daemon owns redundancy (see its -redundancy flag)")
 	}
 	reject := func(set bool, opt string) error {
 		if set {
@@ -422,6 +454,12 @@ func (s *remoteSession) run(ctx context.Context, j *Job, ah, bh *Operand, c *Mat
 	}
 	if id != 0 {
 		j.setRemoteID(id)
+		// The daemon records every job's timeline; expose it through
+		// Job.Trace by fetching on demand once the job is terminal there.
+		addr := s.addr
+		j.setTraceFetch(func(ctx context.Context) (*trace.Trace, error) {
+			return serve.FetchTraceContext(ctx, addr, id)
+		})
 	}
 	if err != nil {
 		return err
@@ -443,7 +481,7 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 	if err != nil {
 		return SessionStats{}, err
 	}
-	st := SessionStats{Kernel: ds.Kernel, Adaptive: ds.Adaptive}
+	st := SessionStats{Kernel: ds.Kernel, Adaptive: ds.Adaptive, Redundancy: ds.Redundancy}
 	if dc := ds.Cache; dc != nil {
 		st.PanelCache = &PanelCacheStats{
 			PanelHits: dc.PanelHits, PanelMisses: dc.PanelMisses,
@@ -473,6 +511,17 @@ func (s *remoteSession) stats(ctx context.Context) (SessionStats, error) {
 }
 
 func (s *remoteSession) close() error { return nil }
+
+// planRedundancy builds the k-of-n gate input for one local job: mode and
+// factor from the session config, placement priced by the tracker's live
+// estimates when the session is adaptive.
+func planRedundancy(cfg *config, t int, plan []sim.PlanOp, a, c *Matrix, workers int, tr *adapt.Tracker) (*engine.Redundancy, error) {
+	opts := coded.Options{Mode: cfg.redundancy, R: cfg.redundancyR}
+	if tr != nil {
+		opts.Estimator = tr
+	}
+	return coded.Plan(t, plan, a, c, workers, opts)
+}
 
 // schedule plans one job's product on pl with the session's scheduler and
 // returns the replayable plan.
