@@ -936,3 +936,115 @@ func BenchmarkStragglerTail(b *testing.B) {
 	b.ReportMetric(pctMS(off, 0.99), "off_p99_ms")
 	b.ReportMetric(pctMS(off, 0.99)/pctMS(on, 0.99), "p99_speedup")
 }
+
+// BenchmarkQueuePolicies measures what the sjf queue policy buys small jobs
+// on the scheduling lab's bimodal mix: each iteration dumps a burst of 6
+// large products followed by 12 small ones on a 4-worker fleet whose leases
+// are capped at 2 workers, so two jobs run while the rest queue — the
+// head-of-line-blocking shape hypotheses/fifo-vs-sjf studies. The same burst
+// runs under fifo and under sjf, and the headline metric is
+// sjf_small_p99_speedup, the within-run ratio of small-job p99 latencies
+// (CI gates on ≥2; a ratio from one run is machine-independent, so the gate
+// is not skippable by the perf-regression label — falling below the floor
+// means the policy stopped reordering, not that the machine was slow).
+func BenchmarkQueuePolicies(b *testing.B) {
+	const (
+		fleetSize = 4
+		nLarge    = 6
+		nSmall    = 12
+	)
+	largeInst, largeQ := sched.Instance{R: 8, S: 8, T: 8}, 48
+	smallInst, smallQ := sched.Instance{R: 2, S: 2, T: 2}, 16
+	rng := benchRNG()
+	mk := func(inst sched.Instance, q int) (a, bm, c *matrix.BlockMatrix) {
+		a = matrix.NewBlockMatrix(inst.R, inst.T, q)
+		bm = matrix.NewBlockMatrix(inst.T, inst.S, q)
+		c = matrix.NewBlockMatrix(inst.R, inst.S, q)
+		a.FillRandom(rng)
+		bm.FillRandom(rng)
+		c.FillRandom(rng)
+		return
+	}
+	largeA, largeB, largeC := mk(largeInst, largeQ)
+	smallA, smallB, smallC := mk(smallInst, smallQ)
+
+	// runPolicy plays b.N bursts against a fresh fleet under one policy and
+	// returns every small job's submit-to-done latency.
+	runPolicy := func(policy string) []float64 {
+		var addrs []string
+		var lns []stdnet.Listener
+		for i := 0; i < fleetSize; i++ {
+			ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lns = append(lns, ln)
+			addrs = append(addrs, ln.Addr().String())
+			go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 200 * time.Millisecond})
+		}
+		defer func() {
+			for _, ln := range lns {
+				ln.Close()
+			}
+		}()
+		fleet, err := serve.NewFleet(addrs, platform.Homogeneous(fleetSize, 1, 1, 60).Workers, serve.FleetOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fleet.Close()
+		srv := serve.NewServer(fleet, serve.Config{MaxWorkersPerJob: 2, NoCache: true, QueuePolicy: policy})
+		defer srv.Close()
+
+		var mu sync.Mutex
+		var lats []float64
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			submit := func(a, bm, c *matrix.BlockMatrix, small bool) {
+				start := time.Now()
+				id, err := srv.Submit(a, bm, c.Clone())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := srv.Wait(id); err != nil {
+						b.Error(err)
+						return
+					}
+					if small {
+						mu.Lock()
+						lats = append(lats, time.Since(start).Seconds())
+						mu.Unlock()
+					}
+				}()
+			}
+			for j := 0; j < nLarge; j++ {
+				submit(largeA, largeB, largeC, false)
+			}
+			for j := 0; j < nSmall; j++ {
+				submit(smallA, smallB, smallC, true)
+			}
+			wg.Wait()
+		}
+		return lats
+	}
+
+	pct := func(xs []float64, p float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[int(p*float64(len(s)-1))]
+	}
+
+	b.ResetTimer()
+	fifo := runPolicy(serve.PolicyFIFO)
+	sjf := runPolicy(serve.PolicySJF)
+	b.StopTimer()
+	if b.Failed() {
+		return
+	}
+	b.ReportMetric(1e3*pct(fifo, 0.99), "fifo_small_p99_ms")
+	b.ReportMetric(1e3*pct(sjf, 0.99), "sjf_small_p99_ms")
+	b.ReportMetric(pct(fifo, 0.99)/pct(sjf, 0.99), "sjf_small_p99_speedup")
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/load"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// variant is one arm of an experiment: a name and the server config it runs
+// under. Variants differ in exactly one config field so the comparison stays
+// single-variable.
+type variant struct {
+	name   string
+	config serve.Config
+}
+
+// verdictResult is a judge's reading of the aggregated numbers.
+type verdictResult struct {
+	Confirmed bool
+	// Derived holds the cross-variant ratios the verdict rests on.
+	Derived map[string]float64
+	Detail  string
+}
+
+// experiment is one controlled comparison: a seeded workload replayed
+// against every variant, judged by a predicate over the aggregate metrics.
+type experiment struct {
+	name       string
+	title      string
+	hypothesis string
+	workload   string // prose description for config.json and the report
+	workers    int
+	speed      float64
+	gen        func(seed int64) load.Spec
+	variants   []variant
+	// reportMetrics picks which aggregate metrics the report tabulates.
+	reportMetrics []string
+	judge         func(agg map[string]map[string]float64) verdictResult
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// base is the config shared by every variant: small disjoint leases so the
+// queue actually queues, caching off so operand affinity never confounds
+// the policy under test.
+func base() serve.Config {
+	return serve.Config{MaxWorkersPerJob: 2, NoCache: true}
+}
+
+func experiments() []*experiment {
+	small := load.SizeClass{Name: "small", Inst: sched.Instance{R: 2, S: 2, T: 2}, Q: 32}
+	large := load.SizeClass{Name: "large", Inst: sched.Instance{R: 10, S: 10, T: 10}, Q: 64}
+	medium := load.SizeClass{Name: "medium", Inst: sched.Instance{R: 6, S: 6, T: 6}, Q: 64, Weight: 1}
+
+	fifoVsSJF := &experiment{
+		name:  "fifo-vs-sjf",
+		title: "FIFO vs SJF on a bimodal size mix",
+		hypothesis: "On a many-small-few-large mix under backlog, sjf cuts small-job p99 " +
+			"latency at least 2x versus fifo, and every large job still completes " +
+			"(aging bounds the bypass, so reordering cannot starve).",
+		workload: "36 jobs, Gamma-burst arrivals (rate 150/s, shape 0.3), bimodal sizes: " +
+			"75% small (2x2x2 blocks, q=32), 25% large (10x10x10 blocks, q=64), all standard class",
+		workers: 4,
+		speed:   1,
+		gen: func(seed int64) load.Spec {
+			return load.Spec{
+				Seed:     seed,
+				N:        36,
+				Arrivals: load.GammaBurst(150, 0.3),
+				Sizes:    load.Bimodal(0.75, small, large),
+			}
+		},
+		variants: []variant{
+			{name: "fifo", config: withPolicy(base(), serve.PolicyFIFO)},
+			{name: "sjf", config: withPolicy(base(), serve.PolicySJF)},
+		},
+		reportMetrics: []string{
+			"size:small/p50_s", "size:small/p99_s",
+			"size:large/p99_s", "size:large/max_s",
+			"all/mean_s", "size:small/n", "size:large/n",
+		},
+		judge: func(agg map[string]map[string]float64) verdictResult {
+			speedup := ratio(agg["fifo"]["size:small/p99_s"], agg["sjf"]["size:small/p99_s"])
+			slowdown := ratio(agg["sjf"]["size:large/max_s"], agg["fifo"]["size:large/max_s"])
+			completed := agg["sjf"]["size:large/n"] >= agg["fifo"]["size:large/n"]
+			v := verdictResult{
+				Confirmed: speedup >= 2 && completed,
+				Derived: map[string]float64{
+					"small_p99_speedup":  speedup,
+					"large_max_slowdown": slowdown,
+				},
+			}
+			v.Detail = fmt.Sprintf("small-job p99 is %.1fx lower under sjf; large jobs all "+
+				"complete, paying at most %.1fx on their worst-case latency", speedup, slowdown)
+			return v
+		},
+	}
+
+	admission := &experiment{
+		name:  "admission-vs-unbounded",
+		title: "Token-bucket admission vs an unbounded queue under bursts",
+		hypothesis: "Under a burst far above fleet capacity, per-class token-bucket admission " +
+			"keeps the p99 latency of admitted jobs at least 2x lower than an unbounded " +
+			"queue, at the explicit cost of rejecting part of the burst at submit time.",
+		workload: "60 jobs, Gamma-burst arrivals (rate 200/s, shape 0.15), uniform size " +
+			"(6x6x6 blocks, q=64), all standard class",
+		workers: 4,
+		speed:   1,
+		gen: func(seed int64) load.Spec {
+			uniform := load.SizeClass{Name: "uniform", Inst: sched.Instance{R: 6, S: 6, T: 6}, Q: 64, Weight: 1}
+			return load.Spec{
+				Seed:     seed,
+				N:        60,
+				Arrivals: load.GammaBurst(200, 0.15),
+				Sizes:    []load.SizeClass{uniform},
+			}
+		},
+		variants: []variant{
+			{name: "unbounded", config: base()},
+			{name: "token-bucket", config: withAdmission(base(), 20, 6)},
+		},
+		reportMetrics: []string{
+			"all/p50_s", "all/p99_s", "all/max_s", "all/n", "rejected_frac",
+		},
+		judge: func(agg map[string]map[string]float64) verdictResult {
+			improvement := ratio(agg["unbounded"]["all/p99_s"], agg["token-bucket"]["all/p99_s"])
+			rejected := agg["token-bucket"]["rejected_frac"]
+			v := verdictResult{
+				Confirmed: improvement >= 2 && rejected > 0 && agg["unbounded"]["rejected_frac"] == 0,
+				Derived: map[string]float64{
+					"admitted_p99_improvement": improvement,
+					"rejected_frac":            rejected,
+				},
+			}
+			v.Detail = fmt.Sprintf("admitted jobs see %.1fx lower p99 latency under the token "+
+				"bucket, which rejects %.0f%% of the burst at submit time", improvement, rejected*100)
+			return v
+		},
+	}
+
+	priority := &experiment{
+		name:  "priority-vs-even",
+		title: "Per-class priority vs even treatment under mixed SLOs",
+		hypothesis: "With interactive and batch jobs of identical shape sharing a backlog, " +
+			"the priority policy cuts interactive p99 latency at least 1.5x versus " +
+			"class-blind fifo, while every batch job still completes.",
+		workload: "40 jobs, Poisson arrivals (rate 200/s), uniform size (6x6x6 blocks, q=64), " +
+			"classes: 30% interactive, 70% batch",
+		workers: 4,
+		speed:   1,
+		gen: func(seed int64) load.Spec {
+			return load.Spec{
+				Seed:     seed,
+				N:        40,
+				Arrivals: load.Poisson(200),
+				Sizes:    []load.SizeClass{medium},
+				Classes: []load.ClassShare{
+					{Class: serve.ClassInteractive, Weight: 0.3},
+					{Class: serve.ClassBatch, Weight: 0.7},
+				},
+			}
+		},
+		variants: []variant{
+			{name: "fifo", config: withPolicy(base(), serve.PolicyFIFO)},
+			{name: "priority", config: withPolicy(base(), serve.PolicyPriority)},
+		},
+		reportMetrics: []string{
+			"class:interactive/p50_s", "class:interactive/p99_s",
+			"class:batch/p99_s", "class:batch/max_s",
+			"class:interactive/n", "class:batch/n",
+		},
+		judge: func(agg map[string]map[string]float64) verdictResult {
+			speedup := ratio(agg["fifo"]["class:interactive/p99_s"], agg["priority"]["class:interactive/p99_s"])
+			slowdown := ratio(agg["priority"]["class:batch/max_s"], agg["fifo"]["class:batch/max_s"])
+			completed := agg["priority"]["class:batch/n"] >= agg["fifo"]["class:batch/n"]
+			v := verdictResult{
+				Confirmed: speedup >= 1.5 && completed,
+				Derived: map[string]float64{
+					"interactive_p99_speedup": speedup,
+					"batch_max_slowdown":      slowdown,
+				},
+			}
+			v.Detail = fmt.Sprintf("interactive p99 is %.1fx lower under priority; batch jobs "+
+				"all complete, paying at most %.1fx on their worst-case latency", speedup, slowdown)
+			return v
+		},
+	}
+
+	return []*experiment{fifoVsSJF, admission, priority}
+}
+
+func withPolicy(cfg serve.Config, policy string) serve.Config {
+	cfg.QueuePolicy = policy
+	return cfg
+}
+
+func withAdmission(cfg serve.Config, rate float64, burst int) serve.Config {
+	cfg.AdmissionRate, cfg.AdmissionBurst = rate, burst
+	return cfg
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/matrix"
+	mmnet "repro/internal/net"
+	"repro/internal/platform"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// lab is one loopback fleet plus the server under test: the smallest real
+// deployment — actual worker processes' serve loops, actual TCP, actual
+// leases — with everything on 127.0.0.1 so an experiment is self-contained.
+type lab struct {
+	srv *serve.Server
+	flt *serve.Fleet
+	lns []net.Listener
+}
+
+func startLab(workers int, cfg serve.Config) (*lab, error) {
+	lns := make([]net.Listener, 0, workers)
+	addrs := make([]string, workers)
+	specs := make([]platform.Worker, workers)
+	closeAll := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	for i := 0; i < workers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+		specs[i] = platform.Worker{C: 1, W: 1, M: 40}
+		go mmnet.Serve(ln, addrs[i], mmnet.WorkerOptions{Heartbeat: 100 * time.Millisecond})
+	}
+	flt, err := serve.NewFleet(addrs, specs, serve.FleetOptions{})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &lab{srv: serve.NewServer(flt, cfg), flt: flt, lns: lns}, nil
+}
+
+func (l *lab) close() {
+	l.srv.Close()
+	l.flt.Close()
+	for _, ln := range l.lns {
+		ln.Close()
+	}
+}
+
+// sample is one arrival's measured outcome.
+type sample struct {
+	size, class string
+	rejected    bool
+	failed      bool
+	latencySec  float64
+}
+
+// run is one (variant, seed) measurement, as persisted into results.json.
+type run struct {
+	Variant  string             `json:"variant"`
+	Seed     int64              `json:"seed"`
+	Jobs     int                `json:"jobs"`
+	Rejected int                `json:"rejected"`
+	Failed   int                `json:"failed"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// operands are one job's pre-built matrices — built before the replay so
+// allocation and fill never distort arrival times.
+type operands struct{ a, b, c *matrix.BlockMatrix }
+
+// runVariant replays one seeded workload against a fresh lab fleet running
+// the variant's config, and reduces the per-job latencies to metrics.
+func runVariant(e *experiment, v variant, seed int64) (run, error) {
+	r := run{Variant: v.name, Seed: seed}
+	jobs, err := e.gen(seed).Generate()
+	if err != nil {
+		return r, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]operands, len(jobs))
+	for i, j := range jobs {
+		op := operands{
+			a: matrix.NewBlockMatrix(j.Inst.R, j.Inst.T, j.Q),
+			b: matrix.NewBlockMatrix(j.Inst.T, j.Inst.S, j.Q),
+			c: matrix.NewBlockMatrix(j.Inst.R, j.Inst.S, j.Q),
+		}
+		op.a.FillRandom(rng)
+		op.b.FillRandom(rng)
+		op.c.FillRandom(rng)
+		ops[i] = op
+	}
+
+	l, err := startLab(e.workers, v.config)
+	if err != nil {
+		return r, err
+	}
+	defer l.close()
+
+	var mu sync.Mutex
+	samples := make([]sample, 0, len(jobs))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	err = load.Replay(ctx, jobs, e.speed, func(i int, j load.Job) {
+		s := sample{size: j.Size, class: j.Class.String()}
+		start := time.Now()
+		id, err := l.srv.SubmitClass(ops[i].a, ops[i].b, ops[i].c, nil, j.Class)
+		switch {
+		case errors.Is(err, serve.ErrAdmission):
+			s.rejected = true
+		case err != nil:
+			s.failed = true
+		default:
+			if err := l.srv.Wait(id); err != nil {
+				s.failed = true
+			} else {
+				s.latencySec = time.Since(start).Seconds()
+			}
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	})
+	if err != nil {
+		return r, fmt.Errorf("replay: %w", err)
+	}
+
+	r.Jobs = len(samples)
+	for _, s := range samples {
+		if s.rejected {
+			r.Rejected++
+		}
+		if s.failed {
+			r.Failed++
+		}
+	}
+	r.Metrics = reduce(samples)
+	return r, nil
+}
+
+// reduce groups completed-job latencies (all jobs, per size class, per SLO
+// class) and summarizes each group, plus the rejected fraction.
+func reduce(samples []sample) map[string]float64 {
+	groups := map[string][]float64{}
+	var rejected int
+	for _, s := range samples {
+		if s.rejected {
+			rejected++
+			continue
+		}
+		if s.failed {
+			continue
+		}
+		for _, g := range []string{"all", "size:" + s.size, "class:" + s.class} {
+			groups[g] = append(groups[g], s.latencySec)
+		}
+	}
+	m := map[string]float64{}
+	for g, xs := range groups {
+		m[g+"/mean_s"] = stats.Mean(xs)
+		m[g+"/p50_s"] = stats.Quantile(xs, 0.5)
+		m[g+"/p99_s"] = stats.Quantile(xs, 0.99)
+		m[g+"/max_s"] = stats.Max(xs)
+		m[g+"/n"] = float64(len(xs))
+	}
+	if len(samples) > 0 {
+		m["rejected_frac"] = float64(rejected) / float64(len(samples))
+	}
+	return m
+}
+
+// aggregate averages each metric across a variant's per-seed runs. Metrics
+// missing from a run (an empty group) are averaged over the runs that have
+// them.
+func aggregate(runs []run) map[string]map[string]float64 {
+	byVariant := map[string]map[string][]float64{}
+	for _, r := range runs {
+		vm := byVariant[r.Variant]
+		if vm == nil {
+			vm = map[string][]float64{}
+			byVariant[r.Variant] = vm
+		}
+		for k, v := range r.Metrics {
+			vm[k] = append(vm[k], v)
+		}
+	}
+	agg := map[string]map[string]float64{}
+	for variant, vm := range byVariant {
+		am := map[string]float64{}
+		for k, xs := range vm {
+			am[k] = stats.Mean(xs)
+		}
+		agg[variant] = am
+	}
+	return agg
+}

@@ -1,0 +1,107 @@
+// Command mmlab runs the scheduling lab: controlled, seeded experiments that
+// justify internal/serve's queue policies with measurements instead of
+// intuition. Each experiment replays one synthetic workload (internal/load)
+// against a real loopback fleet once per variant — variants differing in
+// exactly one serve.Config field — across several seeds, then judges its
+// hypothesis against the aggregate numbers and writes config.json,
+// results.json and report.md (with an explicit CONFIRMED/REFUTED verdict)
+// under the output directory. The checked-in hypotheses/ tree is this
+// command's output.
+//
+// Usage:
+//
+//	mmlab [-exp all|name] [-seeds 1,2,3] [-out hypotheses] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mmlab: ")
+	var (
+		expName = flag.String("exp", "all", "experiment to run, or \"all\"")
+		seedCSV = flag.String("seeds", "1,2,3", "comma-separated workload seeds")
+		out     = flag.String("out", "hypotheses", "output directory")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-24s %s\n", e.name, e.title)
+		}
+		return
+	}
+	seeds, err := parseSeeds(*seedCSV)
+	if err != nil {
+		log.Fatalf("-seeds: %v", err)
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *expName != "all" && *expName != e.name {
+			continue
+		}
+		ran++
+		if err := runExperiment(e, seeds, *out); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q (try -list)", *expName)
+	}
+	if err := writeIndex(*out); err != nil {
+		log.Fatalf("index: %v", err)
+	}
+}
+
+func runExperiment(e *experiment, seeds []int64, out string) error {
+	log.Printf("%s: %d variants x %d seeds", e.name, len(e.variants), len(seeds))
+	var runs []run
+	for _, seed := range seeds {
+		for _, v := range e.variants {
+			r, err := runVariant(e, v, seed)
+			if err != nil {
+				return fmt.Errorf("variant %s seed %d: %w", v.name, seed, err)
+			}
+			if r.Failed > 0 {
+				return fmt.Errorf("variant %s seed %d: %d jobs failed", v.name, seed, r.Failed)
+			}
+			log.Printf("  %-14s seed %d: %d jobs, %d rejected, p99 %.3fs",
+				v.name, seed, r.Jobs, r.Rejected, r.Metrics["all/p99_s"])
+			runs = append(runs, r)
+		}
+	}
+	agg := aggregate(runs)
+	v := e.judge(agg)
+	log.Printf("  verdict: %s (%s)", verdictWord(v.Confirmed), v.Detail)
+	return writeExperiment(filepath.Join(out, e.name), e, seeds, runs, agg, v)
+}
+
+func parseSeeds(csv string) ([]int64, error) {
+	parts := strings.Split(csv, ",")
+	seeds := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", csv)
+	}
+	return seeds, nil
+}

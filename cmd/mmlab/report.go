@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// variantJSON is a variant's serializable view (serve.Config holds function
+// fields, so it cannot be marshalled directly).
+type variantJSON struct {
+	Name             string  `json:"name"`
+	QueuePolicy      string  `json:"queue_policy"`
+	AdmissionRate    float64 `json:"admission_rate,omitempty"`
+	AdmissionBurst   int     `json:"admission_burst,omitempty"`
+	MaxWorkersPerJob int     `json:"max_workers_per_job"`
+}
+
+// configJSON is an experiment's reproducible input record.
+type configJSON struct {
+	Experiment string        `json:"experiment"`
+	Title      string        `json:"title"`
+	Hypothesis string        `json:"hypothesis"`
+	Workload   string        `json:"workload"`
+	Workers    int           `json:"workers"`
+	Speed      float64       `json:"replay_speed"`
+	Seeds      []int64       `json:"seeds"`
+	Variants   []variantJSON `json:"variants"`
+}
+
+// resultsJSON is an experiment's machine-readable outcome record.
+type resultsJSON struct {
+	Experiment string                        `json:"experiment"`
+	Seeds      []int64                       `json:"seeds"`
+	Runs       []run                         `json:"runs"`
+	Aggregate  map[string]map[string]float64 `json:"aggregate"`
+	Derived    map[string]float64            `json:"derived"`
+	Verdict    string                        `json:"verdict"`
+	Detail     string                        `json:"detail"`
+}
+
+func verdictWord(confirmed bool) string {
+	if confirmed {
+		return "CONFIRMED"
+	}
+	return "REFUTED"
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeExperiment persists one experiment's config.json, results.json and
+// report.md under dir.
+func writeExperiment(dir string, e *experiment, seeds []int64, runs []run,
+	agg map[string]map[string]float64, v verdictResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := configJSON{
+		Experiment: e.name,
+		Title:      e.title,
+		Hypothesis: e.hypothesis,
+		Workload:   e.workload,
+		Workers:    e.workers,
+		Speed:      e.speed,
+		Seeds:      seeds,
+	}
+	for _, va := range e.variants {
+		cfg.Variants = append(cfg.Variants, variantJSON{
+			Name:             va.name,
+			QueuePolicy:      policyName(va.config.QueuePolicy),
+			AdmissionRate:    va.config.AdmissionRate,
+			AdmissionBurst:   va.config.AdmissionBurst,
+			MaxWorkersPerJob: va.config.MaxWorkersPerJob,
+		})
+	}
+	if err := writeJSON(filepath.Join(dir, "config.json"), cfg); err != nil {
+		return err
+	}
+	res := resultsJSON{
+		Experiment: e.name,
+		Seeds:      seeds,
+		Runs:       runs,
+		Aggregate:  agg,
+		Derived:    v.Derived,
+		Verdict:    verdictWord(v.Confirmed),
+		Detail:     v.Detail,
+	}
+	if err := writeJSON(filepath.Join(dir, "results.json"), res); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "report.md"), []byte(renderReport(e, seeds, agg, v)), 0o644)
+}
+
+func policyName(p string) string {
+	if p == "" {
+		return "fifo"
+	}
+	return p
+}
+
+func renderReport(e *experiment, seeds []int64, agg map[string]map[string]float64, v verdictResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", e.title)
+	fmt.Fprintf(&b, "**Hypothesis.** %s\n\n", e.hypothesis)
+	fmt.Fprintf(&b, "**Verdict: %s.** %s.\n\n", verdictWord(v.Confirmed), upperFirst(v.Detail))
+
+	b.WriteString("## Method\n\n")
+	fmt.Fprintf(&b, "Workload: %s. Fleet: %d loopback workers, leases capped at %d workers "+
+		"per job so two jobs run concurrently and the rest queue; operand caching off so "+
+		"queue policy is the only variable. Each variant replays the *same* generated "+
+		"arrival list for each seed (%s); numbers below are means across seeds.\n\n",
+		e.workload, e.workers, e.variants[0].config.MaxWorkersPerJob, seedList(seeds))
+	b.WriteString("Variants:\n\n")
+	for _, va := range e.variants {
+		fmt.Fprintf(&b, "- `%s`: queue policy `%s`", va.name, policyName(va.config.QueuePolicy))
+		if va.config.AdmissionRate > 0 {
+			fmt.Fprintf(&b, ", admission %.3g jobs/s burst %d", va.config.AdmissionRate, va.config.AdmissionBurst)
+		} else {
+			b.WriteString(", unbounded admission")
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\nReproduce with:\n\n```\ngo run ./cmd/mmlab -exp %s -seeds %s -out hypotheses\n```\n\n",
+		e.name, seedList(seeds))
+
+	b.WriteString("## Results\n\n")
+	names := make([]string, len(e.variants))
+	for i, va := range e.variants {
+		names[i] = va.name
+	}
+	fmt.Fprintf(&b, "| metric | %s |\n", strings.Join(names, " | "))
+	fmt.Fprintf(&b, "|---|%s\n", strings.Repeat("---|", len(names)))
+	for _, key := range e.reportMetrics {
+		cells := make([]string, len(names))
+		for i, n := range names {
+			cells[i] = fmtMetric(key, agg[n][key])
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", key, strings.Join(cells, " | "))
+	}
+	b.WriteString("\nDerived:\n\n")
+	for _, k := range sortedKeys(v.Derived) {
+		fmt.Fprintf(&b, "- `%s` = %.2f\n", k, v.Derived[k])
+	}
+	b.WriteString("\nFull per-seed data: [results.json](results.json); inputs: [config.json](config.json).\n")
+	return b.String()
+}
+
+func fmtMetric(key string, val float64) string {
+	if strings.HasSuffix(key, "/n") || key == "rejected_frac" {
+		return fmt.Sprintf("%.2f", val)
+	}
+	return fmt.Sprintf("%.3f", val)
+}
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ",")
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// writeIndex rebuilds out/README.md from every results.json under out, so
+// the index stays consistent however many experiments the invocation ran.
+func writeIndex(out string) error {
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# Scheduling-lab experiments\n\n")
+	b.WriteString("Controlled single-variable experiments behind `internal/serve`'s queue\n")
+	b.WriteString("policies, generated by [`cmd/mmlab`](../cmd/mmlab). Each directory holds\n")
+	b.WriteString("`config.json` (the reproducible inputs: workload, seeds, variants),\n")
+	b.WriteString("`results.json` (per-seed and aggregate numbers) and `report.md` (the\n")
+	b.WriteString("hypothesis, method and verdict). Regenerate everything with\n")
+	b.WriteString("`go run ./cmd/mmlab -exp all -out hypotheses`.\n\n")
+	b.WriteString("| experiment | verdict | finding |\n|---|---|---|\n")
+	rows := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(out, ent.Name(), "results.json"))
+		if err != nil {
+			continue
+		}
+		var res resultsJSON
+		if err := json.Unmarshal(data, &res); err != nil {
+			return fmt.Errorf("%s: %w", ent.Name(), err)
+		}
+		fmt.Fprintf(&b, "| [%s](%s/report.md) | %s | %s |\n", res.Experiment, ent.Name(), res.Verdict, res.Detail)
+		rows++
+	}
+	if rows == 0 {
+		return fmt.Errorf("no results.json found under %s", out)
+	}
+	return os.WriteFile(filepath.Join(out, "README.md"), []byte(b.String()), 0o644)
+}

@@ -63,6 +63,9 @@ type options struct {
 	drift      float64
 	cache      bool
 	redundancy string
+	queue      string
+	admission  string
+	aging      time.Duration
 	quiet      bool
 	traceDir   string
 	debugAddr  string
@@ -74,6 +77,7 @@ type options struct {
 	addr    string
 	inst    sched.Instance
 	q       int
+	class   string
 	seed    int64
 	timeout time.Duration
 	verify  bool
@@ -91,6 +95,9 @@ func main() {
 	flag.Float64Var(&o.drift, "drift", 0, "daemon: relative estimate drift that re-plans a running lease (0: default 0.5; negative: off)")
 	flag.BoolVar(&o.cache, "cache", true, "daemon: operand-affinity scheduling over the workers' panel caches — route jobs toward workers already holding the operand bits")
 	flag.StringVar(&o.redundancy, "redundancy", "", "daemon: proactive straggler mitigation on every lease: off, replicated[:r] or coded[:r] (:0 lets the measured estimates suggest r)")
+	flag.StringVar(&o.queue, "queue", "fifo", "daemon: queue policy: fifo, sjf (least work first, aging-bounded) or priority (SLO class order)")
+	flag.StringVar(&o.admission, "admission", "", "daemon: token-bucket admission control as rate[:burst] jobs/s per SLO class (empty: unbounded queue)")
+	flag.DurationVar(&o.aging, "aging", 0, "daemon: starvation bound for sjf/priority — a job queued this long is dispatched next regardless (0: 15s default)")
 	flag.BoolVar(&o.quiet, "quiet", false, "daemon: suppress job and fleet logging")
 	flag.StringVar(&o.traceDir, "trace-dir", "", "daemon: write one Chrome trace-event JSON file per completed job into this directory (Perfetto-loadable; empty: off)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "daemon: opt-in HTTP debug address serving /metrics, /healthz and /debug/pprof (empty: off)")
@@ -104,6 +111,7 @@ func main() {
 	flag.IntVar(&o.inst.S, "s", 24, "client: columns of C in blocks")
 	flag.IntVar(&o.inst.T, "t", 6, "client: inner dimension in blocks")
 	flag.IntVar(&o.q, "q", 16, "client: block edge (elements)")
+	flag.StringVar(&o.class, "class", "", "client: job SLO class: interactive, standard or batch (empty: standard)")
 	flag.Int64Var(&o.seed, "seed", 1, "client: random seed for matrix data")
 	flag.DurationVar(&o.timeout, "timeout", 5*time.Minute, "client: bound on the whole submission exchange")
 	flag.BoolVar(&o.verify, "verify", true, "client: check the returned C against a local reference product")
@@ -164,6 +172,16 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	if err != nil {
 		return err
 	}
+	// Validate the queue policy here so a typo fails startup loudly instead
+	// of silently serving FIFO.
+	queuePolicy, err := serve.ParseQueuePolicy(o.queue)
+	if err != nil {
+		return err
+	}
+	admRate, admBurst, err := parseAdmission(o.admission)
+	if err != nil {
+		return err
+	}
 	log, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
 	if err != nil {
 		return err
@@ -188,6 +206,8 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 		Adaptive: o.adaptive, DriftThreshold: o.drift,
 		NoCache: !o.cache, Logger: log, TraceDir: o.traceDir,
 		Redundancy: string(redMode), RedundancyFactor: redR,
+		QueuePolicy: queuePolicy, AgingBound: o.aging,
+		AdmissionRate: admRate, AdmissionBurst: admBurst,
 	})
 	defer srv.Close()
 
@@ -221,7 +241,8 @@ func daemon(ctx context.Context, ln stdnet.Listener, o options) error {
 	defer unhook()
 
 	log.Info("daemon up", "addr", ln.Addr().String(), "workers", len(addrs),
-		"algorithm", scheduler.Name(), "kernel", kernel.Name(), "version", obs.Version())
+		"algorithm", scheduler.Name(), "queue", queuePolicy,
+		"kernel", kernel.Name(), "version", obs.Version())
 	err = srv.ListenAndServe(ln)
 	if ctx.Err() != nil {
 		log.Info("signal received; draining jobs and releasing the fleet")
@@ -263,8 +284,12 @@ func runSubmit(ctx context.Context, o options) error {
 	}
 	defer sess.Close()
 
+	var subOpts []matmul.SubmitOption
+	if o.class != "" {
+		subOpts = append(subOpts, matmul.WithClass(o.class))
+	}
 	start := time.Now()
-	job, err := sess.Submit(ctx, a, b, c)
+	job, err := sess.Submit(ctx, a, b, c, subOpts...)
 	if err != nil {
 		return err
 	}
@@ -303,8 +328,27 @@ func runStatus(ctx context.Context, o options) error {
 	if st.Redundancy != "" {
 		mode += ", " + st.Redundancy + " redundancy"
 	}
+	if st.QueuePolicy != "" && st.QueuePolicy != serve.PolicyFIFO {
+		mode += ", " + st.QueuePolicy + " queue"
+	}
 	fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d canceled (%s scheduling)\n",
 		st.Queued, st.Running, st.Done, st.Failed, st.Canceled, mode)
+	if len(st.QueuedByClass) > 0 {
+		fmt.Printf("queued by class:%s\n", fmtClassCounts(st.QueuedByClass))
+	}
+	if len(st.AdmissionRejected) > 0 {
+		var total int64
+		for _, n := range st.AdmissionRejected {
+			total += n
+		}
+		if total > 0 {
+			counts := make(map[string]int, len(st.AdmissionRejected))
+			for k, v := range st.AdmissionRejected {
+				counts[k] = int(v)
+			}
+			fmt.Printf("admission rejected:%s\n", fmtClassCounts(counts))
+		}
+	}
 	if st.Kernel != "" {
 		fmt.Printf("daemon kernel: %s\n", st.Kernel)
 	}
@@ -337,6 +381,9 @@ func runStatus(ctx context.Context, o options) error {
 	}
 	for _, j := range st.Jobs {
 		line := fmt.Sprintf("job %d: %s C(%dx%d)·t=%d q=%d", j.ID, j.State, j.Instance.R, j.Instance.S, j.Instance.T, j.Q)
+		if j.Class != "" && j.Class != "standard" {
+			line += " class=" + j.Class
+		}
 		if j.Algorithm != "" {
 			line += fmt.Sprintf(" alg=%s workers=%v", j.Algorithm, j.Workers)
 		}
@@ -367,6 +414,37 @@ func runStatus(ctx context.Context, o options) error {
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// fmtClassCounts renders per-class counts in fixed priority order so
+// repeated -status invocations diff cleanly.
+func fmtClassCounts(m map[string]int) string {
+	var out string
+	for _, class := range []string{"interactive", "standard", "batch"} {
+		if n, ok := m[class]; ok {
+			out += fmt.Sprintf(" %s=%d", class, n)
+		}
+	}
+	return out
+}
+
+// parseAdmission parses -admission "rate[:burst]" (jobs/second per SLO
+// class, bucket capacity). Empty means unbounded.
+func parseAdmission(s string) (rate float64, burst int, err error) {
+	if s = strings.TrimSpace(s); s == "" {
+		return 0, 0, nil
+	}
+	spec := s
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		if _, err := fmt.Sscanf(spec[i+1:], "%d", &burst); err != nil || burst <= 0 {
+			return 0, 0, fmt.Errorf("-admission %q: burst must be a positive integer", s)
+		}
+		spec = spec[:i]
+	}
+	if _, err := fmt.Sscanf(spec, "%g", &rate); err != nil || rate <= 0 {
+		return 0, 0, fmt.Errorf("-admission %q: rate must be a positive number of jobs/s", s)
+	}
+	return rate, burst, nil
 }
 
 // fmtBytes renders a byte count with a binary-unit suffix for status lines.

@@ -1,0 +1,18 @@
+// Package load generates seeded synthetic traffic for the scheduling lab:
+// reproducible streams of matrix-product jobs with controlled arrival
+// processes, size mixes and SLO classes, the workload side of every
+// experiment under hypotheses/ and of BenchmarkQueuePolicies.
+//
+// A Spec describes one workload: an arrival process (Poisson for smooth
+// memoryless traffic, GammaBurst for the clumped arrivals shared clusters
+// actually see), a weighted size mix (Bimodal builds the classic
+// many-small-few-large shape), a weighted SLO class mix, and a seed.
+// Generate expands it into a concrete job list — same spec and seed, same
+// jobs, bit for bit — and Replay plays a list against any submit function in
+// real (or time-scaled) arrival order.
+//
+// The package models traffic only: it knows job shapes (sched.Instance,
+// block edge, serve.JobClass) but never touches the network or the engine,
+// so generators stay cheap enough to regenerate inside benchmarks and unit
+// tests.
+package load

@@ -1,0 +1,244 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// Job is one generated arrival: submit a product of shape Inst (block edge
+// Q, SLO class Class) At this long after the workload starts. Size names the
+// size class it was drawn from ("small", "large", …) so result analysis can
+// group latencies without re-deriving thresholds.
+type Job struct {
+	At    time.Duration
+	Inst  sched.Instance
+	Q     int
+	Class serve.JobClass
+	Size  string
+}
+
+// Arrivals is an inter-arrival time process. Implementations draw from the
+// workload's seeded RNG only, so a Spec stays deterministic.
+type Arrivals interface {
+	// interarrival draws the gap to the next arrival.
+	interarrival(rng *rand.Rand) time.Duration
+}
+
+// Poisson is a memoryless arrival process averaging rate jobs/second —
+// exponential inter-arrivals, the smooth baseline traffic shape.
+func Poisson(rate float64) Arrivals { return poisson{rate: rate} }
+
+type poisson struct{ rate float64 }
+
+func (p poisson) interarrival(rng *rand.Rand) time.Duration {
+	return secs(rng.ExpFloat64() / p.rate)
+}
+
+// GammaBurst is a bursty arrival process averaging rate jobs/second with
+// Gamma-distributed inter-arrivals of the given shape. Shape 1 is Poisson;
+// shape < 1 clumps arrivals — many near-zero gaps (the burst) separated by
+// long quiet stretches — with squared coefficient of variation 1/shape. The
+// mean is preserved, so Poisson(r) and GammaBurst(r, k) offer a controlled
+// single-variable comparison: same load, different burstiness.
+func GammaBurst(rate, shape float64) Arrivals { return gammaBurst{rate: rate, shape: shape} }
+
+type gammaBurst struct{ rate, shape float64 }
+
+func (g gammaBurst) interarrival(rng *rand.Rand) time.Duration {
+	scale := 1 / (g.rate * g.shape) // mean = shape·scale = 1/rate
+	return secs(gammaSample(rng, g.shape) * scale)
+}
+
+// secs converts seconds to a non-negative duration.
+func secs(s float64) time.Duration {
+	if s < 0 || math.IsNaN(s) {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// gammaSample draws Gamma(shape k, scale 1) via Marsaglia–Tsang squeeze
+// (with the standard U^(1/k) boost for k < 1), using only the given RNG.
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return gammaSample(rng, k+1) * math.Pow(rng.Float64(), 1/k)
+	}
+	d := k - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// SizeClass is one weighted job shape in a size mix.
+type SizeClass struct {
+	Name   string
+	Inst   sched.Instance
+	Q      int
+	Weight float64
+}
+
+// Bimodal is the canonical two-point size mix: a small shape drawn with
+// probability smallFrac and a large one otherwise — the many-small-few-large
+// traffic that exposes FIFO's head-of-line blocking.
+func Bimodal(smallFrac float64, small, large SizeClass) []SizeClass {
+	small.Weight, large.Weight = smallFrac, 1-smallFrac
+	if small.Name == "" {
+		small.Name = "small"
+	}
+	if large.Name == "" {
+		large.Name = "large"
+	}
+	return []SizeClass{small, large}
+}
+
+// ClassShare is one weighted SLO class in a class mix.
+type ClassShare struct {
+	Class  serve.JobClass
+	Weight float64
+}
+
+// Spec is one reproducible workload: N arrivals drawn from Arrivals, shapes
+// from the weighted Sizes mix, SLO classes from the weighted Classes mix
+// (empty: every job standard), all from one RNG seeded with Seed. Identical
+// specs generate identical job lists.
+type Spec struct {
+	Seed     int64
+	N        int
+	Arrivals Arrivals
+	Sizes    []SizeClass
+	Classes  []ClassShare
+}
+
+// Generate expands the spec into its concrete arrival list, sorted by (and
+// cumulative in) arrival time.
+func (s Spec) Generate() ([]Job, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("load: spec generates %d jobs", s.N)
+	}
+	if s.Arrivals == nil {
+		return nil, fmt.Errorf("load: spec needs an arrival process")
+	}
+	if len(s.Sizes) == 0 {
+		return nil, fmt.Errorf("load: spec needs a size mix")
+	}
+	var sizeTotal, classTotal float64
+	for _, sc := range s.Sizes {
+		if sc.Weight < 0 {
+			return nil, fmt.Errorf("load: negative weight on size %q", sc.Name)
+		}
+		if err := sc.Inst.Validate(); err != nil {
+			return nil, fmt.Errorf("load: size %q: %w", sc.Name, err)
+		}
+		if sc.Q <= 0 {
+			return nil, fmt.Errorf("load: size %q has block edge %d", sc.Name, sc.Q)
+		}
+		sizeTotal += sc.Weight
+	}
+	if sizeTotal <= 0 {
+		return nil, fmt.Errorf("load: size mix has no weight")
+	}
+	for _, cs := range s.Classes {
+		if cs.Weight < 0 {
+			return nil, fmt.Errorf("load: negative weight on class %s", cs.Class)
+		}
+		classTotal += cs.Weight
+	}
+	if len(s.Classes) > 0 && classTotal <= 0 {
+		return nil, fmt.Errorf("load: class mix has no weight")
+	}
+
+	rng := rand.New(rand.NewSource(s.Seed))
+	jobs := make([]Job, 0, s.N)
+	var at time.Duration
+	for i := 0; i < s.N; i++ {
+		// Fixed draw order per job — gap, size, class — keeps the list a pure
+		// function of the spec fields.
+		at += s.Arrivals.interarrival(rng)
+		size := s.Sizes[weightedPick(rng, sizeWeights(s.Sizes), sizeTotal)]
+		j := Job{At: at, Inst: size.Inst, Q: size.Q, Size: size.Name}
+		if len(s.Classes) > 0 {
+			j.Class = s.Classes[weightedPick(rng, classWeights(s.Classes), classTotal)].Class
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func sizeWeights(scs []SizeClass) func(i int) float64 {
+	return func(i int) float64 { return scs[i].Weight }
+}
+
+func classWeights(css []ClassShare) func(i int) float64 {
+	return func(i int) float64 { return css[i].Weight }
+}
+
+// weightedPick draws an index proportional to weight(i); total is the
+// precomputed sum.
+func weightedPick(rng *rand.Rand, weight func(i int) float64, total float64) int {
+	x := rng.Float64() * total
+	i := 0
+	for ; ; i++ {
+		w := weight(i)
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+}
+
+// Replay plays a generated job list against submit in arrival order: each
+// job's callback starts in its own goroutine at At/speed after the replay
+// begins (speed > 1 compresses time — a 60 s trace replays in 60/speed
+// seconds without changing the arrival *pattern*). The callback receives the
+// job's index in the list, so harnesses can pair arrivals with pre-built
+// operands. Replay returns once every callback has returned, or ctx's error
+// if it ends first (callbacks already started still run to completion;
+// pending arrivals are dropped).
+func Replay(ctx context.Context, jobs []Job, speed float64, submit func(i int, j Job)) error {
+	if speed <= 0 {
+		speed = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	defer wg.Wait()
+	for i, j := range jobs {
+		due := time.Duration(float64(j.At) / speed)
+		if wait := due - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wg.Add(1)
+		i, j := i, j
+		go func() {
+			defer wg.Done()
+			submit(i, j)
+		}()
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package load
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func smallLarge() (SizeClass, SizeClass) {
+	small := SizeClass{Inst: sched.Instance{R: 2, S: 2, T: 2}, Q: 8}
+	large := SizeClass{Inst: sched.Instance{R: 8, S: 8, T: 8}, Q: 16}
+	return small, large
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	small, large := smallLarge()
+	spec := Spec{
+		Seed:     42,
+		N:        200,
+		Arrivals: GammaBurst(50, 0.25),
+		Sizes:    Bimodal(0.8, small, large),
+		Classes: []ClassShare{
+			{Class: serve.ClassInteractive, Weight: 1},
+			{Class: serve.ClassBatch, Weight: 2},
+		},
+	}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate (again): %v", err)
+	}
+	if len(a) != len(b) || len(a) != spec.N {
+		t.Fatalf("lengths: %d vs %d, want %d", len(a), len(b), spec.N)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	other := spec
+	other.Seed = 43
+	c, err := other.Generate()
+	if err != nil {
+		t.Fatalf("Generate (seed 43): %v", err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical job lists")
+	}
+}
+
+func TestGenerateMonotoneArrivals(t *testing.T) {
+	small, large := smallLarge()
+	spec := Spec{Seed: 7, N: 500, Arrivals: Poisson(100), Sizes: Bimodal(0.5, small, large)}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var prev time.Duration
+	for i, j := range jobs {
+		if j.At < prev {
+			t.Fatalf("job %d arrives at %v before predecessor %v", i, j.At, prev)
+		}
+		prev = j.At
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	const rate, n = 200.0, 20000
+	small, large := smallLarge()
+	spec := Spec{Seed: 1, N: n, Arrivals: Poisson(rate), Sizes: Bimodal(1, small, large)}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	mean := jobs[n-1].At.Seconds() / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("Poisson mean interarrival %.5fs, want %.5fs ±5%%", mean, want)
+	}
+}
+
+// interarrivalStats regenerates a spec's gaps and returns their mean and
+// coefficient of variation.
+func interarrivalStats(t *testing.T, a Arrivals, n int) (mean, cv float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	gaps := make([]float64, n)
+	var sum float64
+	for i := range gaps {
+		gaps[i] = a.interarrival(rng).Seconds()
+		sum += gaps[i]
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, g := range gaps {
+		d := g - mean
+		ss += d * d
+	}
+	cv = math.Sqrt(ss/float64(n)) / mean
+	return mean, cv
+}
+
+func TestGammaBurstIsBursty(t *testing.T) {
+	const rate = 100.0
+	meanP, cvP := interarrivalStats(t, Poisson(rate), 20000)
+	meanG, cvG := interarrivalStats(t, GammaBurst(rate, 0.2), 20000)
+
+	// Same offered load: both processes must preserve the 1/rate mean gap.
+	for _, m := range []float64{meanP, meanG} {
+		if math.Abs(m-1/rate)*rate > 0.1 {
+			t.Fatalf("mean interarrival %.5fs, want %.5fs ±10%%", m, 1/rate)
+		}
+	}
+	// Poisson has CV ≈ 1; Gamma with shape k has CV = 1/√k, so shape 0.2
+	// should push it well past 2.
+	if cvP > 1.2 || cvP < 0.8 {
+		t.Fatalf("Poisson interarrival CV %.3f, want ≈1", cvP)
+	}
+	if cvG < 1.8 {
+		t.Fatalf("GammaBurst(shape=0.2) interarrival CV %.3f, want ≫1 (bursty)", cvG)
+	}
+}
+
+func TestBimodalMixFractions(t *testing.T) {
+	small, large := smallLarge()
+	const frac, n = 0.75, 20000
+	spec := Spec{Seed: 3, N: n, Arrivals: Poisson(50), Sizes: Bimodal(frac, small, large)}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var smalls int
+	for _, j := range jobs {
+		switch j.Size {
+		case "small":
+			smalls++
+			if j.Inst != small.Inst || j.Q != small.Q {
+				t.Fatalf("small job has shape %+v q=%d", j.Inst, j.Q)
+			}
+		case "large":
+			if j.Inst != large.Inst || j.Q != large.Q {
+				t.Fatalf("large job has shape %+v q=%d", j.Inst, j.Q)
+			}
+		default:
+			t.Fatalf("unexpected size name %q", j.Size)
+		}
+	}
+	got := float64(smalls) / n
+	if math.Abs(got-frac) > 0.02 {
+		t.Fatalf("small fraction %.3f, want %.2f ±0.02", got, frac)
+	}
+}
+
+func TestClassMixFractions(t *testing.T) {
+	small, large := smallLarge()
+	const n = 20000
+	spec := Spec{
+		Seed:     5,
+		N:        n,
+		Arrivals: Poisson(50),
+		Sizes:    Bimodal(0.5, small, large),
+		Classes: []ClassShare{
+			{Class: serve.ClassInteractive, Weight: 1},
+			{Class: serve.ClassStandard, Weight: 1},
+			{Class: serve.ClassBatch, Weight: 2},
+		},
+	}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	counts := map[serve.JobClass]int{}
+	for _, j := range jobs {
+		counts[j.Class]++
+	}
+	want := map[serve.JobClass]float64{
+		serve.ClassInteractive: 0.25,
+		serve.ClassStandard:    0.25,
+		serve.ClassBatch:       0.5,
+	}
+	for class, frac := range want {
+		got := float64(counts[class]) / n
+		if math.Abs(got-frac) > 0.02 {
+			t.Fatalf("class %s fraction %.3f, want %.2f ±0.02", class, got, frac)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	small, large := smallLarge()
+	good := Spec{Seed: 1, N: 10, Arrivals: Poisson(10), Sizes: Bimodal(0.5, small, large)}
+	cases := map[string]func(*Spec){
+		"zero jobs":       func(s *Spec) { s.N = 0 },
+		"no arrivals":     func(s *Spec) { s.Arrivals = nil },
+		"no sizes":        func(s *Spec) { s.Sizes = nil },
+		"negative weight": func(s *Spec) { s.Sizes[0].Weight = -1 },
+		"zero weight mix": func(s *Spec) { s.Sizes[0].Weight, s.Sizes[1].Weight = 0, 0 },
+		"bad instance":    func(s *Spec) { s.Sizes[0].Inst.R = 0 },
+		"bad block edge":  func(s *Spec) { s.Sizes[0].Q = 0 },
+		"weightless classes": func(s *Spec) {
+			s.Classes = []ClassShare{{Class: serve.ClassBatch, Weight: 0}}
+		},
+	}
+	for name, mutate := range cases {
+		spec := good
+		spec.Sizes = Bimodal(0.5, small, large)
+		mutate(&spec)
+		if _, err := spec.Generate(); err == nil {
+			t.Errorf("%s: Generate accepted an invalid spec", name)
+		}
+	}
+	if _, err := good.Generate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestReplayRunsEveryJob(t *testing.T) {
+	small, large := smallLarge()
+	spec := Spec{Seed: 11, N: 50, Arrivals: Poisson(1000), Sizes: Bimodal(0.5, small, large)}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	seen := make([]atomic.Int64, len(jobs))
+	var ran atomic.Int64
+	if err := Replay(context.Background(), jobs, 100, func(i int, j Job) {
+		seen[i].Add(1)
+		ran.Add(1)
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got := ran.Load(); got != int64(len(jobs)) {
+		t.Fatalf("replay ran %d jobs, want %d", got, len(jobs))
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("job %d ran %d times, want exactly once", i, seen[i].Load())
+		}
+	}
+}
+
+func TestReplayHonorsContext(t *testing.T) {
+	small, large := smallLarge()
+	// One arrival every 10s on average: the second job is effectively never
+	// due, so a cancelled context must end the replay.
+	spec := Spec{Seed: 13, N: 10, Arrivals: Poisson(0.1), Sizes: Bimodal(0.5, small, large)}
+	jobs, err := spec.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = Replay(ctx, jobs, 1, func(int, Job) {})
+	if err == nil {
+		t.Fatal("Replay returned nil despite expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Replay took %v to notice cancellation", elapsed)
+	}
+}

@@ -133,6 +133,44 @@ func (v *CounterVec) snapshot() ([]string, []*Counter) {
 	return keys, cs
 }
 
+// GaugeVec is a gauge family partitioned by one label (per-class queue
+// depths and the like). With returns the per-value child; hot paths should
+// cache the child so steady state is a single atomic op.
+type GaugeVec struct {
+	label string
+
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// With returns (creating on first use) the gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.m[value]
+	if !ok {
+		g = &Gauge{}
+		v.m[value] = g
+	}
+	return g
+}
+
+// snapshot returns the children sorted by label value.
+func (v *GaugeVec) snapshot() ([]string, []*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	gs := make([]*Gauge, len(keys))
+	for i, k := range keys {
+		gs[i] = v.m[k]
+	}
+	return keys, gs
+}
+
 type metricKind int
 
 const (
@@ -140,6 +178,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 )
 
 // family is one registered metric name with its exposition metadata.
@@ -148,10 +187,11 @@ type family struct {
 	help string
 	kind metricKind
 
-	c   *Counter
-	g   *Gauge
-	h   *Histogram
-	vec *CounterVec
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	vec  *CounterVec
+	gvec *GaugeVec
 }
 
 // Registry holds named metrics and renders them in Prometheus text
@@ -191,6 +231,8 @@ func (r *Registry) register(name, help string, kind metricKind) *family {
 		f.h = &Histogram{}
 	case kindCounterVec:
 		f.vec = &CounterVec{m: make(map[string]*Counter)}
+	case kindGaugeVec:
+		f.gvec = &GaugeVec{m: make(map[string]*Gauge)}
 	}
 	r.fams[name] = f
 	return f
@@ -218,6 +260,13 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return f.vec
 }
 
+// GaugeVec registers (or returns) a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	f := r.register(name, help, kindGaugeVec)
+	f.gvec.label = label
+	return f.gvec
+}
+
 // NewCounter registers a counter on the Default registry.
 func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
 
@@ -230,6 +279,11 @@ func NewHistogram(name, help string) *Histogram { return Default.Histogram(name,
 // NewCounterVec registers a one-label counter family on the Default registry.
 func NewCounterVec(name, help, label string) *CounterVec {
 	return Default.CounterVec(name, help, label)
+}
+
+// NewGaugeVec registers a one-label gauge family on the Default registry.
+func NewGaugeVec(name, help, label string) *GaugeVec {
+	return Default.GaugeVec(name, help, label)
 }
 
 // WritePrometheus renders every registered metric in Prometheus text
@@ -264,6 +318,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				// Go %q produces exactly the exposition-format label value
 				// escapes (backslash, quote, \n).
 				fmt.Fprintf(&b, "%s{%s=%q} %d\n", f.name, f.vec.label, k, cs[i].Value())
+			}
+		case kindGaugeVec:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+			keys, gs := f.gvec.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", f.name, f.gvec.label, k, gs[i].Value())
 			}
 		case kindHistogram:
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", f.name)

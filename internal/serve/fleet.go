@@ -1,14 +1,3 @@
-// Package serve is the multi-job scheduling service over a persistent worker
-// fleet: the layer that turns the one-shot master-worker runtime into a
-// long-lived daemon. A Fleet dials every worker once and keeps the registered
-// sessions open across jobs (internal/net's WorkerConn/Detach lease
-// handshake); a Server admits submitted products into a queue, picks a
-// throughput-best *subset* of the idle fleet per job — the paper's resource
-// selection, applied per product instead of per process — and runs the leased
-// jobs concurrently through the backend-agnostic pipelined executor. Disjoint
-// leases mean concurrent jobs never share a worker session, so one job's
-// failover (a worker dying mid-job is replayed within its own lease) cannot
-// touch another job's arithmetic or its latency.
 package serve
 
 import (

@@ -20,6 +20,19 @@ var (
 	mReplans = obs.NewCounter("mm_serve_replans_total",
 		"Elastic lease re-plans across all jobs (join, depart, drift).")
 
+	// Queue-policy family: per-class depth always equals Stats.QueuedByClass,
+	// the wait histogram observes submit→lease for every job regardless of
+	// policy, and the aging counter moves only when sjf/priority promoted the
+	// oldest job past the policy order.
+	gQueueDepth = obs.NewGaugeVec("mm_serve_queue_depth",
+		"Jobs currently waiting in the queue, by SLO class.", "class")
+	hQueueWait = obs.NewHistogram("mm_serve_queue_wait_seconds",
+		"Queue wait per dispatched job, submission to lease start.")
+	mQueueAged = obs.NewCounter("mm_serve_queue_aged_total",
+		"Queued jobs dispatched by the starvation bound instead of the policy order.")
+	mQueueRejected = obs.NewCounterVec("mm_serve_queue_admission_rejected_total",
+		"Submissions shed by token-bucket admission control, by SLO class.", "class")
+
 	mRedUnits = obs.NewCounter("mm_serve_redundant_units_total",
 		"Redundant work units dispatched by redundant leases (replicas, parities, speculation).")
 	mRedDuplicateWins = obs.NewCounter("mm_serve_redundant_duplicate_wins_total",

@@ -45,6 +45,7 @@ const (
 	cSubmitD                         // client → server: cSubmit + the operands' panel digests
 	cTrace                           // client → server: job id — fetch the job's recorded timeline
 	cTraceData                       // server → client: job id + the timeline as JSON
+	cSubmitC                         // client → server: cSubmitD + the job's SLO class (digest lists may be empty)
 )
 
 func (k clientKind) String() string {
@@ -71,6 +72,8 @@ func (k clientKind) String() string {
 		return "trace"
 	case cTraceData:
 		return "trace-data"
+	case cSubmitC:
+		return "submit-class"
 	default:
 		return fmt.Sprintf("clientkind(%d)", uint8(k))
 	}
@@ -95,7 +98,8 @@ type clientMsg struct {
 	SpecC      float64         // Join: declared link cost c_i
 	SpecW      float64         // Join: declared compute cost w_i
 	SpecM      int             // Join: declared memory capacity m_i (blocks)
-	Rows, Cols []cache.Digest  // SubmitD: A row-panel / B column-panel digests
+	Rows, Cols []cache.Digest  // SubmitD/SubmitC: A row-panel / B column-panel digests
+	Class      JobClass        // SubmitC: the job's SLO class
 }
 
 // maxDigestList bounds one digest list of a submit-digest frame.
@@ -115,11 +119,15 @@ func clientPayloadLen(m *clientMsg) (int, error) {
 	switch m.Kind {
 	case cSubmit:
 		return 16 + blocksLen(), nil
-	case cSubmitD:
+	case cSubmitD, cSubmitC:
 		if len(m.Rows) > maxDigestList || len(m.Cols) > maxDigestList {
-			return 0, fmt.Errorf("serve: submit-digest frame lists %d+%d digests", len(m.Rows), len(m.Cols))
+			return 0, fmt.Errorf("serve: %s frame lists %d+%d digests", m.Kind, len(m.Rows), len(m.Cols))
 		}
-		return 16 + 4 + cache.DigestLen*len(m.Rows) + 4 + cache.DigestLen*len(m.Cols) + blocksLen(), nil
+		n := 16 + 4 + cache.DigestLen*len(m.Rows) + 4 + cache.DigestLen*len(m.Cols) + blocksLen()
+		if m.Kind == cSubmitC {
+			n++ // the class byte between the dims and the digest lists
+		}
+		return n, nil
 	case cAccept, cCancel, cTrace:
 		return 8, nil
 	case cTraceData:
@@ -166,7 +174,7 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 		return fmt.Errorf("serve: write frame header: %w", err)
 	}
 	switch m.Kind {
-	case cSubmit, cSubmitD:
+	case cSubmit, cSubmitD, cSubmitC:
 		var dims [16]byte
 		binary.LittleEndian.PutUint32(dims[0:4], uint32(m.R))
 		binary.LittleEndian.PutUint32(dims[4:8], uint32(m.S))
@@ -175,7 +183,12 @@ func writeClientMsg(w io.Writer, m *clientMsg, bc *matrix.BlockCodec) error {
 		if _, err := w.Write(dims[:]); err != nil {
 			return fmt.Errorf("serve: write submit dims: %w", err)
 		}
-		if m.Kind == cSubmitD {
+		if m.Kind == cSubmitC {
+			if _, err := w.Write([]byte{byte(m.Class)}); err != nil {
+				return fmt.Errorf("serve: write submit class: %w", err)
+			}
+		}
+		if m.Kind == cSubmitD || m.Kind == cSubmitC {
 			for _, ds := range [][]cache.Digest{m.Rows, m.Cols} {
 				var cnt [4]byte
 				binary.LittleEndian.PutUint32(cnt[:], uint32(len(ds)))
@@ -271,7 +284,7 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 
 	m := &clientMsg{Kind: kind}
 	switch kind {
-	case cSubmit, cSubmitD:
+	case cSubmit, cSubmitD, cSubmitC:
 		var dims [16]byte
 		if _, err = io.ReadFull(buf, dims[:]); err != nil {
 			break
@@ -280,7 +293,14 @@ func readClientMsg(r io.Reader, bc *matrix.BlockCodec) (*clientMsg, error) {
 		m.S = int(int32(binary.LittleEndian.Uint32(dims[4:8])))
 		m.T = int(int32(binary.LittleEndian.Uint32(dims[8:12])))
 		m.Q = int(int32(binary.LittleEndian.Uint32(dims[12:16])))
-		if kind == cSubmitD {
+		if kind == cSubmitC {
+			var cls [1]byte
+			if _, err = io.ReadFull(buf, cls[:]); err != nil {
+				break
+			}
+			m.Class = JobClass(cls[0])
+		}
+		if kind == cSubmitD || kind == cSubmitC {
 			lists := [2]*[]cache.Digest{&m.Rows, &m.Cols}
 			for _, dst := range lists {
 				var cnt [4]byte
@@ -496,7 +516,7 @@ func (s *Server) handleClient(conn net.Conn) {
 		}
 		reply(&clientMsg{Kind: cAccept, ID: uint64(i)})
 
-	case cSubmit, cSubmitD:
+	case cSubmit, cSubmitD, cSubmitC:
 		nA, nB, nC := msg.R*msg.T, msg.T*msg.S, msg.R*msg.S
 		if msg.R <= 0 || msg.S <= 0 || msg.T <= 0 || msg.Q <= 0 || len(msg.Blocks) != nA+nB+nC {
 			fail(0, fmt.Errorf("serve: submit carries %d blocks for r=%d s=%d t=%d", len(msg.Blocks), msg.R, msg.S, msg.T))
@@ -517,15 +537,15 @@ func (s *Server) handleClient(conn net.Conn) {
 			fail(0, err)
 			return
 		}
-		var id uint64
-		if msg.Kind == cSubmitD {
-			// The client computed the operands' panel digests already (an
-			// installed operand resubmitted): skip re-hashing server-side.
-			jp := &cache.JobPanels{T: msg.T, Q: msg.Q, ARows: msg.Rows, BCols: msg.Cols}
-			id, err = s.SubmitPanels(a, b, c, jp)
-		} else {
-			id, err = s.Submit(a, b, c)
+		// The client computed the operands' panel digests already (an
+		// installed operand resubmitted): skip re-hashing server-side. A
+		// submit-class frame carries the digest lists too, but empty lists
+		// mean "none" (every real operand has ≥ 1 row and column panel).
+		var jp *cache.JobPanels
+		if msg.Kind == cSubmitD || (msg.Kind == cSubmitC && len(msg.Rows)+len(msg.Cols) > 0) {
+			jp = &cache.JobPanels{T: msg.T, Q: msg.Q, ARows: msg.Rows, BCols: msg.Cols}
 		}
+		id, err := s.SubmitClass(a, b, c, jp, msg.Class)
 		if err != nil {
 			fail(0, err)
 			return
@@ -591,7 +611,7 @@ const cancelGrace = 10 * time.Second
 // daemon dequeues or aborts the job (other jobs keep their leases), and the
 // returned error wraps ctx's error.
 func SubmitProductContext(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix) (*matrix.BlockMatrix, uint64, error) {
-	return submitProduct(ctx, addr, a, b, c, nil)
+	return submitProduct(ctx, addr, a, b, c, nil, ClassStandard)
 }
 
 // SubmitProductPanels is SubmitProductContext carrying the operands' panel
@@ -601,10 +621,19 @@ func SubmitProductContext(ctx context.Context, addr string, a, b, c *matrix.Bloc
 // facade's Operand handles memoize it); nil degrades to a plain submission.
 // A non-caching daemon ignores the digests.
 func SubmitProductPanels(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (*matrix.BlockMatrix, uint64, error) {
-	return submitProduct(ctx, addr, a, b, c, jp)
+	return submitProduct(ctx, addr, a, b, c, jp, ClassStandard)
 }
 
-func submitProduct(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (*matrix.BlockMatrix, uint64, error) {
+// SubmitProductClass is SubmitProductPanels with an explicit SLO class: the
+// daemon's priority queue policy orders dispatch by it and admission control
+// buckets by it (see Config.QueuePolicy). jp may be nil. A standard-class
+// submission stays on the pre-class frames, so old daemons keep working;
+// declaring another class needs a daemon that understands the class frame.
+func SubmitProductClass(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels, class JobClass) (*matrix.BlockMatrix, uint64, error) {
+	return submitProduct(ctx, addr, a, b, c, jp, class)
+}
+
+func submitProduct(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix, jp *cache.JobPanels, class JobClass) (*matrix.BlockMatrix, uint64, error) {
 	if a == nil || b == nil || c == nil {
 		return nil, 0, fmt.Errorf("serve: submit needs A, B and C")
 	}
@@ -629,6 +658,9 @@ func submitProduct(ctx context.Context, addr string, a, b, c *matrix.BlockMatrix
 	sub := &clientMsg{Kind: cSubmit, R: c.Rows, S: c.Cols, T: a.Cols, Q: a.Q, Blocks: blocks}
 	if jp != nil {
 		sub.Kind, sub.Rows, sub.Cols = cSubmitD, jp.ARows, jp.BCols
+	}
+	if class != ClassStandard {
+		sub.Kind, sub.Class = cSubmitC, class
 	}
 	err = writeClientMsg(wr, sub, &codec)
 	if err == nil {

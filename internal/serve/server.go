@@ -91,6 +91,29 @@ type Config struct {
 	// to suggest one (at least 1, so crashes stay covered). Only meaningful
 	// with Redundancy set.
 	RedundancyFactor int
+	// QueuePolicy picks which queued job each freed lease goes to:
+	// PolicyFIFO (default — strict submission order), PolicySJF (least
+	// predicted work first, starvation-bounded by AgingBound), or
+	// PolicyPriority (SLO class order interactive → standard → batch, FIFO
+	// within a class, aging-bounded across classes). Unknown names log a
+	// warning and fall back to FIFO. Policies reorder lease admission only;
+	// execution — and C — is identical under every policy.
+	QueuePolicy string
+	// AgingBound caps how long sjf/priority may bypass the queue's oldest
+	// job; past it the oldest job is dispatched next regardless of size or
+	// class. 0 means the 15s default; it is the knob that turns "SJF can
+	// starve large jobs" into a bounded extra wait.
+	AgingBound time.Duration
+	// AdmissionRate, when > 0, turns on token-bucket admission control:
+	// each SLO class refills its own bucket at this rate (jobs/second), and
+	// a submission finding its class's bucket empty is rejected at Submit
+	// (the client sees the error immediately and can back off) instead of
+	// joining an unbounded queue. 0 keeps admission unbounded.
+	AdmissionRate float64
+	// AdmissionBurst is each class bucket's capacity — the burst length
+	// admitted at full speed before rejections start. ≤ 0 defaults to one
+	// second of refill (at least 1). Only meaningful with AdmissionRate.
+	AdmissionBurst int
 	// NoCache disables operand-panel caching: jobs are submitted without
 	// panel digests, leases skip the have/need handshake, and resource
 	// selection ignores operand affinity. The zero value keeps caching on —
@@ -135,6 +158,9 @@ type job struct {
 	// (nil when caching is off): the input to affinity-aware selection and
 	// to each lease's install-by-digest epoch.
 	panels *cache.JobPanels
+	// class is the job's SLO class: the priority policy's ordering key and
+	// the admission/metrics partition. Zero (standard) for classless frames.
+	class JobClass
 
 	state     JobState
 	sel       *Selection
@@ -186,6 +212,7 @@ type RedundancyStats struct {
 type JobStatus struct {
 	ID        uint64         `json:"id"`
 	State     string         `json:"state"`
+	Class     string         `json:"class,omitempty"`
 	Instance  sched.Instance `json:"instance"`
 	Q         int            `json:"q"`
 	Algorithm string         `json:"algorithm,omitempty"`
@@ -208,12 +235,21 @@ type Stats struct {
 	Adaptive   bool           `json:"adaptive,omitempty"`   // measured-speed selection + elastic leases on
 	Redundancy string         `json:"redundancy,omitempty"` // k-of-n gate mode when proactive mitigation is on
 	Cache      *CacheTotals   `json:"cache,omitempty"`      // panel-cache effectiveness; nil when caching is off
-	Queued     int            `json:"queued"`
-	Running    int            `json:"running"`
-	Done       int            `json:"done"`
-	Failed     int            `json:"failed"`
-	Canceled   int            `json:"canceled"`
-	Jobs       []JobStatus    `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
+	// QueuePolicy is the active dispatch policy (fifo, sjf, priority).
+	QueuePolicy string `json:"queue_policy,omitempty"`
+	Queued      int    `json:"queued"`
+	Running     int    `json:"running"`
+	Done        int    `json:"done"`
+	Failed      int    `json:"failed"`
+	Canceled    int    `json:"canceled"`
+	// QueuedByClass splits Queued by SLO class (class names with zero queued
+	// jobs are omitted); it always sums to Queued and always agrees with the
+	// mm_serve_queue_depth gauge family.
+	QueuedByClass map[string]int `json:"queued_by_class,omitempty"`
+	// AdmissionRejected counts submissions shed by token-bucket admission,
+	// by class; nil when admission is unbounded.
+	AdmissionRejected map[string]int64 `json:"admission_rejected,omitempty"`
+	Jobs              []JobStatus      `json:"jobs"` // submission order; terminal jobs pruned past maxJobHistory
 }
 
 // CacheTotals aggregates panel-cache effectiveness across all completed
@@ -252,6 +288,11 @@ type Server struct {
 	fleet *Fleet
 	cfg   Config
 	log   *slog.Logger
+	// policy is the validated queue policy (cfg.QueuePolicy with unknown
+	// names already demoted to fifo); adm is token-bucket admission, nil
+	// when unbounded.
+	policy string
+	adm    *admission
 	// tracker holds the fleet-indexed live throughput estimates of an
 	// Adaptive server (nil otherwise). Each lease observes through a
 	// remapping view, so every job's measurements land here.
@@ -301,6 +342,12 @@ func NewServer(fleet *Fleet, cfg Config) *Server {
 	if cfg.Adaptive {
 		s.tracker = adapt.NewTracker(fleet.Specs(), trackerUnit, 0)
 	}
+	policy, err := ParseQueuePolicy(cfg.QueuePolicy)
+	if err != nil {
+		s.log.Warn("unknown queue policy; using fifo", "policy", cfg.QueuePolicy, "err", err)
+	}
+	s.policy = policy
+	s.adm = newAdmission(cfg.AdmissionRate, cfg.AdmissionBurst)
 	if _, err := coded.ParseMode(cfg.Redundancy); err != nil {
 		s.log.Warn("invalid redundancy mode; proactive mitigation stays off",
 			"mode", cfg.Redundancy, "err", err)
@@ -373,7 +420,7 @@ func (s *Server) selectionSpecs() []platform.Worker {
 // queue, execution happens as leases free up. On a caching server the
 // operand panels are digested here, once per submission.
 func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
-	return s.submit(a, b, c, nil)
+	return s.submit(a, b, c, nil, ClassStandard)
 }
 
 // SubmitPanels is Submit with caller-computed operand-panel digests, for
@@ -383,14 +430,25 @@ func (s *Server) Submit(a, b, c *matrix.BlockMatrix) (uint64, error) {
 // stale set makes workers reuse the wrong panels. On a non-caching server jp
 // is ignored; a nil jp degrades to Submit.
 func (s *Server) SubmitPanels(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint64, error) {
+	return s.SubmitClass(a, b, c, jp, ClassStandard)
+}
+
+// SubmitClass is SubmitPanels with an explicit SLO class: the priority
+// policy's ordering key and the admission-control partition. jp may be nil
+// (digested server-side on a caching server, exactly like Submit).
+func (s *Server) SubmitClass(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels, class JobClass) (uint64, error) {
 	if jp != nil && (a == nil || b == nil ||
 		jp.T != a.Cols || jp.Q != a.Q || len(jp.ARows) != a.Rows || len(jp.BCols) != b.Cols) {
 		return 0, fmt.Errorf("serve: panel digests do not match the submitted operands")
 	}
-	return s.submit(a, b, c, jp)
+	return s.submit(a, b, c, jp, class)
 }
 
-func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint64, error) {
+// ErrAdmission marks submissions shed by token-bucket admission control;
+// clients can errors.Is for it and back off.
+var ErrAdmission = errors.New("admission rejected")
+
+func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels, class JobClass) (uint64, error) {
 	if a == nil || b == nil || c == nil {
 		return 0, fmt.Errorf("serve: submit needs A, B and C")
 	}
@@ -404,6 +462,12 @@ func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint6
 	}
 	if err := inst.Validate(); err != nil {
 		return 0, err
+	}
+	if !s.adm.take(class) {
+		mQueueRejected.With(class.String()).Inc()
+		s.log.Info("job rejected by admission control", "class", class.String(),
+			"rate", s.cfg.AdmissionRate)
+		return 0, fmt.Errorf("serve: %w: class %s exceeded %.3g jobs/s", ErrAdmission, class, s.cfg.AdmissionRate)
 	}
 	if s.registry != nil && jp == nil {
 		jp = cache.PanelsForJob(a, b)
@@ -419,7 +483,7 @@ func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint6
 	s.nextID++
 	jctx, jcancel := context.WithCancel(context.Background())
 	j := &job{
-		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c, panels: jp,
+		id: s.nextID, inst: inst, q: a.Q, a: a, b: b, c: c, panels: jp, class: class,
 		state: JobQueued, submitted: time.Now(), done: make(chan struct{}),
 		ctx: jctx, cancel: jcancel,
 	}
@@ -430,8 +494,9 @@ func (s *Server) submit(a, b, c *matrix.BlockMatrix, jp *cache.JobPanels) (uint6
 
 	mJobsSubmitted.Inc()
 	gJobsQueued.Add(1)
+	gQueueDepth.With(class.String()).Add(1)
 	s.log.Info("job queued",
-		"job", j.id, "r", inst.R, "s", inst.S, "t", inst.T, "q", a.Q)
+		"job", j.id, "class", class.String(), "r", inst.R, "s", inst.S, "t", inst.T, "q", a.Q)
 	s.kick()
 	return j.id, nil
 }
@@ -474,12 +539,7 @@ func (s *Server) Cancel(id uint64) error {
 	}
 	switch j.state {
 	case JobQueued:
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
+		s.dequeueLocked(j)
 		s.finishLocked(j, JobCanceled, fmt.Errorf("serve: job %d canceled while queued: %w", id, context.Canceled))
 		s.mu.Unlock()
 		s.log.Info("job canceled while queued", "job", id)
@@ -501,7 +561,16 @@ func (s *Server) Cancel(id uint64) error {
 func (s *Server) Status() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Kernel: kernel.Name(), Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil}
+	st := Stats{
+		Kernel: kernel.Name(), Workers: s.fleet.Metrics(), Adaptive: s.tracker != nil,
+		QueuePolicy: s.policy, AdmissionRejected: s.adm.rejectedByClass(),
+	}
+	if len(s.queue) > 0 {
+		st.QueuedByClass = make(map[string]int)
+		for _, j := range s.queue {
+			st.QueuedByClass[j.class.String()]++
+		}
+	}
 	if mode, err := coded.ParseMode(s.cfg.Redundancy); err == nil && mode != coded.ModeOff {
 		st.Redundancy = string(mode)
 	}
@@ -544,7 +613,8 @@ func (s *Server) Status() Stats {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		js := JobStatus{
-			ID: j.id, State: j.state.String(), Instance: j.inst, Q: j.q,
+			ID: j.id, State: j.state.String(), Class: j.class.String(),
+			Instance: j.inst, Q: j.q,
 			Replans: int(j.replans.Load()), Redundancy: j.redStats,
 		}
 		if j.sel != nil {
@@ -615,6 +685,7 @@ func (s *Server) finishLocked(j *job, state JobState, err error) {
 	switch j.state {
 	case JobQueued:
 		gJobsQueued.Add(-1)
+		gQueueDepth.With(j.class.String()).Add(-1)
 	case JobRunning:
 		gJobsRunning.Add(-1)
 	}
@@ -681,15 +752,16 @@ func (s *Server) schedule() {
 	}
 }
 
-// dispatchOne tries to start the queue's head job; it reports whether the
-// loop should immediately try again (a job was started or dropped).
+// dispatchOne tries to start the job the queue policy picks next (the head
+// under fifo — see pickLocked); it reports whether the loop should
+// immediately try again (a job was started or dropped).
 func (s *Server) dispatchOne() bool {
 	s.mu.Lock()
 	if len(s.queue) == 0 {
 		s.mu.Unlock()
 		return false
 	}
-	j := s.queue[0]
+	j := s.pickLocked(time.Now())
 	pending := len(s.queue) - 1
 	s.mu.Unlock()
 
@@ -757,11 +829,11 @@ func (s *Server) dispatchOne() bool {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue) == 0 || s.queue[0] != j {
-		return true // the queue changed while we planned; re-examine
+	if j.state != JobQueued {
+		return true // canceled (or the server closed) while we planned; re-examine
 	}
 	if permanent {
-		s.queue = s.queue[1:]
+		s.dequeueLocked(j)
 		s.finishLocked(j, JobFailed, err)
 		s.log.Warn("job failed selection", "job", j.id, "err", err)
 		return true
@@ -774,9 +846,11 @@ func (s *Server) dispatchOne() bool {
 		s.kick()
 		return false
 	}
-	s.queue = s.queue[1:]
+	s.dequeueLocked(j)
 	j.state, j.sel, j.started = JobRunning, sel, time.Now()
+	hQueueWait.Observe(j.started.Sub(j.submitted))
 	gJobsQueued.Add(-1)
+	gQueueDepth.With(j.class.String()).Add(-1)
 	gJobsRunning.Add(1)
 	j.m = m
 	j.lease = append([]int(nil), sel.Workers...)

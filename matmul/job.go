@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,9 @@ func (s JobState) String() string {
 // JobStatus is a Job's externally visible state.
 type JobStatus struct {
 	State JobState
+	// Class is the job's SLO class name as declared at Submit (WithClass):
+	// "interactive", "standard" or "batch".
+	Class string
 	// Err is the terminal error (nil while running and after success). A
 	// canceled job's Err wraps context.Canceled.
 	Err error
@@ -63,6 +67,7 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	rec    *trace.Recorder // non-nil when the runtime records in-process
+	class  serve.JobClass  // SLO class declared at Submit; set before run starts
 
 	mu         sync.Mutex
 	state      JobState
@@ -137,7 +142,7 @@ func (j *Job) Trace() *Trace {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{State: j.state, Err: j.err, RemoteID: j.remoteID}
+	return JobStatus{State: j.state, Class: j.class.String(), Err: j.err, RemoteID: j.remoteID}
 }
 
 // setRemoteID records the daemon-side id of a Remote submission.

@@ -45,6 +45,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -337,17 +338,54 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	return &Session{cfg: cfg, rts: rts, ctx: sctx, cancel: cancel}, nil
 }
 
+// SubmitOption configures one submission (Session options configure the
+// whole session; see WithClass).
+type SubmitOption func(*submitConfig) error
+
+// submitConfig is the resolved per-submission option set.
+type submitConfig struct {
+	class serve.JobClass
+}
+
+// Classes lists the accepted WithClass names, in priority order.
+func Classes() []string { return []string{"interactive", "standard", "batch"} }
+
+// WithClass declares the job's SLO class ("interactive", "standard" or
+// "batch"; default standard). On a Remote session the class rides the
+// submission frame to the mmserve daemon, where the priority queue policy
+// dispatches interactive jobs first and token-bucket admission buckets by
+// class (see mmserve -queue and -admission). The other runtimes have no
+// multi-job queue to reorder: the class is recorded on the Job handle
+// (Status().Class) and otherwise inert.
+func WithClass(name string) SubmitOption {
+	return func(sc *submitConfig) error {
+		class, err := serve.ParseClass(name)
+		if err != nil {
+			return fmt.Errorf("matmul: unknown job class %q (have %s)", name, strings.Join(Classes(), ", "))
+		}
+		sc.class = class
+		return nil
+	}
+}
+
 // Submit admits one product C ← C + A·B (all matrices blocked with the same
 // edge q; C is updated in place) and returns its Job handle immediately.
 // The A and B positions each take a *Matrix or an installed *Operand,
 // interchangeably: a plain matrix is wrapped in a transient handle, an
 // installed one reuses its memoized panel digests — the cheap way to submit
-// the same operand many times (see Session.Install). The job is canceled
+// the same operand many times (see Session.Install). Per-job options follow
+// C (WithClass declares the SLO class). The job is canceled
 // when ctx ends, when Job.Cancel is called, or when the session closes —
 // whichever comes first. Waiting is separate: use Job.Wait or Job.Done.
-func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix) (*Job, error) {
+func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix, opts ...SubmitOption) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var sc submitConfig
+	for _, opt := range opts {
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
 	}
 	ao, aDone, err := s.operandOf(a, "A")
 	if err != nil {
@@ -390,7 +428,7 @@ func (s *Session) Submit(ctx context.Context, a, b any, c *Matrix) (*Job, error)
 
 	jctx, jcancel := context.WithCancel(ctx)
 	unlink := context.AfterFunc(s.ctx, jcancel) // session close/cancel fans out
-	j := &Job{cancel: jcancel, done: make(chan struct{})}
+	j := &Job{cancel: jcancel, done: make(chan struct{}), class: sc.class}
 	if _, ok := s.rts.(localTracer); ok {
 		// Runs that execute in this process record their timeline as they go;
 		// Job.Trace exposes it once the job is terminal. Remote jobs execute

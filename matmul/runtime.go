@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/cache"
 	"repro/internal/coded"
 	"repro/internal/engine"
 	"repro/internal/kernel"
@@ -440,18 +441,17 @@ type remoteSession struct {
 
 func (s *remoteSession) run(ctx context.Context, j *Job, ah, bh *Operand, c *Matrix) error {
 	a, b := ah.mat, bh.mat
-	var out *Matrix
-	var id uint64
-	var err error
+	// With caching on, ship the operands' digests with the blocks so the
+	// daemon can route by affinity and its workers can skip resident panels —
+	// without re-hashing A and B server-side. Installed handles make this
+	// nearly free on every submission after the first. The job's SLO class
+	// (WithClass) rides the same frame; the daemon's queue policy and
+	// admission control act on it.
+	var jp *cache.JobPanels
 	if s.cacheOn {
-		// Ship the operands' digests with the blocks so the daemon can route
-		// by affinity and its workers can skip resident panels — without
-		// re-hashing A and B server-side. Installed handles make this nearly
-		// free on every submission after the first.
-		out, id, err = serve.SubmitProductPanels(ctx, s.addr, a, b, c, jobPanels(ah, bh))
-	} else {
-		out, id, err = serve.SubmitProductContext(ctx, s.addr, a, b, c)
+		jp = jobPanels(ah, bh)
 	}
+	out, id, err := serve.SubmitProductClass(ctx, s.addr, a, b, c, jp, j.class)
 	if id != 0 {
 		j.setRemoteID(id)
 		// The daemon records every job's timeline; expose it through

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Documentation lint, stdlib only. Two checks, both fail the build:
+
+1. Dead links: every relative link in every *.md file must point at a file
+   or directory that exists, and a #fragment must match a heading in the
+   target (GitHub slugification). External schemes (http, https, mailto)
+   are not checked; relative paths that escape the repo root are skipped
+   (GitHub resolves e.g. ../../actions/... against the site, not the tree).
+
+2. Package-map drift: the README's "Package map" section must mention every
+   internal/* and cmd/* package that exists on disk, and must not mention
+   one that doesn't.
+
+Usage: scripts/docs-lint.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "node_modules"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in sorted(dirnames) if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def slugify(heading):
+    # GitHub's anchor algorithm: strip markup-ish punctuation, lowercase,
+    # spaces to dashes.
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            content = f.read()
+        cache[path] = {slugify(m.group(1)) for m in HEADING.finditer(content)}
+    return cache[path]
+
+
+def check_links(root):
+    errors = []
+    for md in md_files(root):
+        rel = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            content = f.read()
+        # Fenced code blocks hold shell snippets, not prose links.
+        content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+        for m in LINK.finditer(content):
+            target = m.group(1)
+            if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path, _, frag = target.partition("#")
+            base = md if not path else os.path.normpath(
+                os.path.join(os.path.dirname(md), path))
+            if os.path.commonpath([os.path.abspath(base), root]) != root:
+                continue  # escapes the repo: resolved by the hosting site
+            if not os.path.exists(base):
+                errors.append(f"{rel}: dead link {target!r}")
+                continue
+            if frag and base.endswith(".md"):
+                want = {frag, re.sub(r"-\d+$", "", frag)}
+                if not (want & anchors_of(base)):
+                    errors.append(f"{rel}: link {target!r}: no such heading")
+    return errors
+
+
+def check_package_map(root):
+    errors = []
+    readme = os.path.join(root, "README.md")
+    with open(readme, encoding="utf-8") as f:
+        content = f.read()
+    section = re.search(r"^## Package map\n(.*?)(?=^## )", content,
+                        re.MULTILINE | re.DOTALL)
+    if not section:
+        return ["README.md: no '## Package map' section"]
+    listed = set(re.findall(r"\b((?:internal|cmd)/[\w-]+)", section.group(1)))
+
+    on_disk = set()
+    for parent in ("internal", "cmd"):
+        for name in sorted(os.listdir(os.path.join(root, parent))):
+            dir_ = os.path.join(root, parent, name)
+            if os.path.isdir(dir_) and any(
+                    f.endswith(".go") for f in os.listdir(dir_)):
+                on_disk.add(f"{parent}/{name}")
+
+    for pkg in sorted(on_disk - listed):
+        errors.append(f"README.md package map: missing {pkg}")
+    for pkg in sorted(listed - on_disk):
+        errors.append(f"README.md package map: lists {pkg}, which does not exist")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = check_links(root) + check_package_map(root)
+    for e in errors:
+        print(f"docs-lint: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print("docs-lint: ok")
+
+
+if __name__ == "__main__":
+    main()
